@@ -1,0 +1,88 @@
+// A1 (ablation) — how tight is Theorem 6's stage budget?
+//
+// The paper sets maxStage = t·(4f+f²) and notes "choosing an earlier
+// maximal stage might work, but we chose to concentrate on correctness
+// and space complexity rather than on performance".  This ablation
+// quantifies the slack: for each (f, t) it runs the staged protocol with
+// maxStage = 1, 2, ... and reports the exhaustive verdict of each
+// truncation, locating the smallest stage budget that the model checker
+// proves safe (for n = f+1, the regime of the theorem).
+//
+// Expected shape: correctness holds far below the proven bound — the
+// bound is conservative by roughly an order of magnitude at these sizes —
+// and very small budgets (maxStage ≈ 1) are refuted with concrete
+// counterexamples.
+#include <iostream>
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/explorer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ff;
+
+std::string probe(std::uint32_t f, std::uint32_t t, std::uint32_t max_stage,
+                  std::uint64_t state_cap) {
+  const std::uint32_t n = f + 1;
+  sched::SimConfig config;
+  config.num_objects = f;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = t;
+  std::vector<std::uint64_t> inputs(n);
+  std::iota(inputs.begin(), inputs.end(), 1);
+  const sched::SimWorld world(
+      config, consensus::StagedFactory(f, t, max_stage), inputs);
+  sched::ExploreOptions options;
+  options.max_states = state_cap;
+  const auto result = sched::explore(world, options);
+  if (result.violation) {
+    return std::string(sched::to_string(result.violation->kind));
+  }
+  return result.complete ? "OK (proven)" : "OK? (capped)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ff::util::Cli cli(argc, argv);
+  const auto state_cap = cli.get_uint("state-cap", 2'000'000);
+
+  std::cout << "=== A1 ablation: shrinking Figure 3's maxStage below the "
+               "proven t*(4f+f^2) ===\n\n";
+
+  const std::pair<std::uint32_t, std::uint32_t> cells[] = {
+      {1, 1}, {1, 2}, {1, 3}, {2, 1}};
+  ff::util::Table table({"f", "t", "proven maxStage", "smallest safe",
+                         "slack factor", "verdicts (maxStage=1,2,...)"});
+  for (const auto& [f, t] : cells) {
+    const auto proven =
+        static_cast<std::uint32_t>(model::staged_max_stage(f, t));
+    std::string verdicts;
+    std::uint32_t smallest_safe = 0;
+    // Scan upward; verdicts are monotone in practice (more stages only
+    // add convergence rounds), so stop a little past the first safe one.
+    for (std::uint32_t ms = 1; ms <= proven; ++ms) {
+      const std::string v = probe(f, t, ms, state_cap);
+      if (!verdicts.empty()) verdicts += ", ";
+      verdicts += std::to_string(ms) + ":" +
+                  (v == "OK (proven)" ? "ok" : v);
+      if (v == "OK (proven)" && smallest_safe == 0) smallest_safe = ms;
+      if (smallest_safe != 0 && ms >= smallest_safe + 1) break;
+    }
+    table.add(f, t, proven, smallest_safe,
+              smallest_safe == 0
+                  ? std::string("-")
+                  : util::Table::to_cell(static_cast<double>(proven) /
+                                         smallest_safe),
+              verdicts);
+  }
+  std::cout << table
+            << "\nThe paper's bound guarantees correctness; the model "
+               "checker shows how much smaller the\nstage budget could be "
+               "at these parameter sizes (per-instance proofs, not a "
+               "general theorem).\n";
+  return 0;
+}

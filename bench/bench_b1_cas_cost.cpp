@@ -1,0 +1,75 @@
+// B1 — cost of the fault machinery: raw std::atomic CAS vs AtomicCas vs
+// FaultyCas per fault kind and policy.  Single-threaded microbenchmark;
+// the point is the overhead of the injection layer, not contention.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+#include "faults/budget.hpp"
+#include "faults/faulty_cas.hpp"
+#include "faults/policy.hpp"
+#include "objects/atomic_cas.hpp"
+
+namespace {
+
+using ff::model::FaultKind;
+using ff::model::Value;
+
+void BM_RawAtomicCas(benchmark::State& state) {
+  std::atomic<std::uint64_t> word{0};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    std::uint64_t expected = i;
+    word.compare_exchange_strong(expected, i + 1);
+    benchmark::DoNotOptimize(expected);
+    ++i;
+  }
+}
+BENCHMARK(BM_RawAtomicCas);
+
+void BM_AtomicCasObject(benchmark::State& state) {
+  ff::objects::AtomicCas object(0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const Value old = object.cas(Value::of(i), Value::of(i + 1), 0);
+    benchmark::DoNotOptimize(old);
+    ++i;
+  }
+}
+BENCHMARK(BM_AtomicCasObject);
+
+void BM_FaultyCas(benchmark::State& state) {
+  const auto kind = static_cast<FaultKind>(state.range(0));
+  const double rate = static_cast<double>(state.range(1)) / 100.0;
+
+  ff::faults::FaultBudget budget(1, 1, ff::model::kUnbounded);
+  std::unique_ptr<ff::faults::FaultPolicy> policy;
+  if (rate <= 0.0) {
+    policy = std::make_unique<ff::faults::NeverFault>();
+  } else if (rate >= 1.0) {
+    policy = std::make_unique<ff::faults::AlwaysFault>();
+  } else {
+    policy = std::make_unique<ff::faults::ProbabilisticFault>(rate, 42);
+  }
+  ff::faults::FaultyCas object(0, kind, policy.get(), &budget);
+
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const Value old = object.cas(Value::of(i), Value::of(i + 1), 0);
+    benchmark::DoNotOptimize(old);
+    ++i;
+  }
+  state.SetLabel(std::string(ff::model::to_string(kind)) + " rate=" +
+                 std::to_string(state.range(1)) + "%");
+}
+BENCHMARK(BM_FaultyCas)
+    ->ArgsProduct({{static_cast<long>(FaultKind::kOverriding),
+                    static_cast<long>(FaultKind::kSilent),
+                    static_cast<long>(FaultKind::kInvisible),
+                    static_cast<long>(FaultKind::kArbitrary)},
+                   {0, 10, 100}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// B2 — protocol cost scaling (google-benchmark).
+//
+//   * solo decide() latency of Figure 2 vs f            (linear: f+1 CAS)
+//   * solo decide() latency of Figure 3 vs (f, t)       (≈ f·t·(4f+f²) CAS)
+//   * contended decide() latency, n threads on Figure 2
+//   * the trial-harness overhead (thread spawn + barrier) for calibration
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "consensus/f_plus_one.hpp"
+#include "consensus/single_cas.hpp"
+#include "consensus/staged.hpp"
+#include "faults/budget.hpp"
+#include "faults/faulty_cas.hpp"
+#include "faults/policy.hpp"
+#include "objects/atomic_cas.hpp"
+#include "runtime/thread_runner.hpp"
+
+namespace {
+
+using namespace ff;
+
+struct FaultyBank {
+  FaultyBank(std::uint32_t count, std::uint32_t f, std::uint32_t t,
+             double rate)
+      : budget(count, f, t), policy(rate, 0xB2) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      objects.push_back(std::make_unique<faults::FaultyCas>(
+          i, model::FaultKind::kOverriding, &policy, &budget));
+      raw.push_back(objects.back().get());
+    }
+  }
+  faults::FaultBudget budget;
+  faults::ProbabilisticFault policy;
+  std::vector<std::unique_ptr<faults::FaultyCas>> objects;
+  std::vector<objects::CasObject*> raw;
+};
+
+void BM_FPlusOneSoloDecide(benchmark::State& state) {
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  FaultyBank bank(f + 1, f, model::kUnbounded, 0.5);
+  consensus::FPlusOneConsensus protocol(bank.raw);
+  for (auto _ : state) {
+    state.PauseTiming();
+    protocol.reset();
+    bank.budget.reset();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(protocol.decide(7, 0));
+  }
+  state.counters["cas_steps"] = f + 1;
+}
+BENCHMARK(BM_FPlusOneSoloDecide)->DenseRange(1, 6);
+
+void BM_StagedSoloDecide(benchmark::State& state) {
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  const auto t = static_cast<std::uint32_t>(state.range(1));
+  FaultyBank bank(f, f, t, 0.5);
+  consensus::StagedConsensus protocol(bank.raw, t);
+  for (auto _ : state) {
+    state.PauseTiming();
+    protocol.reset();
+    bank.budget.reset();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(protocol.decide(7, 0));
+  }
+  state.counters["maxStage"] =
+      static_cast<double>(model::staged_max_stage(f, t));
+  state.counters["cas_steps"] =
+      static_cast<double>(model::staged_max_stage(f, t) * f + 2);
+}
+BENCHMARK(BM_StagedSoloDecide)
+    ->ArgsProduct({{1, 2, 3, 4}, {1, 2, 4}});
+
+void BM_FPlusOneContendedTrial(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint32_t kF = 2;
+  FaultyBank bank(kF + 1, kF, model::kUnbounded, 0.5);
+  consensus::FPlusOneConsensus protocol(bank.raw);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    protocol.reset();
+    bank.budget.reset();
+    const auto inputs = runtime::make_inputs(n, trial++, 0xB2);
+    state.ResumeTiming();
+    const auto outcome = runtime::run_trial(protocol, inputs);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_FPlusOneContendedTrial)->RangeMultiplier(2)->Range(2, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TrialHarnessOverhead(benchmark::State& state) {
+  // Calibration: the cost of spawning n threads through the barrier with
+  // a protocol whose decide() is a single uncontended CAS.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  objects::AtomicCas object(0);
+  consensus::SingleCasConsensus protocol(object);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    protocol.reset();
+    const auto inputs = runtime::make_inputs(n, trial++, 0xB2);
+    state.ResumeTiming();
+    const auto outcome = runtime::run_trial(protocol, inputs);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_TrialHarnessOverhead)->RangeMultiplier(2)->Range(2, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// B3 — model-checker throughput: states visited per second and state-space
+// size across representative configurations of each protocol machine.
+//
+// This calibrates what "exhaustive" costs and explains where the
+// hierarchy prober switches from proofs to stress evidence.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/explorer.hpp"
+
+namespace {
+
+using namespace ff;
+
+std::vector<std::uint64_t> inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+template <typename FactoryT>
+void run_explore(benchmark::State& state, const FactoryT& factory,
+                 std::uint32_t objects, std::uint32_t t, std::uint32_t n) {
+  sched::SimConfig config;
+  config.num_objects = objects;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = t;
+  const sched::SimWorld world(config, factory, inputs(n));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    sched::ExploreOptions options;
+    options.stop_at_first_violation = false;  // full-space traversal
+    const auto result = sched::explore(world, options);
+    states = result.states_visited;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ExploreHerlihy(benchmark::State& state) {
+  run_explore(state, consensus::SingleCasFactory{}, 1, 1,
+              static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_ExploreHerlihy)->DenseRange(2, 5);
+
+void BM_ExploreFPlusOne(benchmark::State& state) {
+  const auto f = static_cast<std::uint32_t>(state.range(0));
+  run_explore(state, consensus::FPlusOneFactory(f + 1), f + 1,
+              model::kUnbounded, 3);
+}
+BENCHMARK(BM_ExploreFPlusOne)->DenseRange(1, 2);
+
+void BM_ExploreStaged(benchmark::State& state) {
+  const auto t = static_cast<std::uint32_t>(state.range(0));
+  run_explore(state, consensus::StagedFactory(1, t), 1, t, 2);
+}
+BENCHMARK(BM_ExploreStaged)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreStagedTwoObjects(benchmark::State& state) {
+  run_explore(state, consensus::StagedFactory(2, 1), 2, 1, 2);
+}
+BENCHMARK(BM_ExploreStagedTwoObjects)->Unit(benchmark::kMillisecond);
+
+void BM_SimWorldStepApply(benchmark::State& state) {
+  // Cost of one simulated step (clone-free path): drive a solo staged
+  // run repeatedly.
+  const consensus::StagedFactory factory(2, 2);
+  sched::SimConfig config;
+  config.num_objects = 2;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = 2;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    sched::SimWorld world(config, factory, inputs(1));
+    while (!world.terminal()) world.apply({0, false, 0});
+    steps += world.total_steps();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_SimWorldStepApply);
+
+void BM_SimWorldClone(benchmark::State& state) {
+  // Cost of the snapshot the DFS takes per expanded state.
+  const consensus::StagedFactory factory(3, 2);
+  sched::SimConfig config;
+  config.num_objects = 3;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = 2;
+  const sched::SimWorld world(config, factory, inputs(4));
+  for (auto _ : state) {
+    sched::SimWorld copy = world;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_SimWorldClone);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// E10 (extension) — relaxed data structures as functional faults (§6).
+//
+// The paper's related-work section observes that relaxed objects
+// (quasi-linearizable queues, SprayList-style pops) "form a special case
+// of the general functional faults model": a relaxed dequeue violates
+// FIFO's Φ but satisfies the structured Φ′_k (returned element within
+// the first k+1).  This harness measures the deviation that a policy ×
+// budget actually produces, confirming that every observation stays
+// inside its declared Φ′ — the property that makes relaxation usable at
+// all.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "faults/budget.hpp"
+#include "faults/policy.hpp"
+#include "faults/relaxed_queue.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ff;
+
+void run_row(util::Table& table, std::uint32_t k, double rate,
+             std::uint32_t t, std::uint64_t ops) {
+  faults::ProbabilisticFault policy(rate, 0xE10 + k);
+  std::unique_ptr<faults::FaultBudget> budget;
+  if (t != model::kUnbounded) {
+    budget = std::make_unique<faults::FaultBudget>(1, 1, t);
+  }
+  faults::RelaxedQueue queue(0, k, &policy, budget.get());
+
+  for (std::uint64_t i = 1; i <= ops; ++i) queue.enqueue(i);
+  for (std::uint64_t i = 0; i < ops; ++i) queue.dequeue(0);
+
+  util::StreamingStats distance;
+  std::uint64_t relaxed = 0;
+  bool all_within_phi_prime = true;
+  for (const auto& ev : queue.trace()) {
+    const auto d = model::relaxation_distance(ev.obs);
+    all_within_phi_prime =
+        all_within_phi_prime && d.has_value() && *d <= k;
+    if (d && *d > 0) {
+      ++relaxed;
+      distance.add(static_cast<double>(*d));
+    }
+  }
+  table.add(k,
+            t == model::kUnbounded ? std::string("inf") : std::to_string(t),
+            rate, ops, relaxed,
+            relaxed == 0 ? 0.0 : distance.mean(),
+            relaxed == 0 ? 0.0 : distance.max(), all_within_phi_prime);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ff::util::Cli cli(argc, argv);
+  const auto ops = cli.get_uint("ops", 5'000);
+  std::cout << "=== E10 (extension): k-relaxed dequeues as structured "
+               "functional faults (Section 6) ===\n\n";
+
+  ff::util::Table table({"k", "t", "fault rate", "dequeues",
+                         "relaxed pops", "mean dist", "max dist",
+                         "all within phi'_k"});
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    run_row(table, k, 0.25, model::kUnbounded, ops);
+    run_row(table, k, 1.00, model::kUnbounded, ops);
+  }
+  run_row(table, 4, 1.00, /*t=*/10, ops);  // budgeted: exactly 10 relaxations
+  std::cout << table
+            << "\nEvery observation satisfies its declared Φ'_k — the "
+               "structured-deviation contract that\nDefinition 1 "
+               "formalizes is exactly what quasi-linearizable structures "
+               "promise.\n";
+  return 0;
+}

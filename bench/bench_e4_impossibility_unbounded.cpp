@@ -1,0 +1,91 @@
+// E4 — Theorem 18: with an unbounded number of overriding faults per
+// object and more than two processes, f CAS objects cannot implement
+// consensus.
+//
+// The theorem quantifies over ALL protocols; an experiment cannot check
+// that, but it can do what the proof does — exhibit the violating
+// execution — for the natural candidate protocols, and verify that the
+// proof's REDUCED MODEL (all faults caused by one process's operations)
+// already suffices:
+//   (a) Figure 2 run with only f objects (all faulty), n = 3;
+//   (b) Herlihy's protocol on one faulty object, n = 3;
+//   (c) the staged protocol when its bounded-fault assumption is revoked;
+//   (d) candidates (a)-(b) re-checked in the reduced model.
+// Each row reports the witness schedule the model checker found.
+#include <iostream>
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/explorer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ff;
+
+std::vector<std::uint64_t> inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+void run_row(util::Table& table, const std::string& name,
+             const sched::MachineFactory& factory, std::uint32_t objects,
+             std::uint32_t n, bool reduced_model) {
+  sched::SimConfig config;
+  config.num_objects = objects;
+  config.num_registers = factory.registers_used();
+  config.kind = model::FaultKind::kOverriding;
+  config.t = model::kUnbounded;
+  if (reduced_model) config.faulting_processes = {0};
+  const sched::SimWorld world(config, factory, inputs(n));
+  const auto result = sched::explore(world);
+  // Report the MINIMAL witness (BFS) — more readable than the DFS one.
+  const auto shortest = sched::find_shortest_violation(world);
+  const auto* witness = shortest.violation ? &*shortest.violation
+                        : result.violation ? &*result.violation
+                                           : nullptr;
+  table.add(name, objects, n, reduced_model ? "p0 only" : "any",
+            result.states_visited,
+            result.violation
+                ? std::string(sched::to_string(result.violation->kind))
+                : "none (?)",
+            witness != nullptr ? witness->schedule_string() : "-");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ff::util::Cli cli(argc, argv);
+  (void)cli;
+  std::cout << "=== E4: impossibility with unbounded faults per object "
+               "(Theorem 18) ===\n\n";
+
+  ff::util::Table table({"candidate protocol", "objects", "n", "faulter",
+                         "states", "violation", "minimal witness (p! = "
+                         "faulty step)"});
+  for (std::uint32_t f = 1; f <= 3; ++f) {
+    run_row(table, "Fig2 on f=" + std::to_string(f) + " objects",
+            consensus::FPlusOneFactory(f), f, 3, false);
+  }
+  run_row(table, "Herlihy on 1 faulty object", consensus::SingleCasFactory{},
+          1, 3, false);
+  run_row(table, "staged f=1 (t bound revoked)",
+          consensus::StagedFactory(1, 1), 1, 3, false);
+  // Theorem 18 explicitly allows an unbounded number of correct
+  // read/write registers — they do not help.
+  run_row(table, "announce+tiebreak (3 registers)",
+          consensus::AnnounceCasFactory(3), 1, 3, false);
+  run_row(table, "Fig2 on 1 object [reduced]", consensus::FPlusOneFactory(1),
+          1, 3, true);
+  run_row(table, "Herlihy [reduced]", consensus::SingleCasFactory{}, 1, 3,
+          true);
+  std::cout << table
+            << "\nEvery candidate admits a violating execution; the reduced "
+               "model (only p0's CASes fault)\nalready suffices, exactly as "
+               "the proof of Theorem 18 constructs it.\n"
+               "Contrast: the same candidates with f+1 objects are proven "
+               "correct in E2.\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// fault_explorer — interactive front-end to the exhaustive model checker.
+//
+// Pick a protocol, a fault kind and an (f, t, n) configuration; the tool
+// explores EVERY schedule and fault placement and reports either a proof
+// of correctness or a concrete violating execution, replayed step by step.
+//
+//   $ ./fault_explorer --protocol staged --f 1 --t 1 --n 3 --kind overriding
+//   $ ./fault_explorer --protocol herlihy --n 2 --kind silent --t 1
+//   $ ./fault_explorer --protocol fp1 --objects 2 --f 1 --n 3
+#include <iostream>
+#include <memory>
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/explorer.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace ff;
+
+model::FaultKind parse_kind(const std::string& name) {
+  if (name == "overriding") return model::FaultKind::kOverriding;
+  if (name == "silent") return model::FaultKind::kSilent;
+  if (name == "invisible") return model::FaultKind::kInvisible;
+  if (name == "arbitrary") return model::FaultKind::kArbitrary;
+  if (name == "nonresponsive") return model::FaultKind::kNonresponsive;
+  if (name == "data") return model::FaultKind::kDataCorruption;
+  if (name == "none") return model::FaultKind::kNone;
+  throw std::invalid_argument("unknown fault kind: " + name);
+}
+
+void print_usage() {
+  std::cout <<
+      "usage: fault_explorer [options]\n"
+      "  --protocol  herlihy | fp1 | staged | retry-silent | announce\n"
+      "                                                      (default staged)\n"
+      "  --kind      overriding | silent | invisible | arbitrary |\n"
+      "              nonresponsive | data | none              (default overriding)\n"
+      "  --f         faulty-object bound / staged object count (default 1)\n"
+      "  --t         faults per object, 0 = unbounded          (default 1)\n"
+      "  --n         processes                                 (default 2)\n"
+      "  --objects   object count for fp1                      (default f+1)\n"
+      "  --state-cap explorer state limit                      (default 4e6)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  const std::string proto = cli.get_string("protocol", "staged");
+  const auto f = static_cast<std::uint32_t>(cli.get_uint("f", 1));
+  const auto t_raw = static_cast<std::uint32_t>(cli.get_uint("t", 1));
+  const std::uint32_t t = t_raw == 0 ? model::kUnbounded : t_raw;
+  const auto n = static_cast<std::uint32_t>(cli.get_uint("n", 2));
+  const model::FaultKind kind =
+      parse_kind(cli.get_string("kind", "overriding"));
+
+  std::unique_ptr<sched::MachineFactory> factory;
+  if (proto == "herlihy") {
+    factory = std::make_unique<consensus::SingleCasFactory>();
+  } else if (proto == "fp1") {
+    const auto k =
+        static_cast<std::uint32_t>(cli.get_uint("objects", f + 1));
+    factory = std::make_unique<consensus::FPlusOneFactory>(k);
+  } else if (proto == "staged") {
+    factory = std::make_unique<consensus::StagedFactory>(
+        f, t == model::kUnbounded ? 1 : t);
+  } else if (proto == "retry-silent") {
+    factory = std::make_unique<consensus::RetrySilentFactory>();
+  } else if (proto == "announce") {
+    factory = std::make_unique<consensus::AnnounceCasFactory>(n);
+  } else {
+    std::cerr << "unknown protocol: " << proto << "\n\n";
+    print_usage();
+    return 2;
+  }
+
+  sched::SimConfig config;
+  config.num_objects = factory->objects_used();
+  config.num_registers = factory->registers_used();
+  config.kind = kind;
+  config.t = t;
+  config.allow_corruption_steps = kind == model::FaultKind::kDataCorruption;
+  std::vector<std::uint64_t> inputs(n);
+  std::iota(inputs.begin(), inputs.end(), 1);
+  const sched::SimWorld world(config, *factory, inputs);
+
+  sched::ExploreOptions options;
+  options.max_states = cli.get_uint("state-cap", 4'000'000);
+  options.killed_is_violation = kind == model::FaultKind::kNonresponsive;
+
+  std::cout << "exploring: protocol=" << factory->name()
+            << " objects=" << config.num_objects << " kind="
+            << model::to_string(kind) << " t="
+            << (t == model::kUnbounded ? std::string("inf")
+                                       : std::to_string(t))
+            << " n=" << n << "\n\n";
+  const auto result = sched::explore(world, options);
+
+  std::cout << "states visited : " << result.states_visited << '\n'
+            << "terminal states: " << result.terminal_states << '\n'
+            << "max depth      : " << result.max_depth << '\n'
+            << "coverage       : "
+            << (result.complete ? "COMPLETE (exhaustive proof)"
+                                : "partial (cap hit or stopped early)")
+            << '\n';
+
+  if (!result.violation) {
+    std::cout << "verdict        : no violation — consensus holds for every "
+                 "schedule and fault placement explored\n";
+    std::cout << "agreed values  : {";
+    bool first = true;
+    for (const auto v : result.agreed_values) {
+      std::cout << (first ? "" : ", ") << v;
+      first = false;
+    }
+    std::cout << "}\n";
+    if (result.complete) {
+      const auto bound = sched::longest_execution(world, options);
+      if (bound.complete) {
+        std::cout << "wait-free bound: " << bound.max_total_steps
+                  << " total steps in the worst schedule\n";
+      }
+    }
+    return 0;
+  }
+
+  std::cout << "verdict        : VIOLATION ("
+            << sched::to_string(result.violation->kind) << ")\n"
+            << "detail         : " << result.violation->detail << '\n'
+            << "witness        : " << result.violation->schedule_string()
+            << "\n\nreplaying witness:\n";
+
+  sched::SimWorld replayed = world;
+  std::size_t step = 0;
+  for (const auto& choice : result.violation->schedule) {
+    if (choice.pid == sched::kAdversaryPid) {
+      std::cout << "  " << ++step << ". adversary corrupts memory";
+      replayed.apply(choice);
+      std::cout << '\n';
+      continue;
+    }
+    const auto op = replayed.pending(choice.pid);
+    std::cout << "  " << ++step << ". p" << choice.pid
+              << (choice.fault ? " [FAULT]" : "") << " CAS(O" << op.object
+              << ", " << op.expected.to_string() << ", "
+              << op.desired.to_string() << ")";
+    replayed.apply(choice);
+    std::cout << " -> O" << op.object << " = "
+              << replayed.object_value(op.object).to_string() << '\n';
+  }
+  std::cout << "final decisions:\n";
+  const auto decisions = replayed.decisions();
+  for (std::uint32_t pid = 0; pid < decisions.size(); ++pid) {
+    std::cout << "  p" << pid << " -> "
+              << (decisions[pid] ? std::to_string(*decisions[pid])
+                                 : std::string("(undecided)"))
+              << '\n';
+  }
+  return 1;
+}

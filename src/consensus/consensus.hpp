@@ -1,0 +1,80 @@
+// Consensus protocol interface (Section 2).
+//
+// A consensus object provides a single operation `decide` that receives the
+// process's input value and returns the agreed-upon value, subject to
+// Validity, Consistency and Wait-freedom.  Implementations here are built
+// from (possibly faulty) CAS objects; each records how many CAS steps the
+// call took so the harnesses can check wait-freedom bounds empirically.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/value.hpp"
+#include "objects/cas_object.hpp"
+
+namespace ff::consensus {
+
+/// Input values are 64-bit words; the all-ones word is reserved for ⊥ and
+/// must not be proposed.  Protocols that pack ⟨value,stage⟩ pairs
+/// additionally require inputs below 2^32-1 (asserted).
+using InputValue = std::uint64_t;
+
+inline constexpr InputValue kReservedInput = ~InputValue{0};
+
+/// Outcome of one decide() call.
+struct Decision {
+  /// False when the call gave up: step budget exhausted (suspected
+  /// non-termination) or a nonresponsive fault swallowed the operation.
+  bool decided = false;
+  /// The decided value; meaningful only when `decided`.
+  InputValue value = 0;
+  /// CAS operations this process executed during the call.
+  std::uint64_t cas_steps = 0;
+
+  static Decision of(InputValue v, std::uint64_t steps) {
+    return Decision{true, v, steps};
+  }
+  static Decision undecided(std::uint64_t steps) {
+    return Decision{false, 0, steps};
+  }
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Runs the consensus protocol for process `pid` with input `input`.
+  /// Thread-safe: concurrent calls by distinct processes are the intended
+  /// use.  A process must call decide() at most once per reset().
+  virtual Decision decide(InputValue input, objects::ProcessId pid) = 0;
+
+  /// Resets the underlying objects to ⊥ for the next trial.
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of CAS base objects the protocol uses.
+  [[nodiscard]] virtual std::uint32_t objects_used() const = 0;
+
+  /// Caps the number of CAS steps one decide() may take before giving up
+  /// (0 = unlimited).  Protocols whose loops are structurally bounded may
+  /// ignore this; retry-loop protocols honour it so that impossibility
+  /// experiments can distinguish livelock from disagreement.
+  virtual void set_step_limit(std::uint64_t limit) { step_limit_ = limit; }
+  [[nodiscard]] std::uint64_t step_limit() const noexcept {
+    return step_limit_;
+  }
+
+ protected:
+  [[nodiscard]] bool exhausted(std::uint64_t steps) const noexcept {
+    return step_limit_ != 0 && steps >= step_limit_;
+  }
+
+ private:
+  std::uint64_t step_limit_ = 0;
+};
+
+}  // namespace ff::consensus

@@ -1,0 +1,62 @@
+// f-tolerant consensus from f+1 CAS objects (Figure 2 / Theorem 5).
+//
+//   1: decide(val)
+//   2:   output ← val
+//   3:   for i = 0 to f do
+//   4:     old ← CAS(O_i, ⊥, output)
+//   5:     if (old ≠ ⊥) then output ← old
+//   6:   return output
+//
+// Tolerates up to f objects with UNBOUNDED overriding faults: at least one
+// object O_j is correct, the first value written to it sticks, and every
+// process passing O_j adopts that value and carries it through the
+// remaining objects (faulty or not), so all outputs converge.
+//
+// Running this protocol with only f objects (all possibly faulty) is the
+// candidate that Theorem 18 proves impossible; the impossibility
+// experiments instantiate exactly that configuration and exhibit the
+// disagreement.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+
+namespace ff::consensus {
+
+class FPlusOneConsensus final : public Protocol {
+ public:
+  /// `objects` are O_0 ... O_f in protocol order (size must be ≥ 1).
+  explicit FPlusOneConsensus(std::vector<objects::CasObject*> objs)
+      : objects_(std::move(objs)) {
+    assert(!objects_.empty());
+  }
+
+  Decision decide(InputValue input, objects::ProcessId pid) override {
+    assert(input != kReservedInput);
+    model::Value output = model::Value::of(input);
+    std::uint64_t steps = 0;
+    for (objects::CasObject* object : objects_) {
+      const model::Value old =
+          object->cas(model::Value::bottom(), output, pid);
+      ++steps;
+      if (!old.is_bottom()) output = old;
+    }
+    return Decision::of(output.raw(), steps);
+  }
+
+  void reset() override {
+    for (objects::CasObject* object : objects_) object->reset();
+  }
+
+  [[nodiscard]] std::string name() const override { return "f-plus-one"; }
+  [[nodiscard]] std::uint32_t objects_used() const override {
+    return static_cast<std::uint32_t>(objects_.size());
+  }
+
+ private:
+  std::vector<objects::CasObject*> objects_;
+};
+
+}  // namespace ff::consensus

@@ -1,0 +1,416 @@
+#include "consensus/machines.hpp"
+
+#include "consensus/staged.hpp"
+#include "model/tolerance.hpp"
+#include "model/value.hpp"
+
+namespace ff::consensus {
+
+namespace {
+
+using model::StagedValue;
+using model::Value;
+using sched::PendingOp;
+using sched::StepMachine;
+
+// ---------------------------------------------------------------------------
+// Figure 1 / Herlihy
+// ---------------------------------------------------------------------------
+
+class SingleCasMachine final : public StepMachine {
+ public:
+  explicit SingleCasMachine(std::uint64_t input) : input_(input) {}
+
+  [[nodiscard]] PendingOp next_op() const override {
+    if (done_) return PendingOp::none();
+    return PendingOp::cas(0, Value::bottom(), Value::of(input_));
+  }
+
+  void deliver(Value returned) override {
+    decision_ = returned.is_bottom() ? input_ : returned.raw();
+    done_ = true;
+  }
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] std::uint64_t decision() const override { return decision_; }
+
+  void encode(std::vector<std::uint64_t>& out) const override {
+    out.push_back(done_ ? 1 : 0);
+    out.push_back(done_ ? decision_ : input_);
+  }
+
+  [[nodiscard]] std::unique_ptr<StepMachine> clone() const override {
+    return std::make_unique<SingleCasMachine>(*this);
+  }
+
+ private:
+  std::uint64_t input_;
+  std::uint64_t decision_ = 0;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+class FPlusOneMachine final : public StepMachine {
+ public:
+  FPlusOneMachine(std::uint64_t input, std::uint32_t k)
+      : output_(Value::of(input)), k_(k) {}
+
+  [[nodiscard]] PendingOp next_op() const override {
+    if (i_ >= k_) return PendingOp::none();
+    return PendingOp::cas(i_, Value::bottom(), output_);
+  }
+
+  void deliver(Value returned) override {
+    if (!returned.is_bottom()) output_ = returned;  // line 5
+    ++i_;
+  }
+
+  [[nodiscard]] bool done() const override { return i_ >= k_; }
+  [[nodiscard]] std::uint64_t decision() const override {
+    return output_.raw();
+  }
+
+  void encode(std::vector<std::uint64_t>& out) const override {
+    out.push_back(i_);
+    out.push_back(output_.raw());
+  }
+
+  [[nodiscard]] std::unique_ptr<StepMachine> clone() const override {
+    return std::make_unique<FPlusOneMachine>(*this);
+  }
+
+ private:
+  Value output_;
+  std::uint32_t k_;
+  std::uint32_t i_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Figure 3 — staged protocol
+// ---------------------------------------------------------------------------
+
+class StagedMachine final : public StepMachine {
+ public:
+  StagedMachine(std::uint64_t input, std::uint32_t f, std::uint32_t max_stage)
+      : output_(static_cast<std::uint32_t>(input)),
+        f_(f),
+        max_stage_(max_stage),
+        // maxStage = 0 cannot happen for f,t ≥ 1; guard anyway.
+        phase_(max_stage == 0 ? Phase::kFinal : Phase::kMain) {}
+
+  [[nodiscard]] PendingOp next_op() const override {
+    switch (phase_) {
+      case Phase::kMain:  // line 6
+        return PendingOp::cas(i_, exp_, StagedValue(output_, s_).pack());
+      case Phase::kFinal:  // line 20
+        return PendingOp::cas(0, exp_,
+                              StagedValue(output_, max_stage_).pack());
+      case Phase::kDone:
+        return PendingOp::none();
+    }
+    return PendingOp::none();
+  }
+
+  void deliver(Value old) override {
+    if (phase_ == Phase::kMain) {
+      if (old != exp_) {  // line 7
+        if (!old.is_bottom() &&
+            StagedValue::unpack(old).stage() >= s_) {  // line 8
+          const StagedValue adopted = StagedValue::unpack(old);
+          output_ = adopted.value();  // line 9
+          s_ = adopted.stage();       // line 10
+          if (s_ == max_stage_) {     // lines 11-12
+            phase_ = Phase::kDone;
+            return;
+          }
+          // line 13 (stage-0 wrap yields a never-matching pair)
+          exp_ = StagedValue(adopted.value(), adopted.stage() - 1).pack();
+          advance_object();  // line 14
+        } else {
+          exp_ = old;  // line 15: retry the same object
+        }
+      } else {
+        advance_object();  // line 16: successful CAS
+      }
+      return;
+    }
+    if (phase_ == Phase::kFinal) {
+      const bool below_max =
+          old.is_bottom() || StagedValue::unpack(old).stage() < max_stage_;
+      if (old != exp_ && below_max) {
+        exp_ = old;  // line 22
+      } else {
+        phase_ = Phase::kDone;  // line 23 → 24
+      }
+      return;
+    }
+  }
+
+  [[nodiscard]] bool done() const override { return phase_ == Phase::kDone; }
+  [[nodiscard]] std::uint64_t decision() const override { return output_; }
+
+  void encode(std::vector<std::uint64_t>& out) const override {
+    out.push_back(static_cast<std::uint64_t>(phase_));
+    out.push_back(i_);
+    out.push_back(s_);
+    out.push_back(exp_.raw());
+    out.push_back(output_);
+  }
+
+  [[nodiscard]] std::unique_ptr<StepMachine> clone() const override {
+    return std::make_unique<StagedMachine>(*this);
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kMain, kFinal, kDone };
+
+  void advance_object() {
+    if (++i_ < f_) return;
+    // Lines 17-18: exp.stage ← s ; s ← s+1.  A ⊥ exp becomes the
+    // never-matching filler pair, repaired by line 15 on first use.
+    const std::uint32_t exp_value =
+        exp_.is_bottom() ? StagedConsensus::kNeverValue
+                         : StagedValue::unpack(exp_).value();
+    exp_ = StagedValue(exp_value, s_).pack();
+    ++s_;
+    i_ = 0;
+    if (s_ >= max_stage_) phase_ = Phase::kFinal;  // line 3 exit
+  }
+
+  std::uint32_t output_;
+  std::uint32_t f_;
+  std::uint32_t max_stage_;
+  Phase phase_;
+  Value exp_ = Value::bottom();
+  std::uint32_t s_ = 0;
+  std::uint32_t i_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// announce-and-tiebreak (register-augmented Theorem 18 candidate)
+// ---------------------------------------------------------------------------
+
+class AnnounceCasMachine final : public StepMachine {
+ public:
+  AnnounceCasMachine(objects::ProcessId pid, std::uint64_t input)
+      : pid_(pid), input_(input) {}
+
+  [[nodiscard]] PendingOp next_op() const override {
+    switch (pc_) {
+      case 0:  // announce: A[pid] ← input
+        return PendingOp::reg_write(pid_, Value::of(input_));
+      case 1:  // tiebreak: CAS(O_0, ⊥, pid)
+        return PendingOp::cas(0, Value::bottom(), Value::of(pid_));
+      case 2:  // read the winner's announcement
+        return PendingOp::reg_read(winner_);
+      default:
+        return PendingOp::none();
+    }
+  }
+
+  void deliver(Value returned) override {
+    switch (pc_) {
+      case 0:
+        pc_ = 1;
+        break;
+      case 1:
+        winner_ = returned.is_bottom()
+                      ? pid_
+                      : static_cast<objects::ProcessId>(returned.raw());
+        pc_ = 2;
+        break;
+      case 2:
+        decision_ = returned.raw();
+        pc_ = 3;
+        break;
+      default:
+        break;
+    }
+  }
+
+  [[nodiscard]] bool done() const override { return pc_ == 3; }
+  [[nodiscard]] std::uint64_t decision() const override { return decision_; }
+
+  void encode(std::vector<std::uint64_t>& out) const override {
+    out.push_back(pc_);
+    out.push_back(winner_);
+    out.push_back(pc_ == 3 ? decision_ : input_);
+  }
+
+  [[nodiscard]] std::unique_ptr<StepMachine> clone() const override {
+    return std::make_unique<AnnounceCasMachine>(*this);
+  }
+
+ private:
+  objects::ProcessId pid_;
+  std::uint64_t input_;
+  std::uint64_t decision_ = 0;
+  objects::ProcessId winner_ = 0;
+  std::uint32_t pc_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// test&set (announce, TAS ≡ CAS(⊥→1), winner keeps / loser reads)
+// ---------------------------------------------------------------------------
+
+class TasMachine final : public StepMachine {
+ public:
+  TasMachine(objects::ProcessId pid, std::uint64_t input)
+      : pid_(pid), input_(input) {}
+
+  [[nodiscard]] PendingOp next_op() const override {
+    switch (pc_) {
+      case 0:  // announce A[pid] ← input
+        return PendingOp::reg_write(pid_, Value::of(input_));
+      case 1:  // TAS the bit
+        return PendingOp::cas(0, Value::bottom(), Value::of(1));
+      case 2:  // lost: read the other announcement (pid≥2: naive A[0])
+        return PendingOp::reg_read(pid_ < 2 ? 1 - pid_ : 0);
+      default:
+        return PendingOp::none();
+    }
+  }
+
+  void deliver(Value returned) override {
+    switch (pc_) {
+      case 0:
+        pc_ = 1;
+        break;
+      case 1:
+        if (returned.is_bottom()) {
+          decision_ = input_;  // won the bit
+          pc_ = 3;
+        } else {
+          pc_ = 2;
+        }
+        break;
+      case 2:
+        decision_ = returned.raw();
+        pc_ = 3;
+        break;
+      default:
+        break;
+    }
+  }
+
+  [[nodiscard]] bool done() const override { return pc_ == 3; }
+  [[nodiscard]] std::uint64_t decision() const override { return decision_; }
+
+  void encode(std::vector<std::uint64_t>& out) const override {
+    out.push_back(pc_);
+    out.push_back(pc_ == 3 ? decision_ : input_);
+  }
+
+  [[nodiscard]] std::unique_ptr<StepMachine> clone() const override {
+    return std::make_unique<TasMachine>(*this);
+  }
+
+ private:
+  objects::ProcessId pid_;
+  std::uint64_t input_;
+  std::uint64_t decision_ = 0;
+  std::uint32_t pc_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// §3.4 retry-silent
+// ---------------------------------------------------------------------------
+
+class RetrySilentMachine final : public StepMachine {
+ public:
+  explicit RetrySilentMachine(std::uint64_t input) : input_(input) {}
+
+  [[nodiscard]] PendingOp next_op() const override {
+    switch (pc_) {
+      case 0:  // old ← CAS(O, ⊥, val)
+        return PendingOp::cas(0, Value::bottom(), Value::of(input_));
+      case 1:  // conf ← CAS(O, val, val)
+        return PendingOp::cas(0, Value::of(input_), Value::of(input_));
+      default:
+        return PendingOp::none();
+    }
+  }
+
+  void deliver(Value returned) override {
+    if (pc_ == 0) {
+      if (!returned.is_bottom()) {
+        decision_ = returned.raw();
+        pc_ = 2;
+      } else {
+        pc_ = 1;
+      }
+      return;
+    }
+    if (pc_ == 1) {
+      if (returned == Value::of(input_)) {
+        decision_ = input_;
+        pc_ = 2;
+      } else if (!returned.is_bottom()) {
+        decision_ = returned.raw();
+        pc_ = 2;
+      } else {
+        pc_ = 0;  // our write was silently dropped — retry
+      }
+    }
+  }
+
+  [[nodiscard]] bool done() const override { return pc_ == 2; }
+  [[nodiscard]] std::uint64_t decision() const override { return decision_; }
+
+  void encode(std::vector<std::uint64_t>& out) const override {
+    out.push_back(pc_);
+    out.push_back(pc_ == 2 ? decision_ : input_);
+  }
+
+  [[nodiscard]] std::unique_ptr<StepMachine> clone() const override {
+    return std::make_unique<RetrySilentMachine>(*this);
+  }
+
+ private:
+  std::uint64_t input_;
+  std::uint64_t decision_ = 0;
+  std::uint32_t pc_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<sched::StepMachine> SingleCasFactory::make(
+    objects::ProcessId, std::uint64_t input) const {
+  return std::make_unique<SingleCasMachine>(input);
+}
+
+std::unique_ptr<sched::StepMachine> FPlusOneFactory::make(
+    objects::ProcessId, std::uint64_t input) const {
+  return std::make_unique<FPlusOneMachine>(input, k_);
+}
+
+std::unique_ptr<sched::StepMachine> StagedFactory::make(
+    objects::ProcessId, std::uint64_t input) const {
+  return std::make_unique<StagedMachine>(input, f_, max_stage());
+}
+
+std::uint32_t StagedFactory::max_stage() const noexcept {
+  return max_stage_override_ != 0
+             ? max_stage_override_
+             : static_cast<std::uint32_t>(model::staged_max_stage(f_, t_));
+}
+
+std::unique_ptr<sched::StepMachine> AnnounceCasFactory::make(
+    objects::ProcessId pid, std::uint64_t input) const {
+  return std::make_unique<AnnounceCasMachine>(pid, input);
+}
+
+std::unique_ptr<sched::StepMachine> TasFactory::make(
+    objects::ProcessId pid, std::uint64_t input) const {
+  return std::make_unique<TasMachine>(pid, input);
+}
+
+std::unique_ptr<sched::StepMachine> RetrySilentFactory::make(
+    objects::ProcessId, std::uint64_t input) const {
+  return std::make_unique<RetrySilentMachine>(input);
+}
+
+}  // namespace ff::consensus

@@ -1,0 +1,115 @@
+// StepMachine encodings of the consensus protocols for the deterministic
+// simulator.
+//
+// Each machine is a line-for-line transcription of the corresponding
+// Protocol class (single_cas.hpp, f_plus_one.hpp, staged.hpp,
+// retry_silent.hpp) with the control state reified as an explicit program
+// counter, so the explorer can clone, advance and fingerprint it.  The
+// tests cross-validate machine and thread implementations against each
+// other on identical schedules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sched/program.hpp"
+
+namespace ff::consensus {
+
+/// Figure 1 / Herlihy: one CAS on O_0, adopt the old value if non-⊥.
+class SingleCasFactory final : public sched::MachineFactory {
+ public:
+  [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
+      objects::ProcessId pid, std::uint64_t input) const override;
+  [[nodiscard]] std::uint32_t objects_used() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "single-cas"; }
+};
+
+/// Figure 2: one pass over O_0..O_{k-1}, adopting every non-⊥ old value.
+/// `k` is the number of objects: k = f+1 instantiates Theorem 5's
+/// construction; k = f instantiates the candidate Theorem 18 refutes.
+class FPlusOneFactory final : public sched::MachineFactory {
+ public:
+  explicit FPlusOneFactory(std::uint32_t k) : k_(k) {}
+  [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
+      objects::ProcessId pid, std::uint64_t input) const override;
+  [[nodiscard]] std::uint32_t objects_used() const override { return k_; }
+  [[nodiscard]] std::string name() const override { return "f-plus-one"; }
+
+ private:
+  std::uint32_t k_;
+};
+
+/// Figure 3: staged protocol over f objects with per-object fault bound t
+/// (fixes maxStage = t·(4f+f²)).  `max_stage_override` (non-zero)
+/// substitutes a custom stage budget for ablation experiments; such
+/// instances carry no correctness guarantee.
+class StagedFactory final : public sched::MachineFactory {
+ public:
+  StagedFactory(std::uint32_t f, std::uint32_t t,
+                std::uint32_t max_stage_override = 0)
+      : f_(f), t_(t), max_stage_override_(max_stage_override) {}
+  [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
+      objects::ProcessId pid, std::uint64_t input) const override;
+  [[nodiscard]] std::uint32_t objects_used() const override { return f_; }
+  [[nodiscard]] std::string name() const override { return "staged"; }
+  [[nodiscard]] std::uint32_t max_stage() const noexcept;
+
+ private:
+  std::uint32_t f_;
+  std::uint32_t t_;
+  std::uint32_t max_stage_override_;
+};
+
+/// Announce-and-tiebreak: a register-augmented candidate for the
+/// Theorem 18 setting (the theorem allows unboundedly many read/write
+/// registers next to the f CAS objects).  Each process (1) writes its
+/// input to its announcement register A[pid], (2) CASes its pid into the
+/// single CAS object as tiebreaker, (3) reads the winner's announcement
+/// and decides it.  Correct with a fault-free object for any n, and
+/// (like Figure 1) tolerant of overriding faults for n = 2 — but the
+/// registers buy nothing at n ≥ 3: consensus number of a register is 1.
+class AnnounceCasFactory final : public sched::MachineFactory {
+ public:
+  explicit AnnounceCasFactory(std::uint32_t n) : n_(n) {}
+  [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
+      objects::ProcessId pid, std::uint64_t input) const override;
+  [[nodiscard]] std::uint32_t objects_used() const override { return 1; }
+  [[nodiscard]] std::uint32_t registers_used() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return "announce-cas"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// Test&set consensus (announce, TAS the bit, winner keeps its value,
+/// loser reads the other announcement).  TAS is expressed as CAS(⊥ → 1)
+/// on object O_0 — the unset bit is the initial ⊥.  Correct for n = 2
+/// over a fault-free bit; the pid ≥ 2 generalization (losers read A[0])
+/// is deliberately naive and breaks at n = 3, illustrating that TAS sits
+/// at hierarchy level 2 — the SAME level a bounded-overriding-faulty CAS
+/// ensemble of one object occupies.
+class TasFactory final : public sched::MachineFactory {
+ public:
+  explicit TasFactory(std::uint32_t n) : n_(n) {}
+  [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
+      objects::ProcessId pid, std::uint64_t input) const override;
+  [[nodiscard]] std::uint32_t objects_used() const override { return 1; }
+  [[nodiscard]] std::uint32_t registers_used() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return "tas"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// §3.4 silent-fault protocol: Herlihy attempt + no-op confirmation probe.
+class RetrySilentFactory final : public sched::MachineFactory {
+ public:
+  [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
+      objects::ProcessId pid, std::uint64_t input) const override;
+  [[nodiscard]] std::uint32_t objects_used() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "retry-silent"; }
+};
+
+}  // namespace ff::consensus

@@ -1,0 +1,64 @@
+// Consensus over a single CAS object with BOUNDED silent faults (§3.4).
+//
+// The paper notes that when the total number of silent faults is bounded,
+// processes "can execute the original protocol [Herlihy] until one process
+// succeeds".  The subtlety is that a CAS object offers no read: after
+// old ← CAS(O, ⊥, val) returns ⊥ a process cannot tell whether its write
+// landed or was silently dropped.  We confirm with a no-op CAS:
+//
+//   loop:
+//     old ← CAS(O, ⊥, val)
+//     if old ≠ ⊥          : return old     // some write landed; adopt it
+//     conf ← CAS(O, val, val)              // no-op probe
+//     if conf = val       : return val     // content is val — decided
+//     if conf ≠ ⊥         : return conf    // someone else's value landed
+//     // conf = ⊥ ⇒ the register still held ⊥ at the probe's
+//     // linearization ⇒ our write was silently dropped; retry.
+//
+// Both the probe's correct and silent executions return the true content
+// (silent faults never corrupt the output), so every branch above is
+// sound.  Each retry consumes at least one manifested silent fault, hence
+// with at most t faults the loop runs at most t+1 times: the protocol is
+// (1, t, ∞)-tolerant for the silent fault.  With t = ∞ it livelocks —
+// matching the paper's observation that unbounded silent faults make
+// consensus unachievable — which the harness detects via the step limit.
+#pragma once
+
+#include "consensus/consensus.hpp"
+
+namespace ff::consensus {
+
+class RetrySilentConsensus final : public Protocol {
+ public:
+  explicit RetrySilentConsensus(objects::CasObject& object)
+      : object_(object) {}
+
+  Decision decide(InputValue input, objects::ProcessId pid) override {
+    assert(input != kReservedInput);
+    const model::Value mine = model::Value::of(input);
+    std::uint64_t steps = 0;
+    for (;;) {
+      if (exhausted(steps)) return Decision::undecided(steps);
+      const model::Value old =
+          object_.cas(model::Value::bottom(), mine, pid);
+      ++steps;
+      if (!old.is_bottom()) return Decision::of(old.raw(), steps);
+
+      const model::Value conf = object_.cas(mine, mine, pid);
+      ++steps;
+      if (conf == mine) return Decision::of(input, steps);
+      if (!conf.is_bottom()) return Decision::of(conf.raw(), steps);
+      // conf is ⊥: our write was dropped — retry.
+    }
+  }
+
+  void reset() override { object_.reset(); }
+
+  [[nodiscard]] std::string name() const override { return "retry-silent"; }
+  [[nodiscard]] std::uint32_t objects_used() const override { return 1; }
+
+ private:
+  objects::CasObject& object_;
+};
+
+}  // namespace ff::consensus

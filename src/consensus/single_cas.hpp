@@ -1,0 +1,52 @@
+// Single-CAS consensus (Figure 1 / Herlihy [26]).
+//
+//   1: decide(val)
+//   2:   old ← CAS(O, ⊥, val)
+//   3:   if (old ≠ ⊥) then return old
+//   4:   else return val
+//
+// The same three lines serve two distinct results:
+//   * Herlihy's classic protocol — over a CORRECT CAS object it solves
+//     consensus for ANY number of processes (consensus number ∞).
+//   * Theorem 4 — over a CAS object with arbitrarily many OVERRIDING
+//     faults it remains a correct consensus protocol for TWO processes:
+//     a fault can only make p_i's CAS overwrite p_{1-i}'s value, but the
+//     returned old value is always correct, so whoever sees a non-⊥ old
+//     adopts the other's input and whoever sees ⊥ keeps its own; with two
+//     processes exactly one of each happens (the first writer sees ⊥).
+//
+// With three or more processes and a faulty object the protocol is NOT
+// correct — that gap is exactly what experiments E4/E6 demonstrate.
+#pragma once
+
+#include "consensus/consensus.hpp"
+
+namespace ff::consensus {
+
+class SingleCasConsensus final : public Protocol {
+ public:
+  explicit SingleCasConsensus(objects::CasObject& object)
+      : object_(object) {}
+
+  Decision decide(InputValue input, objects::ProcessId pid) override {
+    assert(input != kReservedInput);
+    const model::Value old =
+        object_.cas(model::Value::bottom(), model::Value::of(input), pid);
+    if (!old.is_bottom()) return Decision::of(old.raw(), 1);
+    return Decision::of(input, 1);
+  }
+
+  void reset() override { object_.reset(); }
+
+  [[nodiscard]] std::string name() const override { return "single-cas"; }
+  [[nodiscard]] std::uint32_t objects_used() const override { return 1; }
+
+ private:
+  objects::CasObject& object_;
+};
+
+/// Name aliases matching the paper's presentation.
+using HerlihyConsensus = SingleCasConsensus;   // correct CAS, any n
+using TwoProcessConsensus = SingleCasConsensus;  // Figure 1, (f,∞,2)-tolerant
+
+}  // namespace ff::consensus

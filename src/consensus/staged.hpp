@@ -1,0 +1,140 @@
+// (f, t, f+1)-tolerant consensus from f CAS objects, all possibly faulty
+// (Figure 3 / Theorem 6).
+//
+// The execution is divided into maxStage+1 stages, maxStage = t·(4f+f²).
+// In each of the first maxStage stages a process tries to write its
+// current decision estimate together with the stage number, ⟨output,s⟩,
+// to every object O_0..O_{f-1}; in the final stage it writes
+// ⟨output,maxStage⟩ to O_0.  Because the only way to read a CAS object is
+// to CAS it, the process tracks its best guess of each object's content in
+// `exp` and repairs the guess from the returned old value when it is
+// wrong.  Faults are absorbed by the stage mechanism: Theorem 6 shows
+// that with at most t overriding faults per object and at most f+1
+// processes, a run of 4f+f² consecutive non-faulty writes is guaranteed
+// (Observation 10) and forces convergence.
+//
+// Line-numbered pseudocode from the paper is cited inline.  Two encoding
+// notes:
+//   * exp may be ⊥ (unpacked); "exp.stage ← s" on a ⊥ exp produces the
+//     never-matching pair ⟨kNeverValue, s⟩, whose first CAS fails and is
+//     repaired by line 15 — the paper's retry loop makes the protocol
+//     self-correcting against a stale exp, so this costs at most one
+//     extra CAS and preserves every claim.
+//   * "old.stage − 1" at stage 0 wraps; the wrapped pair also never
+//     matches and is repaired the same way.
+#pragma once
+
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "model/tolerance.hpp"
+
+namespace ff::consensus {
+
+class StagedConsensus final : public Protocol {
+ public:
+  /// Value that no process may propose; used for the ⊥-with-stage filler.
+  static constexpr std::uint32_t kNeverValue = 0xFFFFFFFEu;
+
+  /// `objects` are O_0 ... O_{f-1}; `t` is the per-object fault bound the
+  /// protocol is configured to tolerate (it fixes maxStage).
+  /// `max_stage_override`, when non-zero, replaces the proven
+  /// maxStage = t·(4f+f²) — ONLY for ablation experiments probing how
+  /// much slack the bound has; overridden instances carry no correctness
+  /// guarantee.
+  StagedConsensus(std::vector<objects::CasObject*> objs, std::uint32_t t,
+                  std::uint32_t max_stage_override = 0)
+      : objects_(std::move(objs)),
+        f_(static_cast<std::uint32_t>(objects_.size())),
+        t_(t),
+        max_stage_(max_stage_override != 0
+                       ? max_stage_override
+                       : static_cast<std::uint32_t>(model::staged_max_stage(
+                             static_cast<std::uint32_t>(objects_.size()),
+                             t))) {
+    assert(!objects_.empty());
+    assert(max_stage_ < kNeverValue);
+  }
+
+  Decision decide(InputValue input, objects::ProcessId pid) override {
+    assert(input < kNeverValue);
+    // Line 2: output ← val ; exp ← ⊥ ; s ← 0 ; maxStage ← t·(4f+f²)
+    auto output = static_cast<std::uint32_t>(input);
+    model::Value exp = model::Value::bottom();
+    std::uint32_t s = 0;
+    std::uint64_t steps = 0;
+
+    // Lines 3-18: the first maxStage stages.
+    while (s < max_stage_) {
+      for (std::uint32_t i = 0; i < f_; ++i) {  // handling O_0..O_{f-1}
+        for (;;) {                              // line 5: while(true)
+          if (exhausted(steps)) return Decision::undecided(steps);
+          // Line 6: old ← CAS(O_i, exp, ⟨output, s⟩)
+          const model::Value old = objects_[i]->cas(
+              exp, model::StagedValue(output, s).pack(), pid);
+          ++steps;
+          if (old != exp) {  // line 7
+            // Line 8: if (old.stage ≥ s) — ⊥ counts as "before stage 0".
+            if (!old.is_bottom() &&
+                model::StagedValue::unpack(old).stage() >= s) {
+              const auto adopted = model::StagedValue::unpack(old);
+              output = adopted.value();  // line 9
+              s = adopted.stage();       // line 10
+              if (s == max_stage_) {     // lines 11-12
+                return Decision::of(output, steps);
+              }
+              // Line 13: exp ← ⟨old.val, old.stage − 1⟩ (wrap at stage 0
+              // yields a never-matching pair; repaired by line 15).
+              exp = model::StagedValue(adopted.value(), adopted.stage() - 1)
+                        .pack();
+              break;  // line 14: no need to update O_i
+            }
+            exp = old;  // line 15: still needs to update O_i
+          } else {
+            break;  // line 16: a successful CAS execution
+          }
+        }
+      }
+      // Line 17: exp.stage ← s  (⊥ becomes the never-matching filler).
+      const std::uint32_t exp_value =
+          exp.is_bottom() ? kNeverValue
+                          : model::StagedValue::unpack(exp).value();
+      exp = model::StagedValue(exp_value, s).pack();
+      ++s;  // line 18
+    }
+
+    // Lines 19-23: the final stage — write ⟨output, maxStage⟩ to O_0.
+    for (;;) {
+      if (exhausted(steps)) return Decision::undecided(steps);
+      const model::Value old = objects_[0]->cas(
+          exp, model::StagedValue(output, max_stage_).pack(), pid);
+      ++steps;
+      const bool old_below_max =
+          old.is_bottom() ||
+          model::StagedValue::unpack(old).stage() < max_stage_;
+      if (old != exp && old_below_max) {
+        exp = old;  // line 22
+      } else {
+        break;  // line 23
+      }
+    }
+    return Decision::of(output, steps);  // line 24
+  }
+
+  void reset() override {
+    for (objects::CasObject* object : objects_) object->reset();
+  }
+
+  [[nodiscard]] std::string name() const override { return "staged"; }
+  [[nodiscard]] std::uint32_t objects_used() const override { return f_; }
+  [[nodiscard]] std::uint32_t max_stage() const noexcept { return max_stage_; }
+  [[nodiscard]] std::uint32_t fault_bound() const noexcept { return t_; }
+
+ private:
+  std::vector<objects::CasObject*> objects_;
+  const std::uint32_t f_;
+  const std::uint32_t t_;
+  const std::uint32_t max_stage_;
+};
+
+}  // namespace ff::consensus

@@ -1,0 +1,64 @@
+// Two-process consensus from one test&set bit plus announcement
+// registers — the classic consensus-number-2 construction.
+//
+// Test&set is expressed through the CAS object interface: TAS() ≡
+// CAS(O, 0, 1) (set the bit, learn the old value).  The silent CAS fault
+// restricted to this usage IS the natural TAS fault — the bit fails to
+// latch — so the whole fault machinery applies unchanged.
+//
+// Why this lives here: the paper places FAULTY ensembles of the
+// infinitely-strong CAS object on every Herlihy level; TAS is the
+// textbook CORRECT object of level 2.  Comparing the two (bench_e6 /
+// test_tas.cpp) makes the "fault levels recreate the hierarchy" point
+// concrete: one overriding fault per object drags CAS from level ∞ to
+// level 2 — the same level a fault-free TAS occupies, and both break at
+// n = 3 in the same way.
+//
+//   decide_i(v):   A[i] ← v;  old ← TAS(B);
+//                  if old = 0: return v            (I won the bit)
+//                  else:       return A[1-i]       (the winner announced)
+#pragma once
+
+#include "consensus/consensus.hpp"
+#include "objects/register.hpp"
+
+namespace ff::consensus {
+
+class TasConsensus final : public Protocol {
+ public:
+  /// `bit` is the shared test&set bit (a CAS object used with fixed
+  /// arguments 0 → 1); `announcements` are the two per-process registers.
+  TasConsensus(objects::CasObject& bit,
+               objects::AtomicRegister& announce0,
+               objects::AtomicRegister& announce1)
+      : bit_(bit), announce_{&announce0, &announce1} {}
+
+  Decision decide(InputValue input, objects::ProcessId pid) override {
+    assert(pid < 2);
+    assert(input != kReservedInput);
+    announce_[pid]->write(model::Value::of(input));
+    // TAS ≡ CAS(⊥ → 1): the unset bit is the register's initial ⊥.
+    const model::Value old =
+        bit_.cas(model::Value::bottom(), model::Value::of(1), pid);
+    if (old.is_bottom()) {
+      return Decision::of(input, 1);  // won the bit
+    }
+    // Lost: the winner announced before setting the bit.
+    return Decision::of(announce_[1 - pid]->read().raw(), 1);
+  }
+
+  void reset() override {
+    bit_.reset();
+    announce_[0]->reset();
+    announce_[1]->reset();
+  }
+
+  [[nodiscard]] std::string name() const override { return "tas"; }
+  [[nodiscard]] std::uint32_t objects_used() const override { return 1; }
+
+ private:
+  objects::CasObject& bit_;
+  objects::AtomicRegister* announce_[2];
+};
+
+}  // namespace ff::consensus

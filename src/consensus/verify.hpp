@@ -1,0 +1,201 @@
+// Verification of consensus outcomes and of the paper's proof invariants
+// over recorded traces.
+//
+// Decision-level checks implement the three consensus requirements
+// (Section 2): Validity, Consistency, Wait-freedom (operationalized as
+// "every process decided within its step budget").  Trace-level checks
+// implement the claims inside the Theorem 6 proof (Claims 7, 8, 13) and
+// the fault-accounting side conditions of Definition 3, so a green run
+// certifies not just the outcome but the mechanism.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "faults/trace.hpp"
+#include "model/cas_semantics.hpp"
+#include "model/tolerance.hpp"
+
+namespace ff::consensus {
+
+/// Result of checking one consensus trial.
+struct Verdict {
+  bool all_decided = false;
+  bool consistent = false;
+  bool valid = false;
+  std::optional<InputValue> agreed;  ///< set when consistent and decided
+
+  [[nodiscard]] bool ok() const noexcept {
+    return all_decided && consistent && valid;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream oss;
+    oss << (all_decided ? "decided" : "UNDECIDED") << ' '
+        << (consistent ? "consistent" : "INCONSISTENT") << ' '
+        << (valid ? "valid" : "INVALID");
+    if (agreed) oss << " value=" << *agreed;
+    return oss.str();
+  }
+};
+
+/// Checks validity + consistency + termination of one trial.
+[[nodiscard]] inline Verdict verify_consensus(
+    const std::vector<InputValue>& inputs,
+    const std::vector<Decision>& decisions) {
+  Verdict v;
+  v.all_decided =
+      std::all_of(decisions.begin(), decisions.end(),
+                  [](const Decision& d) { return d.decided; });
+
+  const std::set<InputValue> input_set(inputs.begin(), inputs.end());
+  v.valid = true;
+  v.consistent = true;
+  std::optional<InputValue> first;
+  for (const Decision& d : decisions) {
+    if (!d.decided) continue;
+    if (!input_set.contains(d.value)) v.valid = false;
+    if (!first) {
+      first = d.value;
+    } else if (*first != d.value) {
+      v.consistent = false;
+    }
+  }
+  if (v.all_decided && v.consistent) v.agreed = first;
+  return v;
+}
+
+/// Per-trace fault accounting (Definition 3): at most f objects with a
+/// manifested fault, at most t manifested faults per object.
+struct FaultAccounting {
+  std::map<objects::ObjectId, std::uint64_t> manifested_per_object;
+  std::uint64_t total_manifested = 0;
+
+  [[nodiscard]] std::uint32_t faulty_objects() const noexcept {
+    return static_cast<std::uint32_t>(manifested_per_object.size());
+  }
+  [[nodiscard]] bool within(const model::ToleranceSpec& spec) const {
+    if (faulty_objects() > spec.f) return false;
+    if (spec.t == model::kUnbounded) return true;
+    return std::all_of(
+        manifested_per_object.begin(), manifested_per_object.end(),
+        [&](const auto& kv) { return kv.second <= spec.t; });
+  }
+};
+
+[[nodiscard]] inline FaultAccounting account_faults(
+    const std::vector<faults::CasEvent>& trace) {
+  FaultAccounting acc;
+  for (const auto& ev : trace) {
+    if (!ev.manifested) continue;
+    ++acc.manifested_per_object[ev.object];
+    ++acc.total_manifested;
+  }
+  return acc;
+}
+
+/// Checks that every recorded observation matches the Φ/Φ′ it claims:
+/// non-fault events satisfy Φ, manifested events violate Φ and satisfy
+/// the Φ′ of their fired fault kind.  Returns the first offending event
+/// index, or nullopt when the trace is coherent.
+[[nodiscard]] inline std::optional<std::size_t> find_incoherent_event(
+    const std::vector<faults::CasEvent>& trace) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& ev = trace[i];
+    const bool phi = model::satisfies_phi(ev.obs, ev.call);
+    if (ev.manifested) {
+      if (phi) return i;  // claimed a fault but Φ held
+      if (!model::satisfies_phi_prime(ev.fired, ev.obs, ev.call)) return i;
+    } else {
+      if (!phi) return i;  // claimed correct but Φ violated
+    }
+  }
+  return std::nullopt;
+}
+
+/// Claim 8 (staged protocol): the stage a process writes never decreases
+/// over its own operation sequence.  Events must come from a staged-
+/// protocol run (desired values are packed ⟨value,stage⟩ pairs).
+[[nodiscard]] inline bool stages_monotone_per_process(
+    const std::vector<faults::CasEvent>& trace) {
+  std::map<objects::ProcessId, std::uint32_t> last_stage;
+  for (const auto& ev : trace) {
+    const auto desired = model::StagedValue::unpack(ev.call.desired);
+    const auto it = last_stage.find(ev.caller);
+    if (it != last_stage.end() && desired.stage() < it->second) return false;
+    last_stage[ev.caller] = desired.stage();
+  }
+  return true;
+}
+
+/// Claim 13: a successful NON-faulty CAS strictly increases the stage
+/// stored in the object (⊥ counts as "before every stage").
+[[nodiscard]] inline bool nonfaulty_writes_increase_stage(
+    const std::vector<faults::CasEvent>& trace) {
+  for (const auto& ev : trace) {
+    if (ev.manifested) continue;                 // only non-faulty steps
+    if (ev.obs.after == ev.obs.before) continue;  // only successful writes
+    if (ev.obs.before.is_bottom()) continue;      // vacuous per the claim
+    const auto before = model::StagedValue::unpack(ev.obs.before);
+    const auto after = model::StagedValue::unpack(ev.obs.after);
+    if (after.stage() <= before.stage()) return false;
+  }
+  return true;
+}
+
+/// Claim 9: if ⟨x, n⟩ is written to O_i then (1) for every n0 < n and
+/// every object O_k, ⟨x, n0⟩ was written to O_k earlier, and (2) for
+/// every k < i, ⟨x, n⟩ was written to O_k earlier.  Checked over the
+/// recorded linearization order; "written" = any event that changed the
+/// register content (correct or faulty).  `num_objects` is f.
+[[nodiscard]] inline bool stage_propagation_order(
+    const std::vector<faults::CasEvent>& trace, std::uint32_t num_objects) {
+  // written[k] holds the (value, stage) pairs landed on O_k so far.
+  std::vector<std::set<std::pair<std::uint64_t, std::uint32_t>>> written(
+      num_objects);
+  for (const auto& ev : trace) {
+    if (ev.obs.after == ev.obs.before) continue;  // no write landed
+    if (ev.obs.after.is_bottom()) continue;
+    const auto sv = model::StagedValue::unpack(ev.obs.after);
+    const std::uint64_t x = sv.value();
+    const std::uint32_t n = sv.stage();
+    // (2) same stage already on every earlier object.
+    for (std::uint32_t k = 0; k < ev.object; ++k) {
+      if (!written[k].contains({x, n})) return false;
+    }
+    // (1) every earlier stage already on every object.
+    for (std::uint32_t k = 0; k < num_objects; ++k) {
+      for (std::uint32_t n0 = 0; n0 < n; ++n0) {
+        if (!written[k].contains({x, n0})) return false;
+      }
+    }
+    written[ev.object].insert({x, n});
+  }
+  return true;
+}
+
+/// Claim 7 flavour: every value ever written to an object is either an
+/// input value or ⊥-derived filler — i.e. the protocol never launders a
+/// non-input value into the system.  `inputs` are the trial's inputs;
+/// `staged` selects ⟨value,stage⟩ unpacking.
+[[nodiscard]] inline bool writes_only_input_values(
+    const std::vector<faults::CasEvent>& trace,
+    const std::vector<InputValue>& inputs, bool staged) {
+  const std::set<InputValue> input_set(inputs.begin(), inputs.end());
+  for (const auto& ev : trace) {
+    const InputValue written =
+        staged ? model::StagedValue::unpack(ev.call.desired).value()
+               : ev.call.desired.raw();
+    if (!input_set.contains(written)) return false;
+  }
+  return true;
+}
+
+}  // namespace ff::consensus

@@ -1,0 +1,136 @@
+// Robust shared counters from faulty fetch-and-add objects — the
+// framework of Sections 3-4 applied to a second primitive (the paper's
+// §7 future work).
+//
+// Constructions:
+//   * MedianCounter  — 2f+1 replicas, each add applied to every replica,
+//     reads return the MEDIAN of the replicas.  At quiescence, with at
+//     most f faulty replicas (any structured drift, even unbounded-t
+//     silent/off-by-one faults), at least f+1 replicas hold the exact
+//     sum, so the median IS the exact sum: an (f, ∞)-tolerant exact
+//     counter from 2f+1 objects.
+//   * DriftBoundedCounter — a SINGLE faulty object with at most t
+//     off-by-one (carry) faults: every read is within t of the true sum.
+//     This is the functional-fault dividend in miniature — the
+//     structured Φ′ (±1 per fault) gives a usable accuracy bound where
+//     an arbitrary data fault would give none.
+//   * MeanCounter — deliberately NOT robust (mean instead of median);
+//     kept for the ablation benchmark, which shows a single drifting
+//     replica pulling the mean off while the median stays exact.
+//
+// All operations are wait-free: adds are one F&A per replica; reads are
+// one F&A(0) per replica.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "model/faa_semantics.hpp"
+#include "objects/fetch_add.hpp"
+
+namespace ff::counter {
+
+class MedianCounter {
+ public:
+  /// `replicas` must have odd size 2f+1 to tolerate f faulty objects.
+  explicit MedianCounter(std::vector<objects::FetchAddObject*> replicas)
+      : replicas_(std::move(replicas)) {
+    assert(!replicas_.empty());
+    assert(replicas_.size() % 2 == 1);
+  }
+
+  void add(model::CounterValue delta, objects::ProcessId caller) {
+    for (objects::FetchAddObject* replica : replicas_) {
+      replica->fetch_add(delta, caller);
+    }
+  }
+
+  /// Median of the replica values.  Exact at quiescence with at most
+  /// f = (replicas-1)/2 faulty replicas; within the concurrent-add
+  /// envelope otherwise.
+  [[nodiscard]] model::CounterValue read(objects::ProcessId caller) const {
+    std::vector<model::CounterValue> values;
+    values.reserve(replicas_.size());
+    for (objects::FetchAddObject* replica : replicas_) {
+      // F&A(0) is the only read a F&A object offers.
+      values.push_back(replica->fetch_add(0, caller));
+    }
+    auto mid = values.begin() +
+               static_cast<std::ptrdiff_t>(values.size() / 2);
+    std::nth_element(values.begin(), mid, values.end());
+    return *mid;
+  }
+
+  [[nodiscard]] std::uint32_t tolerated_faulty_objects() const noexcept {
+    return static_cast<std::uint32_t>((replicas_.size() - 1) / 2);
+  }
+  [[nodiscard]] std::uint32_t replicas() const noexcept {
+    return static_cast<std::uint32_t>(replicas_.size());
+  }
+
+  void reset() {
+    for (objects::FetchAddObject* replica : replicas_) replica->reset();
+  }
+
+ private:
+  std::vector<objects::FetchAddObject*> replicas_;
+};
+
+/// Single-object counter whose accuracy degrades gracefully: with at most
+/// t manifested off-by-one faults, |read − true sum| ≤ t.
+class DriftBoundedCounter {
+ public:
+  DriftBoundedCounter(objects::FetchAddObject& object, std::uint32_t t)
+      : object_(object), t_(t) {}
+
+  void add(model::CounterValue delta, objects::ProcessId caller) {
+    object_.fetch_add(delta, caller);
+  }
+  [[nodiscard]] model::CounterValue read(objects::ProcessId caller) const {
+    return object_.fetch_add(0, caller);
+  }
+  /// The construction's accuracy guarantee.
+  [[nodiscard]] model::CounterValue max_error() const noexcept { return t_; }
+
+  void reset() { object_.reset(); }
+
+ private:
+  objects::FetchAddObject& object_;
+  const std::uint32_t t_;
+};
+
+/// Ablation foil: averaging is NOT robust — one unbounded drifter moves
+/// the mean arbitrarily.  Do not use; exists to be measured against.
+class MeanCounter {
+ public:
+  explicit MeanCounter(std::vector<objects::FetchAddObject*> replicas)
+      : replicas_(std::move(replicas)) {
+    assert(!replicas_.empty());
+  }
+
+  void add(model::CounterValue delta, objects::ProcessId caller) {
+    for (objects::FetchAddObject* replica : replicas_) {
+      replica->fetch_add(delta, caller);
+    }
+  }
+
+  [[nodiscard]] model::CounterValue read(objects::ProcessId caller) const {
+    model::CounterValue sum = 0;
+    for (objects::FetchAddObject* replica : replicas_) {
+      sum += replica->fetch_add(0, caller);
+    }
+    // Rounded-to-nearest integer mean.
+    const auto k = static_cast<model::CounterValue>(replicas_.size());
+    return (sum + (sum >= 0 ? k / 2 : -k / 2)) / k;
+  }
+
+  void reset() {
+    for (objects::FetchAddObject* replica : replicas_) replica->reset();
+  }
+
+ private:
+  std::vector<objects::FetchAddObject*> replicas_;
+};
+
+}  // namespace ff::counter

@@ -1,0 +1,80 @@
+// FaultyCasBank — a self-contained bank of FaultyCas objects sharing one
+// policy, one (f, t) budget and one optional trace sink.
+//
+// Every experiment and application needs the same plumbing: allocate k
+// objects with bank-local ids, wire them to a budget, hand out raw
+// pointers, reset everything between trials.  This type owns that
+// plumbing so call sites stay declarative.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "faults/budget.hpp"
+#include "faults/faulty_cas.hpp"
+#include "faults/policy.hpp"
+#include "faults/trace.hpp"
+
+namespace ff::faults {
+
+class FaultyCasBank {
+ public:
+  struct Options {
+    std::uint32_t objects = 1;                 ///< bank size k
+    model::FaultKind kind = model::FaultKind::kOverriding;
+    std::uint32_t f = 0;                       ///< max faulty objects
+    std::uint32_t t = model::kUnbounded;       ///< faults per object
+    /// Static designation of the faulty set; empty = dynamic (first f
+    /// objects to fault become the faulty set).
+    std::vector<objects::ObjectId> designated;
+    /// Borrowed policy; nullptr = objects never fault.
+    FaultPolicy* policy = nullptr;
+    /// Borrowed sink; nullptr = no tracing.
+    TraceSink* sink = nullptr;
+    std::uint64_t seed = 0xBA9C;
+  };
+
+  explicit FaultyCasBank(Options options) : options_(std::move(options)) {
+    assert(options_.f <= options_.objects);
+    if (options_.f > 0) {
+      if (options_.designated.empty()) {
+        budget_ = std::make_unique<FaultBudget>(options_.objects,
+                                                options_.f, options_.t);
+      } else {
+        budget_ = std::make_unique<FaultBudget>(
+            options_.objects, options_.designated, options_.t);
+      }
+    }
+    for (std::uint32_t i = 0; i < options_.objects; ++i) {
+      objects_.push_back(std::make_unique<FaultyCas>(
+          i, options_.kind, options_.policy, budget_.get(), options_.sink,
+          options_.seed + i));
+      raw_.push_back(objects_.back().get());
+    }
+  }
+
+  /// Raw pointers in id order — the form protocol constructors take.
+  [[nodiscard]] const std::vector<objects::CasObject*>& raw() const noexcept {
+    return raw_;
+  }
+  [[nodiscard]] FaultyCas& object(std::uint32_t i) { return *objects_.at(i); }
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return options_.objects;
+  }
+  [[nodiscard]] FaultBudget* budget() noexcept { return budget_.get(); }
+
+  /// Resets object contents and fault accounting for the next trial.
+  void reset() {
+    for (auto& object : objects_) object->reset();
+    if (budget_) budget_->reset();
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<FaultBudget> budget_;
+  std::vector<std::unique_ptr<FaultyCas>> objects_;
+  std::vector<objects::CasObject*> raw_;
+};
+
+}  // namespace ff::faults

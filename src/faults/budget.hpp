@@ -1,0 +1,165 @@
+// Fault budgets: at most f faulty objects in the execution, at most t
+// manifested faults per faulty object (Definition 3 parameters).
+//
+// Two designation modes are supported:
+//   * static  — the experiment fixes which objects are the faulty ones;
+//   * dynamic — objects become "faulty" the first time a fault fires on
+//     them, first-come first-served until f objects are designated.  This
+//     lets a randomized adversary pick the worst placement on the fly.
+//
+// All operations are lock-free; budgets sit on the CAS hot path.
+//
+// CONTRACT: a budget governs one bank of objects whose ids are dense and
+// bank-local, 0 .. num_objects-1.  Passing a foreign (e.g. globally
+// unique) id is a programming error, caught by assert in debug builds.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "model/tolerance.hpp"
+#include "objects/shared_object.hpp"
+#include "util/cacheline.hpp"
+
+namespace ff::faults {
+
+class FaultBudget {
+ public:
+  /// Dynamic designation: the first `f` distinct objects on which a fault
+  /// fires become the faulty set.
+  FaultBudget(std::uint32_t num_objects, std::uint32_t f, std::uint32_t t)
+      : f_(f), t_(t), slots_(num_objects) {}
+
+  /// Static designation: exactly the listed objects may fault.
+  FaultBudget(std::uint32_t num_objects,
+              const std::vector<objects::ObjectId>& faulty_objects,
+              std::uint32_t t)
+      : f_(static_cast<std::uint32_t>(faulty_objects.size())),
+        t_(t),
+        static_designation_(true),
+        slots_(num_objects) {
+    for (const auto id : faulty_objects) {
+      assert(id < num_objects);
+      slots_[id]->designated.store(true, std::memory_order_relaxed);
+    }
+    designated_.store(f_, std::memory_order_relaxed);
+  }
+
+  FaultBudget(const FaultBudget&) = delete;
+  FaultBudget& operator=(const FaultBudget&) = delete;
+
+  /// Attempts to account one fault on `obj`.  Returns true iff the fault
+  /// is within budget (object designated — or designatable — and fewer
+  /// than t faults consumed on it).  On success the fault is charged; use
+  /// refund() if it then fails to manifest.
+  bool try_consume(objects::ObjectId obj) {
+    assert(obj < slots_.size());
+    Slot& slot = *slots_[obj];
+    if (!slot.designated.load(std::memory_order_acquire) &&
+        !try_designate(slot)) {
+      return false;
+    }
+    if (t_ == model::kUnbounded) {
+      slot.used.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // Bounded: CAS-increment only while below t.
+    std::uint64_t used = slot.used.load(std::memory_order_relaxed);
+    while (used < t_) {
+      if (slot.used.compare_exchange_weak(used, used + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Returns one previously consumed fault on `obj` (the fault fired but
+  /// did not manifest a Φ-violation, so per Definition 1 it never
+  /// happened).  Keeping the budget exact makes "exactly t faults"
+  /// adversaries expressible.
+  void refund(objects::ObjectId obj) {
+    assert(obj < slots_.size());
+    slots_[obj]->used.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool is_designated(objects::ObjectId obj) const {
+    assert(obj < slots_.size());
+    return slots_[obj]->designated.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t faults_used(objects::ObjectId obj) const {
+    assert(obj < slots_.size());
+    return slots_[obj]->used.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint32_t designated_count() const noexcept {
+    return designated_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total_faults_used() const {
+    std::uint64_t total = 0;
+    for (const auto& slot : slots_) {
+      total += slot->used.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint32_t f() const noexcept { return f_; }
+  [[nodiscard]] std::uint32_t t() const noexcept { return t_; }
+  [[nodiscard]] std::uint32_t num_objects() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  /// Clears consumption counters (and, in dynamic mode, designations) for
+  /// the next trial.
+  void reset() {
+    for (auto& slot : slots_) {
+      slot->used.store(0, std::memory_order_relaxed);
+      if (!static_designation_) {
+        slot->designated.store(false, std::memory_order_relaxed);
+      }
+    }
+    if (!static_designation_) {
+      designated_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> designated{false};
+    std::atomic<std::uint64_t> used{0};
+  };
+
+  bool try_designate(Slot& slot) {
+    if (static_designation_) return false;
+    std::uint32_t count = designated_.load(std::memory_order_relaxed);
+    while (count < f_) {
+      if (designated_.compare_exchange_weak(count, count + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        // We hold a designation token.  If another thread designated this
+        // same slot concurrently, return the token.
+        bool expected = false;
+        if (slot.designated.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          return true;
+        }
+        designated_.fetch_sub(1, std::memory_order_relaxed);
+        return true;  // someone else designated it; the slot is faulty
+      }
+    }
+    return slot.designated.load(std::memory_order_acquire);
+  }
+
+  const std::uint32_t f_;
+  const std::uint32_t t_;
+  const bool static_designation_ = false;
+  std::atomic<std::uint32_t> designated_{0};
+  std::vector<util::Padded<Slot>> slots_;
+};
+
+}  // namespace ff::faults

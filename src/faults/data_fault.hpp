@@ -1,0 +1,87 @@
+// Asynchronous data-fault injector ("gremlin") for the Afek et al. model
+// (Section 3.1): memory corruption that happens at arbitrary execution
+// points, independent of the processes' operations.
+//
+// The gremlin runs on its own thread and replaces the content of randomly
+// chosen designated objects with arbitrary values, up to a per-object
+// corruption budget.  Experiment E7 uses it to show that the staged
+// protocol, which tolerates bounded OVERRIDING faults on all objects,
+// is defeated by the analogous number of data faults — the separation the
+// paper's introduction highlights.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "faults/faulty_cas.hpp"
+#include "model/value.hpp"
+#include "util/rng.hpp"
+
+namespace ff::faults {
+
+class CorruptionGremlin {
+ public:
+  struct Options {
+    /// Corruptions to inject per object before the gremlin rests.
+    std::uint64_t corruptions_per_object = 1;
+    /// Nanoseconds to sleep between injection attempts (0 = busy loop
+    /// with yields, maximum pressure).
+    std::uint64_t pause_ns = 0;
+    std::uint64_t seed = 0x6e61747572616c5fULL;
+  };
+
+  CorruptionGremlin(std::vector<FaultyCas*> targets, Options options)
+      : targets_(std::move(targets)), options_(options) {}
+
+  ~CorruptionGremlin() { stop(); }
+
+  CorruptionGremlin(const CorruptionGremlin&) = delete;
+  CorruptionGremlin& operator=(const CorruptionGremlin&) = delete;
+
+  void start() {
+    if (running_.exchange(true)) return;
+    thread_ = std::thread([this] { run(); });
+  }
+
+  void stop() {
+    running_.store(false);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] std::uint64_t corruptions() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run() {
+    util::Xoshiro256 rng(options_.seed);
+    std::vector<std::uint64_t> per_object(targets_.size(), 0);
+    std::uint64_t remaining =
+        options_.corruptions_per_object * targets_.size();
+    while (running_.load(std::memory_order_relaxed) && remaining > 0) {
+      const std::size_t pick = rng.below(targets_.size());
+      if (per_object[pick] >= options_.corruptions_per_object) continue;
+      targets_[pick]->corrupt_now(model::Value::of(rng()));
+      ++per_object[pick];
+      --remaining;
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.pause_ns > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(options_.pause_ns));
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  std::vector<FaultyCas*> targets_;
+  Options options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace ff::faults

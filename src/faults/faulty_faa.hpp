@@ -1,0 +1,183 @@
+// FaultyFetchAdd — a fetch-and-add object with injectable functional
+// faults (see model/faa_semantics.hpp for the Φ′ of each kind).
+//
+// Mirrors FaultyCas: one atomic instruction per invocation, fault
+// decided first, budget charged only when the outcome violates Φ.
+// The off-by-one fault alternates drift direction deterministically from
+// the object's seed unless a custom direction source is installed.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "faults/budget.hpp"
+#include "faults/policy.hpp"
+#include "model/faa_semantics.hpp"
+#include "objects/fetch_add.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+
+namespace ff::faults {
+
+/// One completed F&A invocation at its linearization point.
+struct FaaEvent {
+  objects::ObjectId object = 0;
+  objects::ProcessId caller = 0;
+  std::uint64_t op_index = 0;
+  model::FaaCall call;
+  model::FaaObservation obs;
+  model::FaultKind fired = model::FaultKind::kNone;
+  bool manifested = false;
+};
+
+/// Thread-safe collector of F&A events.
+class FaaTraceSink {
+ public:
+  void on_faa(const FaaEvent& event) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+  [[nodiscard]] std::vector<FaaEvent> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaaEvent> events_;
+};
+
+class FaultyFetchAdd final : public objects::FetchAddObject {
+ public:
+  /// Produces the off-by-one direction (+1 / -1) per invocation.
+  using DriftSource = std::function<model::CounterValue(std::uint64_t op)>;
+
+  FaultyFetchAdd(objects::ObjectId id, model::FaultKind kind,
+                 FaultPolicy* policy, FaultBudget* budget,
+                 FaaTraceSink* sink = nullptr, std::uint64_t seed = 0xFAA)
+      : FetchAddObject(id, std::string(model::to_string(kind)) + "-faa"),
+        kind_(kind),
+        policy_(policy),
+        budget_(budget),
+        sink_(sink),
+        word_(0) {
+    drift_ = [seed](std::uint64_t op) {
+      return (util::mix64(seed ^ op) & 1) ? model::CounterValue{1}
+                                          : model::CounterValue{-1};
+    };
+  }
+
+  void set_drift_source(DriftSource source) { drift_ = std::move(source); }
+
+  [[nodiscard]] model::FaultKind kind() const noexcept { return kind_; }
+
+  model::CounterValue fetch_add(model::CounterValue delta,
+                                objects::ProcessId caller) override {
+    const std::uint64_t op =
+        op_counter_->fetch_add(1, std::memory_order_relaxed);
+    const bool want = kind_ != model::FaultKind::kNone &&
+                      policy_ != nullptr &&
+                      policy_->should_fault(id(), caller, op);
+
+    FaaEvent ev;
+    ev.object = id();
+    ev.caller = caller;
+    ev.op_index = op;
+    ev.call = {delta};
+
+    if (!want) {
+      exec_correct(delta, ev);
+    } else {
+      switch (kind_) {
+        case model::FaultKind::kOverriding: {  // off-by-one carry fault
+          if (!consume()) {
+            exec_correct(delta, ev);
+            break;
+          }
+          const model::CounterValue err = drift_(op);
+          const auto old = static_cast<model::CounterValue>(word_.fetch_add(
+              static_cast<std::uint64_t>(delta + err),
+              std::memory_order_acq_rel));
+          ev.obs = {old, old + delta + err, old};
+          ev.fired = model::FaultKind::kOverriding;
+          ev.manifested = err != 0;
+          if (!ev.manifested) refund();
+          break;
+        }
+        case model::FaultKind::kSilent: {
+          if (!consume()) {
+            exec_correct(delta, ev);
+            break;
+          }
+          const auto old = static_cast<model::CounterValue>(
+              word_.load(std::memory_order_acquire));
+          ev.obs = {old, old, old};
+          ev.fired = model::FaultKind::kSilent;
+          // A dropped add of 0 satisfies Φ — not a fault.
+          ev.manifested = delta != 0;
+          if (!ev.manifested) refund();
+          break;
+        }
+        case model::FaultKind::kInvisible: {
+          if (!consume()) {
+            exec_correct(delta, ev);
+            break;
+          }
+          exec_correct(delta, ev);
+          ev.obs.returned = ev.obs.before + 1;  // corrupted output
+          ev.fired = model::FaultKind::kInvisible;
+          ev.manifested = true;
+          break;
+        }
+        default:
+          exec_correct(delta, ev);
+          break;
+      }
+    }
+
+    if (sink_ != nullptr) sink_->on_faa(ev);
+    return ev.obs.returned;
+  }
+
+  [[nodiscard]] model::CounterValue debug_read() const override {
+    return static_cast<model::CounterValue>(
+        word_.load(std::memory_order_acquire));
+  }
+
+  void reset(model::CounterValue initial = 0) override {
+    word_.store(static_cast<std::uint64_t>(initial),
+                std::memory_order_release);
+    op_counter_->store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  bool consume() {
+    return budget_ == nullptr || budget_->try_consume(id());
+  }
+  void refund() {
+    if (budget_ != nullptr) budget_->refund(id());
+  }
+
+  void exec_correct(model::CounterValue delta, FaaEvent& ev) {
+    const auto old = static_cast<model::CounterValue>(word_.fetch_add(
+        static_cast<std::uint64_t>(delta), std::memory_order_acq_rel));
+    ev.obs = {old, old + delta, old};
+  }
+
+  const model::FaultKind kind_;
+  FaultPolicy* const policy_;
+  FaultBudget* const budget_;
+  FaaTraceSink* const sink_;
+  DriftSource drift_;
+
+  alignas(util::kCacheLineSize) std::atomic<std::uint64_t> word_;
+  util::Padded<std::atomic<std::uint64_t>> op_counter_{};
+};
+
+}  // namespace ff::faults

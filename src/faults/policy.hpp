@@ -1,0 +1,174 @@
+// Fault policies: WHEN does a faulty object attempt to misbehave?
+//
+// The paper places no restriction on fault timing ("there are no
+// restrictions on the frequency of the faults or the identity of the
+// executing processes that cause them", §3.2), so the experiments sweep a
+// spectrum of adversaries: never, always, probabilistic, periodic, and
+// fully scripted.  A policy only expresses *intent*; the FaultBudget has
+// final say on whether the fault may fire.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "objects/shared_object.hpp"
+#include "util/rng.hpp"
+
+namespace ff::faults {
+
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+
+  /// Whether the object should attempt a fault on this invocation.
+  /// `op_index` is the per-object invocation sequence number.
+  /// Implementations must be thread-safe and, for reproducibility,
+  /// deterministic in (obj, caller, op_index).
+  virtual bool should_fault(objects::ObjectId obj, objects::ProcessId caller,
+                            std::uint64_t op_index) = 0;
+
+  /// Resets internal state between trials (default: nothing to reset).
+  virtual void reset() {}
+};
+
+/// Never attempts a fault — the correct-object baseline.
+class NeverFault final : public FaultPolicy {
+ public:
+  bool should_fault(objects::ObjectId, objects::ProcessId,
+                    std::uint64_t) override {
+    return false;
+  }
+};
+
+/// Attempts a fault on every invocation (the budget throttles it).  This
+/// is the worst structured adversary for unbounded-fault experiments.
+class AlwaysFault final : public FaultPolicy {
+ public:
+  bool should_fault(objects::ObjectId, objects::ProcessId,
+                    std::uint64_t) override {
+    return true;
+  }
+};
+
+/// Attempts a fault with probability p per invocation.  Stateless and
+/// thread-safe: the decision is a hash of (seed, object, op_index), so a
+/// given trial is reproducible regardless of thread interleaving.
+class ProbabilisticFault final : public FaultPolicy {
+ public:
+  ProbabilisticFault(double p, std::uint64_t seed) noexcept
+      : p_(p), seed_(seed) {}
+
+  bool should_fault(objects::ObjectId obj, objects::ProcessId,
+                    std::uint64_t op_index) override {
+    if (p_ <= 0.0) return false;
+    if (p_ >= 1.0) return true;
+    const std::uint64_t h = util::mix64(
+        seed_ ^ util::mix64((static_cast<std::uint64_t>(obj) << 32) ^
+                            op_index));
+    return (static_cast<double>(h >> 11) * 0x1.0p-53) < p_;
+  }
+
+  [[nodiscard]] double probability() const noexcept { return p_; }
+
+ private:
+  const double p_;
+  const std::uint64_t seed_;
+};
+
+/// Attempts a fault on every k-th invocation of each object (op_index
+/// multiples of k, starting at `offset`).
+class PeriodicFault final : public FaultPolicy {
+ public:
+  explicit PeriodicFault(std::uint64_t k, std::uint64_t offset = 0) noexcept
+      : k_(k), offset_(offset) {}
+
+  bool should_fault(objects::ObjectId, objects::ProcessId,
+                    std::uint64_t op_index) override {
+    return k_ != 0 && op_index % k_ == offset_ % k_;
+  }
+
+ private:
+  const std::uint64_t k_;
+  const std::uint64_t offset_;
+};
+
+/// Attempts a fault on the first k invocations of each object.
+class FirstKFault final : public FaultPolicy {
+ public:
+  explicit FirstKFault(std::uint64_t k) noexcept : k_(k) {}
+
+  bool should_fault(objects::ObjectId, objects::ProcessId,
+                    std::uint64_t op_index) override {
+    return op_index < k_;
+  }
+
+ private:
+  const std::uint64_t k_;
+};
+
+/// Attempts a fault only for invocations by the listed processes — used by
+/// the Theorem 18 reduced model, where all faults are caused by p1's
+/// operations.
+class ProcessScopedFault final : public FaultPolicy {
+ public:
+  explicit ProcessScopedFault(std::set<objects::ProcessId> processes)
+      : processes_(std::move(processes)) {}
+
+  bool should_fault(objects::ObjectId, objects::ProcessId caller,
+                    std::uint64_t) override {
+    return processes_.contains(caller);
+  }
+
+ private:
+  const std::set<objects::ProcessId> processes_;
+};
+
+/// Fully scripted: faults exactly at the listed (object, op_index) pairs.
+/// The deterministic adversaries of the impossibility demonstrations use
+/// this to reproduce the executions the proofs construct.
+class ScriptedFault final : public FaultPolicy {
+ public:
+  explicit ScriptedFault(
+      std::vector<std::pair<objects::ObjectId, std::uint64_t>> script) {
+    for (const auto& [obj, idx] : script) script_.insert({obj, idx});
+  }
+
+  bool should_fault(objects::ObjectId obj, objects::ProcessId,
+                    std::uint64_t op_index) override {
+    return script_.contains({obj, op_index});
+  }
+
+ private:
+  std::set<std::pair<objects::ObjectId, std::uint64_t>> script_;
+};
+
+/// Combines two policies with OR — e.g. "scripted burst plus background
+/// probabilistic noise".
+class EitherFault final : public FaultPolicy {
+ public:
+  EitherFault(FaultPolicy& a, FaultPolicy& b) noexcept : a_(a), b_(b) {}
+
+  bool should_fault(objects::ObjectId obj, objects::ProcessId caller,
+                    std::uint64_t op_index) override {
+    // No short-circuit: both policies observe every invocation so that
+    // stateful policies keep consistent views.
+    const bool fa = a_.should_fault(obj, caller, op_index);
+    const bool fb = b_.should_fault(obj, caller, op_index);
+    return fa || fb;
+  }
+
+  void reset() override {
+    a_.reset();
+    b_.reset();
+  }
+
+ private:
+  FaultPolicy& a_;
+  FaultPolicy& b_;
+};
+
+}  // namespace ff::faults

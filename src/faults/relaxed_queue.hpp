@@ -1,0 +1,123 @@
+// RelaxedQueue — a shared FIFO queue whose dequeue may manifest the
+// k-relaxation functional fault (model/queue_semantics.hpp): instead of
+// the head, it returns an element up to k positions deep.
+//
+// The §6 bridge made executable: the SAME policy/budget machinery that
+// drives CAS faults drives the relaxation here, and a trace of
+// DequeueObservations feeds the same classification pipeline.  A
+// mutex-protected deque keeps the object simple — this type exists to
+// study the fault model, not queue scalability.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "faults/budget.hpp"
+#include "faults/policy.hpp"
+#include "model/queue_semantics.hpp"
+#include "objects/shared_object.hpp"
+#include "util/rng.hpp"
+
+namespace ff::faults {
+
+/// One dequeue at its linearization point, for verification.
+struct DequeueEvent {
+  objects::ProcessId caller = 0;
+  std::uint64_t op_index = 0;
+  model::DequeueObservation obs;
+  bool manifested = false;  ///< a relaxation ≥ 1 actually happened
+};
+
+class RelaxedQueue final : public objects::SharedObject {
+ public:
+  /// `k` is the maximum relaxation distance of a faulty dequeue.
+  /// `policy`/`budget` are borrowed (budget keyed by this object's id).
+  RelaxedQueue(objects::ObjectId id, std::uint32_t k, FaultPolicy* policy,
+               FaultBudget* budget, std::uint64_t seed = 0x9e1a)
+      : SharedObject(id, "relaxed-queue"),
+        k_(k),
+        policy_(policy),
+        budget_(budget),
+        rng_(seed) {}
+
+  void enqueue(model::QueueElement element) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(element);
+  }
+
+  /// Dequeues; a fired relaxation fault returns an element up to k deep.
+  std::optional<model::QueueElement> dequeue(objects::ProcessId caller) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t op = op_index_++;
+
+    DequeueEvent ev;
+    ev.caller = caller;
+    ev.op_index = op;
+    const std::size_t window = std::min<std::size_t>(items_.size(), k_ + 1);
+    ev.obs.prefix_before.assign(items_.begin(),
+                                items_.begin() +
+                                    static_cast<std::ptrdiff_t>(window));
+
+    if (items_.empty()) {
+      ev.obs.returned = std::nullopt;
+      record(ev);
+      return std::nullopt;
+    }
+
+    std::size_t pick = 0;
+    const bool want = k_ > 0 && policy_ != nullptr &&
+                      policy_->should_fault(id(), caller, op);
+    if (want && window > 1 &&
+        (budget_ == nullptr || budget_->try_consume(id()))) {
+      // Relaxation distance uniform in [1, window-1]; distance 0 would
+      // satisfy Φ and thus not be a fault (refund handled by choosing
+      // ≥ 1 up front).
+      pick = 1 + rng_.below(window - 1);
+      ev.manifested = true;
+    }
+
+    const auto it = items_.begin() + static_cast<std::ptrdiff_t>(pick);
+    ev.obs.returned = *it;
+    items_.erase(it);
+    record(ev);
+    return ev.obs.returned;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::uint32_t relaxation() const noexcept { return k_; }
+
+  /// Recorded dequeue observations (verification use).
+  [[nodiscard]] std::vector<DequeueEvent> trace() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return trace_;
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    items_.clear();
+    trace_.clear();
+    op_index_ = 0;
+  }
+
+ private:
+  void record(const DequeueEvent& ev) { trace_.push_back(ev); }
+
+  const std::uint32_t k_;
+  FaultPolicy* const policy_;
+  FaultBudget* const budget_;
+
+  mutable std::mutex mu_;
+  std::deque<model::QueueElement> items_;
+  std::vector<DequeueEvent> trace_;
+  std::uint64_t op_index_ = 0;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace ff::faults

@@ -1,0 +1,112 @@
+// Execution trace recording for CAS operations and fault events.
+//
+// Traces serve two purposes: (1) the verification layer replays them
+// against the Hoare-triple checkers to confirm that every injected fault
+// manifested exactly its declared Φ′ and nothing else, and (2) the
+// property tests check the paper's proof invariants (Claims 7-9, 13) on
+// recorded histories.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "model/cas_semantics.hpp"
+#include "model/fault_kind.hpp"
+#include "objects/shared_object.hpp"
+
+namespace ff::faults {
+
+/// One completed CAS invocation as observed at its linearization point.
+struct CasEvent {
+  objects::ObjectId object = 0;
+  objects::ProcessId caller = 0;
+  std::uint64_t op_index = 0;  ///< per-object invocation sequence number
+  model::CasCall call;
+  model::CasObservation obs;
+  /// The fault the object *fired* for this invocation (kNone when the
+  /// correct path executed).  Note a fired fault may fail to manifest —
+  /// e.g. an overriding fault when the comparison would have succeeded
+  /// anyway — in which case `manifested` is false and, per Definition 1,
+  /// no functional fault occurred.
+  model::FaultKind fired = model::FaultKind::kNone;
+  bool manifested = false;
+
+  /// Global sequence number assigned by the sink (defines the recorded
+  /// linearization order).
+  std::uint64_t seq = 0;
+};
+
+/// Receiver of trace events.  Implementations must be thread-safe.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_cas(const CasEvent& event) = 0;
+};
+
+/// Collects events into a vector under a mutex.  The mutex serializes
+/// recording, which also fixes the recorded order as a valid
+/// linearization order: events are emitted while the emitting operation
+/// is still the most recent action on its object.
+class VectorTraceSink final : public TraceSink {
+ public:
+  void on_cas(const CasEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    CasEvent e = event;
+    e.seq = next_seq_++;
+    events_.push_back(e);
+  }
+
+  /// Snapshot of the events recorded so far.  Call after quiescence for a
+  /// complete history.
+  [[nodiscard]] std::vector<CasEvent> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CasEvent> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Counts events without storing them (cheap enough for benchmarks).
+class CountingTraceSink final : public TraceSink {
+ public:
+  void on_cas(const CasEvent& event) override {
+    total_.fetch_add(1, std::memory_order_relaxed);
+    if (event.manifested) {
+      manifested_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t manifested() const noexcept {
+    return manifested_.load(std::memory_order_relaxed);
+  }
+
+  void clear() noexcept {
+    total_.store(0, std::memory_order_relaxed);
+    manifested_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> manifested_{0};
+};
+
+}  // namespace ff::faults

@@ -1,0 +1,114 @@
+#include "hierarchy/consensus_number.hpp"
+
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/adversary.hpp"
+#include "sched/random_walk.hpp"
+
+namespace ff::hierarchy {
+
+namespace {
+
+std::vector<std::uint64_t> distinct_inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> inputs(n);
+  std::iota(inputs.begin(), inputs.end(), 1);
+  return inputs;
+}
+
+sched::SimWorld make_world(std::uint32_t f, std::uint32_t t,
+                           std::uint32_t n,
+                           const consensus::StagedFactory& factory) {
+  sched::SimConfig config;
+  config.num_objects = f;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = t;
+  return sched::SimWorld(config, factory, distinct_inputs(n));
+}
+
+}  // namespace
+
+HierarchyCell probe_staged_cell(std::uint32_t f, std::uint32_t t,
+                                std::uint32_t n,
+                                const ProbeOptions& options) {
+  HierarchyCell cell;
+  cell.f = f;
+  cell.t = t;
+  cell.n = n;
+
+  const consensus::StagedFactory factory(f, t);
+  const sched::SimWorld initial = make_world(f, t, n, factory);
+
+  // 1. Exhaustive exploration within the state cap.
+  sched::ExploreOptions explore_options;
+  explore_options.max_states = options.explorer_max_states;
+  const sched::ExploreResult explored =
+      sched::explore(initial, explore_options);
+  if (explored.violation) {
+    cell.evidence = Evidence::kViolation;
+    cell.method = "explorer";
+    cell.effort = explored.states_visited;
+    cell.detail = std::string(sched::to_string(explored.violation->kind)) +
+                  ": " + explored.violation->detail;
+    return cell;
+  }
+  if (explored.complete) {
+    cell.evidence = Evidence::kProvenOk;
+    cell.method = "explorer";
+    cell.effort = explored.states_visited;
+    return cell;
+  }
+
+  // 2. For n ≥ f+2 the Theorem 19 covering adversary constructs the
+  //    violation directly (it needs only f+2 of the n processes).
+  if (n >= f + 2) {
+    const auto adv = sched::run_covering_adversary(
+        factory, f, distinct_inputs(f + 2), options.walk_max_steps);
+    if (adv.disagreement) {
+      cell.evidence = Evidence::kViolation;
+      cell.method = "covering-adversary";
+      cell.effort = adv.total_steps;
+      cell.detail = "p0 decided " + std::to_string(*adv.p0_decision) +
+                    ", p_{f+1} decided " +
+                    std::to_string(*adv.last_decision);
+      return cell;
+    }
+  }
+
+  // 3. Randomized stress evidence.
+  sched::WalkOptions walk_options;
+  walk_options.seed = options.seed ^ (std::uint64_t{f} << 32) ^
+                      (std::uint64_t{t} << 16) ^ n;
+  walk_options.max_steps = options.walk_max_steps;
+  const auto report =
+      sched::run_walk_campaign(initial, options.walks, walk_options);
+  cell.effort = report.walks;
+  if (!report.all_ok()) {
+    cell.evidence = Evidence::kViolation;
+    cell.method = "walks";
+    cell.detail = "violating walk seed " +
+                  std::to_string(report.first_bad_seed.value_or(0));
+    return cell;
+  }
+  cell.evidence = Evidence::kStressOk;
+  cell.method = "walks";
+  return cell;
+}
+
+Estimate estimate_staged_consensus_number(std::uint32_t f, std::uint32_t t,
+                                          std::uint32_t max_n,
+                                          const ProbeOptions& options) {
+  Estimate estimate;
+  std::uint32_t best_ok = 1;  // consensus for n=1 is trivial
+  bool violated = false;
+  for (std::uint32_t n = 2; n <= max_n; ++n) {
+    HierarchyCell cell = probe_staged_cell(f, t, n, options);
+    if (cell.ok() && !violated) best_ok = n;
+    if (!cell.ok()) violated = true;
+    estimate.cells.push_back(std::move(cell));
+  }
+  estimate.consensus_number = best_ok;
+  return estimate;
+}
+
+}  // namespace ff::hierarchy

@@ -1,0 +1,85 @@
+// Empirical consensus-number estimation for ensembles of faulty CAS
+// objects (Section 5.2 closing remark: f CAS objects with a bounded
+// number of overriding faults each have consensus number exactly f+1,
+// populating every level of the Herlihy hierarchy).
+//
+// For a given (f, t) we probe increasing process counts n:
+//   * exhaustive exploration proves correctness or finds a violation for
+//     small state spaces;
+//   * when the explorer hits its state cap, the Theorem 19 covering
+//     adversary is consulted for n ≥ f+2 (it constructs the violating
+//     execution directly), and randomized walks provide stress evidence
+//     for n ≤ f+1.
+// The estimated consensus number is the largest n with no violation
+// before the first violating n.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/explorer.hpp"
+
+namespace ff::hierarchy {
+
+enum class Evidence : std::uint8_t {
+  kProvenOk,     ///< exhaustive exploration, no violation
+  kStressOk,     ///< randomized walks only, no violation found
+  kViolation,    ///< a violating execution was exhibited
+  kInconclusive  ///< caps hit, no violation found, no stress pass either
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Evidence e) noexcept {
+  switch (e) {
+    case Evidence::kProvenOk: return "proven-ok";
+    case Evidence::kStressOk: return "stress-ok";
+    case Evidence::kViolation: return "violation";
+    case Evidence::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+struct ProbeOptions {
+  std::uint64_t explorer_max_states = 2'000'000;
+  std::uint64_t walks = 400;
+  std::uint64_t walk_max_steps = 200'000;
+  std::uint64_t seed = 0x41e5;
+};
+
+struct HierarchyCell {
+  std::uint32_t f = 0;
+  std::uint32_t t = 0;
+  std::uint32_t n = 0;
+  Evidence evidence = Evidence::kInconclusive;
+  /// Method that produced the evidence ("explorer", "covering-adversary",
+  /// "walks").
+  std::string method;
+  /// States visited / walks run / adversary steps — the probe's effort.
+  std::uint64_t effort = 0;
+  std::string detail;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return evidence == Evidence::kProvenOk || evidence == Evidence::kStressOk;
+  }
+};
+
+/// Probes one (f, t, n) cell of the staged protocol over f overriding-
+/// faulty objects.
+[[nodiscard]] HierarchyCell probe_staged_cell(std::uint32_t f,
+                                              std::uint32_t t,
+                                              std::uint32_t n,
+                                              const ProbeOptions& options);
+
+struct Estimate {
+  std::uint32_t consensus_number = 0;
+  std::vector<HierarchyCell> cells;
+};
+
+/// Probes n = 2 .. max_n and reports the estimated consensus number of
+/// the f-object, t-bounded overriding-faulty CAS ensemble.
+[[nodiscard]] Estimate estimate_staged_consensus_number(
+    std::uint32_t f, std::uint32_t t, std::uint32_t max_n,
+    const ProbeOptions& options);
+
+}  // namespace ff::hierarchy

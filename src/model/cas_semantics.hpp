@@ -1,0 +1,123 @@
+// Sequential specification of the CAS operation and the deviating
+// postconditions Φ′ of each functional fault kind (Sections 2, 3.3, 3.4).
+//
+// These evaluators are the executable form of the paper's Hoare triples:
+// they let the verification layer check, for every observed operation,
+// whether the standard postcondition Φ held, and if not, which structured
+// fault the observation is consistent with (Definition 1).
+#pragma once
+
+#include "model/fault_kind.hpp"
+#include "model/value.hpp"
+
+namespace ff::model {
+
+/// Input parameters of one CAS invocation: old ← CAS(O, exp, val).
+struct CasCall {
+  Value expected;
+  Value desired;
+
+  friend constexpr bool operator==(const CasCall&, const CasCall&) noexcept =
+      default;
+};
+
+/// Observed effect of one CAS invocation: register content before (R′) and
+/// after (R) the operation, and the returned old value.
+struct CasObservation {
+  Value before;    ///< R′ — register content on entry
+  Value after;     ///< R  — register content on return
+  Value returned;  ///< old — the operation's output
+
+  friend constexpr bool operator==(const CasObservation&,
+                                   const CasObservation&) noexcept = default;
+};
+
+/// Result of applying the *correct* sequential specification.
+struct CasEffect {
+  Value after;
+  Value returned;
+  bool success;  ///< the new value was written
+};
+
+/// Sequential specification:
+///   R′ = exp ? (R = val ∧ old = R′) : (R = R′ ∧ old = R′)
+[[nodiscard]] constexpr CasEffect cas_apply(Value before,
+                                            const CasCall& call) noexcept {
+  if (before == call.expected) {
+    return CasEffect{call.desired, before, true};
+  }
+  return CasEffect{before, before, false};
+}
+
+/// Effect of a CAS that suffers the overriding fault (§3.3):
+///   Φ′: R = val ∧ old = R′  — the write happens unconditionally.
+[[nodiscard]] constexpr CasEffect cas_apply_overriding(
+    Value before, const CasCall& call) noexcept {
+  return CasEffect{call.desired, before, true};
+}
+
+/// Effect of a CAS that suffers the silent fault (§3.4):
+///   Φ′: R = R′ ∧ old = R′  — the write never happens.
+[[nodiscard]] constexpr CasEffect cas_apply_silent(Value before,
+                                                   const CasCall&) noexcept {
+  return CasEffect{before, before, false};
+}
+
+/// Standard postcondition Φ of CAS.
+[[nodiscard]] constexpr bool satisfies_phi(const CasObservation& obs,
+                                           const CasCall& call) noexcept {
+  if (obs.before == call.expected) {
+    return obs.after == call.desired && obs.returned == obs.before;
+  }
+  return obs.after == obs.before && obs.returned == obs.before;
+}
+
+/// Deviating postcondition Φ′ of the given fault kind.  For kNone this is
+/// Φ itself.  Arbitrary and data-corruption faults admit any observation
+/// with a correct return value and any register content, per §3.4/§3.1.
+[[nodiscard]] constexpr bool satisfies_phi_prime(
+    FaultKind kind, const CasObservation& obs, const CasCall& call) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:
+      return satisfies_phi(obs, call);
+    case FaultKind::kOverriding:
+      return obs.after == call.desired && obs.returned == obs.before;
+    case FaultKind::kSilent:
+      return obs.after == obs.before && obs.returned == obs.before;
+    case FaultKind::kInvisible:
+      // Register behaves per spec; only the output deviates.
+      return obs.after == cas_apply(obs.before, call).after;
+    case FaultKind::kArbitrary:
+      return obs.returned == obs.before;  // any written value allowed
+    case FaultKind::kNonresponsive:
+      return false;  // a responsive observation never matches
+    case FaultKind::kDataCorruption:
+      return true;  // arbitrary corruption admits anything
+  }
+  return false;
+}
+
+/// Classifies an observation against the fault taxonomy: returns kNone when
+/// the standard postcondition held, otherwise the most specific structured
+/// fault whose Φ′ the observation satisfies, falling back to kArbitrary /
+/// kDataCorruption for unstructured deviations.
+[[nodiscard]] constexpr FaultKind classify(const CasObservation& obs,
+                                           const CasCall& call) noexcept {
+  if (satisfies_phi(obs, call)) return FaultKind::kNone;
+  // Ordered from most to least specific.
+  if (obs.returned == obs.before) {
+    if (satisfies_phi_prime(FaultKind::kOverriding, obs, call)) {
+      return FaultKind::kOverriding;
+    }
+    if (satisfies_phi_prime(FaultKind::kSilent, obs, call)) {
+      return FaultKind::kSilent;
+    }
+    return FaultKind::kArbitrary;
+  }
+  if (satisfies_phi_prime(FaultKind::kInvisible, obs, call)) {
+    return FaultKind::kInvisible;
+  }
+  return FaultKind::kDataCorruption;
+}
+
+}  // namespace ff::model

@@ -1,0 +1,59 @@
+// The CAS object's Hoare triple and the paper's fault characterizations,
+// expressed in the generic hoare.hpp framework.
+//
+// This is the bridge between the formal layer (assertions) and the
+// executable layer (cas_semantics.hpp): a ready-made TripleChecker whose
+// classifications agree with model::classify.
+#pragma once
+
+#include "model/cas_semantics.hpp"
+#include "model/hoare.hpp"
+
+namespace ff::model {
+
+using CasTripleChecker = TripleChecker<CasCall, CasObservation>;
+
+/// Indices of the registered Φ′ characterizations in make_cas_checker().
+struct CasFaultIndex {
+  std::size_t overriding;
+  std::size_t silent;
+  std::size_t invisible;
+  std::size_t arbitrary;
+};
+
+/// Builds the checker with Ψ = true (CAS is total: any register content and
+/// any inputs are legal) and Φ per the sequential specification, plus the
+/// four responsive fault characterizations of Sections 3.3-3.4 in
+/// most-specific-first order.
+inline CasTripleChecker make_cas_checker(CasFaultIndex* index = nullptr) {
+  Triple<CasCall, CasObservation> triple{
+      "CAS",
+      /*pre=*/[](const CasCall&, const CasObservation&) { return true; },
+      /*post=*/
+      [](const CasCall& call, const CasObservation& obs) {
+        return satisfies_phi(obs, call);
+      }};
+  CasTripleChecker checker(std::move(triple));
+
+  CasFaultIndex idx{};
+  idx.overriding = checker.add_fault(
+      {"overriding", [](const CasCall& call, const CasObservation& obs) {
+         return satisfies_phi_prime(FaultKind::kOverriding, obs, call);
+       }});
+  idx.silent = checker.add_fault(
+      {"silent", [](const CasCall& call, const CasObservation& obs) {
+         return satisfies_phi_prime(FaultKind::kSilent, obs, call);
+       }});
+  idx.invisible = checker.add_fault(
+      {"invisible", [](const CasCall& call, const CasObservation& obs) {
+         return satisfies_phi_prime(FaultKind::kInvisible, obs, call);
+       }});
+  idx.arbitrary = checker.add_fault(
+      {"arbitrary", [](const CasCall& call, const CasObservation& obs) {
+         return satisfies_phi_prime(FaultKind::kArbitrary, obs, call);
+       }});
+  if (index != nullptr) *index = idx;
+  return checker;
+}
+
+}  // namespace ff::model

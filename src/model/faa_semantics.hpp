@@ -1,0 +1,94 @@
+// Sequential specification and functional faults of fetch-and-add —
+// the paper's future-work direction instantiated (§7: "examine other
+// widely used functions with natural faults"; the introduction's own
+// example of a functional fault is "a carry evaluation is wrong for an
+// addition operation").
+//
+// Faults modelled:
+//   * off-by-one (carry fault):  Φ′: |R − (R′+d)| = 1 ∧ old = R′ —
+//     a single broken carry perturbs the stored sum by exactly ±1 while
+//     the returned old value stays correct.  Structured and bounded, so
+//     constructions can reason about accumulated drift.
+//   * silent:    Φ′: R = R′ ∧ old = R′ — the addition is dropped.
+//   * invisible: register per spec, returned old corrupted.
+#pragma once
+
+#include <cstdint>
+
+#include "model/fault_kind.hpp"
+
+namespace ff::model {
+
+/// Counters are signed machine words; wrap-around is defined (two's
+/// complement via unsigned arithmetic).
+using CounterValue = std::int64_t;
+
+struct FaaCall {
+  CounterValue delta = 0;
+
+  friend constexpr bool operator==(const FaaCall&, const FaaCall&) noexcept =
+      default;
+};
+
+struct FaaObservation {
+  CounterValue before = 0;    ///< R′
+  CounterValue after = 0;     ///< R
+  CounterValue returned = 0;  ///< old
+
+  friend constexpr bool operator==(const FaaObservation&,
+                                   const FaaObservation&) noexcept = default;
+};
+
+/// Standard postcondition Φ: R = R′ + d ∧ old = R′.
+[[nodiscard]] constexpr bool faa_satisfies_phi(const FaaObservation& obs,
+                                               const FaaCall& call) noexcept {
+  return obs.after == obs.before + call.delta && obs.returned == obs.before;
+}
+
+/// Deviating postconditions Φ′ per fault kind.  kArbitrary admits any
+/// stored value with a correct old; kDataCorruption admits anything.
+[[nodiscard]] constexpr bool faa_satisfies_phi_prime(
+    FaultKind kind, const FaaObservation& obs, const FaaCall& call) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:
+      return faa_satisfies_phi(obs, call);
+    case FaultKind::kOverriding: {
+      // For fetch&add we read "overriding" as the carry/off-by-one fault:
+      // the sum lands one off in either direction.
+      const CounterValue err = obs.after - (obs.before + call.delta);
+      return (err == 1 || err == -1) && obs.returned == obs.before;
+    }
+    case FaultKind::kSilent:
+      return obs.after == obs.before && obs.returned == obs.before;
+    case FaultKind::kInvisible:
+      return obs.after == obs.before + call.delta;
+    case FaultKind::kArbitrary:
+      return obs.returned == obs.before;
+    case FaultKind::kNonresponsive:
+      return false;
+    case FaultKind::kDataCorruption:
+      return true;
+  }
+  return false;
+}
+
+/// Classifies an observation (most specific structured fault first).
+[[nodiscard]] constexpr FaultKind faa_classify(const FaaObservation& obs,
+                                               const FaaCall& call) noexcept {
+  if (faa_satisfies_phi(obs, call)) return FaultKind::kNone;
+  if (obs.returned == obs.before) {
+    if (faa_satisfies_phi_prime(FaultKind::kOverriding, obs, call)) {
+      return FaultKind::kOverriding;
+    }
+    if (faa_satisfies_phi_prime(FaultKind::kSilent, obs, call)) {
+      return FaultKind::kSilent;
+    }
+    return FaultKind::kArbitrary;
+  }
+  if (faa_satisfies_phi_prime(FaultKind::kInvisible, obs, call)) {
+    return FaultKind::kInvisible;
+  }
+  return FaultKind::kDataCorruption;
+}
+
+}  // namespace ff::model

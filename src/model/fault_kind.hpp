@@ -1,0 +1,78 @@
+// Taxonomy of CAS functional faults studied in the paper (Sections 3.3-3.4)
+// plus the prior-work data-fault model (Section 3.1) used for comparison.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ff::model {
+
+enum class FaultKind : std::uint8_t {
+  /// Correct execution — no fault.
+  kNone = 0,
+  /// §3.3 Overriding: the new value is written even when the register's
+  /// content differs from the expected value.  Φ′: R = val ∧ old = R′.
+  kOverriding,
+  /// §3.4 Silent: the new value is NOT written even when the content
+  /// equals the expected value.  Φ′: R = R′ ∧ old = R′.
+  kSilent,
+  /// §3.4 Invisible: the returned old value is wrong (not the original
+  /// register content).  Reducible to a data fault.
+  kInvisible,
+  /// §3.4 Arbitrary: an arbitrary value is written regardless of inputs.
+  /// Comparable to the responsive-arbitrary data fault of Jayanti et al.
+  kArbitrary,
+  /// §3.4 Nonresponsive: the operation never returns.  Modelled as an
+  /// operation that parks the caller (simulated; never used on real
+  /// threads without a step budget).
+  kNonresponsive,
+  /// §3.1 Data fault (Afek et al.): the register content is corrupted at
+  /// an arbitrary moment, independent of any operation.
+  kDataCorruption,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kOverriding: return "overriding";
+    case FaultKind::kSilent: return "silent";
+    case FaultKind::kInvisible: return "invisible";
+    case FaultKind::kArbitrary: return "arbitrary";
+    case FaultKind::kNonresponsive: return "nonresponsive";
+    case FaultKind::kDataCorruption: return "data-corruption";
+  }
+  return "unknown";
+}
+
+/// Responsive faults always return from the operation (Jayanti et al.
+/// classification, §3.1).  Only the nonresponsive fault is not.
+[[nodiscard]] constexpr bool is_responsive(FaultKind k) noexcept {
+  return k != FaultKind::kNonresponsive;
+}
+
+/// Structured faults adhere to specific deviating postconditions Φ′ and are
+/// therefore candidates for algorithmic tolerance (Definition 1).  The
+/// arbitrary fault and data corruption admit any outcome.
+[[nodiscard]] constexpr bool is_structured(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kNone:
+    case FaultKind::kOverriding:
+    case FaultKind::kSilent:
+    case FaultKind::kInvisible:
+      return true;
+    case FaultKind::kArbitrary:
+    case FaultKind::kNonresponsive:
+    case FaultKind::kDataCorruption:
+      return false;
+  }
+  return false;
+}
+
+/// Whether the fault manifests only during an operation invocation
+/// (functional fault, Definition 1) as opposed to at arbitrary execution
+/// points (data fault).
+[[nodiscard]] constexpr bool is_functional(FaultKind k) noexcept {
+  return k != FaultKind::kDataCorruption && k != FaultKind::kNone;
+}
+
+}  // namespace ff::model

@@ -1,0 +1,102 @@
+// Generic Hoare-triple machinery (Hoare [27]; paper Definitions 1 and 2).
+//
+// An operation's correctness conditions are a triple Ψ{O}Φ.  A functional
+// fault ⟨O,Φ′⟩ occurs at a step when Ψ held on entry, Φ failed on return,
+// and the deviating postcondition Φ′ held.  This header provides the
+// executable counterparts: assertions over (entry state, call, exit
+// observation), named triples, fault characterizations, and a classifier
+// that maps an observed step to the matching characterization.
+//
+// The CAS instantiation lives in cas_semantics.hpp; this layer is the
+// object-generic formulation so other primitives (test&set, fetch&add,
+// relaxed queues, ...) can be plugged into the same framework.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ff::model {
+
+/// An assertion over one operation execution.  `Call` carries the inputs,
+/// `Obs` the entry state, exit state and output (whatever the object type
+/// exposes).  Assertions must be pure.
+template <typename Call, typename Obs>
+using Assertion = std::function<bool(const Call&, const Obs&)>;
+
+/// Ψ{O}Φ — a named operation with pre- and postconditions.
+template <typename Call, typename Obs>
+struct Triple {
+  std::string operation;
+  Assertion<Call, Obs> pre;   ///< Ψ, evaluated on the entry state
+  Assertion<Call, Obs> post;  ///< Φ, evaluated on the exit observation
+};
+
+/// ⟨O, Φ′⟩ — a named deviating postcondition characterizing one fault.
+template <typename Call, typename Obs>
+struct FaultCharacterization {
+  std::string name;
+  Assertion<Call, Obs> phi_prime;
+};
+
+/// Verdict for one observed step (Definition 1 applied operationally).
+enum class StepVerdict {
+  kCorrect,            ///< Ψ held and Φ held
+  kPreconditionUnmet,  ///< Ψ did not hold; the triple says nothing
+  kCharacterized,      ///< Ψ held, Φ failed, some registered Φ′ held
+  kUnstructured,       ///< Ψ held, Φ failed, no registered Φ′ held
+};
+
+template <typename Call, typename Obs>
+struct StepClassification {
+  StepVerdict verdict;
+  /// Index into the checker's characterization list when kCharacterized.
+  std::optional<std::size_t> characterization;
+};
+
+/// Classifies observed operation executions against a triple and a set of
+/// fault characterizations.  Characterizations are tested in registration
+/// order, so register the most specific first.
+template <typename Call, typename Obs>
+class TripleChecker {
+ public:
+  explicit TripleChecker(Triple<Call, Obs> triple)
+      : triple_(std::move(triple)) {}
+
+  std::size_t add_fault(FaultCharacterization<Call, Obs> fc) {
+    faults_.push_back(std::move(fc));
+    return faults_.size() - 1;
+  }
+
+  [[nodiscard]] const Triple<Call, Obs>& triple() const noexcept {
+    return triple_;
+  }
+  [[nodiscard]] const std::vector<FaultCharacterization<Call, Obs>>& faults()
+      const noexcept {
+    return faults_;
+  }
+
+  [[nodiscard]] StepClassification<Call, Obs> classify(
+      const Call& call, const Obs& obs) const {
+    if (triple_.pre && !triple_.pre(call, obs)) {
+      return {StepVerdict::kPreconditionUnmet, std::nullopt};
+    }
+    if (triple_.post(call, obs)) {
+      return {StepVerdict::kCorrect, std::nullopt};
+    }
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+      if (faults_[i].phi_prime(call, obs)) {
+        return {StepVerdict::kCharacterized, i};
+      }
+    }
+    return {StepVerdict::kUnstructured, std::nullopt};
+  }
+
+ private:
+  Triple<Call, Obs> triple_;
+  std::vector<FaultCharacterization<Call, Obs>> faults_;
+};
+
+}  // namespace ff::model

@@ -1,0 +1,78 @@
+// FIFO queue semantics and the k-relaxation "fault" — the §6 connection:
+// relaxed data structures (quasi-linearizability, SprayList-style
+// out-of-order pops) are a special case of the functional-fault model.
+// A relaxed dequeue violates the FIFO postcondition Φ but satisfies the
+// structured deviation
+//
+//   Φ′_k : the returned element is one of the first k+1 queued elements
+//
+// which is exactly an ⟨dequeue, Φ′⟩-fault in Definition 1's sense.  The
+// difference is intent (performance vs malfunction), not structure — and
+// the same machinery (policies, budgets, classification) applies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/fault_kind.hpp"
+
+namespace ff::model {
+
+using QueueElement = std::uint64_t;
+
+/// The dequeue operation takes no inputs; its precondition Ψ for the
+/// value-returning triple is "the queue is non-empty".
+struct DequeueCall {};
+
+/// Observation of one dequeue at its linearization point: the queue's
+/// prefix (up to some window) before the operation and the element
+/// returned (nullopt = reported empty).
+struct DequeueObservation {
+  /// Front of the queue on entry, head first (possibly truncated to the
+  /// checker's window; must include at least min(size, k+1) elements).
+  std::vector<QueueElement> prefix_before;
+  std::optional<QueueElement> returned;
+};
+
+/// Φ — strict FIFO: a non-empty queue returns exactly its head.
+[[nodiscard]] inline bool dequeue_satisfies_phi(
+    const DequeueObservation& obs) {
+  if (obs.prefix_before.empty()) return !obs.returned.has_value();
+  return obs.returned.has_value() &&
+         *obs.returned == obs.prefix_before.front();
+}
+
+/// Φ′_k — k-relaxed FIFO: a non-empty queue returns one of the first
+/// k+1 elements (k = 0 degenerates to Φ).
+[[nodiscard]] inline bool dequeue_satisfies_phi_prime(
+    const DequeueObservation& obs, std::uint32_t k) {
+  if (obs.prefix_before.empty()) return !obs.returned.has_value();
+  if (!obs.returned.has_value()) return false;
+  const std::size_t window =
+      std::min<std::size_t>(obs.prefix_before.size(), k + 1);
+  for (std::size_t i = 0; i < window; ++i) {
+    if (obs.prefix_before[i] == *obs.returned) return true;
+  }
+  return false;
+}
+
+/// Relaxation distance of an observation: position of the returned
+/// element in the pre-state (0 = head = Φ held), or nullopt when the
+/// returned element was not in the observed prefix at all (an
+/// unstructured fault).
+[[nodiscard]] inline std::optional<std::uint32_t> relaxation_distance(
+    const DequeueObservation& obs) {
+  if (!obs.returned.has_value()) {
+    return obs.prefix_before.empty() ? std::make_optional(0u)
+                                     : std::nullopt;
+  }
+  for (std::size_t i = 0; i < obs.prefix_before.size(); ++i) {
+    if (obs.prefix_before[i] == *obs.returned) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ff::model

@@ -1,0 +1,66 @@
+// (f, t, n)-tolerance specifications (Definition 3) and the staged
+// protocol's stage bound (Theorem 6).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ff::model {
+
+/// Sentinel for an unbounded parameter (t = ∞ or n = ∞ in Definition 3).
+inline constexpr std::uint32_t kUnbounded =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// An (f, t, n)-tolerance claim: correct in any execution with at most
+/// f faulty objects, at most t faults per faulty object, and at most n
+/// processes.  (f,t)-tolerant ≡ (f,t,∞); f-tolerant ≡ (f,∞,∞).
+struct ToleranceSpec {
+  std::uint32_t f = 0;           ///< max faulty objects
+  std::uint32_t t = kUnbounded;  ///< max faults per faulty object
+  std::uint32_t n = kUnbounded;  ///< max processes
+
+  [[nodiscard]] constexpr bool bounded_faults() const noexcept {
+    return t != kUnbounded;
+  }
+  [[nodiscard]] constexpr bool bounded_processes() const noexcept {
+    return n != kUnbounded;
+  }
+
+  /// Whether an execution with the given actual parameters falls within
+  /// this claim (i.e. the claim must hold for it).
+  [[nodiscard]] constexpr bool admits(std::uint32_t faulty_objects,
+                                      std::uint32_t faults_per_object,
+                                      std::uint32_t processes) const noexcept {
+    return faulty_objects <= f &&
+           (t == kUnbounded || faults_per_object <= t) &&
+           (n == kUnbounded || processes <= n);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    auto part = [](std::uint32_t v) {
+      return v == kUnbounded ? std::string("inf") : std::to_string(v);
+    };
+    return "(" + std::to_string(f) + "," + part(t) + "," + part(n) + ")";
+  }
+
+  friend constexpr bool operator==(const ToleranceSpec&,
+                                   const ToleranceSpec&) noexcept = default;
+};
+
+/// maxStage = t · (4f + f²) — the stage budget that Theorem 6 proves
+/// sufficient for the Figure 3 protocol.
+[[nodiscard]] constexpr std::uint64_t staged_max_stage(
+    std::uint32_t f, std::uint32_t t) noexcept {
+  const auto f64 = static_cast<std::uint64_t>(f);
+  return static_cast<std::uint64_t>(t) * (4 * f64 + f64 * f64);
+}
+
+/// Total fault budget in an (f, t)-bounded execution (Observation 10 uses
+/// the fact that at most t·f faults may occur overall).
+[[nodiscard]] constexpr std::uint64_t total_fault_budget(
+    std::uint32_t f, std::uint32_t t) noexcept {
+  return static_cast<std::uint64_t>(f) * static_cast<std::uint64_t>(t);
+}
+
+}  // namespace ff::model

@@ -1,0 +1,91 @@
+// Value representation for shared objects.
+//
+// The paper's protocols operate on single-word CAS registers holding either
+// the distinguished initial value ⊥ or a process input value; the staged
+// protocol of Figure 3 stores ⟨value, stage⟩ pairs.  We model both as one
+// 64-bit word so every object is a genuine single-word CAS target:
+//
+//   * `Value`       — a 64-bit word where the all-ones pattern is reserved
+//                     for ⊥ (the paper assumes inputs differ from ⊥).
+//   * `StagedValue` — ⟨value:32, stage:32⟩ packed into a Value, with
+//                     ⟨⊥⟩ represented by the reserved Value::bottom().
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ff::model {
+
+/// Raw machine word stored in a CAS register.
+using Word = std::uint64_t;
+
+/// A shared-object value: either ⊥ or an application value.
+class Value {
+ public:
+  /// ⊥ — the distinguished initial value (Section 2).
+  static constexpr Value bottom() noexcept { return Value(kBottomRaw); }
+
+  /// An application value; must not collide with the ⊥ encoding.
+  static constexpr Value of(Word v) noexcept { return Value(v); }
+
+  constexpr Value() noexcept : raw_(kBottomRaw) {}
+
+  [[nodiscard]] constexpr bool is_bottom() const noexcept {
+    return raw_ == kBottomRaw;
+  }
+  [[nodiscard]] constexpr Word raw() const noexcept { return raw_; }
+
+  friend constexpr bool operator==(Value, Value) noexcept = default;
+  friend constexpr auto operator<=>(Value, Value) noexcept = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return is_bottom() ? "\xE2\x8A\xA5" : std::to_string(raw_);
+  }
+
+ private:
+  static constexpr Word kBottomRaw = ~Word{0};
+
+  explicit constexpr Value(Word raw) noexcept : raw_(raw) {}
+
+  Word raw_;
+};
+
+/// ⟨value, stage⟩ pair for the staged protocol (Figure 3), packed so it
+/// fits a single CAS word.  Values are limited to 32 bits here, which is
+/// ample for consensus inputs; stage is bounded by maxStage = t·(4f+f²).
+class StagedValue {
+ public:
+  constexpr StagedValue() noexcept = default;
+  constexpr StagedValue(std::uint32_t value, std::uint32_t stage) noexcept
+      : value_(value), stage_(stage) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint32_t stage() const noexcept { return stage_; }
+
+  /// Packs into a shared-object Value.  The pair ⟨0xFFFFFFFF,0xFFFFFFFF⟩
+  /// would collide with ⊥; stages never reach 2^32-1 in practice and we
+  /// forbid value 0xFFFFFFFF at the protocol boundary.
+  [[nodiscard]] constexpr Value pack() const noexcept {
+    return Value::of((static_cast<Word>(stage_) << 32) |
+                     static_cast<Word>(value_));
+  }
+
+  /// Unpacks; the caller must have checked !v.is_bottom().
+  static constexpr StagedValue unpack(Value v) noexcept {
+    return StagedValue(static_cast<std::uint32_t>(v.raw() & 0xFFFFFFFFULL),
+                       static_cast<std::uint32_t>(v.raw() >> 32));
+  }
+
+  friend constexpr bool operator==(StagedValue, StagedValue) noexcept = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "<" + std::to_string(value_) + "," + std::to_string(stage_) + ">";
+  }
+
+ private:
+  std::uint32_t value_ = 0;
+  std::uint32_t stage_ = 0;
+};
+
+}  // namespace ff::model

@@ -1,0 +1,48 @@
+// Correct (fault-free) CAS object backed by std::atomic.
+//
+// This is the baseline object with consensus number ∞: the Herlihy
+// protocol over a single AtomicCas solves consensus for any n.
+#pragma once
+
+#include <atomic>
+
+#include "model/value.hpp"
+#include "objects/cas_object.hpp"
+#include "util/cacheline.hpp"
+
+namespace ff::objects {
+
+class AtomicCas final : public CasObject {
+ public:
+  explicit AtomicCas(ObjectId id,
+                     model::Value initial = model::Value::bottom())
+      : CasObject(id, "atomic-cas"), word_(initial.raw()) {}
+
+  model::Value cas(model::Value expected, model::Value desired,
+                   ProcessId /*caller*/) override {
+    model::Word observed = expected.raw();
+    // compare_exchange_strong returns the old content in `observed` on
+    // failure; on success the old content equals `expected`.  Either way
+    // `observed` ends up holding R′, which is exactly the CAS output.
+    word_.compare_exchange_strong(observed, desired.raw(),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+    return model::Value::of(observed);
+  }
+
+  [[nodiscard]] model::Value debug_read() const override {
+    const model::Word w = word_.load(std::memory_order_acquire);
+    return model::Value::of(w);
+  }
+
+  void reset(model::Value initial = model::Value::bottom()) override {
+    word_.store(initial.raw(), std::memory_order_release);
+  }
+
+ private:
+  // Own cache line: consensus benchmarks hammer a single word from all
+  // threads and neighbouring objects must not share its line.
+  alignas(util::kCacheLineSize) std::atomic<model::Word> word_;
+};
+
+}  // namespace ff::objects

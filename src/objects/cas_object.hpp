@@ -1,0 +1,31 @@
+// The CAS object type (Section 3.3): a shared object whose ONLY operation
+// is compare-and-swap.  In particular there is no read operation — the
+// paper's protocols learn an object's content exclusively through the old
+// value a CAS returns, and our interface enforces that.
+#pragma once
+
+#include "model/value.hpp"
+#include "objects/shared_object.hpp"
+
+namespace ff::objects {
+
+class CasObject : public SharedObject {
+ public:
+  using SharedObject::SharedObject;
+
+  /// old ← CAS(O, expected, desired).  Returns the register content on
+  /// entry regardless of success (the operation is wait-free).  `caller`
+  /// identifies the invoking process for tracing/fault attribution.
+  virtual model::Value cas(model::Value expected, model::Value desired,
+                           ProcessId caller) = 0;
+
+  /// Verification-only peek at the register content.  NOT part of the
+  /// object type (protocols must never call it); checkers use it between
+  /// runs, after all protocol threads have quiesced.
+  [[nodiscard]] virtual model::Value debug_read() const = 0;
+
+  /// Resets to the initial value ⊥ between experiment trials.
+  virtual void reset(model::Value initial = model::Value::bottom()) = 0;
+};
+
+}  // namespace ff::objects

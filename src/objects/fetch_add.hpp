@@ -1,0 +1,60 @@
+// Fetch-and-add object: the second primitive instantiated in the
+// functional-fault framework (see model/faa_semantics.hpp).
+//
+// Like the CAS object, the F&A object exposes ONLY its native operation:
+// reading is done with fetch_add(0).
+#pragma once
+
+#include <atomic>
+
+#include "model/faa_semantics.hpp"
+#include "objects/shared_object.hpp"
+#include "util/cacheline.hpp"
+
+namespace ff::objects {
+
+class FetchAddObject : public SharedObject {
+ public:
+  using SharedObject::SharedObject;
+
+  /// old ← FAA(O, delta): atomically adds delta, returns the old value.
+  virtual model::CounterValue fetch_add(model::CounterValue delta,
+                                        ProcessId caller) = 0;
+
+  /// Verification-only peek (never used by constructions).
+  [[nodiscard]] virtual model::CounterValue debug_read() const = 0;
+
+  virtual void reset(model::CounterValue initial = 0) = 0;
+};
+
+/// Correct fetch-and-add over std::atomic.
+class AtomicFetchAdd final : public FetchAddObject {
+ public:
+  explicit AtomicFetchAdd(ObjectId id, model::CounterValue initial = 0)
+      : FetchAddObject(id, "atomic-faa"),
+        word_(static_cast<std::uint64_t>(initial)) {}
+
+  model::CounterValue fetch_add(model::CounterValue delta,
+                                ProcessId /*caller*/) override {
+    const std::uint64_t old = word_.fetch_add(
+        static_cast<std::uint64_t>(delta), std::memory_order_acq_rel);
+    return static_cast<model::CounterValue>(old);
+  }
+
+  [[nodiscard]] model::CounterValue debug_read() const override {
+    return static_cast<model::CounterValue>(
+        word_.load(std::memory_order_acquire));
+  }
+
+  void reset(model::CounterValue initial = 0) override {
+    word_.store(static_cast<std::uint64_t>(initial),
+                std::memory_order_release);
+  }
+
+ private:
+  // Unsigned storage: signed overflow is UB, unsigned wraps — the
+  // CounterValue view is two's-complement either way.
+  alignas(util::kCacheLineSize) std::atomic<std::uint64_t> word_;
+};
+
+}  // namespace ff::objects

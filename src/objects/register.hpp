@@ -1,0 +1,39 @@
+// Atomic read/write register.
+//
+// Registers appear in the paper's lower-bound statement (Theorem 18 allows
+// an unbounded number of read/write registers alongside the f CAS objects)
+// and in the examples' application plumbing.  Consensus number of a
+// register is 1 — it cannot substitute for CAS.
+#pragma once
+
+#include <atomic>
+
+#include "model/value.hpp"
+#include "objects/shared_object.hpp"
+#include "util/cacheline.hpp"
+
+namespace ff::objects {
+
+class AtomicRegister final : public SharedObject {
+ public:
+  explicit AtomicRegister(ObjectId id,
+                          model::Value initial = model::Value::bottom())
+      : SharedObject(id, "register"), word_(initial.raw()) {}
+
+  [[nodiscard]] model::Value read() const noexcept {
+    return model::Value::of(word_.load(std::memory_order_acquire));
+  }
+
+  void write(model::Value v) noexcept {
+    word_.store(v.raw(), std::memory_order_release);
+  }
+
+  void reset(model::Value initial = model::Value::bottom()) noexcept {
+    write(initial);
+  }
+
+ private:
+  alignas(util::kCacheLineSize) std::atomic<model::Word> word_;
+};
+
+}  // namespace ff::objects

@@ -1,0 +1,37 @@
+// Base definitions for shared objects (Section 2 model: a fixed collection
+// of typed objects accessed by operations, each invocation/response an
+// atomic step).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ff::objects {
+
+/// Dense identifier of a shared object within one system instance.
+/// Protocol code addresses objects O_0 ... O_{f} by these ids.
+using ObjectId = std::uint32_t;
+
+/// Dense identifier of a process p_0 ... p_{n-1}.
+using ProcessId = std::uint32_t;
+
+/// Common base: identity and diagnostics.  Shared objects are neither
+/// copyable nor movable — processes hold references for the whole run.
+class SharedObject {
+ public:
+  explicit SharedObject(ObjectId id, std::string name = {})
+      : id_(id), name_(std::move(name)) {}
+  virtual ~SharedObject() = default;
+
+  SharedObject(const SharedObject&) = delete;
+  SharedObject& operator=(const SharedObject&) = delete;
+
+  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  ObjectId id_;
+  std::string name_;
+};
+
+}  // namespace ff::objects

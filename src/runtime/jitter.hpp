@@ -1,0 +1,60 @@
+// JitterCas — a transparent CAS decorator that yields a pseudo-random
+// number of times before forwarding each operation.
+//
+// On a single-core host all interleaving comes from preemption; without
+// perturbation the threads of a trial tend to run back-to-back and explore
+// few schedules.  Injecting deterministic-per-operation yields between the
+// barrier and the CAS instruction widens schedule coverage considerably
+// (the deterministic simulator still provides the exhaustive coverage).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "objects/cas_object.hpp"
+#include "util/rng.hpp"
+
+namespace ff::runtime {
+
+class JitterCas final : public objects::CasObject {
+ public:
+  /// Wraps `inner` (borrowed).  Each operation yields between 0 and
+  /// `max_yields` times, chosen by hashing (seed, op sequence).
+  JitterCas(objects::CasObject& inner, std::uint64_t seed,
+            std::uint32_t max_yields = 3)
+      : CasObject(inner.id(), "jitter+" + inner.name()),
+        inner_(inner),
+        seed_(seed),
+        max_yields_(max_yields) {}
+
+  model::Value cas(model::Value expected, model::Value desired,
+                   objects::ProcessId caller) override {
+    if (max_yields_ > 0) {
+      const std::uint64_t op = seq_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t yields =
+          util::mix64(seed_ ^ op) % (max_yields_ + 1);
+      for (std::uint64_t i = 0; i < yields; ++i) {
+        std::this_thread::yield();
+      }
+    }
+    return inner_.cas(expected, desired, caller);
+  }
+
+  [[nodiscard]] model::Value debug_read() const override {
+    return inner_.debug_read();
+  }
+
+  void reset(model::Value initial = model::Value::bottom()) override {
+    inner_.reset(initial);
+    seq_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  objects::CasObject& inner_;
+  const std::uint64_t seed_;
+  const std::uint32_t max_yields_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace ff::runtime

@@ -1,0 +1,92 @@
+// Randomized stress campaigns: many real-thread consensus trials with
+// varying inputs and schedule jitter, aggregated into a report.
+//
+// A campaign is the workhorse of the E-series experiments at parameter
+// sizes the exhaustive simulator cannot reach.  Correctness experiments
+// assert `report.all_ok()`; impossibility experiments instead *search*
+// for violations and report how quickly they surface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "runtime/thread_runner.hpp"
+#include "util/stats.hpp"
+
+namespace ff::runtime {
+
+struct StressOptions {
+  std::uint32_t processes = 2;
+  std::uint64_t trials = 100;
+  std::uint64_t seed = 0xc0ffee;
+  /// Stop early once this many violations have been found (0 = never).
+  std::uint64_t stop_after_violations = 0;
+};
+
+struct StressReport {
+  std::uint64_t trials = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t inconsistent = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t undecided = 0;
+  util::StreamingStats steps_per_process;
+  /// Trial index of the first violation, if any.
+  std::optional<std::uint64_t> first_violation;
+
+  [[nodiscard]] bool all_ok() const noexcept { return ok == trials; }
+  [[nodiscard]] std::uint64_t violations() const noexcept {
+    return trials - ok;
+  }
+  [[nodiscard]] double ok_rate() const noexcept {
+    return trials == 0 ? 1.0
+                       : static_cast<double>(ok) / static_cast<double>(trials);
+  }
+};
+
+/// Called before each trial, after protocol.reset(); use it to reset
+/// budgets, policies and trace sinks.
+using TrialSetupHook = std::function<void(std::uint64_t trial)>;
+/// Called after each trial with the outcome; use it for trace checks.
+using TrialCheckHook =
+    std::function<void(std::uint64_t trial, const TrialOutcome& outcome)>;
+
+[[nodiscard]] inline StressReport run_stress(consensus::Protocol& protocol,
+                                             const StressOptions& options,
+                                             const TrialSetupHook& setup = {},
+                                             const TrialCheckHook& check = {}) {
+  StressReport report;
+  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+    protocol.reset();
+    if (setup) setup(trial);
+
+    const auto inputs =
+        make_inputs(options.processes, trial, options.seed);
+    const std::uint64_t stagger = util::mix64(options.seed ^ (trial + 1));
+    const TrialOutcome outcome = run_trial(protocol, inputs, stagger);
+
+    ++report.trials;
+    if (outcome.verdict.ok()) {
+      ++report.ok;
+    } else {
+      if (!outcome.verdict.all_decided) ++report.undecided;
+      if (!outcome.verdict.consistent) ++report.inconsistent;
+      if (!outcome.verdict.valid) ++report.invalid;
+      if (!report.first_violation) report.first_violation = trial;
+    }
+    for (const auto& d : outcome.decisions) {
+      report.steps_per_process.add(static_cast<double>(d.cas_steps));
+    }
+    if (check) check(trial, outcome);
+    if (options.stop_after_violations != 0 &&
+        report.violations() >= options.stop_after_violations) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace ff::runtime

@@ -1,0 +1,78 @@
+// Real-thread execution of consensus trials.
+//
+// One trial = n std::threads released through a spin barrier, each running
+// protocol.decide(input_i, i) once.  Nonresponsive faults (which model an
+// operation that never returns) are surfaced as exceptions by FaultyCas
+// and converted to undecided outcomes here, so a trial always terminates.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "consensus/verify.hpp"
+#include "faults/faulty_cas.hpp"
+#include "util/rng.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace ff::runtime {
+
+struct TrialOutcome {
+  std::vector<consensus::InputValue> inputs;
+  std::vector<consensus::Decision> decisions;
+  consensus::Verdict verdict;
+};
+
+/// Runs one consensus trial with the given per-process inputs.
+/// `stagger_seed` adds a small random pre-start spin per thread to vary
+/// interleavings (0 = no stagger).
+[[nodiscard]] inline TrialOutcome run_trial(
+    consensus::Protocol& protocol,
+    const std::vector<consensus::InputValue>& inputs,
+    std::uint64_t stagger_seed = 0) {
+  const auto n = static_cast<std::uint32_t>(inputs.size());
+  std::vector<consensus::Decision> decisions(n);
+  util::SpinBarrier barrier(n);
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::uint32_t pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      std::uint64_t spins = 0;
+      if (stagger_seed != 0) {
+        spins = util::mix64(stagger_seed ^ pid) % 256;
+      }
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < spins; ++i) {
+        std::this_thread::yield();
+      }
+      try {
+        decisions[pid] = protocol.decide(inputs[pid], pid);
+      } catch (const faults::NonresponsiveError&) {
+        decisions[pid] = consensus::Decision::undecided(0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  TrialOutcome outcome;
+  outcome.inputs = inputs;
+  outcome.decisions = std::move(decisions);
+  outcome.verdict = consensus::verify_consensus(inputs, outcome.decisions);
+  return outcome;
+}
+
+/// Deterministic distinct inputs for trial `trial`: process i proposes
+/// base + i + 1 where base varies per trial.  All inputs stay below the
+/// staged protocol's kNeverValue and above 0.
+[[nodiscard]] inline std::vector<consensus::InputValue> make_inputs(
+    std::uint32_t n, std::uint64_t trial, std::uint64_t seed) {
+  const std::uint64_t base =
+      (util::mix64(seed ^ trial) % 0x0FFFFFFFULL) * n;
+  std::vector<consensus::InputValue> inputs(n);
+  for (std::uint32_t i = 0; i < n; ++i) inputs[i] = base + i + 1;
+  return inputs;
+}
+
+}  // namespace ff::runtime

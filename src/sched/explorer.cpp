@@ -1,0 +1,344 @@
+#include "sched/explorer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace ff::sched {
+
+namespace {
+
+/// 128-bit fingerprint of an encoded state: two independent SplitMix64
+/// chains.  Collisions would require ~2^64 states; the search caps out
+/// orders of magnitude earlier.
+struct Fingerprint {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  friend bool operator==(const Fingerprint&, const Fingerprint&) noexcept =
+      default;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.a ^ (fp.b * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+Fingerprint fingerprint(const std::vector<std::uint64_t>& encoded) {
+  Fingerprint fp{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
+  for (const std::uint64_t w : encoded) {
+    fp.a = util::mix64(fp.a ^ w);
+    fp.b = util::mix64(fp.b + w + 0xa5a5a5a5a5a5a5a5ULL);
+  }
+  return fp;
+}
+
+/// Checks a terminal world; returns a violation kind if one applies.
+std::optional<ViolationKind> check_terminal(const SimWorld& world,
+                                            const ExploreOptions& options,
+                                            std::string& detail) {
+  const auto decisions = world.decisions();
+  const auto& inputs = world.inputs();
+  const std::set<std::uint64_t> input_set(inputs.begin(), inputs.end());
+
+  std::optional<std::uint64_t> first;
+  for (std::uint32_t pid = 0; pid < decisions.size(); ++pid) {
+    if (!decisions[pid]) continue;
+    const std::uint64_t value = *decisions[pid];
+    if (!input_set.contains(value)) {
+      std::ostringstream oss;
+      oss << "p" << pid << " decided " << value
+          << " which is no process's input";
+      detail = oss.str();
+      return ViolationKind::kInvalid;
+    }
+    if (first && *first != value) {
+      std::ostringstream oss;
+      oss << "decisions disagree: " << *first << " vs " << value << " (p"
+          << pid << ")";
+      detail = oss.str();
+      return ViolationKind::kInconsistent;
+    }
+    if (!first) first = value;
+  }
+  if (options.killed_is_violation && world.any_killed()) {
+    detail = "a process was killed by a nonresponsive fault";
+    return ViolationKind::kStalled;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
+  ExploreResult result;
+
+  struct Frame {
+    SimWorld world;
+    std::vector<Choice> choices;
+    std::size_t next = 0;
+  };
+
+  std::unordered_set<Fingerprint, FingerprintHash> visited;
+  // Fingerprint → depth on the current DFS path (for cycle detection).
+  std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash> on_path;
+  std::vector<Frame> stack;
+  std::vector<Choice> path;
+
+  auto record_terminal = [&](const SimWorld& world) {
+    ++result.terminal_states;
+    std::string detail;
+    const auto kind = check_terminal(world, options, detail);
+    if (kind) {
+      ++result.violations_found;
+      ++result.violations_by_kind[*kind];
+      if (!result.violation) {
+        result.violation = Violation{*kind, path, std::move(detail)};
+      }
+      return options.stop_at_first_violation;
+    }
+    const auto decisions = world.decisions();
+    for (const auto& d : decisions) {
+      if (d) {
+        result.agreed_values.insert(*d);
+        break;  // consistent terminal: one representative value
+      }
+    }
+    return false;
+  };
+
+  const Fingerprint root_fp = fingerprint(initial.encode());
+  visited.insert(root_fp);
+  on_path.emplace(root_fp, 0);
+  result.states_visited = 1;
+
+  if (initial.terminal()) {
+    record_terminal(initial);
+    result.complete = result.violations_found == 0 ||
+                      !options.stop_at_first_violation;
+    return result;
+  }
+
+  stack.push_back(Frame{initial, initial.enabled(), 0});
+
+  bool aborted = false;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.choices.size()) {
+      const Fingerprint fp = fingerprint(frame.world.encode());
+      on_path.erase(fp);
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+
+    const Choice choice = frame.choices[frame.next++];
+    SimWorld child = frame.world;
+    child.apply(choice);
+    const Fingerprint fp = fingerprint(child.encode());
+
+    path.push_back(choice);
+    result.max_depth = std::max<std::uint64_t>(result.max_depth, path.size());
+
+    // Cycle detection: returning to a state on the current path means an
+    // infinite execution exists.  It violates wait-freedom only if a
+    // process (not the corruption adversary) steps within the cycle.
+    if (const auto it = on_path.find(fp); it != on_path.end()) {
+      const std::uint64_t cycle_start = it->second;
+      bool process_steps = false;
+      for (std::size_t i = cycle_start; i < path.size(); ++i) {
+        if (path[i].pid != kAdversaryPid) {
+          process_steps = true;
+          break;
+        }
+      }
+      if (process_steps) {
+        ++result.violations_found;
+        ++result.violations_by_kind[ViolationKind::kNontermination];
+        if (!result.violation) {
+          result.violation = Violation{ViolationKind::kNontermination, path,
+                                       "cycle in the state graph: a process "
+                                       "can take steps forever"};
+        }
+        if (options.stop_at_first_violation) {
+          aborted = true;
+          break;
+        }
+      }
+      path.pop_back();
+      continue;
+    }
+
+    if (visited.contains(fp)) {
+      path.pop_back();
+      continue;
+    }
+    visited.insert(fp);
+    ++result.states_visited;
+    if (options.max_states != 0 && result.states_visited > options.max_states) {
+      aborted = true;
+      break;
+    }
+
+    if (child.terminal()) {
+      const bool stop = record_terminal(child);
+      path.pop_back();
+      if (stop) {
+        aborted = true;
+        break;
+      }
+      continue;
+    }
+
+    auto choices = child.enabled();
+    on_path.emplace(fp, path.size());
+    stack.push_back(Frame{std::move(child), std::move(choices), 0});
+  }
+
+  result.complete = !aborted && stack.empty();
+  return result;
+}
+
+SimWorld replay(const SimWorld& initial, const std::vector<Choice>& schedule) {
+  SimWorld world = initial;
+  for (const Choice& choice : schedule) world.apply(choice);
+  return world;
+}
+
+LongestExecutionResult longest_execution(const SimWorld& initial,
+                                         const ExploreOptions& options) {
+  LongestExecutionResult result;
+
+  // Post-order DFS computing, per state, the longest distance to any
+  // terminal.  A back-edge to a state on the current path is a cycle:
+  // some execution runs forever and no finite bound exists.
+  struct Frame {
+    SimWorld world;
+    Fingerprint fp;
+    std::vector<Choice> choices;
+    std::size_t next = 0;
+    std::uint64_t best = 0;
+  };
+
+  std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash> memo;
+  std::unordered_set<Fingerprint, FingerprintHash> on_path;
+  std::vector<Frame> stack;
+
+  const Fingerprint root_fp = fingerprint(initial.encode());
+  result.states_visited = 1;
+  if (initial.terminal()) {
+    result.complete = true;
+    return result;
+  }
+  stack.push_back(Frame{initial, root_fp, initial.enabled(), 0, 0});
+  on_path.insert(root_fp);
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.choices.size()) {
+      memo.emplace(frame.fp, frame.best);
+      on_path.erase(frame.fp);
+      const std::uint64_t finished = frame.best;
+      stack.pop_back();
+      if (stack.empty()) {
+        result.max_total_steps = finished;
+        result.complete = true;
+        return result;
+      }
+      Frame& parent = stack.back();
+      parent.best = std::max(parent.best, finished + 1);
+      continue;
+    }
+
+    const Choice choice = frame.choices[frame.next++];
+    SimWorld child = frame.world;
+    child.apply(choice);
+    const Fingerprint fp = fingerprint(child.encode());
+
+    if (on_path.contains(fp)) {
+      result.bounded = false;  // cycle: unbounded execution exists
+      return result;
+    }
+    if (const auto it = memo.find(fp); it != memo.end()) {
+      frame.best = std::max(frame.best, it->second + 1);
+      continue;
+    }
+    ++result.states_visited;
+    if (options.max_states != 0 &&
+        result.states_visited > options.max_states) {
+      return result;  // incomplete
+    }
+    if (child.terminal()) {
+      memo.emplace(fp, 0);
+      frame.best = std::max(frame.best, std::uint64_t{1});
+      continue;
+    }
+    auto choices = child.enabled();
+    on_path.insert(fp);
+    stack.push_back(Frame{std::move(child), fp, std::move(choices), 0, 0});
+  }
+  result.complete = true;
+  return result;
+}
+
+ShortestViolationResult find_shortest_violation(const SimWorld& initial,
+                                                const ExploreOptions& options) {
+  ShortestViolationResult result;
+
+  struct Node {
+    SimWorld world;
+    std::vector<Choice> path;
+  };
+
+  std::unordered_set<Fingerprint, FingerprintHash> visited;
+  std::vector<Node> frontier;
+  frontier.push_back({initial, {}});
+  visited.insert(fingerprint(initial.encode()));
+  result.states_visited = 1;
+
+  auto check = [&](const Node& node) -> bool {
+    if (!node.world.terminal()) return false;
+    std::string detail;
+    const auto kind = check_terminal(node.world, options, detail);
+    if (kind) {
+      result.violation = Violation{*kind, node.path, std::move(detail)};
+      return true;
+    }
+    return false;
+  };
+
+  if (check(frontier.front())) return result;
+
+  while (!frontier.empty()) {
+    std::vector<Node> next;
+    for (const Node& node : frontier) {
+      for (const Choice& choice : node.world.enabled()) {
+        SimWorld child = node.world;
+        child.apply(choice);
+        const Fingerprint fp = fingerprint(child.encode());
+        if (!visited.insert(fp).second) continue;
+        ++result.states_visited;
+        if (options.max_states != 0 &&
+            result.states_visited > options.max_states) {
+          return result;  // incomplete, no violation found yet
+        }
+        Node child_node{std::move(child), node.path};
+        child_node.path.push_back(choice);
+        if (check(child_node)) {
+          return result;  // BFS order ⇒ this witness is minimal
+        }
+        if (!child_node.world.terminal()) {
+          next.push_back(std::move(child_node));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  result.complete = true;
+  return result;
+}
+
+}  // namespace ff::sched

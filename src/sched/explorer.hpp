@@ -1,0 +1,138 @@
+// Explorer — exhaustive search over all interleavings AND all legal fault
+// placements of a protocol run in SimWorld.
+//
+// The search is a depth-first traversal of the state graph with
+// memoization: global states are fingerprinted (128-bit) and each state is
+// expanded once.  Because fault firing is an explicit adversary branch,
+// a completed exploration is a proof (up to fingerprint collisions,
+// probability ~ |states|²/2^128) that NO schedule and NO fault placement
+// within the configured (f, t) budget violates the checked property —
+// this is how the upper-bound theorems are validated, and how the
+// impossibility theorems' violating executions are found automatically.
+//
+// Detected violations:
+//   * kInconsistent — a terminal state where two processes decided
+//     different values;
+//   * kInvalid      — a terminal state where a decision is not an input;
+//   * kStalled      — a terminal state with a killed (nonresponsive)
+//     process, when the caller opted in;
+//   * kNontermination — a reachable cycle containing at least one process
+//     step: some schedule lets a process run forever without deciding,
+//     violating wait-freedom.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sched/sim_world.hpp"
+
+namespace ff::sched {
+
+enum class ViolationKind : std::uint8_t {
+  kInconsistent,
+  kInvalid,
+  kStalled,
+  kNontermination,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::kInconsistent: return "inconsistent";
+    case ViolationKind::kInvalid: return "invalid";
+    case ViolationKind::kStalled: return "stalled";
+    case ViolationKind::kNontermination: return "nontermination";
+  }
+  return "unknown";
+}
+
+struct Violation {
+  ViolationKind kind;
+  /// Witness schedule from the initial state (choice sequence).
+  std::vector<Choice> schedule;
+  std::string detail;
+
+  [[nodiscard]] std::string schedule_string() const {
+    std::string s;
+    for (const Choice& c : schedule) {
+      if (!s.empty()) s += ' ';
+      s += c.to_string();
+    }
+    return s;
+  }
+};
+
+struct ExploreOptions {
+  /// Abort after this many distinct states (0 = unlimited).
+  std::uint64_t max_states = 20'000'000;
+  /// Stop at the first violation (otherwise keep counting them).
+  bool stop_at_first_violation = true;
+  /// Count terminal states with killed processes as kStalled violations.
+  bool killed_is_violation = false;
+};
+
+struct ExploreResult {
+  std::uint64_t states_visited = 0;
+  std::uint64_t terminal_states = 0;
+  std::uint64_t violations_found = 0;
+  /// Violations per kind (useful with stop_at_first_violation = false,
+  /// e.g. for graceful-degradation analysis: which properties break and
+  /// which survive when budgets are exceeded).
+  std::map<ViolationKind, std::uint64_t> violations_by_kind;
+  std::uint64_t max_depth = 0;
+  /// True iff the whole reachable state space was covered within limits
+  /// (when a first-violation stop occurs this is false).
+  bool complete = false;
+  std::optional<Violation> violation;
+  /// Agreed values observed across consistent terminal states.
+  std::set<std::uint64_t> agreed_values;
+
+  [[nodiscard]] std::uint64_t violations_of(ViolationKind kind) const {
+    const auto it = violations_by_kind.find(kind);
+    return it == violations_by_kind.end() ? 0 : it->second;
+  }
+};
+
+[[nodiscard]] ExploreResult explore(const SimWorld& initial,
+                                    const ExploreOptions& options = {});
+
+/// Replays a witness schedule from a fresh copy of `initial`, returning
+/// the resulting world (for inspecting / pretty-printing violations).
+[[nodiscard]] SimWorld replay(const SimWorld& initial,
+                              const std::vector<Choice>& schedule);
+
+/// Breadth-first search for a MINIMAL-length violating execution.
+/// Returns the violation with the shortest possible witness schedule, or
+/// nullopt when no violation is reachable within `max_states` (which,
+/// when the search completes, is a proof of correctness like explore()).
+/// More memory-hungry than explore() — every frontier state is retained —
+/// so use it on configurations already known (or suspected) to violate,
+/// where the frontier stays small.  Detects terminal-state violations
+/// only (no cycle/nontermination detection — use explore() for that).
+struct ShortestViolationResult {
+  std::optional<Violation> violation;
+  std::uint64_t states_visited = 0;
+  bool complete = false;
+};
+[[nodiscard]] ShortestViolationResult find_shortest_violation(
+    const SimWorld& initial, const ExploreOptions& options = {});
+
+/// Longest execution (in total steps) over ALL schedules and fault
+/// placements — a machine-checked wait-freedom bound for the
+/// configuration: every process finishes within max_total_steps steps of
+/// the system no matter the adversary.  `bounded` is false when the
+/// state graph contains a cycle (some execution never ends); `complete`
+/// is false when the state cap was hit first.
+struct LongestExecutionResult {
+  bool bounded = true;
+  bool complete = false;
+  std::uint64_t max_total_steps = 0;
+  std::uint64_t states_visited = 0;
+};
+[[nodiscard]] LongestExecutionResult longest_execution(
+    const SimWorld& initial, const ExploreOptions& options = {});
+
+}  // namespace ff::sched

@@ -1,0 +1,56 @@
+// StepMachine — an explicit-program-counter encoding of a process program
+// for the deterministic simulator.
+//
+// A StepMachine is the simulator-side twin of a consensus::Protocol: the
+// same pseudocode, but with control state reified so the world can
+// (a) snapshot/clone it for depth-first search over interleavings, and
+// (b) serialize it for state-graph memoization.
+//
+// Contract:
+//   * next_op() is pure: it may be called any number of times between
+//     deliveries and must return the same step.
+//   * deliver(returned) advances the machine past that step, given the
+//     old value the CAS returned.
+//   * Once done(), next_op() returns OpType::kNone and decision() is the
+//     process's output.
+//   * encode() appends the full local state (PC and locals) as words;
+//     two machines with equal encodings must behave identically forever.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/step.hpp"
+
+namespace ff::sched {
+
+class StepMachine {
+ public:
+  virtual ~StepMachine() = default;
+
+  [[nodiscard]] virtual PendingOp next_op() const = 0;
+  virtual void deliver(model::Value returned) = 0;
+  [[nodiscard]] virtual bool done() const = 0;
+  [[nodiscard]] virtual std::uint64_t decision() const = 0;
+
+  virtual void encode(std::vector<std::uint64_t>& out) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<StepMachine> clone() const = 0;
+};
+
+/// Factory producing the machine for process `pid` with input `input`.
+/// Experiments parameterize this over the protocol under test.
+class MachineFactory {
+ public:
+  virtual ~MachineFactory() = default;
+  [[nodiscard]] virtual std::unique_ptr<StepMachine> make(
+      objects::ProcessId pid, std::uint64_t input) const = 0;
+  /// Number of CAS objects the produced machines address (O_0..O_{k-1}).
+  [[nodiscard]] virtual std::uint32_t objects_used() const = 0;
+  /// Number of read/write registers the machines address (default none).
+  [[nodiscard]] virtual std::uint32_t registers_used() const { return 0; }
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace ff::sched

@@ -1,0 +1,70 @@
+#include "sched/random_walk.hpp"
+
+#include <set>
+#include <vector>
+
+namespace ff::sched {
+
+WalkOutcome random_walk(SimWorld world, const WalkOptions& options) {
+  util::Xoshiro256 rng(options.seed);
+  WalkOutcome outcome;
+
+  std::vector<Choice> faulty;
+  std::vector<Choice> clean;
+  while (!world.terminal()) {
+    if (outcome.steps >= options.max_steps) {
+      return outcome;  // terminal stays false: suspected non-termination
+    }
+    const auto choices = world.enabled();
+    faulty.clear();
+    clean.clear();
+    for (const Choice& c : choices) {
+      (c.fault ? faulty : clean).push_back(c);
+    }
+    const std::vector<Choice>& pool =
+        (!faulty.empty() && rng.chance(options.fault_bias)) ? faulty : clean;
+    const std::vector<Choice>& chosen_pool = pool.empty() ? choices : pool;
+    world.apply(chosen_pool[rng.below(chosen_pool.size())]);
+    ++outcome.steps;
+  }
+
+  outcome.terminal = true;
+  outcome.any_killed = world.any_killed();
+  const auto decisions = world.decisions();
+  const std::set<std::uint64_t> input_set(world.inputs().begin(),
+                                          world.inputs().end());
+  for (const auto& d : decisions) {
+    if (!d) continue;
+    if (!input_set.contains(*d)) outcome.valid = false;
+    if (!outcome.agreed) {
+      outcome.agreed = *d;
+    } else if (*outcome.agreed != *d) {
+      outcome.consistent = false;
+    }
+  }
+  return outcome;
+}
+
+WalkCampaignReport run_walk_campaign(const SimWorld& initial,
+                                     std::uint64_t walks,
+                                     WalkOptions options) {
+  WalkCampaignReport report;
+  for (std::uint64_t i = 0; i < walks; ++i) {
+    options.seed = options.seed + 1;
+    const WalkOutcome outcome = random_walk(initial, options);
+    ++report.walks;
+    report.steps.add(static_cast<double>(outcome.steps));
+    if (outcome.ok()) {
+      ++report.ok;
+      continue;
+    }
+    if (!outcome.terminal) ++report.nonterminating;
+    if (outcome.terminal && !outcome.consistent) ++report.inconsistent;
+    if (outcome.terminal && !outcome.valid) ++report.invalid;
+    if (outcome.any_killed) ++report.stalled;
+    if (!report.first_bad_seed) report.first_bad_seed = options.seed;
+  }
+  return report;
+}
+
+}  // namespace ff::sched

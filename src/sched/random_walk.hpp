@@ -1,0 +1,61 @@
+// Random playouts through SimWorld for configurations too large to
+// explore exhaustively.
+//
+// A walk picks uniformly among the enabled choices (with a configurable
+// bias towards fault choices, since violations typically need faults to
+// fire) until the world is terminal or the step cap is hit.  Walks are
+// fully deterministic in their seed — a reported violating seed can be
+// replayed exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sched/sim_world.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ff::sched {
+
+struct WalkOptions {
+  std::uint64_t seed = 1;
+  /// Probability of preferring a fault choice when one is enabled.
+  double fault_bias = 0.5;
+  /// Give up after this many steps (suspected non-termination).
+  std::uint64_t max_steps = 1'000'000;
+};
+
+struct WalkOutcome {
+  bool terminal = false;     ///< reached a terminal state
+  bool consistent = true;    ///< decided processes agree
+  bool valid = true;         ///< decisions are input values
+  bool any_killed = false;   ///< a nonresponsive fault killed a process
+  std::uint64_t steps = 0;
+  std::optional<std::uint64_t> agreed;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return terminal && consistent && valid && !any_killed;
+  }
+};
+
+[[nodiscard]] WalkOutcome random_walk(SimWorld world,
+                                      const WalkOptions& options);
+
+struct WalkCampaignReport {
+  std::uint64_t walks = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t inconsistent = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t nonterminating = 0;
+  std::uint64_t stalled = 0;
+  util::StreamingStats steps;
+  std::optional<std::uint64_t> first_bad_seed;
+
+  [[nodiscard]] bool all_ok() const noexcept { return ok == walks; }
+};
+
+/// Runs `walks` random playouts with seeds base_seed, base_seed+1, ...
+[[nodiscard]] WalkCampaignReport run_walk_campaign(
+    const SimWorld& initial, std::uint64_t walks, WalkOptions options);
+
+}  // namespace ff::sched

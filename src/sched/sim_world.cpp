@@ -1,0 +1,306 @@
+#include "sched/sim_world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace ff::sched {
+
+namespace {
+
+/// Deterministic invisible-fault corruptor used by the simulator: the
+/// returned old value is off by one, never equal to the true content.
+model::Value corrupt_return(model::Value before) {
+  return model::Value::of(before.raw() + 1);
+}
+
+}  // namespace
+
+SimWorld::SimWorld(SimConfig config, const MachineFactory& factory,
+                   std::vector<std::uint64_t> inputs)
+    : config_(std::move(config)),
+      inputs_(std::move(inputs)),
+      objects_(config_.num_objects, model::Value::bottom()),
+      registers_(config_.num_registers, model::Value::bottom()),
+      faults_used_(config_.num_objects, 0),
+      killed_(inputs_.size(), false) {
+  machines_.reserve(inputs_.size());
+  for (std::uint32_t pid = 0; pid < inputs_.size(); ++pid) {
+    machines_.push_back(factory.make(pid, inputs_[pid]));
+  }
+  if (config_.arbitrary_candidates.empty()) {
+    config_.arbitrary_candidates.push_back(model::Value::bottom());
+    std::set<std::uint64_t> seen;
+    for (const std::uint64_t in : inputs_) {
+      if (seen.insert(in).second) {
+        config_.arbitrary_candidates.push_back(model::Value::of(in));
+      }
+    }
+  }
+}
+
+SimWorld::SimWorld(const SimWorld& other)
+    : config_(other.config_),
+      inputs_(other.inputs_),
+      objects_(other.objects_),
+      registers_(other.registers_),
+      faults_used_(other.faults_used_),
+      killed_(other.killed_),
+      total_steps_(other.total_steps_) {
+  machines_.reserve(other.machines_.size());
+  for (const auto& m : other.machines_) machines_.push_back(m->clone());
+}
+
+SimWorld& SimWorld::operator=(const SimWorld& other) {
+  if (this == &other) return *this;
+  SimWorld copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+PendingOp SimWorld::pending(objects::ProcessId pid) const {
+  if (killed_.at(pid) || machines_.at(pid)->done()) return PendingOp::none();
+  return machines_.at(pid)->next_op();
+}
+
+bool SimWorld::fault_allowed(objects::ProcessId pid,
+                             objects::ObjectId object) const {
+  if (config_.kind == model::FaultKind::kNone) return false;
+  if (!config_.object_faulty(object)) return false;
+  if (config_.t != model::kUnbounded && faults_used_[object] >= config_.t) {
+    return false;
+  }
+  if (pid != kAdversaryPid && !config_.faulting_processes.empty() &&
+      !config_.faulting_processes.contains(pid)) {
+    return false;
+  }
+  return true;
+}
+
+void SimWorld::append_fault_choices(objects::ProcessId pid,
+                                    const PendingOp& op,
+                                    std::vector<Choice>& out) const {
+  if (!fault_allowed(pid, op.object)) return;
+  const model::Value before = objects_[op.object];
+  const model::CasCall call{op.expected, op.desired};
+  switch (config_.kind) {
+    case model::FaultKind::kOverriding:
+      // Manifests only when the comparison would fail AND the written
+      // value actually changes the content (Definition 1: the outcome
+      // must violate Φ; overwriting a value with itself does not).
+      if (before != op.expected && before != op.desired) {
+        out.push_back({pid, true, 0});
+      }
+      break;
+    case model::FaultKind::kSilent:
+      // Manifests only when the comparison would succeed and the write
+      // would have changed the content.
+      if (before == op.expected && before != op.desired) {
+        out.push_back({pid, true, 0});
+      }
+      break;
+    case model::FaultKind::kInvisible:
+      out.push_back({pid, true, 0});  // corrupted output always deviates
+      break;
+    case model::FaultKind::kNonresponsive:
+      out.push_back({pid, true, 0});  // the operation never returns
+      break;
+    case model::FaultKind::kArbitrary: {
+      const model::CasEffect correct = model::cas_apply(before, call);
+      for (std::uint32_t v = 0;
+           v < config_.arbitrary_candidates.size(); ++v) {
+        if (config_.arbitrary_candidates[v] != correct.after) {
+          out.push_back({pid, true, v});
+        }
+      }
+      break;
+    }
+    case model::FaultKind::kDataCorruption:
+      // Handled via adversary corruption steps, not per-operation faults.
+      break;
+    case model::FaultKind::kNone:
+      break;
+  }
+}
+
+std::vector<Choice> SimWorld::enabled() const {
+  std::vector<Choice> out;
+  bool any_live = false;
+  for (std::uint32_t pid = 0; pid < machines_.size(); ++pid) {
+    const PendingOp op = pending(pid);
+    if (op.type == OpType::kNone) continue;
+    any_live = true;
+    out.push_back({pid, false, 0});
+    // Register operations are always correct; only CAS steps may fault.
+    if (op.type == OpType::kCas) append_fault_choices(pid, op, out);
+  }
+  if (any_live && config_.allow_corruption_steps &&
+      config_.kind == model::FaultKind::kDataCorruption) {
+    const auto num_candidates =
+        static_cast<std::uint32_t>(config_.arbitrary_candidates.size());
+    for (objects::ObjectId obj = 0; obj < config_.num_objects; ++obj) {
+      if (!fault_allowed(kAdversaryPid, obj)) continue;
+      for (std::uint32_t v = 0; v < num_candidates; ++v) {
+        // A corruption that does not change the content is not a fault.
+        if (config_.arbitrary_candidates[v] == objects_[obj]) continue;
+        out.push_back({kAdversaryPid, true, obj * num_candidates + v});
+      }
+    }
+  }
+  return out;
+}
+
+void SimWorld::apply(const Choice& choice) {
+  if (choice.pid == kAdversaryPid) {
+    const auto num_candidates =
+        static_cast<std::uint32_t>(config_.arbitrary_candidates.size());
+    const objects::ObjectId obj = choice.fault_variant / num_candidates;
+    const std::uint32_t v = choice.fault_variant % num_candidates;
+    assert(fault_allowed(kAdversaryPid, obj));
+    const model::Value displaced = objects_[obj];
+    objects_[obj] = config_.arbitrary_candidates[v];
+    ++faults_used_[obj];
+    ++total_steps_;
+    if (config_.sink != nullptr) {
+      faults::CasEvent ev;
+      ev.object = obj;
+      ev.caller = kAdversaryPid;
+      ev.fired = model::FaultKind::kDataCorruption;
+      ev.manifested = true;
+      ev.obs = {displaced, objects_[obj], model::Value::bottom()};
+      config_.sink->on_cas(ev);
+    }
+    return;
+  }
+
+  StepMachine& machine = *machines_.at(choice.pid);
+  assert(!killed_[choice.pid] && !machine.done());
+  const PendingOp op = machine.next_op();
+  ++total_steps_;
+
+  if (op.type == OpType::kRegRead) {
+    assert(!choice.fault);
+    machine.deliver(registers_.at(op.object));
+    return;
+  }
+  if (op.type == OpType::kRegWrite) {
+    assert(!choice.fault);
+    registers_.at(op.object) = op.desired;
+    machine.deliver(model::Value::bottom());
+    return;
+  }
+
+  assert(op.type == OpType::kCas);
+  const model::Value before = objects_[op.object];
+  const model::CasCall call{op.expected, op.desired};
+
+  faults::CasEvent ev;
+  ev.object = op.object;
+  ev.caller = choice.pid;
+  ev.call = call;
+  ev.fired = choice.fault ? config_.kind : model::FaultKind::kNone;
+  ev.manifested = choice.fault;  // fault branches only exist when they
+                                 // manifest (Definition 1 pruning)
+
+  if (!choice.fault) {
+    const model::CasEffect effect = model::cas_apply(before, call);
+    objects_[op.object] = effect.after;
+    ev.obs = {before, effect.after, effect.returned};
+    if (config_.sink != nullptr) config_.sink->on_cas(ev);
+    machine.deliver(effect.returned);
+    return;
+  }
+
+  assert(fault_allowed(choice.pid, op.object));
+  ++faults_used_[op.object];
+  switch (config_.kind) {
+    case model::FaultKind::kOverriding:
+      objects_[op.object] = op.desired;
+      ev.obs = {before, op.desired, before};
+      machine.deliver(before);
+      break;
+    case model::FaultKind::kSilent:
+      ev.obs = {before, before, before};
+      machine.deliver(before);  // content unchanged, output correct
+      break;
+    case model::FaultKind::kInvisible: {
+      const model::CasEffect effect = model::cas_apply(before, call);
+      objects_[op.object] = effect.after;
+      ev.obs = {before, effect.after, corrupt_return(before)};
+      machine.deliver(corrupt_return(before));
+      break;
+    }
+    case model::FaultKind::kNonresponsive:
+      killed_[choice.pid] = true;  // the operation never responds
+      ev.obs = {before, before, model::Value::bottom()};
+      break;
+    case model::FaultKind::kArbitrary: {
+      const model::Value garbage =
+          config_.arbitrary_candidates.at(choice.fault_variant);
+      objects_[op.object] = garbage;
+      ev.obs = {before, garbage, before};
+      machine.deliver(before);
+      break;
+    }
+    case model::FaultKind::kDataCorruption:
+    case model::FaultKind::kNone:
+      assert(false && "not a per-operation fault kind");
+      break;
+  }
+  if (config_.sink != nullptr) config_.sink->on_cas(ev);
+}
+
+bool SimWorld::terminal() const {
+  for (std::uint32_t pid = 0; pid < machines_.size(); ++pid) {
+    if (!killed_[pid] && !machines_[pid]->done()) return false;
+  }
+  return true;
+}
+
+bool SimWorld::any_killed() const {
+  for (const bool k : killed_) {
+    if (k) return true;
+  }
+  return false;
+}
+
+std::vector<std::optional<std::uint64_t>> SimWorld::decisions() const {
+  std::vector<std::optional<std::uint64_t>> out;
+  out.reserve(machines_.size());
+  for (std::uint32_t pid = 0; pid < machines_.size(); ++pid) {
+    if (!killed_[pid] && machines_[pid]->done()) {
+      out.emplace_back(machines_[pid]->decision());
+    } else {
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> SimWorld::encode() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(objects_.size() + faults_used_.size() + machines_.size() * 8);
+  for (const model::Value v : objects_) out.push_back(v.raw());
+  for (const model::Value v : registers_) out.push_back(v.raw());
+  // Only the remaining headroom min(used, t) is semantically relevant;
+  // with t = ∞ the counters never matter.  Encoding the raw counts would
+  // make livelocking executions look like fresh states forever and defeat
+  // both memoization and cycle detection.
+  for (const std::uint32_t used : faults_used_) {
+    out.push_back(config_.t == model::kUnbounded
+                      ? 0
+                      : std::min(used, config_.t));
+  }
+  std::uint64_t kill_bits = 0;
+  for (std::uint32_t pid = 0; pid < killed_.size(); ++pid) {
+    if (killed_[pid]) kill_bits |= (1ULL << (pid % 64));
+  }
+  out.push_back(kill_bits);
+  for (const auto& machine : machines_) {
+    out.push_back(0xFEEDFACEFEEDFACEULL);  // separator guards alignment
+    machine->encode(out);
+  }
+  return out;
+}
+
+}  // namespace ff::sched

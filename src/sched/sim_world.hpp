@@ -1,0 +1,146 @@
+// SimWorld — deterministic simulated execution state.
+//
+// Holds the shared CAS registers, the per-process StepMachines, and the
+// fault accounting for one execution prefix.  The scheduler/adversary is
+// external: at each state, enabled() lists every legal Choice — which
+// process steps next, and whether (and how) a fault fires on that step —
+// and apply() advances the world by one such choice.  SimWorld is
+// copyable (machines are cloned), which is what lets the explorer
+// snapshot states for depth-first search, and encodable, which is what
+// lets it memoize visited states.
+//
+// Fault branching follows Definition 1 exactly: a fault choice is only
+// enabled when its outcome would differ from the correct outcome (an
+// overriding fault on a CAS whose comparison succeeds anyway is not a
+// fault, and is not offered as a branch — this also prunes the search).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "faults/trace.hpp"
+#include "model/cas_semantics.hpp"
+#include "model/fault_kind.hpp"
+#include "model/tolerance.hpp"
+#include "sched/program.hpp"
+#include "sched/step.hpp"
+
+namespace ff::sched {
+
+/// Pseudo-process id for adversary data-corruption steps.
+inline constexpr objects::ProcessId kAdversaryPid = 0xFFFFFFFFu;
+
+struct SimConfig {
+  std::uint32_t num_objects = 1;
+  /// Read/write registers available to the protocol (always correct —
+  /// the lower bounds allow unboundedly many of them; Theorem 18).
+  std::uint32_t num_registers = 0;
+  /// Fault kind the designated faulty objects may exhibit.
+  model::FaultKind kind = model::FaultKind::kOverriding;
+  /// Designation mask (size num_objects); empty = all objects faulty.
+  std::vector<bool> faulty;
+  /// Max manifested faults per faulty object (kUnbounded = ∞).
+  std::uint32_t t = model::kUnbounded;
+  /// If non-empty, only steps by these processes may fault (the
+  /// Theorem 18 reduced model uses {p_1-style single process}).
+  std::set<objects::ProcessId> faulting_processes;
+  /// Values an arbitrary fault / data corruption may write.  Empty
+  /// defaults to {⊥} ∪ {inputs} at construction.
+  std::vector<model::Value> arbitrary_candidates;
+  /// Enables adversary corruption steps (Afek data-fault model): before
+  /// any process step the adversary may overwrite a designated object
+  /// with any candidate value, consuming budget.
+  bool allow_corruption_steps = false;
+  /// Optional CAS-event recorder (borrowed).  Only meaningful for LINEAR
+  /// drives of one world — random walks, adversaries, witness replays.
+  /// The DFS explorer interleaves branches through copies that share
+  /// this pointer; leave it null there.
+  faults::TraceSink* sink = nullptr;
+
+  [[nodiscard]] bool object_faulty(objects::ObjectId id) const {
+    return faulty.empty() || (id < faulty.size() && faulty[id]);
+  }
+};
+
+class SimWorld {
+ public:
+  SimWorld(SimConfig config, const MachineFactory& factory,
+           std::vector<std::uint64_t> inputs);
+
+  SimWorld(const SimWorld& other);
+  SimWorld& operator=(const SimWorld& other);
+  SimWorld(SimWorld&&) noexcept = default;
+  SimWorld& operator=(SimWorld&&) noexcept = default;
+
+  /// All legal choices at the current state.  Empty iff terminal.
+  [[nodiscard]] std::vector<Choice> enabled() const;
+
+  /// Advances by one choice (must be one returned by enabled()).
+  void apply(const Choice& choice);
+
+  /// Terminal: every process is done or killed (nonresponsive).
+  [[nodiscard]] bool terminal() const;
+
+  /// True when some process was killed by a nonresponsive fault.
+  [[nodiscard]] bool any_killed() const;
+
+  /// Decisions of the completed processes (nullopt for killed ones).
+  [[nodiscard]] std::vector<std::optional<std::uint64_t>> decisions() const;
+
+  /// Serializes the full semantic state (objects, budgets, kill flags,
+  /// machine locals) for memoization.
+  [[nodiscard]] std::vector<std::uint64_t> encode() const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] std::uint32_t processes() const noexcept {
+    return static_cast<std::uint32_t>(machines_.size());
+  }
+  [[nodiscard]] model::Value object_value(objects::ObjectId id) const {
+    return objects_.at(id);
+  }
+  [[nodiscard]] model::Value register_value(objects::ObjectId id) const {
+    return registers_.at(id);
+  }
+  [[nodiscard]] std::uint32_t faults_used(objects::ObjectId id) const {
+    return faults_used_.at(id);
+  }
+  [[nodiscard]] std::uint64_t total_steps() const noexcept {
+    return total_steps_;
+  }
+  [[nodiscard]] bool killed(objects::ProcessId pid) const {
+    return killed_.at(pid);
+  }
+  [[nodiscard]] bool process_done(objects::ProcessId pid) const {
+    return killed_.at(pid) || machines_.at(pid)->done();
+  }
+  [[nodiscard]] const StepMachine& machine(objects::ProcessId pid) const {
+    return *machines_.at(pid);
+  }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  /// Next pending operation of a live process (kNone when done/killed).
+  [[nodiscard]] PendingOp pending(objects::ProcessId pid) const;
+
+ private:
+  /// Enumerates manifesting fault variants for the pending CAS of `pid`.
+  void append_fault_choices(objects::ProcessId pid, const PendingOp& op,
+                            std::vector<Choice>& out) const;
+  [[nodiscard]] bool fault_allowed(objects::ProcessId pid,
+                                   objects::ObjectId object) const;
+
+  SimConfig config_;
+  std::vector<std::uint64_t> inputs_;
+  std::vector<std::unique_ptr<StepMachine>> machines_;
+  std::vector<model::Value> objects_;
+  std::vector<model::Value> registers_;
+  std::vector<std::uint32_t> faults_used_;
+  std::vector<bool> killed_;
+  std::uint64_t total_steps_ = 0;
+};
+
+}  // namespace ff::sched

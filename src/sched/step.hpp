@@ -1,0 +1,68 @@
+// Step descriptors for the deterministic simulator.
+//
+// In the Section 2 model an execution alternates states and steps, where a
+// step is one atomic operation on a shared object.  The simulator's
+// processes (StepMachine) expose their next intended step as data, the
+// scheduler picks which process moves, and the world applies the step's
+// semantics — correct or faulty, as the fault-branching adversary chooses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/value.hpp"
+#include "objects/shared_object.hpp"
+
+namespace ff::sched {
+
+enum class OpType : std::uint8_t {
+  kCas,       ///< CAS(object, expected, desired) on a CAS object
+  kRegRead,   ///< read(register) — registers are separate, always correct
+  kRegWrite,  ///< write(register, desired)
+  kNone,      ///< the process has terminated (no further steps)
+};
+
+/// The operation a process intends to perform at its next step.
+/// For register ops, `object` indexes the register array (a namespace
+/// disjoint from the CAS objects) and `expected` is unused.
+struct PendingOp {
+  OpType type = OpType::kNone;
+  objects::ObjectId object = 0;
+  model::Value expected;
+  model::Value desired;
+
+  static PendingOp cas(objects::ObjectId object, model::Value expected,
+                       model::Value desired) {
+    return PendingOp{OpType::kCas, object, expected, desired};
+  }
+  static PendingOp reg_read(objects::ObjectId reg) {
+    return PendingOp{OpType::kRegRead, reg, {}, {}};
+  }
+  static PendingOp reg_write(objects::ObjectId reg, model::Value value) {
+    return PendingOp{OpType::kRegWrite, reg, {}, value};
+  }
+  static PendingOp none() { return PendingOp{}; }
+};
+
+/// One scheduling choice: which process steps, and whether the adversary
+/// fires a fault on that step.  `fault_variant` selects among multiple
+/// possible faulty outcomes (used by the arbitrary/data faults whose Φ′
+/// admits several written values); 0 for single-outcome faults.
+struct Choice {
+  objects::ProcessId pid = 0;
+  bool fault = false;
+  std::uint32_t fault_variant = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "p" + std::to_string(pid);
+    if (fault) {
+      s += "!";
+      if (fault_variant != 0) s += std::to_string(fault_variant);
+    }
+    return s;
+  }
+
+  friend bool operator==(const Choice&, const Choice&) noexcept = default;
+};
+
+}  // namespace ff::sched

@@ -1,0 +1,159 @@
+// ConsensusLog — a totally-ordered, wait-free append-only log where each
+// slot is decided by a consensus instance built from (possibly faulty)
+// CAS objects.
+//
+// This is the practical face of Herlihy's universality result the paper
+// leans on ("consensus ... can be used to implement any wait-free
+// object", §1): given fault-tolerant consensus, any object can be
+// replicated by funnelling its operations through the log.  The log is
+// the substrate for universal::Replicated<T>.
+//
+// Concurrency model: any number of threads (one ProcessId each, within
+// the capacity the slot protocols were built for) call append()
+// concurrently.  A thread proposes its tagged operation at successive
+// slots until it wins one; every slot it passes is already decided, so
+// the caller learns the full prefix order as a side effect.
+//
+// Wait-freedom: each decide() is wait-free and a thread wins a slot
+// after at most <threads> losses in the worst case — losing slot i means
+// some other proposal won slot i, and each competitor can beat the
+// caller at most once before the caller's proposal is re-submitted
+// first at the next free slot... formally the construction inherits the
+// standard lock-free-to-wait-free caveat: we bound append() by the log
+// capacity, which is explicit here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+
+namespace ff::universal {
+
+/// A log entry payload.  32 payload bits are available to applications;
+/// the remaining bits carry the (pid, sequence) tag that makes every
+/// proposal unique, so a proposer can recognize its own win.
+struct Operation {
+  objects::ProcessId pid = 0;
+  std::uint32_t seq = 0;       ///< proposer-local sequence number
+  std::uint32_t payload = 0;   ///< application data
+
+  /// [pid:16 | seq:16 | payload:32] — stays clear of the reserved ⊥ and
+  /// the staged protocol's forbidden top values.
+  [[nodiscard]] consensus::InputValue pack() const {
+    return (static_cast<consensus::InputValue>(pid & 0xFFFF) << 48) |
+           (static_cast<consensus::InputValue>(seq & 0xFFFF) << 32) |
+           payload;
+  }
+  static Operation unpack(consensus::InputValue v) {
+    return Operation{static_cast<objects::ProcessId>((v >> 48) & 0xFFFF),
+                     static_cast<std::uint32_t>((v >> 32) & 0xFFFF),
+                     static_cast<std::uint32_t>(v & 0xFFFFFFFF)};
+  }
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+class ConsensusLog {
+ public:
+  /// Builds the consensus instance deciding slot `index`.  The factory
+  /// owns fault injection choices (which protocol, which fault kind,
+  /// which budget); the log only sequences.
+  using SlotFactory =
+      std::function<std::unique_ptr<consensus::Protocol>(std::uint64_t index)>;
+
+  ConsensusLog(std::uint64_t capacity, const SlotFactory& make_slot)
+      : decided_(capacity) {
+    slots_.reserve(capacity);
+    for (std::uint64_t i = 0; i < capacity; ++i) {
+      slots_.push_back(make_slot(i));
+      decided_[i].store(kUndecided, std::memory_order_relaxed);
+    }
+  }
+
+  struct AppendResult {
+    std::uint64_t index = 0;   ///< slot the caller's operation won
+    std::uint64_t losses = 0;  ///< slots lost to competitors on the way
+  };
+
+  /// Appends `op` (tagged with op.pid/op.seq for uniqueness): proposes at
+  /// successive slots starting from this thread's cursor until it wins.
+  /// Throws std::length_error when the log is full.
+  AppendResult append(const Operation& op, std::uint64_t& cursor) {
+    AppendResult result;
+    const consensus::InputValue mine = op.pack();
+    for (std::uint64_t slot = cursor; slot < slots_.size(); ++slot) {
+      const auto decision = slots_[slot]->decide(mine, op.pid);
+      if (!decision.decided) {
+        throw std::runtime_error("consensus gave up (step budget)");
+      }
+      publish(slot, decision.value);
+      if (decision.value == mine) {
+        cursor = slot + 1;
+        result.index = slot;
+        return result;
+      }
+      ++result.losses;
+    }
+    throw std::length_error("ConsensusLog capacity exhausted");
+  }
+
+  /// Learns the decided value of `index` (participating with `pid` and a
+  /// neutral never-winning proposal is unnecessary: any proposal works,
+  /// since a decided slot returns its decided value to everyone).
+  Operation learn(std::uint64_t index, objects::ProcessId pid) {
+    if (const auto cached = decided_value(index)) {
+      return Operation::unpack(*cached);
+    }
+    const Operation probe{pid, 0xFFFF, 0xFFFFFFFF};
+    const auto decision = slots_.at(index)->decide(probe.pack(), pid);
+    if (!decision.decided) {
+      throw std::runtime_error("consensus gave up (step budget)");
+    }
+    publish(index, decision.value);
+    return Operation::unpack(decision.value);
+  }
+
+  /// Decided value if this replica has already observed slot `index`.
+  [[nodiscard]] std::optional<consensus::InputValue> decided_value(
+      std::uint64_t index) const {
+    const std::uint64_t word =
+        decided_.at(index).load(std::memory_order_acquire);
+    if (word == kUndecided) return std::nullopt;
+    return word;
+  }
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return slots_.size();
+  }
+
+  /// Highest decided prefix length observed so far (slots [0, n) known
+  /// decided).  Monotone; may lag behind other threads' knowledge.
+  [[nodiscard]] std::uint64_t known_prefix() const {
+    std::uint64_t n = 0;
+    while (n < decided_.size() &&
+           decided_[n].load(std::memory_order_acquire) != kUndecided) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t kUndecided = ~std::uint64_t{0};
+
+  void publish(std::uint64_t index, consensus::InputValue value) {
+    decided_.at(index).store(value, std::memory_order_release);
+  }
+
+  std::vector<std::unique_ptr<consensus::Protocol>> slots_;
+  // Cache of decided values (⊥-pattern = undecided).  Purely an
+  // optimization/observation channel: correctness rests on the slots.
+  mutable std::vector<std::atomic<std::uint64_t>> decided_;
+};
+
+}  // namespace ff::universal

@@ -1,0 +1,89 @@
+// Replicated<T> — a wait-free replicated object driven by a ConsensusLog
+// (Herlihy's universal construction, practically packaged).
+//
+// T supplies the sequential object:
+//   struct Counter {
+//     using State = std::int64_t;
+//     static State initial();
+//     static void apply(State& state, std::uint32_t payload);
+//   };
+//
+// Each participating thread owns a Handle (its replica + log cursor).
+// Handle::apply(payload) funnels the operation through the log and
+// replays every decided operation, in log order, into the local replica —
+// so all replicas evolve through the same state sequence regardless of
+// scheduling or CAS faults below.  Handle::state() replays the currently
+// known decided prefix without appending.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "universal/log.hpp"
+
+namespace ff::universal {
+
+template <typename T>
+class Replicated {
+ public:
+  using State = typename T::State;
+
+  Replicated(std::uint64_t capacity,
+             const ConsensusLog::SlotFactory& make_slot)
+      : log_(capacity, make_slot) {}
+
+  class Handle {
+   public:
+    Handle(Replicated& owner, objects::ProcessId pid)
+        : owner_(owner), pid_(pid), state_(T::initial()) {}
+
+    /// Applies `payload` to the replicated object; returns the state
+    /// right after this operation took effect (in the agreed total
+    /// order).
+    State apply(std::uint32_t payload) {
+      Operation op{pid_, seq_++, payload};
+      std::uint64_t probe_cursor = cursor_;
+      const auto result = owner_.log_.append(op, probe_cursor);
+      replay_upto(result.index + 1);
+      return state_;
+    }
+
+    /// Replays every operation this replica knows to be decided and
+    /// returns the resulting state (a consistent-prefix read).
+    State state() {
+      replay_upto(owner_.log_.known_prefix());
+      return state_;
+    }
+
+    [[nodiscard]] objects::ProcessId pid() const noexcept { return pid_; }
+    [[nodiscard]] std::uint64_t applied() const noexcept { return applied_; }
+
+   private:
+    void replay_upto(std::uint64_t end) {
+      while (applied_ < end) {
+        const Operation op = owner_.log_.learn(applied_, pid_);
+        T::apply(state_, op.payload);
+        ++applied_;
+      }
+      cursor_ = std::max(cursor_, applied_);
+    }
+
+    Replicated& owner_;
+    objects::ProcessId pid_;
+    std::uint32_t seq_ = 0;
+    std::uint64_t cursor_ = 0;   ///< next slot to propose at
+    std::uint64_t applied_ = 0;  ///< log prefix applied to state_
+    State state_;
+  };
+
+  [[nodiscard]] Handle handle(objects::ProcessId pid) {
+    return Handle(*this, pid);
+  }
+
+  [[nodiscard]] ConsensusLog& log() noexcept { return log_; }
+
+ private:
+  ConsensusLog log_;
+};
+
+}  // namespace ff::universal

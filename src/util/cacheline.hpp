@@ -1,0 +1,29 @@
+// Cache-line geometry helpers for contended shared-memory data.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace ff::util {
+
+// Fixed at 64 bytes (x86-64 / most AArch64).  We deliberately avoid
+// std::hardware_destructive_interference_size: its value depends on
+// -mtune and would make the struct layouts below ABI-unstable.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T on its own cache line to prevent false sharing between
+/// adjacent per-thread or per-object slots.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace ff::util

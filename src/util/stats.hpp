@@ -1,0 +1,148 @@
+// Streaming and batch summary statistics used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ff::util {
+
+/// Welford-style streaming accumulator: O(1) memory, numerically stable
+/// mean/variance, exact min/max/count/sum.
+class StreamingStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void merge(const StreamingStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto na = static_cast<double>(count_);
+    const auto nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch sample container with percentile queries (sorts lazily).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (values_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+  [[nodiscard]] double stddev() const noexcept {
+    if (values_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : values_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(values_.size() - 1));
+  }
+
+  /// Percentile by linear interpolation between closest ranks; q in [0,100].
+  [[nodiscard]] double percentile(double q) {
+    if (values_.empty()) return 0.0;
+    ensure_sorted();
+    const double rank =
+        (q / 100.0) * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] + frac * (values_[hi] - values_[lo]);
+  }
+
+  [[nodiscard]] double median() { return percentile(50.0); }
+  [[nodiscard]] double min() { return percentile(0.0); }
+  [[nodiscard]] double max() { return percentile(100.0); }
+
+ private:
+  void ensure_sorted() {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+/// Fixed-bucket integer histogram (for step counts, stage counts, ...).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets = 64) : counts_(buckets, 0) {}
+
+  void add(std::uint64_t value) noexcept {
+    const std::size_t idx =
+        std::min<std::size_t>(value, counts_.size() - 1);
+    ++counts_[idx];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+
+  /// Index of the highest non-empty bucket, or 0 when empty.
+  [[nodiscard]] std::size_t max_bucket() const noexcept {
+    for (std::size_t i = counts_.size(); i-- > 0;) {
+      if (counts_[i] != 0) return i;
+    }
+    return 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ff::util

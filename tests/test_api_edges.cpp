@@ -1,0 +1,116 @@
+// Edge-of-API tests: paths the mainline suites don't reach.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "consensus/machines.hpp"
+#include "consensus/single_cas.hpp"
+#include "hierarchy/consensus_number.hpp"
+#include "objects/atomic_cas.hpp"
+#include "objects/register.hpp"
+#include "sched/explorer.hpp"
+#include "universal/log.hpp"
+#include "util/cli.hpp"
+
+namespace ff {
+namespace {
+
+TEST(ApiEdges, RegisterReadWriteAndReset) {
+  objects::AtomicRegister reg(3);
+  EXPECT_TRUE(reg.read().is_bottom());
+  reg.write(model::Value::of(77));
+  EXPECT_EQ(reg.read(), model::Value::of(77));
+  reg.reset();
+  EXPECT_TRUE(reg.read().is_bottom());
+  EXPECT_EQ(reg.id(), 3u);
+  EXPECT_EQ(reg.name(), "register");
+}
+
+TEST(ApiEdges, CliRejectsMalformedBool) {
+  const char* argv[] = {"prog", "--x=wat"};
+  const util::Cli cli(2, argv);
+  EXPECT_THROW(static_cast<void>(cli.get_bool("x", false)),
+               std::invalid_argument);
+}
+
+TEST(ApiEdges, LearnBeforeAnyAppendDrivesTheSlot) {
+  // learn() on an undecided slot participates in consensus with a probe
+  // proposal; with no competition the probe itself gets decided — the
+  // caller still obtains a decided operation, maintaining wait-freedom.
+  std::vector<std::unique_ptr<objects::AtomicCas>> storage;
+  universal::ConsensusLog log(2, [&](std::uint64_t) {
+    storage.push_back(std::make_unique<objects::AtomicCas>(0));
+    return std::make_unique<consensus::SingleCasConsensus>(*storage.back());
+  });
+  const auto op = log.learn(0, /*pid=*/1);
+  EXPECT_EQ(op.pid, 1u);
+  EXPECT_TRUE(log.decided_value(0).has_value());
+  EXPECT_EQ(log.known_prefix(), 1u);
+}
+
+TEST(ApiEdges, LogCursorSkipsDecidedSlots) {
+  std::vector<std::unique_ptr<objects::AtomicCas>> storage;
+  universal::ConsensusLog log(3, [&](std::uint64_t) {
+    storage.push_back(std::make_unique<objects::AtomicCas>(0));
+    return std::make_unique<consensus::SingleCasConsensus>(*storage.back());
+  });
+  std::uint64_t alice = 0;
+  log.append({0, 0, 11}, alice);  // slot 0
+  std::uint64_t bob = 0;
+  const auto result = log.append({1, 0, 22}, bob);
+  EXPECT_EQ(result.index, 1u);   // lost slot 0, won slot 1
+  EXPECT_EQ(result.losses, 1u);
+  EXPECT_EQ(bob, 2u);            // cursor advanced past the win
+}
+
+TEST(ApiEdges, HierarchyEstimateWithTGreaterThanOne) {
+  hierarchy::ProbeOptions options;
+  options.explorer_max_states = 300'000;
+  options.walks = 50;
+  const auto estimate =
+      hierarchy::estimate_staged_consensus_number(1, 2, 4, options);
+  EXPECT_EQ(estimate.consensus_number, 2u);  // f+1, independent of t
+  EXPECT_EQ(estimate.cells.size(), 3u);      // n = 2, 3, 4
+}
+
+TEST(ApiEdges, ChoiceToStringFormats) {
+  EXPECT_EQ((sched::Choice{2, false, 0}).to_string(), "p2");
+  EXPECT_EQ((sched::Choice{0, true, 0}).to_string(), "p0!");
+  EXPECT_EQ((sched::Choice{1, true, 3}).to_string(), "p1!3");
+}
+
+TEST(ApiEdges, ViolationKindNames) {
+  EXPECT_EQ(sched::to_string(sched::ViolationKind::kInconsistent),
+            "inconsistent");
+  EXPECT_EQ(sched::to_string(sched::ViolationKind::kInvalid), "invalid");
+  EXPECT_EQ(sched::to_string(sched::ViolationKind::kStalled), "stalled");
+  EXPECT_EQ(sched::to_string(sched::ViolationKind::kNontermination),
+            "nontermination");
+}
+
+TEST(ApiEdges, FaultKindNamesRoundTrip) {
+  using model::FaultKind;
+  for (const auto kind :
+       {FaultKind::kNone, FaultKind::kOverriding, FaultKind::kSilent,
+        FaultKind::kInvisible, FaultKind::kArbitrary,
+        FaultKind::kNonresponsive, FaultKind::kDataCorruption}) {
+    EXPECT_FALSE(model::to_string(kind).empty());
+    EXPECT_NE(model::to_string(kind), "unknown");
+  }
+}
+
+TEST(ApiEdges, ExploreAgreedValuesCoverAllSoloWinners) {
+  // With n processes and a fault-free object, each process can win under
+  // some schedule — the explorer's agreed-value set must contain all n
+  // inputs (a completeness check on the search itself).
+  const consensus::SingleCasFactory factory;
+  sched::SimConfig config;
+  config.num_objects = 1;
+  config.kind = model::FaultKind::kNone;
+  sched::SimWorld world(config, factory, {5, 6, 7});
+  const auto result = sched::explore(world);
+  EXPECT_EQ(result.agreed_values, (std::set<std::uint64_t>{5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace ff

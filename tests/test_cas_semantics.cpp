@@ -1,0 +1,268 @@
+// Unit tests for the model layer: CAS sequential specification, deviating
+// postconditions Φ′, observation classification, and value packing.
+#include <gtest/gtest.h>
+
+#include "model/cas_semantics.hpp"
+#include "model/cas_triples.hpp"
+#include "model/fault_kind.hpp"
+#include "model/tolerance.hpp"
+#include "model/value.hpp"
+
+namespace ff::model {
+namespace {
+
+const Value kBot = Value::bottom();
+const Value kA = Value::of(7);
+const Value kB = Value::of(42);
+const Value kC = Value::of(99);
+
+TEST(Value, BottomIsDistinguished) {
+  EXPECT_TRUE(kBot.is_bottom());
+  EXPECT_FALSE(kA.is_bottom());
+  EXPECT_NE(kBot, kA);
+  EXPECT_EQ(Value::bottom(), Value::bottom());
+}
+
+TEST(Value, DefaultConstructedIsBottom) {
+  EXPECT_TRUE(Value{}.is_bottom());
+}
+
+TEST(Value, EqualityIsByRawWord) {
+  EXPECT_EQ(Value::of(7), Value::of(7));
+  EXPECT_NE(Value::of(7), Value::of(8));
+}
+
+TEST(Value, ToStringRendersBottomAndNumbers) {
+  EXPECT_EQ(kA.to_string(), "7");
+  EXPECT_FALSE(kBot.to_string().empty());
+}
+
+TEST(StagedValue, PackUnpackRoundTrip) {
+  const StagedValue sv(123456, 77);
+  const Value packed = sv.pack();
+  EXPECT_FALSE(packed.is_bottom());
+  const StagedValue back = StagedValue::unpack(packed);
+  EXPECT_EQ(back.value(), 123456u);
+  EXPECT_EQ(back.stage(), 77u);
+  EXPECT_EQ(back, sv);
+}
+
+TEST(StagedValue, DistinctPairsPackDistinctly) {
+  EXPECT_NE(StagedValue(1, 2).pack(), StagedValue(2, 1).pack());
+  EXPECT_NE(StagedValue(1, 2).pack(), StagedValue(1, 3).pack());
+}
+
+TEST(StagedValue, OnlyAllOnesPairCollidesWithBottom) {
+  EXPECT_TRUE(StagedValue(0xFFFFFFFFu, 0xFFFFFFFFu).pack().is_bottom());
+  EXPECT_FALSE(StagedValue(0xFFFFFFFFu, 0).pack().is_bottom());
+  EXPECT_FALSE(StagedValue(0, 0xFFFFFFFFu).pack().is_bottom());
+}
+
+// --- Sequential specification -------------------------------------------
+
+TEST(CasApply, SuccessWritesAndReturnsOld) {
+  const CasEffect e = cas_apply(kBot, {kBot, kA});
+  EXPECT_TRUE(e.success);
+  EXPECT_EQ(e.after, kA);
+  EXPECT_EQ(e.returned, kBot);
+}
+
+TEST(CasApply, FailureLeavesContentAndReturnsOld) {
+  const CasEffect e = cas_apply(kB, {kBot, kA});
+  EXPECT_FALSE(e.success);
+  EXPECT_EQ(e.after, kB);
+  EXPECT_EQ(e.returned, kB);
+}
+
+TEST(CasApply, OverridingAlwaysWrites) {
+  const CasEffect e = cas_apply_overriding(kB, {kBot, kA});
+  EXPECT_TRUE(e.success);
+  EXPECT_EQ(e.after, kA);
+  EXPECT_EQ(e.returned, kB);
+}
+
+TEST(CasApply, SilentNeverWrites) {
+  const CasEffect e = cas_apply_silent(kBot, {kBot, kA});
+  EXPECT_FALSE(e.success);
+  EXPECT_EQ(e.after, kBot);
+  EXPECT_EQ(e.returned, kBot);
+}
+
+// --- Φ and Φ′ --------------------------------------------------------------
+
+TEST(Phi, HoldsForCorrectSuccess) {
+  EXPECT_TRUE(satisfies_phi({kBot, kA, kBot}, {kBot, kA}));
+}
+
+TEST(Phi, HoldsForCorrectFailure) {
+  EXPECT_TRUE(satisfies_phi({kB, kB, kB}, {kBot, kA}));
+}
+
+TEST(Phi, ViolatedByOverridingWrite) {
+  // R′ = B ≠ exp = ⊥, yet R = A was written.
+  EXPECT_FALSE(satisfies_phi({kB, kA, kB}, {kBot, kA}));
+}
+
+TEST(Phi, ViolatedBySilentDrop) {
+  // R′ = ⊥ = exp, yet nothing was written.
+  EXPECT_FALSE(satisfies_phi({kBot, kBot, kBot}, {kBot, kA}));
+}
+
+TEST(Phi, ViolatedByWrongOutput) {
+  EXPECT_FALSE(satisfies_phi({kB, kB, kC}, {kBot, kA}));
+}
+
+TEST(PhiPrime, OverridingMatchesItsDeviation) {
+  const CasObservation obs{kB, kA, kB};
+  const CasCall call{kBot, kA};
+  EXPECT_TRUE(satisfies_phi_prime(FaultKind::kOverriding, obs, call));
+  EXPECT_FALSE(satisfies_phi_prime(FaultKind::kSilent, obs, call));
+}
+
+TEST(PhiPrime, OverridingSubsumesCorrectSuccess) {
+  // Φ′ of overriding also covers the case where the comparison succeeds —
+  // the fault is one-sided.
+  EXPECT_TRUE(satisfies_phi_prime(FaultKind::kOverriding, {kBot, kA, kBot},
+                                  {kBot, kA}));
+}
+
+TEST(PhiPrime, SilentMatchesItsDeviation) {
+  const CasObservation obs{kBot, kBot, kBot};
+  const CasCall call{kBot, kA};
+  EXPECT_TRUE(satisfies_phi_prime(FaultKind::kSilent, obs, call));
+  EXPECT_FALSE(satisfies_phi_prime(FaultKind::kOverriding, obs, call));
+}
+
+TEST(PhiPrime, InvisibleRequiresCorrectRegisterBehaviour) {
+  // Output wrong, register per spec: invisible.
+  EXPECT_TRUE(satisfies_phi_prime(FaultKind::kInvisible, {kB, kB, kC},
+                                  {kBot, kA}));
+  // Register also wrong: not an invisible fault.
+  EXPECT_FALSE(satisfies_phi_prime(FaultKind::kInvisible, {kB, kC, kC},
+                                   {kBot, kA}));
+}
+
+TEST(PhiPrime, ArbitraryRequiresOnlyCorrectOutput) {
+  EXPECT_TRUE(satisfies_phi_prime(FaultKind::kArbitrary, {kB, kC, kB},
+                                  {kBot, kA}));
+  EXPECT_FALSE(satisfies_phi_prime(FaultKind::kArbitrary, {kB, kC, kC},
+                                   {kBot, kA}));
+}
+
+TEST(PhiPrime, NonresponsiveNeverMatchesAnObservation) {
+  EXPECT_FALSE(satisfies_phi_prime(FaultKind::kNonresponsive,
+                                   {kBot, kA, kBot}, {kBot, kA}));
+}
+
+TEST(PhiPrime, DataCorruptionAdmitsAnything) {
+  EXPECT_TRUE(satisfies_phi_prime(FaultKind::kDataCorruption, {kB, kC, kC},
+                                  {kBot, kA}));
+}
+
+// --- classify ---------------------------------------------------------------
+
+TEST(Classify, CorrectExecutions) {
+  EXPECT_EQ(classify({kBot, kA, kBot}, {kBot, kA}), FaultKind::kNone);
+  EXPECT_EQ(classify({kB, kB, kB}, {kBot, kA}), FaultKind::kNone);
+}
+
+TEST(Classify, Overriding) {
+  EXPECT_EQ(classify({kB, kA, kB}, {kBot, kA}), FaultKind::kOverriding);
+}
+
+TEST(Classify, Silent) {
+  EXPECT_EQ(classify({kBot, kBot, kBot}, {kBot, kA}), FaultKind::kSilent);
+}
+
+TEST(Classify, Invisible) {
+  EXPECT_EQ(classify({kB, kB, kC}, {kBot, kA}), FaultKind::kInvisible);
+}
+
+TEST(Classify, ArbitraryWrite) {
+  // Written value is neither `desired` nor the old content.
+  EXPECT_EQ(classify({kB, kC, kB}, {kBot, kA}), FaultKind::kArbitrary);
+}
+
+TEST(Classify, UnstructuredGoesToDataCorruption) {
+  // Both register and output wrong.
+  EXPECT_EQ(classify({kB, kC, kC}, {kBot, kA}), FaultKind::kDataCorruption);
+}
+
+// --- TripleChecker instantiation -------------------------------------------
+
+TEST(CasTripleChecker, AgreesWithClassify) {
+  CasFaultIndex index{};
+  const auto checker = make_cas_checker(&index);
+
+  const CasCall call{kBot, kA};
+  // Correct.
+  auto r = checker.classify(call, CasObservation{kBot, kA, kBot});
+  EXPECT_EQ(r.verdict, StepVerdict::kCorrect);
+  // Overriding.
+  r = checker.classify(call, CasObservation{kB, kA, kB});
+  ASSERT_EQ(r.verdict, StepVerdict::kCharacterized);
+  EXPECT_EQ(*r.characterization, index.overriding);
+  // Silent.
+  r = checker.classify(call, CasObservation{kBot, kBot, kBot});
+  ASSERT_EQ(r.verdict, StepVerdict::kCharacterized);
+  EXPECT_EQ(*r.characterization, index.silent);
+  // Invisible.
+  r = checker.classify(call, CasObservation{kB, kB, kC});
+  ASSERT_EQ(r.verdict, StepVerdict::kCharacterized);
+  EXPECT_EQ(*r.characterization, index.invisible);
+  // Unstructured.
+  r = checker.classify(call, CasObservation{kB, kC, kC});
+  EXPECT_EQ(r.verdict, StepVerdict::kUnstructured);
+}
+
+TEST(Tolerance, SpecAdmission) {
+  const ToleranceSpec spec{2, 3, 4};
+  EXPECT_TRUE(spec.admits(2, 3, 4));
+  EXPECT_TRUE(spec.admits(0, 0, 1));
+  EXPECT_FALSE(spec.admits(3, 3, 4));
+  EXPECT_FALSE(spec.admits(2, 4, 4));
+  EXPECT_FALSE(spec.admits(2, 3, 5));
+}
+
+TEST(Tolerance, UnboundedParameters) {
+  const ToleranceSpec f_tolerant{2, kUnbounded, kUnbounded};
+  EXPECT_TRUE(f_tolerant.admits(2, 1000000, 1000000));
+  EXPECT_FALSE(f_tolerant.admits(3, 1, 1));
+  EXPECT_EQ(f_tolerant.to_string(), "(2,inf,inf)");
+}
+
+TEST(Tolerance, StagedMaxStageFormula) {
+  // maxStage = t·(4f+f²)
+  EXPECT_EQ(staged_max_stage(1, 1), 5u);
+  EXPECT_EQ(staged_max_stage(2, 1), 12u);
+  EXPECT_EQ(staged_max_stage(3, 2), 42u);
+  EXPECT_EQ(staged_max_stage(5, 4), 180u);
+}
+
+TEST(Tolerance, TotalFaultBudget) {
+  EXPECT_EQ(total_fault_budget(3, 4), 12u);
+  EXPECT_EQ(total_fault_budget(1, 1), 1u);
+}
+
+TEST(FaultKindTraits, Responsiveness) {
+  EXPECT_TRUE(is_responsive(FaultKind::kOverriding));
+  EXPECT_TRUE(is_responsive(FaultKind::kSilent));
+  EXPECT_FALSE(is_responsive(FaultKind::kNonresponsive));
+}
+
+TEST(FaultKindTraits, Structure) {
+  EXPECT_TRUE(is_structured(FaultKind::kOverriding));
+  EXPECT_TRUE(is_structured(FaultKind::kSilent));
+  EXPECT_TRUE(is_structured(FaultKind::kInvisible));
+  EXPECT_FALSE(is_structured(FaultKind::kArbitrary));
+  EXPECT_FALSE(is_structured(FaultKind::kDataCorruption));
+}
+
+TEST(FaultKindTraits, FunctionalVsData) {
+  EXPECT_TRUE(is_functional(FaultKind::kOverriding));
+  EXPECT_FALSE(is_functional(FaultKind::kDataCorruption));
+  EXPECT_FALSE(is_functional(FaultKind::kNone));
+}
+
+}  // namespace
+}  // namespace ff::model

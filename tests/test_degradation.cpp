@@ -1,0 +1,127 @@
+// Graceful degradation (cf. Jayanti et al.'s notion, discussed in §6):
+// when the fault budget exceeds what a construction tolerates, WHICH
+// property breaks?
+//
+// For the overriding fault the answer is machine-checkable here: the
+// deviating postcondition Φ′ only ever writes the operation's own desired
+// value, so no execution can launder a non-input value into a decision —
+// validity survives every budget overrun; only consistency (or, for
+// retry protocols, termination) is lost.  Arbitrary faults, by contrast,
+// can break validity outright.  This mirrors the fault-severity
+// discussion of §3.4.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/explorer.hpp"
+
+namespace ff {
+namespace {
+
+using consensus::FPlusOneFactory;
+using consensus::SingleCasFactory;
+using consensus::StagedFactory;
+using model::FaultKind;
+using model::kUnbounded;
+using sched::SimConfig;
+using sched::SimWorld;
+using sched::ViolationKind;
+
+std::vector<std::uint64_t> inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+sched::ExploreResult explore_full(const SimConfig& config,
+                                  const sched::MachineFactory& factory,
+                                  std::uint32_t n) {
+  SimWorld world(config, factory, inputs(n));
+  sched::ExploreOptions options;
+  options.stop_at_first_violation = false;  // census over ALL violations
+  options.max_states = 2'000'000;
+  return sched::explore(world, options);
+}
+
+SimConfig cfg(std::uint32_t objects, FaultKind kind, std::uint32_t t) {
+  SimConfig c;
+  c.num_objects = objects;
+  c.kind = kind;
+  c.t = t;
+  return c;
+}
+
+TEST(GracefulDegradation, OverridingNeverBreaksValidity) {
+  // Configurations KNOWN to break consistency — validity must still hold
+  // in every terminal state.
+  struct Case {
+    const sched::MachineFactory& factory;
+    std::uint32_t objects;
+    std::uint32_t t;
+    std::uint32_t n;
+  };
+  const SingleCasFactory herlihy;
+  const FPlusOneFactory fp1_1(1);
+  const FPlusOneFactory fp1_2(2);
+  const StagedFactory staged11(1, 1);
+  const Case cases[] = {
+      {herlihy, 1, kUnbounded, 3},
+      {herlihy, 1, kUnbounded, 4},
+      {fp1_1, 1, kUnbounded, 3},
+      {fp1_2, 2, kUnbounded, 3},
+      {staged11, 1, 1, 3},  // n = f+2: Theorem 19 regime
+  };
+  for (const auto& c : cases) {
+    const auto result =
+        explore_full(cfg(c.objects, FaultKind::kOverriding, c.t),
+                     c.factory, c.n);
+    EXPECT_TRUE(result.complete);
+    EXPECT_GT(result.violations_of(ViolationKind::kInconsistent), 0u)
+        << c.factory.name() << " n=" << c.n;
+    EXPECT_EQ(result.violations_of(ViolationKind::kInvalid), 0u)
+        << c.factory.name() << " n=" << c.n;
+  }
+}
+
+TEST(GracefulDegradation, SilentNeverBreaksValidityEither) {
+  const SingleCasFactory herlihy;
+  const auto result =
+      explore_full(cfg(1, FaultKind::kSilent, kUnbounded), herlihy, 2);
+  EXPECT_GT(result.violations_of(ViolationKind::kInconsistent), 0u);
+  EXPECT_EQ(result.violations_of(ViolationKind::kInvalid), 0u);
+}
+
+TEST(GracefulDegradation, ArbitraryFaultsDoBreakValidity) {
+  // Give the arbitrary fault a candidate value that is nobody's input:
+  // the Herlihy protocol adopts whatever it reads, so the garbage value
+  // can become a decision — an INVALID outcome, unreachable under the
+  // structured overriding fault.
+  SimConfig config = cfg(1, FaultKind::kArbitrary, 1);
+  config.arbitrary_candidates = {model::Value::of(777)};  // not an input
+  const SingleCasFactory herlihy;
+  const auto result = explore_full(config, herlihy, 2);
+  EXPECT_GT(result.violations_of(ViolationKind::kInvalid), 0u);
+}
+
+TEST(GracefulDegradation, InvisibleFaultsCanAlsoBreakValidity) {
+  // The corrupted RETURN value (before+1) is adopted by Figure 1, so a
+  // non-input value can be decided.
+  const SingleCasFactory herlihy;
+  const auto result =
+      explore_full(cfg(1, FaultKind::kInvisible, 1), herlihy, 2);
+  EXPECT_GT(result.violations_of(ViolationKind::kInvalid), 0u);
+}
+
+TEST(GracefulDegradation, ViolationCensusAddsUp) {
+  const SingleCasFactory herlihy;
+  const auto result =
+      explore_full(cfg(1, FaultKind::kOverriding, kUnbounded), herlihy, 3);
+  std::uint64_t sum = 0;
+  for (const auto& [kind, count] : result.violations_by_kind) sum += count;
+  EXPECT_EQ(sum, result.violations_found);
+  EXPECT_GT(result.terminal_states, 0u);
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,232 @@
+// Tests of the fetch-and-add instantiation: Φ/Φ′ semantics, FaultyFetchAdd
+// behaviour per fault kind, and the robust counter constructions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "counter/robust_counter.hpp"
+#include "faults/faulty_faa.hpp"
+#include "model/faa_semantics.hpp"
+#include "objects/fetch_add.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace ff {
+namespace {
+
+using model::CounterValue;
+using model::FaaCall;
+using model::FaaObservation;
+using model::FaultKind;
+
+// --- Φ / Φ′ ------------------------------------------------------------------
+
+TEST(FaaSemantics, PhiHoldsForCorrectAdd) {
+  EXPECT_TRUE(model::faa_satisfies_phi({10, 13, 10}, {3}));
+  EXPECT_TRUE(model::faa_satisfies_phi({-5, -5, -5}, {0}));
+}
+
+TEST(FaaSemantics, PhiViolations) {
+  EXPECT_FALSE(model::faa_satisfies_phi({10, 14, 10}, {3}));  // off by one
+  EXPECT_FALSE(model::faa_satisfies_phi({10, 10, 10}, {3}));  // dropped
+  EXPECT_FALSE(model::faa_satisfies_phi({10, 13, 11}, {3}));  // bad output
+}
+
+TEST(FaaSemantics, OffByOnePhiPrime) {
+  EXPECT_TRUE(model::faa_satisfies_phi_prime(FaultKind::kOverriding,
+                                             {10, 14, 10}, {3}));
+  EXPECT_TRUE(model::faa_satisfies_phi_prime(FaultKind::kOverriding,
+                                             {10, 12, 10}, {3}));
+  EXPECT_FALSE(model::faa_satisfies_phi_prime(FaultKind::kOverriding,
+                                              {10, 15, 10}, {3}));  // ±2
+  EXPECT_FALSE(model::faa_satisfies_phi_prime(FaultKind::kOverriding,
+                                              {10, 13, 10}, {3}));  // = Φ
+}
+
+TEST(FaaSemantics, Classification) {
+  EXPECT_EQ(model::faa_classify({10, 13, 10}, {3}), FaultKind::kNone);
+  EXPECT_EQ(model::faa_classify({10, 14, 10}, {3}), FaultKind::kOverriding);
+  EXPECT_EQ(model::faa_classify({10, 10, 10}, {3}), FaultKind::kSilent);
+  EXPECT_EQ(model::faa_classify({10, 13, 11}, {3}), FaultKind::kInvisible);
+  EXPECT_EQ(model::faa_classify({10, 20, 10}, {3}), FaultKind::kArbitrary);
+  EXPECT_EQ(model::faa_classify({10, 20, 11}, {3}),
+            FaultKind::kDataCorruption);
+}
+
+// --- objects ---------------------------------------------------------------
+
+TEST(AtomicFetchAdd, AddsAndReturnsOld) {
+  objects::AtomicFetchAdd counter(0);
+  EXPECT_EQ(counter.fetch_add(5, 0), 0);
+  EXPECT_EQ(counter.fetch_add(-2, 0), 5);
+  EXPECT_EQ(counter.debug_read(), 3);
+  counter.reset(100);
+  EXPECT_EQ(counter.debug_read(), 100);
+}
+
+TEST(FaultyFetchAdd, CorrectWithoutPolicy) {
+  faults::FaultyFetchAdd counter(0, FaultKind::kOverriding, nullptr,
+                                 nullptr);
+  EXPECT_EQ(counter.fetch_add(7, 0), 0);
+  EXPECT_EQ(counter.debug_read(), 7);
+}
+
+TEST(FaultyFetchAdd, OffByOneDriftsByExactlyOne) {
+  faults::AlwaysFault policy;
+  faults::FaaTraceSink sink;
+  faults::FaultyFetchAdd counter(0, FaultKind::kOverriding, &policy,
+                                 nullptr, &sink);
+  counter.fetch_add(10, 0);
+  const CounterValue value = counter.debug_read();
+  EXPECT_TRUE(value == 9 || value == 11) << value;
+  const auto trace = sink.snapshot();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_TRUE(trace[0].manifested);
+  EXPECT_EQ(model::faa_classify(trace[0].obs, trace[0].call),
+            FaultKind::kOverriding);
+}
+
+TEST(FaultyFetchAdd, OffByOneRespectsBudget) {
+  faults::AlwaysFault policy;
+  faults::FaultBudget budget(1, 1, /*t=*/2);
+  faults::FaultyFetchAdd counter(0, FaultKind::kOverriding, &policy,
+                                 &budget);
+  for (int i = 0; i < 10; ++i) counter.fetch_add(10, 0);
+  // Exactly 2 manifested faults of ±1: total within [98, 102] but ≠ 100
+  // only by at most 2.
+  const CounterValue value = counter.debug_read();
+  EXPECT_LE(std::abs(value - 100), 2);
+  EXPECT_EQ(budget.total_faults_used(), 2u);
+}
+
+TEST(FaultyFetchAdd, SilentDropsTheAdd) {
+  faults::AlwaysFault policy;
+  faults::FaultyFetchAdd counter(0, FaultKind::kSilent, &policy, nullptr);
+  EXPECT_EQ(counter.fetch_add(5, 0), 0);
+  EXPECT_EQ(counter.debug_read(), 0);
+}
+
+TEST(FaultyFetchAdd, SilentAddOfZeroIsNotAFault) {
+  faults::AlwaysFault policy;
+  faults::FaultBudget budget(1, 1, 5);
+  faults::FaultyFetchAdd counter(0, FaultKind::kSilent, &policy, &budget);
+  counter.fetch_add(0, 0);
+  EXPECT_EQ(budget.total_faults_used(), 0u);
+}
+
+TEST(FaultyFetchAdd, InvisibleCorruptsOnlyOutput) {
+  faults::AlwaysFault policy;
+  faults::FaultyFetchAdd counter(0, FaultKind::kInvisible, &policy,
+                                 nullptr);
+  const CounterValue old = counter.fetch_add(5, 0);
+  EXPECT_NE(old, 0);                     // output corrupted
+  EXPECT_EQ(counter.debug_read(), 5);    // register per spec
+}
+
+TEST(FaultyFetchAdd, CustomDriftSource) {
+  faults::AlwaysFault policy;
+  faults::FaultyFetchAdd counter(0, FaultKind::kOverriding, &policy,
+                                 nullptr);
+  counter.set_drift_source([](std::uint64_t) { return 1; });
+  for (int i = 0; i < 4; ++i) counter.fetch_add(0, 0);
+  EXPECT_EQ(counter.debug_read(), 4);  // +1 drift per op
+}
+
+// --- robust counters --------------------------------------------------------
+
+struct FaaBank {
+  FaaBank(std::uint32_t count, std::uint32_t f, std::uint32_t t,
+          FaultKind kind = FaultKind::kOverriding)
+      : budget(count, f, t) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      objects.push_back(std::make_unique<faults::FaultyFetchAdd>(
+          i, kind, &policy, &budget));
+      raw.push_back(objects.back().get());
+    }
+  }
+  faults::AlwaysFault policy;
+  faults::FaultBudget budget;
+  std::vector<std::unique_ptr<faults::FaultyFetchAdd>> objects;
+  std::vector<objects::FetchAddObject*> raw;
+};
+
+TEST(MedianCounter, ExactAtQuiescenceDespiteFaultyMinority) {
+  for (std::uint32_t f = 1; f <= 3; ++f) {
+    FaaBank bank(2 * f + 1, f, model::kUnbounded);
+    counter::MedianCounter robust(bank.raw);
+    EXPECT_EQ(robust.tolerated_faulty_objects(), f);
+    CounterValue sum = 0;
+    for (int i = 1; i <= 50; ++i) {
+      robust.add(i, 0);
+      sum += i;
+    }
+    EXPECT_EQ(robust.read(0), sum) << "f=" << f;
+  }
+}
+
+TEST(MedianCounter, ExactUnderSilentFaultsToo) {
+  FaaBank bank(3, 1, model::kUnbounded, FaultKind::kSilent);
+  counter::MedianCounter robust(bank.raw);
+  for (int i = 0; i < 30; ++i) robust.add(2, 0);
+  EXPECT_EQ(robust.read(0), 60);
+}
+
+TEST(MedianCounter, ConcurrentAddersSumCorrectly) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kAddsEach = 200;
+  FaaBank bank(3, 1, model::kUnbounded);
+  counter::MedianCounter robust(bank.raw);
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < kThreads; ++p) {
+    threads.emplace_back([&, p] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kAddsEach; ++i) robust.add(1, p);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(robust.read(0), kThreads * kAddsEach);
+}
+
+TEST(DriftBoundedCounter, ErrorWithinT) {
+  for (std::uint32_t t = 1; t <= 5; ++t) {
+    faults::AlwaysFault policy;
+    faults::FaultBudget budget(1, 1, t);
+    faults::FaultyFetchAdd object(0, FaultKind::kOverriding, &policy,
+                                  &budget);
+    counter::DriftBoundedCounter counter(object, t);
+    CounterValue sum = 0;
+    for (int i = 0; i < 100; ++i) {
+      counter.add(3, 0);
+      sum += 3;
+    }
+    EXPECT_LE(std::abs(counter.read(0) - sum),
+              static_cast<CounterValue>(t))
+        << "t=" << t;
+    EXPECT_EQ(counter.max_error(), static_cast<CounterValue>(t));
+  }
+}
+
+TEST(MeanCounter, IsPulledOffByASingleDrifter) {
+  // The ablation foil: force one replica to drift +1 on every op; the
+  // mean moves, the median does not.
+  // With f=1 and dynamic designation, the first replica an add touches
+  // (replica 0) becomes the single faulty one; its drift source always
+  // says +1, so it drifts upward on every operation.
+  FaaBank bank(3, 1, model::kUnbounded);
+  bank.objects[0]->set_drift_source([](std::uint64_t) { return 1; });
+
+  counter::MeanCounter mean(bank.raw);
+  counter::MedianCounter median(bank.raw);
+  for (int i = 0; i < 90; ++i) mean.add(1, 0);
+  // Dynamic budget designates replica 0..? — with f=1 only ONE replica
+  // ever drifts; it drifted +1 × 90 ops (AlwaysFault).
+  const CounterValue mean_value = mean.read(0);
+  const CounterValue median_value = median.read(0);
+  EXPECT_EQ(median_value, 90);
+  EXPECT_GT(mean_value, 90);  // pulled up by the drifter
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,356 @@
+// Unit tests for the fault-injection substrate: budgets, policies, and
+// the per-kind semantics of FaultyCas (single-threaded, deterministic).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "faults/budget.hpp"
+#include "faults/data_fault.hpp"
+#include "faults/faulty_cas.hpp"
+#include "faults/policy.hpp"
+#include "faults/trace.hpp"
+#include "model/cas_semantics.hpp"
+#include "objects/atomic_cas.hpp"
+
+namespace ff::faults {
+namespace {
+
+using model::FaultKind;
+using model::Value;
+
+// --- FaultBudget ----------------------------------------------------------
+
+TEST(FaultBudget, DynamicDesignationCapsDistinctObjects) {
+  FaultBudget budget(/*num_objects=*/4, /*f=*/2, /*t=*/model::kUnbounded);
+  EXPECT_TRUE(budget.try_consume(0));
+  EXPECT_TRUE(budget.try_consume(1));
+  EXPECT_FALSE(budget.try_consume(2));  // third distinct object: denied
+  EXPECT_TRUE(budget.try_consume(0));   // already designated: fine
+  EXPECT_EQ(budget.designated_count(), 2u);
+  EXPECT_TRUE(budget.is_designated(0));
+  EXPECT_TRUE(budget.is_designated(1));
+  EXPECT_FALSE(budget.is_designated(2));
+}
+
+TEST(FaultBudget, PerObjectBoundT) {
+  FaultBudget budget(2, 2, /*t=*/3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(budget.try_consume(0));
+  EXPECT_FALSE(budget.try_consume(0));  // t exhausted on object 0
+  EXPECT_TRUE(budget.try_consume(1));   // object 1 has its own budget
+  EXPECT_EQ(budget.faults_used(0), 3u);
+  EXPECT_EQ(budget.faults_used(1), 1u);
+  EXPECT_EQ(budget.total_faults_used(), 4u);
+}
+
+TEST(FaultBudget, RefundRestoresHeadroom) {
+  FaultBudget budget(1, 1, /*t=*/1);
+  EXPECT_TRUE(budget.try_consume(0));
+  EXPECT_FALSE(budget.try_consume(0));
+  budget.refund(0);
+  EXPECT_TRUE(budget.try_consume(0));
+}
+
+TEST(FaultBudget, StaticDesignationRejectsOthers) {
+  FaultBudget budget(4, std::vector<objects::ObjectId>{1, 3},
+                     model::kUnbounded);
+  EXPECT_FALSE(budget.try_consume(0));
+  EXPECT_TRUE(budget.try_consume(1));
+  EXPECT_FALSE(budget.try_consume(2));
+  EXPECT_TRUE(budget.try_consume(3));
+  EXPECT_EQ(budget.f(), 2u);
+}
+
+TEST(FaultBudget, ResetClearsDynamicState) {
+  FaultBudget budget(3, 1, 1);
+  EXPECT_TRUE(budget.try_consume(2));
+  EXPECT_FALSE(budget.try_consume(0));
+  budget.reset();
+  EXPECT_TRUE(budget.try_consume(0));  // designation freed by reset
+  EXPECT_EQ(budget.faults_used(2), 0u);
+}
+
+TEST(FaultBudget, ResetKeepsStaticDesignation) {
+  FaultBudget budget(2, std::vector<objects::ObjectId>{0}, 1);
+  EXPECT_TRUE(budget.try_consume(0));
+  budget.reset();
+  EXPECT_TRUE(budget.try_consume(0));
+  EXPECT_FALSE(budget.try_consume(1));  // still not designated
+}
+
+// --- policies ---------------------------------------------------------------
+
+TEST(Policy, NeverAndAlways) {
+  NeverFault never;
+  AlwaysFault always;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_FALSE(never.should_fault(0, 0, i));
+    EXPECT_TRUE(always.should_fault(0, 0, i));
+  }
+}
+
+TEST(Policy, ProbabilisticIsDeterministicAndCalibrated) {
+  ProbabilisticFault p(0.25, 999);
+  int hits = 0;
+  constexpr int kOps = 40000;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const bool a = p.should_fault(3, 0, i);
+    const bool b = p.should_fault(3, 1, i);  // caller must not matter
+    EXPECT_EQ(a, b);
+    if (a) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kOps, 0.25, 0.02);
+}
+
+TEST(Policy, ProbabilisticExtremes) {
+  ProbabilisticFault zero(0.0, 1);
+  ProbabilisticFault one(1.0, 1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(zero.should_fault(0, 0, i));
+    EXPECT_TRUE(one.should_fault(0, 0, i));
+  }
+}
+
+TEST(Policy, PeriodicFiresOnMultiples) {
+  PeriodicFault every3(3);
+  EXPECT_TRUE(every3.should_fault(0, 0, 0));
+  EXPECT_FALSE(every3.should_fault(0, 0, 1));
+  EXPECT_FALSE(every3.should_fault(0, 0, 2));
+  EXPECT_TRUE(every3.should_fault(0, 0, 3));
+  PeriodicFault offset(3, 1);
+  EXPECT_FALSE(offset.should_fault(0, 0, 0));
+  EXPECT_TRUE(offset.should_fault(0, 0, 1));
+}
+
+TEST(Policy, FirstK) {
+  FirstKFault first2(2);
+  EXPECT_TRUE(first2.should_fault(0, 0, 0));
+  EXPECT_TRUE(first2.should_fault(0, 0, 1));
+  EXPECT_FALSE(first2.should_fault(0, 0, 2));
+}
+
+TEST(Policy, ProcessScoped) {
+  ProcessScopedFault only1({1});
+  EXPECT_FALSE(only1.should_fault(0, 0, 0));
+  EXPECT_TRUE(only1.should_fault(0, 1, 0));
+  EXPECT_FALSE(only1.should_fault(0, 2, 5));
+}
+
+TEST(Policy, Scripted) {
+  ScriptedFault script({{0, 2}, {1, 0}});
+  EXPECT_FALSE(script.should_fault(0, 0, 0));
+  EXPECT_TRUE(script.should_fault(0, 0, 2));
+  EXPECT_TRUE(script.should_fault(1, 0, 0));
+  EXPECT_FALSE(script.should_fault(1, 0, 2));
+}
+
+TEST(Policy, EitherCombinesWithOr) {
+  FirstKFault a(1);
+  PeriodicFault b(4);
+  EitherFault either(a, b);
+  EXPECT_TRUE(either.should_fault(0, 0, 0));   // both
+  EXPECT_FALSE(either.should_fault(0, 0, 1));  // neither
+  EXPECT_TRUE(either.should_fault(0, 0, 4));   // b only
+}
+
+// --- FaultyCas semantics ---------------------------------------------------
+
+TEST(FaultyCas, BehavesCorrectlyWithoutPolicy) {
+  FaultyCas cas(0, FaultKind::kOverriding, nullptr, nullptr);
+  EXPECT_EQ(cas.cas(Value::bottom(), Value::of(5), 0), Value::bottom());
+  EXPECT_EQ(cas.debug_read(), Value::of(5));
+  // Failed CAS: wrong expected value.
+  EXPECT_EQ(cas.cas(Value::bottom(), Value::of(9), 0), Value::of(5));
+  EXPECT_EQ(cas.debug_read(), Value::of(5));
+}
+
+TEST(FaultyCas, OverridingWritesDespiteMismatch) {
+  AlwaysFault policy;
+  VectorTraceSink sink;
+  FaultyCas cas(0, FaultKind::kOverriding, &policy, nullptr, &sink);
+  cas.cas(Value::bottom(), Value::of(5), 0);  // correct success (⊥ matched)
+  const Value old = cas.cas(Value::bottom(), Value::of(9), 1);
+  EXPECT_EQ(old, Value::of(5));           // output is still correct
+  EXPECT_EQ(cas.debug_read(), Value::of(9));  // but the write happened
+
+  const auto trace = sink.snapshot();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_FALSE(trace[0].manifested);  // comparison succeeded: no fault
+  EXPECT_TRUE(trace[1].manifested);
+  EXPECT_EQ(trace[1].fired, FaultKind::kOverriding);
+}
+
+TEST(FaultyCas, OverridingOnSuccessfulCompareIsNotAFault) {
+  AlwaysFault policy;
+  FaultBudget budget(1, 1, /*t=*/5);
+  FaultyCas cas(0, FaultKind::kOverriding, &policy, &budget);
+  cas.cas(Value::bottom(), Value::of(5), 0);
+  EXPECT_EQ(budget.total_faults_used(), 0u);  // Φ held — nothing consumed
+}
+
+TEST(FaultyCas, OverridingRespectsBudget) {
+  AlwaysFault policy;
+  FaultBudget budget(1, 1, /*t=*/1);
+  FaultyCas cas(0, FaultKind::kOverriding, &policy, &budget);
+  cas.cas(Value::bottom(), Value::of(5), 0);
+  cas.cas(Value::bottom(), Value::of(9), 0);  // fault #1: overrides
+  EXPECT_EQ(cas.debug_read(), Value::of(9));
+  const Value old = cas.cas(Value::bottom(), Value::of(11), 0);
+  EXPECT_EQ(old, Value::of(9));  // budget gone: correct failed CAS
+  EXPECT_EQ(cas.debug_read(), Value::of(9));
+}
+
+TEST(FaultyCas, SilentDropsMatchingWrite) {
+  AlwaysFault policy;
+  VectorTraceSink sink;
+  FaultyCas cas(0, FaultKind::kSilent, &policy, nullptr, &sink);
+  const Value old = cas.cas(Value::bottom(), Value::of(5), 0);
+  EXPECT_EQ(old, Value::bottom());             // output claims "success"
+  EXPECT_EQ(cas.debug_read(), Value::bottom());  // but nothing was written
+  const auto trace = sink.snapshot();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_TRUE(trace[0].manifested);
+  EXPECT_EQ(trace[0].fired, FaultKind::kSilent);
+}
+
+TEST(FaultyCas, SilentOnMismatchIsNotAFault) {
+  AlwaysFault policy;
+  FaultBudget budget(1, 1, 5);
+  FaultyCas cas(0, FaultKind::kSilent, &policy, &budget);
+  cas.reset(Value::of(7));
+  const Value old = cas.cas(Value::bottom(), Value::of(5), 0);
+  EXPECT_EQ(old, Value::of(7));  // identical to a correct failed CAS
+  EXPECT_EQ(budget.total_faults_used(), 0u);
+}
+
+TEST(FaultyCas, InvisibleCorruptsOnlyTheOutput) {
+  AlwaysFault policy;
+  VectorTraceSink sink;
+  FaultyCas cas(0, FaultKind::kInvisible, &policy, nullptr, &sink);
+  const Value old = cas.cas(Value::bottom(), Value::of(5), 0);
+  EXPECT_NE(old, Value::bottom());             // output corrupted
+  EXPECT_EQ(cas.debug_read(), Value::of(5));   // register per spec
+  const auto trace = sink.snapshot();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].fired, FaultKind::kInvisible);
+  EXPECT_TRUE(trace[0].manifested);
+}
+
+TEST(FaultyCas, ArbitraryWritesGarbageButReturnsTruth) {
+  AlwaysFault policy;
+  FaultyCas cas(0, FaultKind::kArbitrary, &policy, nullptr);
+  cas.set_arbitrary_source([](std::uint64_t) { return 0xDEADBEEFull; });
+  const Value old = cas.cas(Value::bottom(), Value::of(5), 0);
+  EXPECT_EQ(old, Value::bottom());  // correct output
+  EXPECT_EQ(cas.debug_read(), Value::of(0xDEADBEEFull));
+}
+
+TEST(FaultyCas, ArbitraryThatMatchesSpecIsRefunded) {
+  AlwaysFault policy;
+  FaultBudget budget(1, 1, 5);
+  FaultyCas cas(0, FaultKind::kArbitrary, &policy, &budget);
+  // Arbitrary value happens to equal the correct result (desired).
+  cas.set_arbitrary_source([](std::uint64_t) { return 5ull; });
+  cas.cas(Value::bottom(), Value::of(5), 0);
+  EXPECT_EQ(budget.total_faults_used(), 0u);
+}
+
+TEST(FaultyCas, NonresponsiveThrows) {
+  AlwaysFault policy;
+  FaultyCas cas(0, FaultKind::kNonresponsive, &policy, nullptr);
+  EXPECT_THROW(cas.cas(Value::bottom(), Value::of(5), 0),
+               NonresponsiveError);
+}
+
+TEST(FaultyCas, NonresponsiveBudgetExhaustedRespondsCorrectly) {
+  AlwaysFault policy;
+  FaultBudget budget(1, 1, /*t=*/1);
+  FaultyCas cas(0, FaultKind::kNonresponsive, &policy, &budget);
+  EXPECT_THROW(cas.cas(Value::bottom(), Value::of(5), 0),
+               NonresponsiveError);
+  // Budget consumed; next call is a correct execution.
+  EXPECT_EQ(cas.cas(Value::bottom(), Value::of(5), 0), Value::bottom());
+  EXPECT_EQ(cas.debug_read(), Value::of(5));
+}
+
+TEST(FaultyCas, DataCorruptionReplacesContentBeforeTheCas) {
+  AlwaysFault policy;
+  FaultyCas cas(0, FaultKind::kDataCorruption, &policy, nullptr);
+  cas.set_arbitrary_source([](std::uint64_t) { return 1234ull; });
+  const Value old = cas.cas(Value::bottom(), Value::of(5), 0);
+  // The register was corrupted to 1234 first, so the CAS failed on it.
+  EXPECT_EQ(old, Value::of(1234));
+  EXPECT_EQ(cas.debug_read(), Value::of(1234));
+}
+
+TEST(FaultyCas, CorruptNowBypassesEverything) {
+  FaultyCas cas(0, FaultKind::kNone, nullptr, nullptr);
+  cas.cas(Value::bottom(), Value::of(5), 0);
+  const Value displaced = cas.corrupt_now(Value::of(77));
+  EXPECT_EQ(displaced, Value::of(5));
+  EXPECT_EQ(cas.debug_read(), Value::of(77));
+}
+
+TEST(FaultyCas, ResetRestoresBottomAndOpCount) {
+  PeriodicFault policy(2);  // op indices 0, 2, 4... attempt faults
+  VectorTraceSink sink;
+  FaultyCas cas(0, FaultKind::kOverriding, &policy, nullptr, &sink);
+  cas.cas(Value::bottom(), Value::of(5), 0);
+  cas.reset();
+  EXPECT_EQ(cas.debug_read(), Value::bottom());
+  cas.cas(Value::bottom(), Value::of(6), 0);
+  const auto trace = sink.snapshot();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[1].op_index, 0u);  // counter was reset
+}
+
+TEST(FaultyCas, TraceEventsCarryCallAndObservation) {
+  AlwaysFault policy;
+  VectorTraceSink sink;
+  FaultyCas cas(3, FaultKind::kOverriding, &policy, nullptr, &sink);
+  cas.reset(Value::of(1));
+  cas.cas(Value::of(2), Value::of(9), /*caller=*/7);
+  const auto trace = sink.snapshot();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].object, 3u);
+  EXPECT_EQ(trace[0].caller, 7u);
+  EXPECT_EQ(trace[0].call.expected, Value::of(2));
+  EXPECT_EQ(trace[0].call.desired, Value::of(9));
+  EXPECT_EQ(trace[0].obs.before, Value::of(1));
+  EXPECT_EQ(trace[0].obs.after, Value::of(9));
+  EXPECT_EQ(trace[0].obs.returned, Value::of(1));
+  EXPECT_EQ(model::classify(trace[0].obs, trace[0].call),
+            FaultKind::kOverriding);
+}
+
+TEST(CountingTraceSink, CountsTotalsAndManifested) {
+  AlwaysFault policy;
+  CountingTraceSink sink;
+  FaultyCas cas(0, FaultKind::kOverriding, &policy, nullptr, &sink);
+  cas.cas(Value::bottom(), Value::of(5), 0);  // correct (⊥ matches)
+  cas.cas(Value::bottom(), Value::of(9), 0);  // manifested fault
+  EXPECT_EQ(sink.total(), 2u);
+  EXPECT_EQ(sink.manifested(), 1u);
+  sink.clear();
+  EXPECT_EQ(sink.total(), 0u);
+}
+
+TEST(CorruptionGremlin, InjectsExactBudget) {
+  FaultyCas a(0, FaultKind::kNone, nullptr, nullptr);
+  FaultyCas b(1, FaultKind::kNone, nullptr, nullptr);
+  CorruptionGremlin::Options options;
+  options.corruptions_per_object = 3;
+  options.seed = 7;
+  CorruptionGremlin gremlin({&a, &b}, options);
+  gremlin.start();
+  // The gremlin stops by itself once budgets are exhausted.
+  while (gremlin.corruptions() < 6) {
+    std::this_thread::yield();
+  }
+  gremlin.stop();
+  EXPECT_EQ(gremlin.corruptions(), 6u);
+  EXPECT_FALSE(a.debug_read().is_bottom());
+  EXPECT_FALSE(b.debug_read().is_bottom());
+}
+
+}  // namespace
+}  // namespace ff::faults

@@ -1,0 +1,109 @@
+// Machine-checked wait-freedom bounds: longest_execution() computes the
+// worst-case total step count over ALL schedules and fault placements.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/explorer.hpp"
+
+namespace ff {
+namespace {
+
+using consensus::FPlusOneFactory;
+using consensus::RetrySilentFactory;
+using consensus::SingleCasFactory;
+using consensus::StagedFactory;
+using model::FaultKind;
+using model::kUnbounded;
+using sched::SimConfig;
+using sched::SimWorld;
+
+std::vector<std::uint64_t> inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+SimConfig cfg(std::uint32_t objects, FaultKind kind, std::uint32_t t) {
+  SimConfig c;
+  c.num_objects = objects;
+  c.kind = kind;
+  c.t = t;
+  return c;
+}
+
+TEST(LongestExecution, HerlihyIsExactlyNSteps) {
+  // Every process takes exactly one CAS step regardless of schedule and
+  // faults: the longest (= only) execution length is n.
+  const SingleCasFactory factory;
+  for (std::uint32_t n = 1; n <= 4; ++n) {
+    const SimWorld world(cfg(1, FaultKind::kOverriding, kUnbounded),
+                         factory, inputs(n));
+    const auto result = sched::longest_execution(world);
+    EXPECT_TRUE(result.complete) << "n=" << n;
+    EXPECT_TRUE(result.bounded) << "n=" << n;
+    EXPECT_EQ(result.max_total_steps, n) << "n=" << n;
+  }
+}
+
+TEST(LongestExecution, FPlusOneIsExactlyNTimesK) {
+  // Figure 2: each of n processes executes exactly k CASes.
+  for (const auto& [k, n] : {std::pair{2u, 2u}, {2u, 3u}, {3u, 3u}}) {
+    const FPlusOneFactory factory(k);
+    const SimWorld world(cfg(k, FaultKind::kOverriding, kUnbounded),
+                         factory, inputs(n));
+    const auto result = sched::longest_execution(world);
+    EXPECT_TRUE(result.complete);
+    EXPECT_TRUE(result.bounded);
+    EXPECT_EQ(result.max_total_steps, k * n) << "k=" << k << " n=" << n;
+  }
+}
+
+TEST(LongestExecution, StagedWorstCaseIsFiniteAndAboveSolo) {
+  // The staged protocol's retry loops make the bound schedule-dependent;
+  // the checker certifies it is finite (wait-freedom!) and locates it
+  // between the solo cost and a crude upper bound.
+  const StagedFactory factory(1, 1);
+  const SimWorld world(cfg(1, FaultKind::kOverriding, 1), factory,
+                       inputs(2));
+  const auto result = sched::longest_execution(world);
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(result.bounded);
+  const std::uint64_t solo = 1 * 5 + 2;  // f·maxStage + 2
+  EXPECT_GE(result.max_total_steps, solo);
+  EXPECT_LE(result.max_total_steps, 4 * solo);
+}
+
+TEST(LongestExecution, UnboundedSilentRetryIsDetectedAsUnbounded) {
+  const RetrySilentFactory factory;
+  const SimWorld world(cfg(1, FaultKind::kSilent, kUnbounded), factory,
+                       inputs(2));
+  const auto result = sched::longest_execution(world);
+  EXPECT_FALSE(result.bounded);
+}
+
+TEST(LongestExecution, BoundedSilentRetryHasFiniteBound) {
+  const RetrySilentFactory factory;
+  const SimWorld world(cfg(1, FaultKind::kSilent, 2), factory, inputs(2));
+  const auto result = sched::longest_execution(world);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.bounded);
+  // Each silent fault costs the victim at most 2 extra steps; 2 procs ×
+  // (1 attempt + 1 confirm) + recovery is comfortably under 12.
+  EXPECT_GE(result.max_total_steps, 4u);
+  EXPECT_LE(result.max_total_steps, 12u);
+}
+
+TEST(LongestExecution, RespectsStateCap) {
+  const StagedFactory factory(2, 2);
+  const SimWorld world(cfg(2, FaultKind::kOverriding, 2), factory,
+                       inputs(3));
+  sched::ExploreOptions options;
+  options.max_states = 100;
+  const auto result = sched::longest_execution(world, options);
+  EXPECT_FALSE(result.complete);
+}
+
+}  // namespace
+}  // namespace ff

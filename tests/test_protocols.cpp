@@ -1,0 +1,327 @@
+// Real-thread tests of the consensus protocols over FaultyCas objects:
+// correctness under randomized schedules and fault policies, step-count
+// (wait-freedom) bounds, and trace-based invariant checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "consensus/f_plus_one.hpp"
+#include "consensus/retry_silent.hpp"
+#include "consensus/single_cas.hpp"
+#include "consensus/staged.hpp"
+#include "consensus/verify.hpp"
+#include "faults/budget.hpp"
+#include "faults/faulty_cas.hpp"
+#include "faults/policy.hpp"
+#include "faults/trace.hpp"
+#include "objects/atomic_cas.hpp"
+#include "runtime/stress.hpp"
+#include "runtime/thread_runner.hpp"
+
+namespace ff {
+namespace {
+
+using consensus::Decision;
+using consensus::InputValue;
+using model::FaultKind;
+using model::Value;
+
+/// Bundles a bank of FaultyCas objects with shared policy/budget/trace.
+struct Bank {
+  Bank(std::uint32_t count, FaultKind kind,
+       std::unique_ptr<faults::FaultPolicy> fault_policy,
+       std::unique_ptr<faults::FaultBudget> fault_budget)
+      : policy(std::move(fault_policy)), budget(std::move(fault_budget)) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      objects.push_back(std::make_unique<faults::FaultyCas>(
+          i, kind, policy.get(), budget.get(), &trace));
+      raw.push_back(objects.back().get());
+    }
+  }
+
+  void reset_all() {
+    if (budget) budget->reset();
+    trace.clear();
+  }
+
+  std::unique_ptr<faults::FaultPolicy> policy;
+  std::unique_ptr<faults::FaultBudget> budget;
+  faults::VectorTraceSink trace;
+  std::vector<std::unique_ptr<faults::FaultyCas>> objects;
+  std::vector<objects::CasObject*> raw;
+};
+
+// --- Figure 1 / Theorem 4 ---------------------------------------------------
+
+TEST(TwoProcess, CorrectUnderAlwaysFaultingObject) {
+  Bank bank(1, FaultKind::kOverriding,
+            std::make_unique<faults::AlwaysFault>(), nullptr);
+  consensus::TwoProcessConsensus protocol(*bank.raw[0]);
+
+  runtime::StressOptions options;
+  options.processes = 2;
+  options.trials = 300;
+  const auto report = runtime::run_stress(
+      protocol, options, [&](std::uint64_t) { bank.reset_all(); });
+  EXPECT_TRUE(report.all_ok()) << "violations=" << report.violations();
+  EXPECT_DOUBLE_EQ(report.steps_per_process.max(), 1.0);  // 1 CAS each
+}
+
+TEST(TwoProcess, SoloRunDecidesOwnValue) {
+  objects::AtomicCas object(0);
+  consensus::SingleCasConsensus protocol(object);
+  const Decision d = protocol.decide(123, 0);
+  EXPECT_TRUE(d.decided);
+  EXPECT_EQ(d.value, 123u);
+  EXPECT_EQ(d.cas_steps, 1u);
+}
+
+TEST(TwoProcess, SecondCallerAdoptsFirstValue) {
+  objects::AtomicCas object(0);
+  consensus::SingleCasConsensus protocol(object);
+  EXPECT_EQ(protocol.decide(5, 0).value, 5u);
+  EXPECT_EQ(protocol.decide(9, 1).value, 5u);
+}
+
+TEST(TwoProcess, HerlihyManyThreadsFaultFree) {
+  objects::AtomicCas object(0);
+  consensus::HerlihyConsensus protocol(object);
+  runtime::StressOptions options;
+  options.processes = 6;
+  options.trials = 200;
+  const auto report = runtime::run_stress(protocol, options);
+  EXPECT_TRUE(report.all_ok());
+}
+
+// --- Figure 2 / Theorem 5 ---------------------------------------------------
+
+class FPlusOneThreaded
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FPlusOneThreaded, ToleratesFFaultyObjects) {
+  const auto f = static_cast<std::uint32_t>(std::get<0>(GetParam()));
+  const auto n = static_cast<std::uint32_t>(std::get<1>(GetParam()));
+  // Dynamic designation: the adversary may pick any f of the f+1 objects.
+  Bank bank(f + 1, FaultKind::kOverriding,
+            std::make_unique<faults::ProbabilisticFault>(0.6, 17),
+            std::make_unique<faults::FaultBudget>(f + 1, f,
+                                                  model::kUnbounded));
+  consensus::FPlusOneConsensus protocol(bank.raw);
+
+  runtime::StressOptions options;
+  options.processes = n;
+  options.trials = 150;
+  options.seed = 0xabc + f * 31 + n;
+  const auto report = runtime::run_stress(
+      protocol, options, [&](std::uint64_t) { bank.reset_all(); });
+  EXPECT_TRUE(report.all_ok())
+      << "f=" << f << " n=" << n << " violations=" << report.violations();
+  // Wait-freedom: exactly f+1 CAS steps per process, always.
+  EXPECT_DOUBLE_EQ(report.steps_per_process.min(), f + 1);
+  EXPECT_DOUBLE_EQ(report.steps_per_process.max(), f + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FPlusOneThreaded,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(2, 4, 6)));
+
+TEST(FPlusOne, TraceStaysCoherentAndWithinBudget) {
+  constexpr std::uint32_t kF = 2;
+  Bank bank(kF + 1, FaultKind::kOverriding,
+            std::make_unique<faults::AlwaysFault>(),
+            std::make_unique<faults::FaultBudget>(kF + 1, kF,
+                                                  model::kUnbounded));
+  consensus::FPlusOneConsensus protocol(bank.raw);
+
+  runtime::StressOptions options;
+  options.processes = 4;
+  options.trials = 50;
+  const auto report = runtime::run_stress(
+      protocol, options, [&](std::uint64_t) { bank.reset_all(); },
+      [&](std::uint64_t trial, const runtime::TrialOutcome& outcome) {
+        const auto trace = bank.trace.snapshot();
+        // Every event satisfies the Φ/Φ′ it claims.
+        EXPECT_FALSE(consensus::find_incoherent_event(trace).has_value())
+            << "trial " << trial;
+        // At most f objects manifested faults.
+        const auto acc = consensus::account_faults(trace);
+        EXPECT_LE(acc.faulty_objects(), kF) << "trial " << trial;
+        // Claim 7 flavour: only input values are ever written.
+        EXPECT_TRUE(consensus::writes_only_input_values(
+            trace, outcome.inputs, /*staged=*/false))
+            << "trial " << trial;
+      });
+  EXPECT_TRUE(report.all_ok());
+}
+
+// --- Figure 3 / Theorem 6 ---------------------------------------------------
+
+class StagedThreaded
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StagedThreaded, AllObjectsFaultyWithinBounds) {
+  const auto f = static_cast<std::uint32_t>(std::get<0>(GetParam()));
+  const auto t = static_cast<std::uint32_t>(std::get<1>(GetParam()));
+  const std::uint32_t n = f + 1;
+  Bank bank(f, FaultKind::kOverriding,
+            std::make_unique<faults::ProbabilisticFault>(0.5, 23),
+            std::make_unique<faults::FaultBudget>(f, f, t));
+  consensus::StagedConsensus protocol(bank.raw, t);
+  protocol.set_step_limit(1'000'000);
+
+  runtime::StressOptions options;
+  options.processes = n;
+  options.trials = 100;
+  options.seed = 0xdef + f * 131 + t;
+  const auto report = runtime::run_stress(
+      protocol, options, [&](std::uint64_t) { bank.reset_all(); },
+      [&](std::uint64_t trial, const runtime::TrialOutcome& outcome) {
+        const auto trace = bank.trace.snapshot();
+        EXPECT_TRUE(consensus::stages_monotone_per_process(trace))
+            << "Claim 8 violated in trial " << trial;
+        EXPECT_TRUE(consensus::nonfaulty_writes_increase_stage(trace))
+            << "Claim 13 violated in trial " << trial;
+        EXPECT_TRUE(consensus::stage_propagation_order(trace, f))
+            << "Claim 9 violated in trial " << trial;
+        EXPECT_TRUE(consensus::writes_only_input_values(
+            trace, outcome.inputs, /*staged=*/true))
+            << "Claim 7 violated in trial " << trial;
+        const auto acc = consensus::account_faults(trace);
+        EXPECT_TRUE(acc.within({f, t, n})) << "budget overrun, trial "
+                                           << trial;
+      });
+  EXPECT_TRUE(report.all_ok())
+      << "f=" << f << " t=" << t << " violations=" << report.violations();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StagedThreaded,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{1, 3},
+                                           std::tuple{2, 1}, std::tuple{2, 2},
+                                           std::tuple{3, 1}, std::tuple{3, 2},
+                                           std::tuple{4, 1}));
+
+TEST(Staged, SoloStepCountMatchesStageArithmetic) {
+  // A solo fault-free run: every stage costs f successful CASes; stage 1
+  // additionally pays one repair CAS on O_0 (the ⊥-filler exp from line
+  // 17 never matches), and the final stage is a single successful CAS.
+  // Total: f·maxStage + 1 (repair) + 1 (final) = f·maxStage + 2.
+  for (const auto& [f, t] : {std::pair{1u, 1u}, {2u, 1u}, {3u, 2u}}) {
+    std::vector<std::unique_ptr<objects::AtomicCas>> bank;
+    std::vector<objects::CasObject*> raw;
+    for (std::uint32_t i = 0; i < f; ++i) {
+      bank.push_back(std::make_unique<objects::AtomicCas>(i));
+      raw.push_back(bank.back().get());
+    }
+    consensus::StagedConsensus protocol(raw, t);
+    const Decision d = protocol.decide(7, 0);
+    EXPECT_TRUE(d.decided);
+    EXPECT_EQ(d.value, 7u);
+    const std::uint64_t max_stage = protocol.max_stage();
+    EXPECT_EQ(d.cas_steps, max_stage * f + 2) << "f=" << f << " t=" << t;
+  }
+}
+
+TEST(Staged, MaxStageAccessor) {
+  std::vector<std::unique_ptr<objects::AtomicCas>> bank;
+  std::vector<objects::CasObject*> raw;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    bank.push_back(std::make_unique<objects::AtomicCas>(i));
+    raw.push_back(bank.back().get());
+  }
+  consensus::StagedConsensus protocol(raw, 3);
+  EXPECT_EQ(protocol.max_stage(), 3u * (4 * 2 + 4));
+  EXPECT_EQ(protocol.objects_used(), 2u);
+  EXPECT_EQ(protocol.fault_bound(), 3u);
+}
+
+TEST(Staged, StepLimitProducesUndecidedNotHang) {
+  std::vector<std::unique_ptr<objects::AtomicCas>> bank;
+  std::vector<objects::CasObject*> raw;
+  bank.push_back(std::make_unique<objects::AtomicCas>(0));
+  raw.push_back(bank.back().get());
+  consensus::StagedConsensus protocol(raw, 1);
+  protocol.set_step_limit(2);  // absurdly small
+  const Decision d = protocol.decide(7, 0);
+  EXPECT_FALSE(d.decided);
+  EXPECT_LE(d.cas_steps, 2u);
+}
+
+// --- retry-silent (§3.4) ----------------------------------------------------
+
+TEST(RetrySilent, ToleratesBoundedSilentFaultsThreaded) {
+  Bank bank(1, FaultKind::kSilent, std::make_unique<faults::AlwaysFault>(),
+            std::make_unique<faults::FaultBudget>(1, 1, /*t=*/4));
+  consensus::RetrySilentConsensus protocol(*bank.raw[0]);
+  protocol.set_step_limit(10'000);
+
+  runtime::StressOptions options;
+  options.processes = 3;
+  options.trials = 200;
+  const auto report = runtime::run_stress(
+      protocol, options, [&](std::uint64_t) { bank.reset_all(); });
+  EXPECT_TRUE(report.all_ok()) << "violations=" << report.violations();
+}
+
+TEST(RetrySilent, UnboundedSilentFaultsLivelockIsDetected) {
+  Bank bank(1, FaultKind::kSilent, std::make_unique<faults::AlwaysFault>(),
+            nullptr);  // no budget: unbounded faults
+  consensus::RetrySilentConsensus protocol(*bank.raw[0]);
+  protocol.set_step_limit(1'000);
+  const Decision d = protocol.decide(5, 0);
+  EXPECT_FALSE(d.decided);  // every write silently dropped, forever
+  EXPECT_GE(d.cas_steps, 1'000u);
+}
+
+// --- nonresponsive handling in the thread runner ---------------------------
+
+TEST(ThreadRunner, NonresponsiveFaultYieldsUndecidedOutcome) {
+  Bank bank(1, FaultKind::kNonresponsive,
+            std::make_unique<faults::FirstKFault>(1),
+            std::make_unique<faults::FaultBudget>(1, 1, 1));
+  consensus::SingleCasConsensus protocol(*bank.raw[0]);
+  const auto outcome = runtime::run_trial(protocol, {10, 20});
+  EXPECT_FALSE(outcome.verdict.all_decided);
+  // Exactly one process was swallowed; the other decided validly.
+  int decided = 0;
+  for (const auto& d : outcome.decisions) decided += d.decided ? 1 : 0;
+  EXPECT_EQ(decided, 1);
+}
+
+// --- verify_consensus unit behaviour ----------------------------------------
+
+TEST(Verify, DetectsInconsistency) {
+  const auto v = consensus::verify_consensus(
+      {1, 2}, {Decision::of(1, 1), Decision::of(2, 1)});
+  EXPECT_FALSE(v.ok());
+  EXPECT_FALSE(v.consistent);
+  EXPECT_TRUE(v.valid);
+}
+
+TEST(Verify, DetectsInvalidity) {
+  const auto v = consensus::verify_consensus(
+      {1, 2}, {Decision::of(7, 1), Decision::of(7, 1)});
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.consistent);
+  EXPECT_FALSE(v.valid);
+}
+
+TEST(Verify, DetectsUndecided) {
+  const auto v = consensus::verify_consensus(
+      {1, 2}, {Decision::of(1, 1), Decision::undecided(5)});
+  EXPECT_FALSE(v.ok());
+  EXPECT_FALSE(v.all_decided);
+}
+
+TEST(Verify, AcceptsAgreement) {
+  const auto v = consensus::verify_consensus(
+      {1, 2, 3},
+      {Decision::of(2, 1), Decision::of(2, 2), Decision::of(2, 3)});
+  EXPECT_TRUE(v.ok());
+  ASSERT_TRUE(v.agreed.has_value());
+  EXPECT_EQ(*v.agreed, 2u);
+  EXPECT_FALSE(v.describe().empty());
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,106 @@
+// Read/write registers in the simulator and the register-augmented
+// Theorem 18 candidate: registers are correct and unbounded in the lower
+// bound's statement, yet (consensus number 1) they cannot rescue an
+// f-object protocol from overriding faults.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/explorer.hpp"
+#include "sched/sim_world.hpp"
+
+namespace ff {
+namespace {
+
+using consensus::AnnounceCasFactory;
+using model::FaultKind;
+using model::kUnbounded;
+using sched::SimConfig;
+using sched::SimWorld;
+
+std::vector<std::uint64_t> inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 10);  // inputs 10, 11, ... (≠ pids)
+  return v;
+}
+
+SimConfig cfg(std::uint32_t n, FaultKind kind, std::uint32_t t) {
+  SimConfig c;
+  c.num_objects = 1;
+  c.num_registers = n;
+  c.kind = kind;
+  c.t = t;
+  return c;
+}
+
+TEST(Registers, WriteThenReadRoundTrips) {
+  const AnnounceCasFactory factory(1);
+  SimWorld world(cfg(1, FaultKind::kNone, 0), factory, inputs(1));
+  // p0: write A[0]=10, CAS, read A[0].
+  world.apply({0, false, 0});
+  EXPECT_EQ(world.register_value(0), model::Value::of(10));
+  world.apply({0, false, 0});
+  world.apply({0, false, 0});
+  EXPECT_TRUE(world.terminal());
+  EXPECT_EQ(world.decisions()[0], 10u);
+}
+
+TEST(Registers, RegisterStepsNeverOfferFaultBranches) {
+  const AnnounceCasFactory factory(2);
+  SimWorld world(cfg(2, FaultKind::kOverriding, kUnbounded), factory,
+                 inputs(2));
+  // Both processes' next steps are register writes: no fault choices.
+  for (const auto& choice : world.enabled()) EXPECT_FALSE(choice.fault);
+}
+
+TEST(Registers, RegisterContentDistinguishesEncodedStates) {
+  const AnnounceCasFactory factory(2);
+  SimWorld a(cfg(2, FaultKind::kNone, 0), factory, inputs(2));
+  SimWorld b = a;
+  a.apply({0, false, 0});  // p0 announces
+  b.apply({1, false, 0});  // p1 announces
+  EXPECT_NE(a.encode(), b.encode());
+}
+
+TEST(AnnounceCas, FaultFreeCorrectForManyProcesses) {
+  for (std::uint32_t n = 2; n <= 4; ++n) {
+    const AnnounceCasFactory factory(n);
+    SimWorld world(cfg(n, FaultKind::kOverriding, 0), factory, inputs(n));
+    const auto result = sched::explore(world);
+    EXPECT_TRUE(result.complete) << "n=" << n;
+    EXPECT_FALSE(result.violation.has_value()) << "n=" << n;
+    EXPECT_EQ(result.agreed_values.size(), n) << "n=" << n;
+  }
+}
+
+TEST(AnnounceCas, ToleratesUnboundedOverridingFaultsForTwoProcs) {
+  // The Theorem 4 phenomenon extends to this protocol shape: at n = 2 the
+  // returned-old chain still pairs the winner and the adopter correctly.
+  const AnnounceCasFactory factory(2);
+  SimWorld world(cfg(2, FaultKind::kOverriding, kUnbounded), factory,
+                 inputs(2));
+  const auto result = sched::explore(world);
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.violation.has_value());
+}
+
+TEST(AnnounceCas, RegistersDoNotRescueThreeProcesses) {
+  // Theorem 18 fidelity: even WITH correct registers, one faulty CAS
+  // object cannot carry three processes.
+  const AnnounceCasFactory factory(3);
+  SimWorld world(cfg(3, FaultKind::kOverriding, 1), factory, inputs(3));
+  const auto result = sched::explore(world);
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->kind, sched::ViolationKind::kInconsistent);
+}
+
+TEST(AnnounceCas, FactoryMetadata) {
+  const AnnounceCasFactory factory(5);
+  EXPECT_EQ(factory.objects_used(), 1u);
+  EXPECT_EQ(factory.registers_used(), 5u);
+  EXPECT_EQ(factory.name(), "announce-cas");
+}
+
+}  // namespace
+}  // namespace ff

@@ -1,0 +1,181 @@
+// The relaxed queue as a functional-fault instance (§6): k-relaxed
+// dequeues satisfy Φ′_k, the generic Hoare checker classifies them, and
+// budgets bound how many relaxations occur.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "faults/relaxed_queue.hpp"
+#include "model/hoare.hpp"
+#include "model/queue_semantics.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace ff {
+namespace {
+
+using faults::RelaxedQueue;
+using model::DequeueCall;
+using model::DequeueObservation;
+
+TEST(QueueSemantics, PhiIsStrictFifo) {
+  EXPECT_TRUE(model::dequeue_satisfies_phi({{1, 2, 3}, 1}));
+  EXPECT_FALSE(model::dequeue_satisfies_phi({{1, 2, 3}, 2}));
+  EXPECT_TRUE(model::dequeue_satisfies_phi({{}, std::nullopt}));
+  EXPECT_FALSE(model::dequeue_satisfies_phi({{1}, std::nullopt}));
+}
+
+TEST(QueueSemantics, PhiPrimeAllowsWindowK) {
+  const DequeueObservation second{{1, 2, 3}, 2};
+  EXPECT_FALSE(model::dequeue_satisfies_phi_prime(second, 0));
+  EXPECT_TRUE(model::dequeue_satisfies_phi_prime(second, 1));
+  EXPECT_TRUE(model::dequeue_satisfies_phi_prime(second, 2));
+  const DequeueObservation third{{1, 2, 3}, 3};
+  EXPECT_FALSE(model::dequeue_satisfies_phi_prime(third, 1));
+  EXPECT_TRUE(model::dequeue_satisfies_phi_prime(third, 2));
+}
+
+TEST(QueueSemantics, RelaxationDistance) {
+  EXPECT_EQ(model::relaxation_distance({{1, 2, 3}, 1}), 0u);
+  EXPECT_EQ(model::relaxation_distance({{1, 2, 3}, 3}), 2u);
+  EXPECT_EQ(model::relaxation_distance({{1, 2, 3}, 9}), std::nullopt);
+  EXPECT_EQ(model::relaxation_distance({{}, std::nullopt}), 0u);
+}
+
+TEST(QueueSemantics, GenericTripleCheckerClassifiesRelaxations) {
+  // The hoare.hpp framework on a second object type: Ψ = nonempty,
+  // Φ = FIFO, Φ′_1 and Φ′_2 registered most-specific-first.
+  using Checker = model::TripleChecker<DequeueCall, DequeueObservation>;
+  Checker checker({"dequeue",
+                   [](const DequeueCall&, const DequeueObservation& obs) {
+                     return !obs.prefix_before.empty();
+                   },
+                   [](const DequeueCall&, const DequeueObservation& obs) {
+                     return model::dequeue_satisfies_phi(obs);
+                   }});
+  const auto relax1 = checker.add_fault(
+      {"1-relaxed", [](const DequeueCall&, const DequeueObservation& obs) {
+         return model::dequeue_satisfies_phi_prime(obs, 1);
+       }});
+  const auto relax2 = checker.add_fault(
+      {"2-relaxed", [](const DequeueCall&, const DequeueObservation& obs) {
+         return model::dequeue_satisfies_phi_prime(obs, 2);
+       }});
+
+  auto r = checker.classify({}, {{1, 2, 3}, 1});
+  EXPECT_EQ(r.verdict, model::StepVerdict::kCorrect);
+  r = checker.classify({}, {{1, 2, 3}, 2});
+  ASSERT_EQ(r.verdict, model::StepVerdict::kCharacterized);
+  EXPECT_EQ(*r.characterization, relax1);
+  r = checker.classify({}, {{1, 2, 3}, 3});
+  ASSERT_EQ(r.verdict, model::StepVerdict::kCharacterized);
+  EXPECT_EQ(*r.characterization, relax2);
+  r = checker.classify({}, {{1, 2, 3}, 42});
+  EXPECT_EQ(r.verdict, model::StepVerdict::kUnstructured);
+  r = checker.classify({}, {{}, std::nullopt});
+  EXPECT_EQ(r.verdict, model::StepVerdict::kPreconditionUnmet);
+}
+
+TEST(RelaxedQueue, StrictFifoWithoutPolicy) {
+  RelaxedQueue queue(0, /*k=*/3, nullptr, nullptr);
+  for (std::uint64_t i = 1; i <= 5; ++i) queue.enqueue(i);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(queue.dequeue(0), i);
+  }
+  EXPECT_EQ(queue.dequeue(0), std::nullopt);
+}
+
+TEST(RelaxedQueue, EveryDequeueWithinPhiPrimeK) {
+  faults::AlwaysFault policy;
+  RelaxedQueue queue(0, /*k=*/2, &policy, nullptr);
+  for (std::uint64_t i = 1; i <= 50; ++i) queue.enqueue(i);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(queue.dequeue(0).has_value());
+  }
+  for (const auto& ev : queue.trace()) {
+    EXPECT_TRUE(model::dequeue_satisfies_phi_prime(ev.obs, 2));
+    const auto distance = model::relaxation_distance(ev.obs);
+    ASSERT_TRUE(distance.has_value());
+    EXPECT_LE(*distance, 2u);
+    EXPECT_EQ(*distance >= 1, ev.manifested);
+  }
+}
+
+TEST(RelaxedQueue, BudgetBoundsManifestedRelaxations) {
+  faults::AlwaysFault policy;
+  faults::FaultBudget budget(1, 1, /*t=*/3);
+  RelaxedQueue queue(0, /*k=*/4, &policy, &budget);
+  for (std::uint64_t i = 1; i <= 40; ++i) queue.enqueue(i);
+  for (int i = 0; i < 40; ++i) queue.dequeue(0);
+  std::uint32_t manifested = 0;
+  for (const auto& ev : queue.trace()) manifested += ev.manifested ? 1 : 0;
+  EXPECT_EQ(manifested, 3u);
+  // Once the budget is spent, strict FIFO resumes.
+  const auto trace = queue.trace();
+  bool past_budget = false;
+  std::uint32_t seen = 0;
+  for (const auto& ev : trace) {
+    if (ev.manifested) ++seen;
+    if (seen == 3) past_budget = true;
+    if (past_budget && !ev.manifested) {
+      EXPECT_TRUE(model::dequeue_satisfies_phi(ev.obs));
+    }
+  }
+}
+
+TEST(RelaxedQueue, NoElementLostOrDuplicated) {
+  faults::AlwaysFault policy;
+  RelaxedQueue queue(0, /*k=*/3, &policy, nullptr);
+  constexpr std::uint64_t kItems = 200;
+  for (std::uint64_t i = 1; i <= kItems; ++i) queue.enqueue(i);
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    const auto v = queue.dequeue(0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(out.insert(*v).second) << "duplicate " << *v;
+  }
+  EXPECT_EQ(out.size(), kItems);
+  EXPECT_EQ(*out.begin(), 1u);
+  EXPECT_EQ(*out.rbegin(), kItems);
+}
+
+TEST(RelaxedQueue, ConcurrentProducersConsumers) {
+  faults::AlwaysFault policy;
+  RelaxedQueue queue(0, /*k=*/2, &policy, nullptr);
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 250;
+  util::SpinBarrier barrier(kThreads * 2);
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> consumed{0};
+  for (std::uint32_t p = 0; p < kThreads; ++p) {
+    threads.emplace_back([&, p] {  // producer
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        queue.enqueue(p * kPerThread + i + 1);
+      }
+    });
+    threads.emplace_back([&] {  // consumer
+      barrier.arrive_and_wait();
+      std::uint64_t got = 0;
+      while (got < kPerThread) {
+        if (queue.dequeue(0).has_value()) {
+          ++got;
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed.load(), kThreads * kPerThread);
+  EXPECT_EQ(queue.size(), 0u);
+  // Every recorded dequeue stayed within Φ′_2.
+  for (const auto& ev : queue.trace()) {
+    if (ev.obs.returned) {
+      EXPECT_TRUE(model::dequeue_satisfies_phi_prime(ev.obs, 2));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ff

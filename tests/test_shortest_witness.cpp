@@ -1,0 +1,102 @@
+// Minimal counterexamples: BFS witness search, cross-checked against the
+// DFS explorer and hand-derived shortest violating executions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/explorer.hpp"
+
+namespace ff {
+namespace {
+
+using consensus::FPlusOneFactory;
+using consensus::SingleCasFactory;
+using consensus::StagedFactory;
+using model::FaultKind;
+using model::kUnbounded;
+using sched::SimConfig;
+using sched::SimWorld;
+
+std::vector<std::uint64_t> inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+SimConfig cfg(std::uint32_t objects, FaultKind kind, std::uint32_t t) {
+  SimConfig c;
+  c.num_objects = objects;
+  c.kind = kind;
+  c.t = t;
+  return c;
+}
+
+TEST(ShortestWitness, HerlihyThreeProcsNeedsExactlyThreeSteps) {
+  // The minimal violating execution of Figure 1 at n=3 is the one from
+  // the analysis: p_a decides, p_b overrides and adopts, p_c reads the
+  // overridden value — 3 steps, no shorter one exists.
+  const SingleCasFactory factory;
+  const SimWorld world(cfg(1, FaultKind::kOverriding, 1), factory,
+                       inputs(3));
+  const auto result = sched::find_shortest_violation(world);
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->schedule.size(), 3u);
+  // Exactly one step is faulty.
+  int faults = 0;
+  for (const auto& c : result.violation->schedule) faults += c.fault;
+  EXPECT_EQ(faults, 1);
+}
+
+TEST(ShortestWitness, NeverLongerThanDfsWitness) {
+  const FPlusOneFactory factory(2);
+  const SimWorld world(cfg(2, FaultKind::kOverriding, kUnbounded), factory,
+                       inputs(3));
+  const auto dfs = sched::explore(world);
+  const auto bfs = sched::find_shortest_violation(world);
+  ASSERT_TRUE(dfs.violation.has_value());
+  ASSERT_TRUE(bfs.violation.has_value());
+  EXPECT_LE(bfs.violation->schedule.size(), dfs.violation->schedule.size());
+}
+
+TEST(ShortestWitness, WitnessReplaysToViolation) {
+  const StagedFactory factory(1, 1);
+  const SimWorld world(cfg(1, FaultKind::kOverriding, 1), factory,
+                       inputs(3));
+  const auto result = sched::find_shortest_violation(world);
+  ASSERT_TRUE(result.violation.has_value());
+  const SimWorld replayed = sched::replay(world, result.violation->schedule);
+  EXPECT_TRUE(replayed.terminal());
+  std::set<std::uint64_t> distinct;
+  for (const auto& d : replayed.decisions()) {
+    if (d) distinct.insert(*d);
+  }
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(ShortestWitness, CompletesAsProofOnCorrectConfigs) {
+  const SingleCasFactory factory;
+  const SimWorld world(cfg(1, FaultKind::kOverriding, kUnbounded), factory,
+                       inputs(2));
+  const auto result = sched::find_shortest_violation(world);
+  EXPECT_FALSE(result.violation.has_value());
+  EXPECT_TRUE(result.complete);
+  // Same reachable-state count as the DFS explorer.
+  const auto dfs = sched::explore(world);
+  EXPECT_EQ(result.states_visited, dfs.states_visited);
+}
+
+TEST(ShortestWitness, RespectsStateCap) {
+  const StagedFactory factory(2, 2);
+  const SimWorld world(cfg(2, FaultKind::kOverriding, 2), factory,
+                       inputs(3));
+  sched::ExploreOptions options;
+  options.max_states = 50;
+  const auto result = sched::find_shortest_violation(world, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_FALSE(result.violation.has_value());
+  EXPECT_LE(result.states_visited, 52u);
+}
+
+}  // namespace
+}  // namespace ff

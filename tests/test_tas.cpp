@@ -1,0 +1,163 @@
+// Test&set instantiation: the level-2 primitive next to the paper's
+// faulty-CAS level-2 ensemble, plus a machine-checked usage-pattern
+// observation — uniform-desired CAS usage is IMMUNE to the overriding
+// fault (Φ′ writes the desired value; if every caller desires the same
+// value, no overriding write can ever violate Φ).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "consensus/tas.hpp"
+#include "objects/atomic_cas.hpp"
+#include "objects/register.hpp"
+#include "faults/faulty_cas.hpp"
+#include "faults/policy.hpp"
+#include "runtime/stress.hpp"
+#include "sched/explorer.hpp"
+
+namespace ff {
+namespace {
+
+using consensus::TasFactory;
+using model::FaultKind;
+using model::kUnbounded;
+using sched::SimConfig;
+using sched::SimWorld;
+
+std::vector<std::uint64_t> inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 10);
+  return v;
+}
+
+SimConfig cfg(std::uint32_t n, FaultKind kind, std::uint32_t t) {
+  SimConfig c;
+  c.num_objects = 1;
+  c.num_registers = n;
+  c.kind = kind;
+  c.t = t;
+  return c;
+}
+
+// --- threaded protocol -------------------------------------------------------
+
+TEST(Tas, TwoProcessConsensusCorrectBit) {
+  objects::AtomicCas bit(0);
+  objects::AtomicRegister a0(1);
+  objects::AtomicRegister a1(2);
+  consensus::TasConsensus protocol(bit, a0, a1);
+
+  runtime::StressOptions options;
+  options.processes = 2;
+  options.trials = 300;
+  const auto report = runtime::run_stress(protocol, options);
+  EXPECT_TRUE(report.all_ok()) << report.violations();
+  EXPECT_DOUBLE_EQ(report.steps_per_process.max(), 1.0);
+}
+
+TEST(Tas, SoloWinnerKeepsOwnValue) {
+  objects::AtomicCas bit(0);
+  objects::AtomicRegister a0(1);
+  objects::AtomicRegister a1(2);
+  consensus::TasConsensus protocol(bit, a0, a1);
+  EXPECT_EQ(protocol.decide(42, 0).value, 42u);
+  EXPECT_EQ(protocol.decide(99, 1).value, 42u);  // loser adopts
+}
+
+TEST(Tas, ThreadedOverridingFaultsAreHarmless) {
+  // Uniform-desired usage: every TAS writes 1, so an overriding fault's
+  // outcome always coincides with Φ — it never manifests, and agreement
+  // holds even with an always-fault policy and unbounded budget.
+  faults::AlwaysFault policy;
+  faults::VectorTraceSink sink;
+  faults::FaultyCas bit(0, FaultKind::kOverriding, &policy, nullptr, &sink);
+  objects::AtomicRegister a0(1);
+  objects::AtomicRegister a1(2);
+  consensus::TasConsensus protocol(bit, a0, a1);
+
+  runtime::StressOptions options;
+  options.processes = 2;
+  options.trials = 200;
+  const auto report = runtime::run_stress(
+      protocol, options, [&](std::uint64_t) { sink.clear(); },
+      [&](std::uint64_t trial, const runtime::TrialOutcome&) {
+        for (const auto& ev : sink.snapshot()) {
+          EXPECT_FALSE(ev.manifested) << "trial " << trial;
+        }
+      });
+  EXPECT_TRUE(report.all_ok());
+}
+
+// --- simulator ---------------------------------------------------------------
+
+TEST(TasMachine, FaultFreeTwoProcsProven) {
+  const TasFactory factory(2);
+  SimWorld world(cfg(2, FaultKind::kOverriding, 0), factory, inputs(2));
+  const auto result = sched::explore(world);
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.violation.has_value());
+  EXPECT_EQ(result.agreed_values.size(), 2u);
+}
+
+TEST(TasMachine, NaiveGeneralizationBreaksAtThree) {
+  // TAS sits at hierarchy level 2: the natural 3-process extension of
+  // the protocol admits disagreement even with a CORRECT bit.
+  const TasFactory factory(3);
+  SimWorld world(cfg(3, FaultKind::kOverriding, 0), factory, inputs(3));
+  const auto result = sched::explore(world);
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->kind, sched::ViolationKind::kInconsistent);
+}
+
+TEST(TasMachine, OverridingFaultNeverEvenEnables) {
+  // Machine-checked immunity: across the ENTIRE state space with an
+  // unbounded overriding budget, no fault branch is ever offered, so the
+  // state count equals the fault-free one.
+  const TasFactory factory(2);
+  SimWorld faulty(cfg(2, FaultKind::kOverriding, kUnbounded), factory,
+                  inputs(2));
+  SimWorld clean(cfg(2, FaultKind::kOverriding, 0), factory, inputs(2));
+  const auto faulty_result = sched::explore(faulty);
+  const auto clean_result = sched::explore(clean);
+  EXPECT_TRUE(faulty_result.complete);
+  EXPECT_FALSE(faulty_result.violation.has_value());
+  EXPECT_EQ(faulty_result.states_visited, clean_result.states_visited);
+}
+
+TEST(TasMachine, OneSilentFaultBreaksTwoProcessConsensus) {
+  // The natural TAS fault — the bit fails to latch — is fatal even at
+  // n = 2: both processes can believe they won.
+  const TasFactory factory(2);
+  SimWorld world(cfg(2, FaultKind::kSilent, 1), factory, inputs(2));
+  const auto result = sched::explore(world);
+  ASSERT_TRUE(result.violation.has_value());
+  EXPECT_EQ(result.violation->kind, sched::ViolationKind::kInconsistent);
+}
+
+TEST(TasMachine, ContrastWithFaultyCasAtLevelTwo) {
+  // The paper's point in one test: one bounded-overriding-faulty CAS
+  // object (staged protocol, f=1, t=1) and a correct TAS bit both solve
+  // exactly 2-process consensus — same hierarchy level, different
+  // reasons.
+  const consensus::StagedFactory staged(1, 1);
+  SimConfig staged_cfg;
+  staged_cfg.num_objects = 1;
+  staged_cfg.kind = FaultKind::kOverriding;
+  staged_cfg.t = 1;
+
+  SimWorld staged2(staged_cfg, staged, inputs(2));
+  SimWorld staged3(staged_cfg, staged, inputs(3));
+  const TasFactory tas2(2);
+  const TasFactory tas3(3);
+  SimWorld tasw2(cfg(2, FaultKind::kNone, 0), tas2, inputs(2));
+  SimWorld tasw3(cfg(3, FaultKind::kNone, 0), tas3, inputs(3));
+
+  EXPECT_FALSE(sched::explore(staged2).violation.has_value());
+  EXPECT_TRUE(sched::explore(staged3).violation.has_value());
+  EXPECT_FALSE(sched::explore(tasw2).violation.has_value());
+  EXPECT_TRUE(sched::explore(tasw3).violation.has_value());
+}
+
+}  // namespace
+}  // namespace ff

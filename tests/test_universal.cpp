@@ -1,0 +1,240 @@
+// Tests of the universal construction layer: the consensus-backed log
+// and Replicated<T> objects, on correct and on faulty CAS substrates.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "consensus/f_plus_one.hpp"
+#include "consensus/single_cas.hpp"
+#include "faults/bank.hpp"
+#include "objects/atomic_cas.hpp"
+#include "universal/log.hpp"
+#include "universal/replicated.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace ff::universal {
+namespace {
+
+// --- sequential object types for Replicated<T> ------------------------------
+
+struct Counter {
+  using State = std::int64_t;
+  static State initial() { return 0; }
+  static void apply(State& state, std::uint32_t payload) {
+    state += static_cast<std::int32_t>(payload);
+  }
+};
+
+struct AppendLog {
+  using State = std::vector<std::uint32_t>;
+  static State initial() { return {}; }
+  static void apply(State& state, std::uint32_t payload) {
+    state.push_back(payload);
+  }
+};
+
+/// Slot factory over correct CAS objects.
+ConsensusLog::SlotFactory correct_slots(
+    std::vector<std::unique_ptr<objects::AtomicCas>>& storage) {
+  return [&storage](std::uint64_t) {
+    storage.push_back(std::make_unique<objects::AtomicCas>(0));
+    return std::make_unique<consensus::SingleCasConsensus>(*storage.back());
+  };
+}
+
+/// Slot factory over faulty CAS banks (Figure 2, f=1 → 2 objects each).
+ConsensusLog::SlotFactory faulty_slots(
+    std::vector<std::unique_ptr<faults::FaultyCasBank>>& storage,
+    faults::FaultPolicy& policy) {
+  return [&storage, &policy](std::uint64_t slot) {
+    faults::FaultyCasBank::Options options;
+    options.objects = 2;
+    options.f = 1;
+    options.policy = &policy;
+    options.seed = 0x10c + slot;
+    storage.push_back(std::make_unique<faults::FaultyCasBank>(options));
+    return std::make_unique<consensus::FPlusOneConsensus>(
+        storage.back()->raw());
+  };
+}
+
+// --- Operation packing -------------------------------------------------------
+
+TEST(Operation, PackUnpackRoundTrip) {
+  const Operation op{7, 12345, 0xDEADBEEF};
+  const Operation back = Operation::unpack(op.pack());
+  EXPECT_EQ(back, op);
+}
+
+TEST(Operation, DistinctProposersPackDistinctly) {
+  EXPECT_NE((Operation{1, 0, 5}).pack(), (Operation{2, 0, 5}).pack());
+  EXPECT_NE((Operation{1, 0, 5}).pack(), (Operation{1, 1, 5}).pack());
+}
+
+// --- ConsensusLog ------------------------------------------------------------
+
+TEST(ConsensusLog, SingleThreadAppendsInOrder) {
+  std::vector<std::unique_ptr<objects::AtomicCas>> storage;
+  ConsensusLog log(8, correct_slots(storage));
+  std::uint64_t cursor = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto result = log.append({0, i, i * 10}, cursor);
+    EXPECT_EQ(result.index, i);
+    EXPECT_EQ(result.losses, 0u);
+  }
+  EXPECT_EQ(log.known_prefix(), 8u);
+  EXPECT_THROW(log.append({0, 9, 0}, cursor), std::length_error);
+}
+
+TEST(ConsensusLog, LearnReturnsDecidedOperations) {
+  std::vector<std::unique_ptr<objects::AtomicCas>> storage;
+  ConsensusLog log(4, correct_slots(storage));
+  std::uint64_t cursor = 0;
+  log.append({3, 0, 111}, cursor);
+  const Operation learned = log.learn(0, /*pid=*/5);
+  EXPECT_EQ(learned.pid, 3u);
+  EXPECT_EQ(learned.payload, 111u);
+}
+
+TEST(ConsensusLog, ConcurrentAppendersProduceOneTotalOrder) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint32_t kOpsEach = 20;
+  std::vector<std::unique_ptr<objects::AtomicCas>> storage;
+  ConsensusLog log(kThreads * kOpsEach + 8, correct_slots(storage));
+
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::vector<std::uint64_t>> won(kThreads);
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < kThreads; ++p) {
+    threads.emplace_back([&, p] {
+      barrier.arrive_and_wait();
+      std::uint64_t cursor = 0;
+      for (std::uint32_t i = 0; i < kOpsEach; ++i) {
+        const auto result = log.append(
+            {static_cast<objects::ProcessId>(p), i, p * 1000 + i}, cursor);
+        won[p].push_back(result.index);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // All operations landed, each in a distinct slot, own ops in order.
+  std::set<std::uint64_t> slots;
+  for (std::uint32_t p = 0; p < kThreads; ++p) {
+    ASSERT_EQ(won[p].size(), kOpsEach);
+    for (std::size_t i = 0; i + 1 < won[p].size(); ++i) {
+      EXPECT_LT(won[p][i], won[p][i + 1]);
+    }
+    slots.insert(won[p].begin(), won[p].end());
+  }
+  EXPECT_EQ(slots.size(), kThreads * kOpsEach);
+  // The decided prefix contains every op exactly once.
+  EXPECT_GE(log.known_prefix(), kThreads * kOpsEach);
+}
+
+TEST(ConsensusLog, WorksOverFaultyCasSubstrate) {
+  faults::ProbabilisticFault policy(0.6, 77);
+  std::vector<std::unique_ptr<faults::FaultyCasBank>> storage;
+  ConsensusLog log(64, faulty_slots(storage, policy));
+
+  constexpr std::uint32_t kThreads = 3;
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (std::uint32_t p = 0; p < kThreads; ++p) {
+    threads.emplace_back([&, p] {
+      barrier.arrive_and_wait();
+      std::uint64_t cursor = 0;
+      std::uint64_t last = 0;
+      for (std::uint32_t i = 0; i < 15; ++i) {
+        const auto result = log.append(
+            {static_cast<objects::ProcessId>(p), i, i}, cursor);
+        if (i > 0 && result.index <= last) failed.store(true);
+        last = result.index;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GE(log.known_prefix(), 45u);
+}
+
+// --- Replicated<T> -----------------------------------------------------------
+
+TEST(Replicated, CounterSequential) {
+  std::vector<std::unique_ptr<objects::AtomicCas>> storage;
+  Replicated<Counter> counter(16, correct_slots(storage));
+  auto handle = counter.handle(0);
+  EXPECT_EQ(handle.apply(5), 5);
+  EXPECT_EQ(handle.apply(7), 12);
+  EXPECT_EQ(handle.state(), 12);
+}
+
+TEST(Replicated, TwoHandlesConverge) {
+  std::vector<std::unique_ptr<objects::AtomicCas>> storage;
+  Replicated<Counter> counter(16, correct_slots(storage));
+  auto a = counter.handle(0);
+  auto b = counter.handle(1);
+  a.apply(10);
+  b.apply(1);
+  EXPECT_EQ(a.state(), b.state());
+  EXPECT_EQ(a.state(), 11);
+}
+
+TEST(Replicated, AllReplicasSeeTheSameOrder) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint32_t kOpsEach = 10;
+  faults::ProbabilisticFault policy(0.5, 99);
+  std::vector<std::unique_ptr<faults::FaultyCasBank>> storage;
+  Replicated<AppendLog> object(kThreads * kOpsEach + 4,
+                               faulty_slots(storage, policy));
+
+  util::SpinBarrier barrier(kThreads);
+  std::vector<std::vector<std::uint32_t>> finals(kThreads);
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < kThreads; ++p) {
+    threads.emplace_back([&, p] {
+      auto handle = object.handle(static_cast<objects::ProcessId>(p));
+      barrier.arrive_and_wait();
+      for (std::uint32_t i = 0; i < kOpsEach; ++i) {
+        handle.apply(p * 100 + i);
+      }
+      barrier.arrive_and_wait();  // everyone finished appending
+      finals[p] = handle.state();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every replica applied the identical sequence.
+  for (std::uint32_t p = 1; p < kThreads; ++p) {
+    EXPECT_EQ(finals[p], finals[0]) << "replica " << p << " diverged";
+  }
+  EXPECT_EQ(finals[0].size(), kThreads * kOpsEach);
+  // Per-proposer subsequences appear in program order.
+  for (std::uint32_t p = 0; p < kThreads; ++p) {
+    std::uint32_t expected = 0;
+    for (const std::uint32_t payload : finals[0]) {
+      if (payload / 100 == p) {
+        EXPECT_EQ(payload % 100, expected);
+        ++expected;
+      }
+    }
+    EXPECT_EQ(expected, kOpsEach);
+  }
+}
+
+TEST(Replicated, HandleTracksAppliedCount) {
+  std::vector<std::unique_ptr<objects::AtomicCas>> storage;
+  Replicated<Counter> counter(8, correct_slots(storage));
+  auto handle = counter.handle(2);
+  EXPECT_EQ(handle.applied(), 0u);
+  handle.apply(1);
+  EXPECT_EQ(handle.applied(), 1u);
+  EXPECT_EQ(handle.pid(), 2u);
+}
+
+}  // namespace
+}  // namespace ff::universal

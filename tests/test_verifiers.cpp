@@ -1,0 +1,190 @@
+// Negative tests for the verification layer: every checker must REJECT
+// synthetic traces that violate its property — a verifier that cannot
+// fail proves nothing.
+#include <gtest/gtest.h>
+
+#include "consensus/verify.hpp"
+#include "faults/trace.hpp"
+#include "model/value.hpp"
+
+namespace ff {
+namespace {
+
+using consensus::InputValue;
+using faults::CasEvent;
+using model::FaultKind;
+using model::StagedValue;
+using model::Value;
+
+CasEvent event(objects::ObjectId object, objects::ProcessId caller,
+               Value expected, Value desired, Value before, Value after,
+               Value returned, FaultKind fired = FaultKind::kNone,
+               bool manifested = false) {
+  CasEvent ev;
+  ev.object = object;
+  ev.caller = caller;
+  ev.call = {expected, desired};
+  ev.obs = {before, after, returned};
+  ev.fired = fired;
+  ev.manifested = manifested;
+  return ev;
+}
+
+// --- find_incoherent_event ---------------------------------------------------
+
+TEST(Verifiers, IncoherentEventClaimedCorrectButPhiViolated) {
+  // after ≠ desired although before == expected.
+  const std::vector<CasEvent> trace = {
+      event(0, 0, Value::bottom(), Value::of(5), Value::bottom(),
+            Value::of(9), Value::bottom())};
+  const auto bad = consensus::find_incoherent_event(trace);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(*bad, 0u);
+}
+
+TEST(Verifiers, IncoherentEventClaimedFaultButPhiHeld) {
+  // Claims a manifested overriding fault, but the observation is a plain
+  // successful CAS.
+  const std::vector<CasEvent> trace = {
+      event(0, 0, Value::bottom(), Value::of(5), Value::bottom(),
+            Value::of(5), Value::bottom(), FaultKind::kOverriding, true)};
+  EXPECT_TRUE(consensus::find_incoherent_event(trace).has_value());
+}
+
+TEST(Verifiers, IncoherentEventWrongPhiPrime) {
+  // Claims a silent fault but the observation matches overriding.
+  const std::vector<CasEvent> trace = {
+      event(0, 0, Value::bottom(), Value::of(5), Value::of(3), Value::of(5),
+            Value::of(3), FaultKind::kSilent, true)};
+  EXPECT_TRUE(consensus::find_incoherent_event(trace).has_value());
+}
+
+TEST(Verifiers, CoherentTraceAccepted) {
+  const std::vector<CasEvent> trace = {
+      event(0, 0, Value::bottom(), Value::of(5), Value::bottom(),
+            Value::of(5), Value::bottom()),
+      event(0, 1, Value::bottom(), Value::of(7), Value::of(5), Value::of(7),
+            Value::of(5), FaultKind::kOverriding, true)};
+  EXPECT_FALSE(consensus::find_incoherent_event(trace).has_value());
+}
+
+// --- stage checkers ----------------------------------------------------------
+
+TEST(Verifiers, StageMonotonicityCatchesRegression) {
+  const std::vector<CasEvent> trace = {
+      event(0, 0, Value::bottom(), StagedValue(1, 3).pack(), Value::bottom(),
+            StagedValue(1, 3).pack(), Value::bottom()),
+      event(0, 0, Value::bottom(), StagedValue(1, 2).pack(),  // went back!
+            StagedValue(1, 3).pack(), StagedValue(1, 3).pack(),
+            StagedValue(1, 3).pack())};
+  EXPECT_FALSE(consensus::stages_monotone_per_process(trace));
+}
+
+TEST(Verifiers, StageMonotonicityPerProcessNotGlobal) {
+  // Different processes may be at different stages; only per-process
+  // regressions count.
+  const std::vector<CasEvent> trace = {
+      event(0, 0, Value::bottom(), StagedValue(1, 3).pack(), Value::bottom(),
+            StagedValue(1, 3).pack(), Value::bottom()),
+      event(0, 1, Value::bottom(), StagedValue(2, 1).pack(),
+            StagedValue(1, 3).pack(), StagedValue(1, 3).pack(),
+            StagedValue(1, 3).pack())};
+  EXPECT_TRUE(consensus::stages_monotone_per_process(trace));
+}
+
+TEST(Verifiers, Claim13CatchesNonIncreasingNonFaultyWrite) {
+  // A non-faulty successful write whose stored stage does not increase.
+  const std::vector<CasEvent> trace = {
+      event(0, 0, StagedValue(1, 3).pack(), StagedValue(2, 2).pack(),
+            StagedValue(1, 3).pack(), StagedValue(2, 2).pack(),
+            StagedValue(1, 3).pack())};
+  EXPECT_FALSE(consensus::nonfaulty_writes_increase_stage(trace));
+}
+
+TEST(Verifiers, Claim13IgnoresFaultyAndFailedWrites) {
+  const std::vector<CasEvent> trace = {
+      // Faulty write going down in stage: allowed by the claim.
+      event(0, 0, Value::bottom(), StagedValue(2, 1).pack(),
+            StagedValue(1, 3).pack(), StagedValue(2, 1).pack(),
+            StagedValue(1, 3).pack(), FaultKind::kOverriding, true),
+      // Failed CAS: no write.
+      event(0, 1, Value::bottom(), StagedValue(5, 9).pack(),
+            StagedValue(2, 1).pack(), StagedValue(2, 1).pack(),
+            StagedValue(2, 1).pack())};
+  EXPECT_TRUE(consensus::nonfaulty_writes_increase_stage(trace));
+}
+
+TEST(Verifiers, Claim9CatchesSkippedObject) {
+  // ⟨x,0⟩ lands on O_1 without ever landing on O_0.
+  const std::vector<CasEvent> trace = {
+      event(1, 0, Value::bottom(), StagedValue(1, 0).pack(), Value::bottom(),
+            StagedValue(1, 0).pack(), Value::bottom())};
+  EXPECT_FALSE(consensus::stage_propagation_order(trace, 2));
+}
+
+TEST(Verifiers, Claim9CatchesSkippedStage) {
+  // ⟨x,1⟩ lands on O_0 although ⟨x,0⟩ never landed anywhere.
+  const std::vector<CasEvent> trace = {
+      event(0, 0, Value::bottom(), StagedValue(1, 1).pack(), Value::bottom(),
+            StagedValue(1, 1).pack(), Value::bottom())};
+  EXPECT_FALSE(consensus::stage_propagation_order(trace, 1));
+}
+
+TEST(Verifiers, Claim9AcceptsProperPropagation) {
+  const auto w = [](objects::ObjectId obj, std::uint32_t val,
+                    std::uint32_t stage, Value before) {
+    return event(obj, 0, before, StagedValue(val, stage).pack(), before,
+                 StagedValue(val, stage).pack(), before);
+  };
+  const std::vector<CasEvent> trace = {
+      w(0, 1, 0, Value::bottom()),
+      w(1, 1, 0, Value::bottom()),
+      w(0, 1, 1, StagedValue(1, 0).pack()),
+      w(1, 1, 1, StagedValue(1, 0).pack()),
+  };
+  EXPECT_TRUE(consensus::stage_propagation_order(trace, 2));
+}
+
+// --- fault accounting --------------------------------------------------------
+
+TEST(Verifiers, AccountingCountsOnlyManifested) {
+  const std::vector<CasEvent> trace = {
+      event(0, 0, Value::bottom(), Value::of(1), Value::bottom(),
+            Value::of(1), Value::bottom(), FaultKind::kOverriding, false),
+      event(1, 0, Value::bottom(), Value::of(2), Value::of(9), Value::of(2),
+            Value::of(9), FaultKind::kOverriding, true),
+      event(1, 0, Value::bottom(), Value::of(3), Value::of(2), Value::of(3),
+            Value::of(2), FaultKind::kOverriding, true)};
+  const auto acc = consensus::account_faults(trace);
+  EXPECT_EQ(acc.total_manifested, 2u);
+  EXPECT_EQ(acc.faulty_objects(), 1u);
+  EXPECT_TRUE(acc.within({1, 2, 10}));
+  EXPECT_FALSE(acc.within({1, 1, 10}));  // t exceeded
+  EXPECT_FALSE(acc.within({0, 2, 10}));  // f exceeded
+}
+
+TEST(Verifiers, WritesOnlyInputValuesFlagsForeignWrites) {
+  const std::vector<InputValue> inputs = {10, 20};
+  const std::vector<CasEvent> good = {
+      event(0, 0, Value::bottom(), Value::of(10), Value::bottom(),
+            Value::of(10), Value::bottom())};
+  const std::vector<CasEvent> bad = {
+      event(0, 0, Value::bottom(), Value::of(99), Value::bottom(),
+            Value::of(99), Value::bottom())};
+  EXPECT_TRUE(consensus::writes_only_input_values(good, inputs, false));
+  EXPECT_FALSE(consensus::writes_only_input_values(bad, inputs, false));
+}
+
+TEST(Verifiers, WritesOnlyInputValuesStagedUnpacksFirst) {
+  const std::vector<InputValue> inputs = {10};
+  const std::vector<CasEvent> staged_write = {
+      event(0, 0, Value::bottom(), StagedValue(10, 4).pack(),
+            Value::bottom(), StagedValue(10, 4).pack(), Value::bottom())};
+  EXPECT_TRUE(
+      consensus::writes_only_input_values(staged_write, inputs, true));
+  EXPECT_FALSE(
+      consensus::writes_only_input_values(staged_write, inputs, false));
+}
+
+}  // namespace
+}  // namespace ff
