@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b2_consensus_latency.dir/bench_b2_consensus_latency.cpp.o"
+  "CMakeFiles/bench_b2_consensus_latency.dir/bench_b2_consensus_latency.cpp.o.d"
+  "bench_b2_consensus_latency"
+  "bench_b2_consensus_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b2_consensus_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b3_explorer.dir/bench_b3_explorer.cpp.o"
+  "CMakeFiles/bench_b3_explorer.dir/bench_b3_explorer.cpp.o.d"
+  "bench_b3_explorer"
+  "bench_b3_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b3_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_relaxed_queue.dir/bench_e10_relaxed_queue.cpp.o"
+  "CMakeFiles/bench_e10_relaxed_queue.dir/bench_e10_relaxed_queue.cpp.o.d"
+  "bench_e10_relaxed_queue"
+  "bench_e10_relaxed_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_relaxed_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e1_two_process.cpp" "bench/CMakeFiles/bench_e1_two_process.dir/bench_e1_two_process.cpp.o" "gcc" "bench/CMakeFiles/bench_e1_two_process.dir/bench_e1_two_process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ff_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/ff_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/ff_hierarchy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_f_plus_one.dir/bench_e2_f_plus_one.cpp.o"
+  "CMakeFiles/bench_e2_f_plus_one.dir/bench_e2_f_plus_one.cpp.o.d"
+  "bench_e2_f_plus_one"
+  "bench_e2_f_plus_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_f_plus_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

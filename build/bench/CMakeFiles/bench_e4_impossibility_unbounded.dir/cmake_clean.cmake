@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_impossibility_unbounded.dir/bench_e4_impossibility_unbounded.cpp.o"
+  "CMakeFiles/bench_e4_impossibility_unbounded.dir/bench_e4_impossibility_unbounded.cpp.o.d"
+  "bench_e4_impossibility_unbounded"
+  "bench_e4_impossibility_unbounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_impossibility_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_faulty_faa.dir/bench_e9_faulty_faa.cpp.o"
+  "CMakeFiles/bench_e9_faulty_faa.dir/bench_e9_faulty_faa.cpp.o.d"
+  "bench_e9_faulty_faa"
+  "bench_e9_faulty_faa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_faulty_faa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

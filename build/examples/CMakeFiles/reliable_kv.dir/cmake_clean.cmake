@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_kv.dir/reliable_kv.cpp.o"
+  "CMakeFiles/reliable_kv.dir/reliable_kv.cpp.o.d"
+  "reliable_kv"
+  "reliable_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_consensus.dir/machines.cpp.o"
+  "CMakeFiles/ff_consensus.dir/machines.cpp.o.d"
+  "libff_consensus.a"
+  "libff_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_hierarchy.dir/consensus_number.cpp.o"
+  "CMakeFiles/ff_hierarchy.dir/consensus_number.cpp.o.d"
+  "libff_hierarchy.a"
+  "libff_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adversary.cpp" "src/sched/CMakeFiles/ff_sched.dir/adversary.cpp.o" "gcc" "src/sched/CMakeFiles/ff_sched.dir/adversary.cpp.o.d"
+  "/root/repo/src/sched/explorer.cpp" "src/sched/CMakeFiles/ff_sched.dir/explorer.cpp.o" "gcc" "src/sched/CMakeFiles/ff_sched.dir/explorer.cpp.o.d"
+  "/root/repo/src/sched/random_walk.cpp" "src/sched/CMakeFiles/ff_sched.dir/random_walk.cpp.o" "gcc" "src/sched/CMakeFiles/ff_sched.dir/random_walk.cpp.o.d"
+  "/root/repo/src/sched/sim_world.cpp" "src/sched/CMakeFiles/ff_sched.dir/sim_world.cpp.o" "gcc" "src/sched/CMakeFiles/ff_sched.dir/sim_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

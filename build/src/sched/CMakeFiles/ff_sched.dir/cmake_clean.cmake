@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_sched.dir/adversary.cpp.o"
+  "CMakeFiles/ff_sched.dir/adversary.cpp.o.d"
+  "CMakeFiles/ff_sched.dir/explorer.cpp.o"
+  "CMakeFiles/ff_sched.dir/explorer.cpp.o.d"
+  "CMakeFiles/ff_sched.dir/random_walk.cpp.o"
+  "CMakeFiles/ff_sched.dir/random_walk.cpp.o.d"
+  "CMakeFiles/ff_sched.dir/sim_world.cpp.o"
+  "CMakeFiles/ff_sched.dir/sim_world.cpp.o.d"
+  "libff_sched.a"
+  "libff_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

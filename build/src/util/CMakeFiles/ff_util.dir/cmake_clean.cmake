@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ff_util.dir/cli.cpp.o"
+  "CMakeFiles/ff_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ff_util.dir/table.cpp.o"
+  "CMakeFiles/ff_util.dir/table.cpp.o.d"
+  "libff_util.a"
+  "libff_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ff_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

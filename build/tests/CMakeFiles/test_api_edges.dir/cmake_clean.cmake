@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_edges.dir/test_api_edges.cpp.o"
+  "CMakeFiles/test_api_edges.dir/test_api_edges.cpp.o.d"
+  "test_api_edges"
+  "test_api_edges.pdb"
+  "test_api_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cas_semantics.dir/test_cas_semantics.cpp.o"
+  "CMakeFiles/test_cas_semantics.dir/test_cas_semantics.cpp.o.d"
+  "test_cas_semantics"
+  "test_cas_semantics.pdb"
+  "test_cas_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cas_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degradation.dir/test_degradation.cpp.o"
+  "CMakeFiles/test_degradation.dir/test_degradation.cpp.o.d"
+  "test_degradation"
+  "test_degradation.pdb"
+  "test_degradation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

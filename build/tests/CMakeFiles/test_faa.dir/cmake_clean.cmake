@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faa.dir/test_faa.cpp.o"
+  "CMakeFiles/test_faa.dir/test_faa.cpp.o.d"
+  "test_faa"
+  "test_faa.pdb"
+  "test_faa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_longest_execution.dir/test_longest_execution.cpp.o"
+  "CMakeFiles/test_longest_execution.dir/test_longest_execution.cpp.o.d"
+  "test_longest_execution"
+  "test_longest_execution.pdb"
+  "test_longest_execution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_longest_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relaxed_queue.dir/test_relaxed_queue.cpp.o"
+  "CMakeFiles/test_relaxed_queue.dir/test_relaxed_queue.cpp.o.d"
+  "test_relaxed_queue"
+  "test_relaxed_queue.pdb"
+  "test_relaxed_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relaxed_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

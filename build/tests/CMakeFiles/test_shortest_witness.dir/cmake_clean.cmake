@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shortest_witness.dir/test_shortest_witness.cpp.o"
+  "CMakeFiles/test_shortest_witness.dir/test_shortest_witness.cpp.o.d"
+  "test_shortest_witness"
+  "test_shortest_witness.pdb"
+  "test_shortest_witness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shortest_witness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tas.dir/test_tas.cpp.o"
+  "CMakeFiles/test_tas.dir/test_tas.cpp.o.d"
+  "test_tas"
+  "test_tas.pdb"
+  "test_tas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

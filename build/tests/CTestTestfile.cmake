@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_adversary[1]_include.cmake")
+include("/root/repo/build/tests/test_api_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_cas_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrency[1]_include.cmake")
+include("/root/repo/build/tests/test_degradation[1]_include.cmake")
+include("/root/repo/build/tests/test_faa[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_longest_execution[1]_include.cmake")
+include("/root/repo/build/tests/test_mutation[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_registers[1]_include.cmake")
+include("/root/repo/build/tests/test_relaxed_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_shortest_witness[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_tas[1]_include.cmake")
+include("/root/repo/build/tests/test_theorems[1]_include.cmake")
+include("/root/repo/build/tests/test_universal[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_verifiers[1]_include.cmake")
