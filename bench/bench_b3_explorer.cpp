@@ -9,6 +9,7 @@
 
 #include "consensus/machines.hpp"
 #include "sched/explorer.hpp"
+#include "sched/parallel_explorer.hpp"
 
 namespace {
 
@@ -65,6 +66,86 @@ void BM_ExploreStagedTwoObjects(benchmark::State& state) {
   run_explore(state, consensus::StagedFactory(2, 1), 2, 1, 2);
 }
 BENCHMARK(BM_ExploreStagedTwoObjects)->Unit(benchmark::kMillisecond);
+
+// --- Parallel explorer speedup --------------------------------------------
+//
+// staged f=1, t=2 at n=3 reaches ~1.37M distinct states — large enough
+// that the parallel explorer's thread sweep exposes real scaling, small
+// enough for a full-space traversal per iteration.  Compare
+// BM_ExploreMillionSequential against BM_ExploreMillionParallel/N for the
+// wall-clock speedup; the `states` counter confirms both traversals cover
+// the identical reachable set.
+
+sched::SimWorld million_state_world() {
+  static const consensus::StagedFactory factory(1, 2);
+  sched::SimConfig config;
+  config.num_objects = 1;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = 2;
+  return sched::SimWorld(config, factory, inputs(3));
+}
+
+void BM_ExploreMillionSequential(benchmark::State& state) {
+  const sched::SimWorld world = million_state_world();
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    sched::ExploreOptions options;
+    options.stop_at_first_violation = false;
+    const auto result = sched::explore(world, options);
+    states = result.states_visited;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreMillionSequential)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreMillionParallel(benchmark::State& state) {
+  const sched::SimWorld world = million_state_world();
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    sched::ParallelExploreOptions options;
+    options.explore.stop_at_first_violation = false;
+    options.num_threads = static_cast<std::uint32_t>(state.range(0));
+    const auto result = sched::parallel_explore(world, options);
+    states = result.states_visited;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreMillionParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_ParallelExploreStagedSmall(benchmark::State& state) {
+  // Same configuration as BM_ExploreStaged t=2 — overhead comparison on a
+  // small graph, where locking cost dominates and parallelism cannot win.
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const consensus::StagedFactory factory(1, 2);
+  sched::SimConfig config;
+  config.num_objects = 1;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = 2;
+  const sched::SimWorld world(config, factory, inputs(2));
+  for (auto _ : state) {
+    sched::ParallelExploreOptions options;
+    options.explore.stop_at_first_violation = false;
+    options.num_threads = threads;
+    const auto result = sched::parallel_explore(world, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ParallelExploreStagedSmall)->Arg(1)->Arg(4);
 
 void BM_SimWorldStepApply(benchmark::State& state) {
   // Cost of one simulated step (clone-free path): drive a solo staged

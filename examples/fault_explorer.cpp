@@ -13,6 +13,7 @@
 
 #include "consensus/machines.hpp"
 #include "sched/explorer.hpp"
+#include "sched/parallel_explorer.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -41,7 +42,9 @@ void print_usage() {
       "  --t         faults per object, 0 = unbounded          (default 1)\n"
       "  --n         processes                                 (default 2)\n"
       "  --objects   object count for fp1                      (default f+1)\n"
-      "  --state-cap explorer state limit                      (default 4e6)\n";
+      "  --state-cap explorer state limit                      (default 4e6)\n"
+      "  --threads   parallel-explorer worker threads;\n"
+      "              0 = sequential DFS explorer                (default 0)\n";
 }
 
 }  // namespace
@@ -95,13 +98,28 @@ int main(int argc, char** argv) {
   options.max_states = cli.get_uint("state-cap", 4'000'000);
   options.killed_is_violation = kind == model::FaultKind::kNonresponsive;
 
+  const auto threads =
+      static_cast<std::uint32_t>(cli.get_uint("threads", 0));
+
   std::cout << "exploring: protocol=" << factory->name()
             << " objects=" << config.num_objects << " kind="
             << model::to_string(kind) << " t="
             << (t == model::kUnbounded ? std::string("inf")
                                        : std::to_string(t))
-            << " n=" << n << "\n\n";
-  const auto result = sched::explore(world, options);
+            << " n=" << n << " explorer="
+            << (threads > 0
+                    ? "parallel(" + std::to_string(threads) + " threads)"
+                    : std::string("sequential"))
+            << "\n\n";
+  sched::ExploreResult result;
+  if (threads > 0) {
+    sched::ParallelExploreOptions parallel_options;
+    parallel_options.explore = options;
+    parallel_options.num_threads = threads;
+    result = sched::parallel_explore(world, parallel_options);
+  } else {
+    result = sched::explore(world, options);
+  }
 
   std::cout << "states visited : " << result.states_visited << '\n'
             << "terminal states: " << result.terminal_states << '\n'

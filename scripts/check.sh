@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Two-configuration verification gate:
+#   1. default build  → the fast `tier1` test label (all unit suites);
+#   2. FF_SANITIZE=thread build → the multi-threaded suites (label `tsan`,
+#      i.e. the parallel-explorer differential harness and the real-thread
+#      stress suites) under ThreadSanitizer.
+# Usage: scripts/check.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== [1/2] default build · ctest -L tier1 =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+
+echo "== [2/2] FF_SANITIZE=thread build · ctest -L tsan =="
+cmake -B build-tsan -S . -DFF_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+  --target test_parallel_explorer test_determinism test_concurrency
+ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
+
+echo "OK: both configurations passed"

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
 
 #include "faults/budget.hpp"
@@ -88,6 +89,22 @@ class FaultyCas final : public objects::CasObject {
 
   model::Value cas(model::Value expected, model::Value desired,
                    objects::ProcessId caller) override {
+    // With a sink attached, the linearization point and the sink's seq
+    // assignment must act as one atomic unit: otherwise two concurrent
+    // invocations can linearize in one order but reach the sink in the
+    // other, and the recorded seq order is not a valid linearization.
+    // The per-object lock closes that window; untraced objects keep the
+    // bare atomic fast path.
+    if (sink_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(trace_mu_);
+      return cas_impl(expected, desired, caller);
+    }
+    return cas_impl(expected, desired, caller);
+  }
+
+ private:
+  model::Value cas_impl(model::Value expected, model::Value desired,
+                        objects::ProcessId caller) {
     const std::uint64_t op =
         op_counter_->fetch_add(1, std::memory_order_relaxed);
     const bool want = kind_ != model::FaultKind::kNone && policy_ != nullptr &&
@@ -139,6 +156,7 @@ class FaultyCas final : public objects::CasObject {
     return ev.obs.returned;
   }
 
+ public:
   [[nodiscard]] model::Value debug_read() const override {
     return model::Value::of(word_.load(std::memory_order_acquire));
   }
@@ -284,6 +302,9 @@ class FaultyCas final : public objects::CasObject {
 
   alignas(util::kCacheLineSize) std::atomic<model::Word> word_;
   util::Padded<std::atomic<std::uint64_t>> op_counter_{};
+  /// Serializes traced invocations so the sink's seq order is a valid
+  /// linearization order (held only when `sink_` is attached).
+  std::mutex trace_mu_;
 };
 
 }  // namespace ff::faults

@@ -79,6 +79,20 @@ class FaultyFetchAdd final : public objects::FetchAddObject {
 
   model::CounterValue fetch_add(model::CounterValue delta,
                                 objects::ProcessId caller) override {
+    // As in FaultyCas: a traced invocation's linearization point and its
+    // sink seq assignment must act as one atomic unit, or the recorded
+    // order is not a valid linearization.  Untraced objects keep the bare
+    // atomic fast path.
+    if (sink_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(trace_mu_);
+      return fetch_add_impl(delta, caller);
+    }
+    return fetch_add_impl(delta, caller);
+  }
+
+ private:
+  model::CounterValue fetch_add_impl(model::CounterValue delta,
+                                     objects::ProcessId caller) {
     const std::uint64_t op =
         op_counter_->fetch_add(1, std::memory_order_relaxed);
     const bool want = kind_ != model::FaultKind::kNone &&
@@ -145,6 +159,7 @@ class FaultyFetchAdd final : public objects::FetchAddObject {
     return ev.obs.returned;
   }
 
+ public:
   [[nodiscard]] model::CounterValue debug_read() const override {
     return static_cast<model::CounterValue>(
         word_.load(std::memory_order_acquire));
@@ -178,6 +193,9 @@ class FaultyFetchAdd final : public objects::FetchAddObject {
 
   alignas(util::kCacheLineSize) std::atomic<std::uint64_t> word_;
   util::Padded<std::atomic<std::uint64_t>> op_counter_{};
+  /// Serializes traced invocations so the sink's seq order is a valid
+  /// linearization order (held only when `sink_` is attached).
+  std::mutex trace_mu_;
 };
 
 }  // namespace ff::faults

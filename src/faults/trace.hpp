@@ -46,9 +46,11 @@ class TraceSink {
 };
 
 /// Collects events into a vector under a mutex.  The mutex serializes
-/// recording, which also fixes the recorded order as a valid
-/// linearization order: events are emitted while the emitting operation
-/// is still the most recent action on its object.
+/// recording; the recorded seq order is a valid linearization order
+/// because the traced objects (FaultyCas / FaultyFetchAdd) hold their
+/// per-object trace lock across the linearization point AND the emit, so
+/// an event reaches the sink while its operation is still the most
+/// recent action on that object.
 class VectorTraceSink final : public TraceSink {
  public:
   void on_cas(const CasEvent& event) override {

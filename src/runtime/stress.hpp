@@ -5,6 +5,16 @@
 // sizes the exhaustive simulator cannot reach.  Correctness experiments
 // assert `report.all_ok()`; impossibility experiments instead *search*
 // for violations and report how quickly they surface.
+//
+// Seed stability: every pseudo-random input of a campaign — the per-trial
+// proposal values (make_inputs) and the per-thread start stagger — is a
+// pure function of (options.seed, trial index).  Two campaigns with
+// identical StressOptions therefore present identical stimuli to the
+// protocol; what can still vary between runs is only the OS-level thread
+// interleaving inside a trial.  For protocols whose verdict and per-call
+// step counts are schedule-independent (e.g. single-CAS: exactly one CAS
+// per decide()), the full StressReport — counters and step statistics —
+// is reproduced exactly; tests/test_determinism.cpp pins this guarantee.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,99 @@
+// Internals shared by the sequential (explorer.cpp) and parallel
+// (parallel_explorer.cpp) state-space explorers: the 128-bit state
+// fingerprint and the terminal-state property check.
+//
+// Both explorers memoize on fingerprints rather than full encoded states.
+// The soundness argument (see DESIGN.md §"Parallel exploration"): two
+// distinct states collide with probability ~ |states|² / 2^128, so a
+// completed exploration is a proof up to that negligible error, and —
+// crucially — the argument is unchanged by sharding, because a sharded
+// table partitions fingerprints by bits of the SAME 128-bit digest;
+// sharding changes where a fingerprint is stored, never whether two
+// distinct states are distinguished.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched/explorer.hpp"
+#include "sched/sim_world.hpp"
+#include "util/rng.hpp"
+
+namespace ff::sched::detail {
+
+/// 128-bit fingerprint of an encoded state: two independent SplitMix64
+/// chains.  Collisions would require ~2^64 states; the search caps out
+/// orders of magnitude earlier.
+struct Fingerprint {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  friend bool operator==(const Fingerprint&, const Fingerprint&) noexcept =
+      default;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.a ^ (fp.b * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+[[nodiscard]] inline Fingerprint fingerprint(
+    const std::vector<std::uint64_t>& encoded) {
+  Fingerprint fp{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
+  for (const std::uint64_t w : encoded) {
+    fp.a = util::mix64(fp.a ^ w);
+    fp.b = util::mix64(fp.b + w + 0xa5a5a5a5a5a5a5a5ULL);
+  }
+  return fp;
+}
+
+/// Checks a terminal world; returns a violation kind if one applies.
+[[nodiscard]] inline std::optional<ViolationKind> check_terminal(
+    const SimWorld& world, const ExploreOptions& options,
+    std::string& detail) {
+  const auto decisions = world.decisions();
+  const auto& inputs = world.inputs();
+  const std::set<std::uint64_t> input_set(inputs.begin(), inputs.end());
+
+  std::optional<std::uint64_t> first;
+  for (std::uint32_t pid = 0; pid < decisions.size(); ++pid) {
+    if (!decisions[pid]) continue;
+    const std::uint64_t value = *decisions[pid];
+    if (!input_set.contains(value)) {
+      std::ostringstream oss;
+      oss << "p" << pid << " decided " << value
+          << " which is no process's input";
+      detail = oss.str();
+      return ViolationKind::kInvalid;
+    }
+    if (first && *first != value) {
+      std::ostringstream oss;
+      oss << "decisions disagree: " << *first << " vs " << value << " (p"
+          << pid << ")";
+      detail = oss.str();
+      return ViolationKind::kInconsistent;
+    }
+    if (!first) first = value;
+  }
+  if (options.killed_is_violation && world.any_killed()) {
+    detail = "a process was killed by a nonresponsive fault";
+    return ViolationKind::kStalled;
+  }
+  return std::nullopt;
+}
+
+/// The representative agreed value of a consistent terminal state, if any
+/// process decided (both explorers record the same representative).
+[[nodiscard]] inline std::optional<std::uint64_t> agreed_value(
+    const SimWorld& world) {
+  for (const auto& d : world.decisions()) {
+    if (d) return *d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ff::sched::detail

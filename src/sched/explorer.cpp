@@ -1,77 +1,17 @@
 #include "sched/explorer.hpp"
 
 #include <algorithm>
-#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
-#include "util/rng.hpp"
+#include "sched/explore_common.hpp"
 
 namespace ff::sched {
 
-namespace {
-
-/// 128-bit fingerprint of an encoded state: two independent SplitMix64
-/// chains.  Collisions would require ~2^64 states; the search caps out
-/// orders of magnitude earlier.
-struct Fingerprint {
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  friend bool operator==(const Fingerprint&, const Fingerprint&) noexcept =
-      default;
-};
-
-struct FingerprintHash {
-  std::size_t operator()(const Fingerprint& fp) const noexcept {
-    return static_cast<std::size_t>(fp.a ^ (fp.b * 0x9e3779b97f4a7c15ULL));
-  }
-};
-
-Fingerprint fingerprint(const std::vector<std::uint64_t>& encoded) {
-  Fingerprint fp{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
-  for (const std::uint64_t w : encoded) {
-    fp.a = util::mix64(fp.a ^ w);
-    fp.b = util::mix64(fp.b + w + 0xa5a5a5a5a5a5a5a5ULL);
-  }
-  return fp;
-}
-
-/// Checks a terminal world; returns a violation kind if one applies.
-std::optional<ViolationKind> check_terminal(const SimWorld& world,
-                                            const ExploreOptions& options,
-                                            std::string& detail) {
-  const auto decisions = world.decisions();
-  const auto& inputs = world.inputs();
-  const std::set<std::uint64_t> input_set(inputs.begin(), inputs.end());
-
-  std::optional<std::uint64_t> first;
-  for (std::uint32_t pid = 0; pid < decisions.size(); ++pid) {
-    if (!decisions[pid]) continue;
-    const std::uint64_t value = *decisions[pid];
-    if (!input_set.contains(value)) {
-      std::ostringstream oss;
-      oss << "p" << pid << " decided " << value
-          << " which is no process's input";
-      detail = oss.str();
-      return ViolationKind::kInvalid;
-    }
-    if (first && *first != value) {
-      std::ostringstream oss;
-      oss << "decisions disagree: " << *first << " vs " << value << " (p"
-          << pid << ")";
-      detail = oss.str();
-      return ViolationKind::kInconsistent;
-    }
-    if (!first) first = value;
-  }
-  if (options.killed_is_violation && world.any_killed()) {
-    detail = "a process was killed by a nonresponsive fault";
-    return ViolationKind::kStalled;
-  }
-  return std::nullopt;
-}
-
-}  // namespace
+using detail::Fingerprint;
+using detail::FingerprintHash;
+using detail::check_terminal;
+using detail::fingerprint;
 
 ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
   ExploreResult result;
@@ -100,12 +40,8 @@ ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
       }
       return options.stop_at_first_violation;
     }
-    const auto decisions = world.decisions();
-    for (const auto& d : decisions) {
-      if (d) {
-        result.agreed_values.insert(*d);
-        break;  // consistent terminal: one representative value
-      }
+    if (const auto agreed = detail::agreed_value(world)) {
+      result.agreed_values.insert(*agreed);
     }
     return false;
   };

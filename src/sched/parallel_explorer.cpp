@@ -1,0 +1,529 @@
+#include "sched/parallel_explorer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/explore_common.hpp"
+
+namespace ff::sched {
+
+namespace {
+
+using detail::Fingerprint;
+using detail::FingerprintHash;
+using detail::check_terminal;
+using detail::fingerprint;
+
+/// Dense 31-bit state ids: (per-shard index << shard_bits) | shard.
+/// Bit 31 of the table's mapped value flags a terminal state so workers
+/// can tell, on a duplicate hit, whether the target can sit on a cycle.
+constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
+constexpr std::uint32_t kTerminalFlag = 0x80000000u;
+constexpr std::uint64_t kIdSpace = 0x7FFFFFFEull;
+
+struct StateRecord {
+  std::uint32_t parent;  ///< state id of the discovering parent
+  Choice choice;         ///< choice applied at the parent to reach here
+};
+
+/// One transition of the explored graph, kept for the post-pass cycle
+/// detection (targets that are terminal are skipped — they cannot sit on
+/// a cycle).  The choice is packed so an edge stays 16 bytes.
+struct Edge {
+  std::uint32_t from;
+  std::uint32_t to;
+  std::uint32_t pid;
+  std::uint32_t variant_fault;  ///< (fault_variant << 1) | fault
+
+  [[nodiscard]] Choice choice() const {
+    return Choice{pid, (variant_fault & 1u) != 0, variant_fault >> 1};
+  }
+  [[nodiscard]] bool process_step() const { return pid != kAdversaryPid; }
+
+  static std::uint32_t pack(const Choice& c) {
+    return (c.fault_variant << 1) | (c.fault ? 1u : 0u);
+  }
+};
+
+struct alignas(64) Shard {
+  std::mutex mu;
+  std::unordered_map<Fingerprint, std::uint32_t, FingerprintHash> table;
+  std::vector<StateRecord> records;
+};
+
+struct WorkItem {
+  SimWorld world;
+  std::uint32_t id;
+  std::uint32_t depth;
+};
+
+struct alignas(64) WorkerQueue {
+  std::mutex mu;
+  std::deque<WorkItem> dq;
+};
+
+/// Per-worker accumulators, merged after the join (no sharing until then).
+struct WorkerLocal {
+  std::uint64_t terminal_states = 0;
+  std::uint64_t violations_found = 0;
+  std::uint64_t max_depth = 0;
+  std::map<ViolationKind, std::uint64_t> by_kind;
+  std::set<std::uint64_t> agreed_values;
+  std::vector<Edge> edges;
+};
+
+struct PendingViolation {
+  std::uint32_t id;
+  ViolationKind kind;
+  std::string detail;
+};
+
+struct Ctx {
+  const ExploreOptions* opts = nullptr;
+  std::uint32_t shard_bits = 0;
+  std::uint32_t shard_mask = 0;
+  std::uint32_t num_workers = 1;
+  std::uint32_t chunk = 16;
+  std::vector<Shard> shards;
+  std::vector<WorkerQueue> queues;
+  /// Items enqueued or being expanded; 0 ⇒ the frontier is drained.
+  std::atomic<std::int64_t> outstanding{0};
+  std::atomic<std::uint64_t> states{0};
+  std::atomic<bool> abort{false};
+  std::mutex violation_mu;
+  std::optional<PendingViolation> pending;
+
+  [[nodiscard]] std::uint32_t shard_of(const Fingerprint& fp) const {
+    return static_cast<std::uint32_t>(fp.a) & shard_mask;
+  }
+  [[nodiscard]] const StateRecord& record(std::uint32_t id) const {
+    return shards[id & shard_mask].records[id >> shard_bits];
+  }
+};
+
+/// Inserts (or finds) the state behind `fp`.  Returns the mapped value
+/// (id | terminal flag) and whether this call inserted it.
+std::pair<std::uint32_t, bool> intern(Ctx& ctx, const Fingerprint& fp,
+                                      bool terminal, std::uint32_t parent,
+                                      const Choice& choice) {
+  const std::uint32_t shard_idx = ctx.shard_of(fp);
+  Shard& shard = ctx.shards[shard_idx];
+  std::lock_guard<std::mutex> g(shard.mu);
+  const auto [it, inserted] = shard.table.try_emplace(fp, 0u);
+  if (inserted) {
+    const auto local_idx = static_cast<std::uint32_t>(shard.records.size());
+    if ((std::uint64_t{local_idx} << ctx.shard_bits) > kIdSpace) {
+      // Id space exhausted (≥ 2^31 states in one shard's stripe) — abort
+      // as an incomplete run rather than corrupt ids.
+      ctx.abort.store(true, std::memory_order_relaxed);
+    }
+    std::uint32_t stored = (local_idx << ctx.shard_bits) | shard_idx;
+    if (terminal) stored |= kTerminalFlag;
+    shard.records.push_back(StateRecord{parent, choice});
+    it->second = stored;
+    return {stored, true};
+  }
+  return {it->second, false};
+}
+
+void expand(Ctx& ctx, std::uint32_t wid, WorkItem& item, WorkerLocal& local) {
+  const std::vector<Choice> choices = item.world.enabled();
+  for (const Choice& choice : choices) {
+    if (ctx.abort.load(std::memory_order_relaxed)) return;
+    SimWorld child = item.world;
+    child.apply(choice);
+    const Fingerprint fp = fingerprint(child.encode());
+    const bool child_terminal = child.terminal();
+    local.max_depth =
+        std::max<std::uint64_t>(local.max_depth, item.depth + 1ull);
+
+    const auto [stored, inserted] =
+        intern(ctx, fp, child_terminal, item.id, choice);
+    const bool target_terminal = (stored & kTerminalFlag) != 0;
+    const std::uint32_t child_id = stored & ~kTerminalFlag;
+
+    if (!target_terminal) {
+      local.edges.push_back(
+          Edge{item.id, child_id, choice.pid, Edge::pack(choice)});
+    }
+    if (!inserted) continue;
+
+    const std::uint64_t n =
+        ctx.states.fetch_add(1, std::memory_order_relaxed) + 1;
+    if ((ctx.opts->max_states != 0 && n > ctx.opts->max_states) ||
+        n > kIdSpace) {
+      ctx.abort.store(true, std::memory_order_relaxed);
+      return;
+    }
+
+    if (child_terminal) {
+      ++local.terminal_states;
+      std::string why;
+      if (const auto kind = check_terminal(child, *ctx.opts, why)) {
+        ++local.violations_found;
+        ++local.by_kind[*kind];
+        {
+          std::lock_guard<std::mutex> g(ctx.violation_mu);
+          if (!ctx.pending) {
+            ctx.pending = PendingViolation{child_id, *kind, std::move(why)};
+          }
+        }
+        if (ctx.opts->stop_at_first_violation) {
+          ctx.abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+      } else if (const auto agreed = detail::agreed_value(child)) {
+        local.agreed_values.insert(*agreed);
+      }
+    } else {
+      ctx.outstanding.fetch_add(1, std::memory_order_acq_rel);
+      WorkerQueue& self = ctx.queues[wid];
+      std::lock_guard<std::mutex> g(self.mu);
+      self.dq.push_back(WorkItem{std::move(child), child_id, item.depth + 1});
+    }
+  }
+}
+
+void worker_loop(Ctx& ctx, std::uint32_t wid, WorkerLocal& local) {
+  WorkerQueue& self = ctx.queues[wid];
+  for (;;) {
+    if (ctx.abort.load(std::memory_order_relaxed)) return;
+
+    std::optional<WorkItem> item;
+    {
+      std::lock_guard<std::mutex> g(self.mu);
+      if (!self.dq.empty()) {
+        item.emplace(std::move(self.dq.back()));
+        self.dq.pop_back();
+      }
+    }
+    if (!item) {
+      // Steal a chunk from the oldest (front, closest-to-root) end of a
+      // victim's deque: old frontier states head larger subtrees.
+      for (std::uint32_t i = 1; i <= ctx.num_workers && !item; ++i) {
+        WorkerQueue& victim = ctx.queues[(wid + i) % ctx.num_workers];
+        if (&victim == &self) continue;
+        // Never hold two deque mutexes at once (two thieves targeting
+        // each other would form a lock cycle): drain the chunk into a
+        // local buffer under the victim's lock, then re-lock our own.
+        std::vector<WorkItem> chunk;
+        {
+          std::lock_guard<std::mutex> g(victim.mu);
+          if (victim.dq.empty()) continue;
+          const std::size_t take = std::min<std::size_t>(
+              std::max<std::uint32_t>(1, ctx.chunk),
+              (victim.dq.size() + 1) / 2);
+          item.emplace(std::move(victim.dq.front()));
+          victim.dq.pop_front();
+          for (std::size_t k = 1; k < take; ++k) {
+            chunk.push_back(std::move(victim.dq.front()));
+            victim.dq.pop_front();
+          }
+        }
+        if (!chunk.empty()) {
+          std::lock_guard<std::mutex> g(self.mu);
+          for (auto& stolen : chunk) {
+            self.dq.push_back(std::move(stolen));
+          }
+        }
+      }
+    }
+    if (!item) {
+      if (ctx.outstanding.load(std::memory_order_acquire) == 0) return;
+      std::this_thread::yield();
+      continue;
+    }
+    expand(ctx, wid, *item, local);
+    ctx.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+/// Choices along the discovery tree from the root to `id`.
+std::vector<Choice> path_from_root(const Ctx& ctx, std::uint32_t id) {
+  std::vector<Choice> out;
+  std::uint32_t cur = id;
+  for (;;) {
+    const StateRecord& rec = ctx.record(cur);
+    if (rec.parent == kNoParent) break;
+    out.push_back(rec.choice);
+    cur = rec.parent;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+/// Post-pass nontermination detection over the recorded transition edges:
+/// Tarjan SCCs, then every process-step edge internal to a cyclic SCC is
+/// a wait-freedom violation (inside an SCC, every internal edge lies on a
+/// cycle).  Returns the count and, when one exists, a witness schedule
+/// root → u, u → v (the process edge), v → … → u (a path inside the SCC),
+/// whose replay revisits the state after the root → u prefix.
+struct CycleScan {
+  std::uint64_t process_cycle_edges = 0;
+  std::optional<std::vector<Choice>> witness;
+};
+
+CycleScan scan_for_cycles(const Ctx& ctx,
+                          const std::vector<WorkerLocal>& locals) {
+  CycleScan scan;
+
+  // Dense node indexing: shard-base prefix sums over the record arrays.
+  const auto num_shards = static_cast<std::uint32_t>(ctx.shards.size());
+  std::vector<std::uint64_t> shard_base(num_shards + 1, 0);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    shard_base[s + 1] = shard_base[s] + ctx.shards[s].records.size();
+  }
+  const auto n = static_cast<std::uint32_t>(shard_base[num_shards]);
+  const auto dense = [&](std::uint32_t id) {
+    return static_cast<std::uint32_t>(shard_base[id & ctx.shard_mask] +
+                                      (id >> ctx.shard_bits));
+  };
+  const auto undense = [&](std::uint32_t d) -> std::uint32_t {
+    const auto s = static_cast<std::uint32_t>(
+        std::upper_bound(shard_base.begin(), shard_base.end(), d) -
+        shard_base.begin() - 1);
+    return (static_cast<std::uint32_t>(d - shard_base[s]) << ctx.shard_bits) |
+           s;
+  };
+
+  std::uint64_t num_edges = 0;
+  for (const WorkerLocal& l : locals) num_edges += l.edges.size();
+  if (num_edges == 0 || n == 0) return scan;
+
+  // CSR adjacency of edge indices into the concatenated edge list.
+  std::vector<const Edge*> all_edges;
+  all_edges.reserve(num_edges);
+  for (const WorkerLocal& l : locals) {
+    for (const Edge& e : l.edges) all_edges.push_back(&e);
+  }
+  std::vector<std::uint64_t> offset(n + 1, 0);
+  for (const Edge* e : all_edges) ++offset[dense(e->from) + 1];
+  for (std::uint32_t v = 0; v < n; ++v) offset[v + 1] += offset[v];
+  std::vector<std::uint32_t> csr(num_edges);
+  {
+    std::vector<std::uint64_t> cursor = offset;
+    for (std::uint32_t e = 0; e < num_edges; ++e) {
+      csr[cursor[dense(all_edges[e]->from)]++] = e;
+    }
+  }
+
+  // Iterative Tarjan.
+  constexpr std::uint32_t kUndef = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> index(n, kUndef), lowlink(n, kUndef);
+  std::vector<std::uint32_t> scc_of(n, kUndef);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  std::vector<std::uint32_t> scc_size;
+  struct Frame {
+    std::uint32_t v;
+    std::uint64_t edge;
+  };
+  std::vector<Frame> frames;
+  std::uint32_t next_index = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUndef) continue;
+    frames.push_back({root, offset[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < offset[f.v + 1]) {
+        const std::uint32_t w = dense(all_edges[csr[f.edge++]]->to);
+        if (index[w] == kUndef) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, offset[w]});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[f.v] == index[f.v]) {
+        const auto scc_id = static_cast<std::uint32_t>(scc_size.size());
+        std::uint32_t size = 0;
+        for (;;) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc_of[w] = scc_id;
+          ++size;
+          if (w == f.v) break;
+        }
+        scc_size.push_back(size);
+      }
+      const std::uint32_t low = lowlink[f.v];
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().v] = std::min(lowlink[frames.back().v], low);
+      }
+    }
+  }
+
+  // Count cycle-forming process edges; keep one for the witness.
+  std::optional<std::uint32_t> chosen;
+  for (std::uint32_t e = 0; e < num_edges; ++e) {
+    const Edge& edge = *all_edges[e];
+    const std::uint32_t du = dense(edge.from), dv = dense(edge.to);
+    const bool cyclic =
+        scc_of[du] == scc_of[dv] && (scc_size[scc_of[du]] > 1 || du == dv);
+    if (cyclic && edge.process_step()) {
+      ++scan.process_cycle_edges;
+      if (!chosen) chosen = e;
+    }
+  }
+  if (!chosen) return scan;
+
+  // Witness: root → u, the process edge u → v, then BFS v → … → u kept
+  // inside the SCC.
+  const Edge& key = *all_edges[*chosen];
+  const std::uint32_t du = dense(key.from), dv = dense(key.to);
+  std::vector<Choice> witness = path_from_root(ctx, key.from);
+  witness.push_back(key.choice());
+  if (du != dv) {
+    std::vector<std::uint32_t> pred(n, kUndef);  // predecessor edge index
+    std::vector<std::uint32_t> queue{dv};
+    pred[dv] = *chosen;  // mark discovered (never dereferenced for dv)
+    bool found = false;
+    for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+      const std::uint32_t x = queue[head];
+      for (std::uint64_t i = offset[x]; i < offset[x + 1]; ++i) {
+        const std::uint32_t e = csr[i];
+        const std::uint32_t y = dense(all_edges[e]->to);
+        if (scc_of[y] != scc_of[du] || pred[y] != kUndef) continue;
+        pred[y] = e;
+        if (y == du) {
+          found = true;
+          break;
+        }
+        queue.push_back(y);
+      }
+    }
+    assert(found && "SCC is strongly connected: a v→u path must exist");
+    std::vector<Choice> back;
+    for (std::uint32_t cur = du; cur != dv;) {
+      const Edge& e = *all_edges[pred[cur]];
+      back.push_back(e.choice());
+      cur = dense(e.from);
+    }
+    witness.insert(witness.end(), back.rbegin(), back.rend());
+    (void)undense;
+  }
+  scan.witness = std::move(witness);
+  return scan;
+}
+
+}  // namespace
+
+ExploreResult parallel_explore(const SimWorld& initial,
+                               const ParallelExploreOptions& options) {
+  ExploreResult result;
+  const ExploreOptions& opts = options.explore;
+
+  // Terminal root: identical to the sequential special case.
+  if (initial.terminal()) {
+    result.states_visited = 1;
+    result.terminal_states = 1;
+    std::string why;
+    if (const auto kind = check_terminal(initial, opts, why)) {
+      result.violations_found = 1;
+      result.violations_by_kind[*kind] = 1;
+      result.violation = Violation{*kind, {}, std::move(why)};
+    } else if (const auto agreed = detail::agreed_value(initial)) {
+      result.agreed_values.insert(*agreed);
+    }
+    result.complete =
+        result.violations_found == 0 || !opts.stop_at_first_violation;
+    return result;
+  }
+
+  Ctx ctx;
+  ctx.opts = &opts;
+  const std::uint32_t shards =
+      std::bit_ceil(std::max<std::uint32_t>(1, options.shard_count));
+  ctx.shard_bits = static_cast<std::uint32_t>(std::countr_zero(shards));
+  ctx.shard_mask = shards - 1;
+  std::uint32_t workers = options.num_threads != 0
+                              ? options.num_threads
+                              : std::thread::hardware_concurrency();
+  ctx.num_workers = std::max<std::uint32_t>(1, workers);
+  ctx.chunk = std::max<std::uint32_t>(1, options.chunk_size);
+  ctx.shards = std::vector<Shard>(shards);
+  ctx.queues = std::vector<WorkerQueue>(ctx.num_workers);
+
+  const Fingerprint root_fp = fingerprint(initial.encode());
+  const auto [root_stored, root_inserted] =
+      intern(ctx, root_fp, false, kNoParent, Choice{});
+  assert(root_inserted);
+  (void)root_inserted;
+  ctx.states.store(1, std::memory_order_relaxed);
+  ctx.outstanding.store(1, std::memory_order_relaxed);
+  ctx.queues[0].dq.push_back(WorkItem{initial, root_stored, 0});
+
+  std::vector<WorkerLocal> locals(ctx.num_workers);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(ctx.num_workers);
+    for (std::uint32_t wid = 0; wid < ctx.num_workers; ++wid) {
+      threads.emplace_back(
+          [&ctx, wid, &locals] { worker_loop(ctx, wid, locals[wid]); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  const bool aborted = ctx.abort.load(std::memory_order_relaxed);
+  result.states_visited = ctx.states.load(std::memory_order_relaxed);
+  for (const WorkerLocal& l : locals) {
+    result.terminal_states += l.terminal_states;
+    result.violations_found += l.violations_found;
+    result.max_depth = std::max(result.max_depth, l.max_depth);
+    for (const auto& [kind, count] : l.by_kind) {
+      result.violations_by_kind[kind] += count;
+    }
+    result.agreed_values.insert(l.agreed_values.begin(),
+                                l.agreed_values.end());
+  }
+  if (ctx.pending) {
+    result.violation =
+        Violation{ctx.pending->kind, path_from_root(ctx, ctx.pending->id),
+                  std::move(ctx.pending->detail)};
+  }
+
+  // Cycle pass — only meaningful when the frontier fully drained (an
+  // aborted run has not seen the whole graph, exactly like a capped or
+  // first-violation-stopped sequential DFS).
+  if (!aborted) {
+    const CycleScan scan = scan_for_cycles(ctx, locals);
+    if (scan.process_cycle_edges > 0) {
+      const std::uint64_t reported =
+          opts.stop_at_first_violation ? 1 : scan.process_cycle_edges;
+      result.violations_found += reported;
+      result.violations_by_kind[ViolationKind::kNontermination] += reported;
+      if (!result.violation && scan.witness) {
+        result.violation = Violation{
+            ViolationKind::kNontermination, std::move(*scan.witness),
+            "cycle in the state graph: a process can take steps forever"};
+      }
+    }
+  }
+
+  result.complete =
+      !aborted &&
+      !(opts.stop_at_first_violation && result.violations_found > 0);
+  return result;
+}
+
+}  // namespace ff::sched

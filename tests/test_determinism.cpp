@@ -1,0 +1,83 @@
+// Seed-stability regression tests: identical options (and in particular
+// identical seeds) must make the randomized harnesses reproduce their
+// reports exactly — the guarantee documented in runtime/stress.hpp and
+// sched/random_walk.hpp.  Protocols used here have schedule-independent
+// outcomes (every process performs a fixed number of CAS steps), so the
+// full report — including the step statistics — is a pure function of
+// the options.
+#include <gtest/gtest.h>
+
+#include "consensus/single_cas.hpp"
+#include "objects/atomic_cas.hpp"
+#include "runtime/stress.hpp"
+#include "sched/random_walk.hpp"
+#include "explore_diff.hpp"
+
+namespace ff {
+namespace {
+
+void expect_identical(const runtime::StressReport& a,
+                      const runtime::StressReport& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.inconsistent, b.inconsistent);
+  EXPECT_EQ(a.invalid, b.invalid);
+  EXPECT_EQ(a.undecided, b.undecided);
+  EXPECT_EQ(a.first_violation, b.first_violation);
+  EXPECT_EQ(a.steps_per_process.count(), b.steps_per_process.count());
+  EXPECT_DOUBLE_EQ(a.steps_per_process.mean(), b.steps_per_process.mean());
+  EXPECT_DOUBLE_EQ(a.steps_per_process.min(), b.steps_per_process.min());
+  EXPECT_DOUBLE_EQ(a.steps_per_process.max(), b.steps_per_process.max());
+}
+
+runtime::StressReport run_campaign(std::uint64_t seed) {
+  objects::AtomicCas object(0);
+  consensus::HerlihyConsensus protocol(object);
+  runtime::StressOptions options;
+  options.processes = 3;
+  options.trials = 200;
+  options.seed = seed;
+  return runtime::run_stress(protocol, options);
+}
+
+TEST(Determinism, StressCampaignIsSeedStable) {
+  const auto first = run_campaign(0xc0ffee);
+  const auto second = run_campaign(0xc0ffee);
+  expect_identical(first, second);
+  EXPECT_TRUE(first.all_ok());
+}
+
+TEST(Determinism, StressCampaignSeedChangesInputs) {
+  // Different seeds draw different inputs — the campaign is seeded, not
+  // frozen.  Verdict counters still agree because the protocol is
+  // correct; the reports as a whole need not be distinguishable, so this
+  // only checks the seeded runs do not crash and stay all-ok.
+  const auto other = run_campaign(0xdecaf);
+  EXPECT_TRUE(other.all_ok());
+  EXPECT_EQ(other.trials, 200u);
+}
+
+TEST(Determinism, RandomWalkIsSeedStable) {
+  // random_walk documents full determinism in its seed; cross-check on a
+  // violating configuration where the outcome is non-trivial.
+  const consensus::SingleCasFactory factory;
+  sched::SimConfig config;
+  config.num_objects = 1;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = 1;
+  const sched::SimWorld world(config, factory, testutil::iota_inputs(3));
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sched::WalkOptions options;
+    options.seed = seed;
+    const auto a = sched::random_walk(world, options);
+    const auto b = sched::random_walk(world, options);
+    EXPECT_EQ(a.terminal, b.terminal) << seed;
+    EXPECT_EQ(a.consistent, b.consistent) << seed;
+    EXPECT_EQ(a.valid, b.valid) << seed;
+    EXPECT_EQ(a.steps, b.steps) << seed;
+    EXPECT_EQ(a.agreed, b.agreed) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ff

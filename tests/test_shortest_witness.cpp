@@ -6,6 +6,7 @@
 
 #include "consensus/machines.hpp"
 #include "sched/explorer.hpp"
+#include "sched/random_walk.hpp"
 
 namespace ff {
 namespace {
@@ -84,6 +85,32 @@ TEST(ShortestWitness, CompletesAsProofOnCorrectConfigs) {
   // Same reachable-state count as the DFS explorer.
   const auto dfs = sched::explore(world);
   EXPECT_EQ(result.states_visited, dfs.states_visited);
+}
+
+TEST(ShortestWitness, MinimalAgainstHundredSeededRandomWalks) {
+  // BFS minimality, checked empirically: on the known-violating
+  // overriding-CAS configuration (Figure 1 at n = 3, t = 1), no violating
+  // execution found by 100 seeded random walks may be shorter than the
+  // BFS witness.  Walk step counts equal schedule lengths (one choice per
+  // applied step), so the quantities are directly comparable.
+  const SingleCasFactory factory;
+  const SimWorld world(cfg(1, FaultKind::kOverriding, 1), factory,
+                       inputs(3));
+  const auto bfs = sched::find_shortest_violation(world);
+  ASSERT_TRUE(bfs.violation.has_value());
+  const std::uint64_t minimal = bfs.violation->schedule.size();
+
+  std::uint64_t violating_walks = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    sched::WalkOptions options;
+    options.seed = seed;
+    const auto walk = sched::random_walk(world, options);
+    if (!walk.terminal || walk.ok()) continue;
+    ++violating_walks;
+    EXPECT_GE(walk.steps, minimal) << "seed=" << seed;
+  }
+  // The campaign must actually exercise the comparison.
+  EXPECT_GT(violating_walks, 0u);
 }
 
 TEST(ShortestWitness, RespectsStateCap) {
