@@ -1,0 +1,136 @@
+// B4 — schedule-fuzzer throughput and time-to-first-violation.
+//
+// Two questions feed the BENCH trajectory:
+//   * How many schedules (and simulated steps) per second does the
+//     coverage-guided fuzzer execute on configurations with nothing to
+//     find?  That is the raw search horsepower.
+//   * How quickly does it surface a first witness on configurations the
+//     explorers prove faulty?  Wall time per benchmark iteration IS the
+//     time-to-first-violation; the counters record how many executions
+//     and steps that took.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "consensus/machines.hpp"
+#include "sched/fuzzer.hpp"
+#include "sched/sim_world.hpp"
+
+namespace {
+
+using namespace ff;
+
+std::vector<std::uint64_t> inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+template <typename FactoryT>
+sched::SimWorld make_world(const FactoryT& factory, model::FaultKind kind,
+                           std::uint32_t objects, std::uint32_t t,
+                           std::uint32_t n) {
+  sched::SimConfig config;
+  config.num_objects = objects;
+  config.num_registers = factory.registers_used();
+  config.kind = kind;
+  config.t = t;
+  return sched::SimWorld(config, factory, inputs(n));
+}
+
+// --- Throughput: schedules/sec and steps/sec on a correct config ----------
+
+void run_throughput(benchmark::State& state, const sched::SimWorld& world) {
+  std::uint64_t execs = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sched::FuzzOptions options;
+    options.seed = seed++;
+    options.budget.max_units = 50'000;
+    const auto result = sched::fuzz(world, options);
+    execs += result.stats.executions;
+    steps += result.stats.total_steps;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["schedules/s"] = benchmark::Counter(
+      static_cast<double>(execs), benchmark::Counter::kIsRate);
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+void BM_FuzzThroughputRetrySilent(benchmark::State& state) {
+  // retry-silent at bounded t is explorer-proven correct: pure search.
+  run_throughput(state, make_world(consensus::RetrySilentFactory{},
+                                   model::FaultKind::kSilent, 1, 1, 2));
+}
+BENCHMARK(BM_FuzzThroughputRetrySilent)->Unit(benchmark::kMillisecond);
+
+void BM_FuzzThroughputStagedSafe(benchmark::State& state) {
+  // staged f=1 t=1 n=2 is within the protocol's fault budget: correct.
+  run_throughput(state, make_world(consensus::StagedFactory(1, 1),
+                                   model::FaultKind::kOverriding, 1, 1, 2));
+}
+BENCHMARK(BM_FuzzThroughputStagedSafe)->Unit(benchmark::kMillisecond);
+
+// --- Time-to-first-violation ----------------------------------------------
+
+void run_first_violation(benchmark::State& state,
+                         const sched::SimWorld& world) {
+  std::uint64_t execs = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t found = 0;
+  std::uint64_t witness = 0;
+  std::uint64_t shrunk = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sched::FuzzOptions options;
+    options.seed = seed++;
+    options.budget.max_units = 5'000'000;  // effectively until found
+    const auto result = sched::fuzz(world, options);
+    execs += result.stats.executions;
+    steps += result.stats.total_steps;
+    if (result.violation) {
+      ++found;
+      witness += result.stats.witness_steps_found;
+      shrunk += result.stats.witness_steps_shrunk;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["found"] = static_cast<double>(found) / iters;
+  state.counters["execs_to_violation"] = static_cast<double>(execs) / iters;
+  state.counters["steps_to_violation"] = static_cast<double>(steps) / iters;
+  state.counters["witness_steps"] = static_cast<double>(witness) / iters;
+  state.counters["witness_steps_shrunk"] =
+      static_cast<double>(shrunk) / iters;
+}
+
+void BM_FuzzFirstViolationSingleCas(benchmark::State& state) {
+  // Figure 1: one overriding fault breaks single-CAS consensus at n=3.
+  run_first_violation(state,
+                      make_world(consensus::SingleCasFactory{},
+                                 model::FaultKind::kOverriding, 1, 1, 3));
+}
+BENCHMARK(BM_FuzzFirstViolationSingleCas)->Unit(benchmark::kMicrosecond);
+
+void BM_FuzzFirstViolationStaged(benchmark::State& state) {
+  // staged f=1 t=1 at n=3 exceeds the protected-process count: faulty.
+  run_first_violation(state,
+                      make_world(consensus::StagedFactory(1, 1),
+                                 model::FaultKind::kOverriding, 1, 1, 3));
+}
+BENCHMARK(BM_FuzzFirstViolationStaged)->Unit(benchmark::kMicrosecond);
+
+void BM_FuzzFirstViolationLivelock(benchmark::State& state) {
+  // retry-silent at t = ∞ livelocks: the witness is a machine-checked
+  // cycle, exercising the in-execution revisit detector.
+  run_first_violation(
+      state, make_world(consensus::RetrySilentFactory{},
+                        model::FaultKind::kSilent, 1, model::kUnbounded, 2));
+}
+BENCHMARK(BM_FuzzFirstViolationLivelock)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -74,7 +74,7 @@ void threaded_table(std::uint64_t trials) {
 
       runtime::StressOptions options;
       options.processes = n;
-      options.trials = trials;
+      options.budget.max_units = trials;
       options.seed = 0xE1;
       const auto report = runtime::run_stress(protocol, options);
       table.add(row.name, n, report.trials, report.ok_rate(),

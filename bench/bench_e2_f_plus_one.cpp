@@ -84,7 +84,7 @@ void threaded_table(std::uint64_t trials) {
 
       runtime::StressOptions options;
       options.processes = n;
-      options.trials = trials;
+      options.budget.max_units = trials;
       options.seed = 0xE2 * f + n;
       const auto report = runtime::run_stress(
           protocol, options, [&](std::uint64_t) { budget.reset(); });

@@ -96,7 +96,7 @@ void threaded_table(std::uint64_t trials) {
       std::uint32_t worst_convergence = 0;
       runtime::StressOptions options;
       options.processes = n;
-      options.trials = trials;
+      options.budget.max_units = trials;
       options.seed = 0xE3 + f * 100 + t;
       const auto report = runtime::run_stress(
           protocol, options,

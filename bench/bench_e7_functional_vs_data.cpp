@@ -85,7 +85,7 @@ void threaded_table(std::uint64_t trials) {
     protocol.set_step_limit(10'000'000);
     runtime::StressOptions options;
     options.processes = kN;
-    options.trials = trials;
+    options.budget.max_units = trials;
     options.seed = 0xE7;
     const auto report = runtime::run_stress(
         protocol, options, [&](std::uint64_t) { budget.reset(); });

@@ -7,12 +7,14 @@
 //   $ ./fault_explorer --protocol staged --f 1 --t 1 --n 3 --kind overriding
 //   $ ./fault_explorer --protocol herlihy --n 2 --kind silent --t 1
 //   $ ./fault_explorer --protocol fp1 --objects 2 --f 1 --n 3
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <numeric>
 
 #include "consensus/machines.hpp"
 #include "sched/explorer.hpp"
+#include "sched/fuzzer.hpp"
 #include "sched/parallel_explorer.hpp"
 #include "util/cli.hpp"
 
@@ -44,7 +46,96 @@ void print_usage() {
       "  --objects   object count for fp1                      (default f+1)\n"
       "  --state-cap explorer state limit                      (default 4e6)\n"
       "  --threads   parallel-explorer worker threads;\n"
-      "              0 = sequential DFS explorer                (default 0)\n";
+      "              0 = sequential DFS explorer                (default 0)\n"
+      "  --fuzz      coverage-guided schedule fuzzing instead of\n"
+      "              exhaustive exploration (for configurations too large\n"
+      "              to enumerate); witnesses are shrunk before printing\n"
+      "  --seed      fuzzer seed                                (default 1)\n"
+      "  --fuzz-steps  fuzzing budget in simulated steps, 0 = unlimited\n"
+      "                                                    (default 2e6)\n"
+      "  --fuzz-millis wall-clock budget in ms, 0 = none       (default 0)\n"
+      "  --fuzz-execs  stop after this many executions, 0 = none\n"
+      "  --json      write the full fuzz result (stats, corpus, coverage,\n"
+      "              RNG state) as JSON to this path\n";
+}
+
+/// Replays a witness step by step, printing each operation and the
+/// resulting object value (shared by the explorer and fuzzer verdicts).
+void print_witness_replay(const sched::SimWorld& world,
+                          const sched::Violation& violation) {
+  sched::SimWorld replayed = world;
+  std::size_t step = 0;
+  for (const auto& choice : violation.schedule) {
+    if (choice.pid == sched::kAdversaryPid) {
+      std::cout << "  " << ++step << ". adversary corrupts memory";
+      replayed.apply(choice);
+      std::cout << '\n';
+      continue;
+    }
+    const auto op = replayed.pending(choice.pid);
+    std::cout << "  " << ++step << ". p" << choice.pid
+              << (choice.fault ? " [FAULT]" : "") << " CAS(O" << op.object
+              << ", " << op.expected.to_string() << ", "
+              << op.desired.to_string() << ")";
+    replayed.apply(choice);
+    std::cout << " -> O" << op.object << " = "
+              << replayed.object_value(op.object).to_string() << '\n';
+  }
+  std::cout << "final decisions:\n";
+  const auto decisions = replayed.decisions();
+  for (std::uint32_t pid = 0; pid < decisions.size(); ++pid) {
+    std::cout << "  p" << pid << " -> "
+              << (decisions[pid] ? std::to_string(*decisions[pid])
+                                 : std::string("(undecided)"))
+              << '\n';
+  }
+}
+
+int run_fuzz(const sched::SimWorld& world, const util::Cli& cli,
+             model::FaultKind kind) {
+  sched::FuzzOptions options;
+  options.seed = cli.get_uint("seed", 1);
+  options.budget.max_units = cli.get_uint("fuzz-steps", 2'000'000);
+  options.budget.max_millis = cli.get_uint("fuzz-millis", 0);
+  options.max_execs = cli.get_uint("fuzz-execs", 0);
+  options.killed_is_violation = kind == model::FaultKind::kNonresponsive;
+
+  const sched::FuzzResult result = sched::fuzz(world, options);
+
+  std::cout << "executions     : " << result.stats.executions << '\n'
+            << "steps          : " << result.stats.total_steps << '\n'
+            << "unique states  : " << result.stats.unique_states << '\n'
+            << "corpus         : " << result.stats.corpus_entries
+            << " schedules\n"
+            << "coverage       : "
+            << (result.complete ? "requested work finished"
+                                : "budget exhausted or stopped early")
+            << '\n';
+
+  const std::string json_path = cli.get_string("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << result.to_json() << '\n';
+    std::cout << "json           : " << json_path << '\n';
+  }
+
+  if (!result.violation) {
+    std::cout << "verdict        : no violation found (sampling — NOT a "
+                 "proof of correctness)\n";
+    return 0;
+  }
+
+  std::cout << "verdict        : VIOLATION ("
+            << sched::to_string(result.violation->kind) << ")\n"
+            << "detail         : " << result.violation->detail << '\n'
+            << "found at exec  : "
+            << result.stats.first_violation_exec.value_or(0) << '\n'
+            << "witness        : " << result.violation->schedule_string()
+            << "\n  (shrunk from " << result.stats.witness_steps_found
+            << " to " << result.stats.witness_steps_shrunk
+            << " steps)\n\nreplaying witness:\n";
+  print_witness_replay(world, *result.violation);
+  return 1;
 }
 
 }  // namespace
@@ -93,6 +184,17 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> inputs(n);
   std::iota(inputs.begin(), inputs.end(), 1);
   const sched::SimWorld world(config, *factory, inputs);
+
+  if (cli.has("fuzz")) {
+    std::cout << "fuzzing: protocol=" << factory->name()
+              << " objects=" << config.num_objects << " kind="
+              << model::to_string(kind) << " t="
+              << (t == model::kUnbounded ? std::string("inf")
+                                         : std::to_string(t))
+              << " n=" << n << " seed=" << cli.get_uint("seed", 1)
+              << "\n\n";
+    return run_fuzz(world, cli, kind);
+  }
 
   sched::ExploreOptions options;
   options.max_states = cli.get_uint("state-cap", 4'000'000);
@@ -154,32 +256,6 @@ int main(int argc, char** argv) {
             << "detail         : " << result.violation->detail << '\n'
             << "witness        : " << result.violation->schedule_string()
             << "\n\nreplaying witness:\n";
-
-  sched::SimWorld replayed = world;
-  std::size_t step = 0;
-  for (const auto& choice : result.violation->schedule) {
-    if (choice.pid == sched::kAdversaryPid) {
-      std::cout << "  " << ++step << ". adversary corrupts memory";
-      replayed.apply(choice);
-      std::cout << '\n';
-      continue;
-    }
-    const auto op = replayed.pending(choice.pid);
-    std::cout << "  " << ++step << ". p" << choice.pid
-              << (choice.fault ? " [FAULT]" : "") << " CAS(O" << op.object
-              << ", " << op.expected.to_string() << ", "
-              << op.desired.to_string() << ")";
-    replayed.apply(choice);
-    std::cout << " -> O" << op.object << " = "
-              << replayed.object_value(op.object).to_string() << '\n';
-  }
-  std::cout << "final decisions:\n";
-  const auto decisions = replayed.decisions();
-  for (std::uint32_t pid = 0; pid < decisions.size(); ++pid) {
-    std::cout << "  p" << pid << " -> "
-              << (decisions[pid] ? std::to_string(*decisions[pid])
-                                 : std::string("(undecided)"))
-              << '\n';
-  }
+  print_witness_replay(world, *result.violation);
   return 1;
 }

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
 
   ff::runtime::StressOptions options;
   options.processes = n;
-  options.trials = trials;
+  options.budget.max_units = trials;
   options.seed = 0x5eed;
   const auto report = ff::runtime::run_stress(
       protocol, options,

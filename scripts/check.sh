@@ -1,23 +1,36 @@
 #!/usr/bin/env bash
-# Two-configuration verification gate:
+# Four-configuration verification gate:
 #   1. default build  → the fast `tier1` test label (all unit suites);
-#   2. FF_SANITIZE=thread build → the multi-threaded suites (label `tsan`,
+#   2. default build  → the `tier2-fuzz` label (wall-clock-bounded smoke
+#      fuzz campaign per seed protocol);
+#   3. FF_SANITIZE=thread build → the multi-threaded suites (label `tsan`,
 #      i.e. the parallel-explorer differential harness and the real-thread
-#      stress suites) under ThreadSanitizer.
+#      stress suites) under ThreadSanitizer;
+#   4. FF_SANITIZE=address build → the memory-heavy fuzzer/explorer suites
+#      (label `asan`) under AddressSanitizer + UndefinedBehaviorSanitizer.
 # Usage: scripts/check.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/2] default build · ctest -L tier1 =="
+echo "== [1/4] default build · ctest -L tier1 =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
 
-echo "== [2/2] FF_SANITIZE=thread build · ctest -L tsan =="
+echo "== [2/4] default build · ctest -L tier2-fuzz =="
+ctest --test-dir build -L tier2-fuzz --output-on-failure -j "$JOBS"
+
+echo "== [3/4] FF_SANITIZE=thread build · ctest -L tsan =="
 cmake -B build-tsan -S . -DFF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target test_parallel_explorer test_determinism test_concurrency
 ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
 
-echo "OK: both configurations passed"
+echo "== [4/4] FF_SANITIZE=address build · ctest -L asan =="
+cmake -B build-asan -S . -DFF_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" \
+  --target test_fuzzer test_shrink test_fuzz_smoke test_sim test_faults
+ctest --test-dir build-asan -L asan --output-on-failure -j "$JOBS"
+
+echo "OK: all four configurations passed"

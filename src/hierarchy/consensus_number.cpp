@@ -79,7 +79,7 @@ HierarchyCell probe_staged_cell(std::uint32_t f, std::uint32_t t,
   sched::WalkOptions walk_options;
   walk_options.seed = options.seed ^ (std::uint64_t{f} << 32) ^
                       (std::uint64_t{t} << 16) ^ n;
-  walk_options.max_steps = options.walk_max_steps;
+  walk_options.budget.max_units = options.walk_max_steps;
   const auto report =
       sched::run_walk_campaign(initial, options.walks, walk_options);
   cell.effort = report.walks;

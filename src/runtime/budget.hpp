@@ -1,0 +1,78 @@
+// Unified budget/deadline abstraction for every bounded campaign in the
+// repository — extracted from runtime/stress.hpp so that step/time caps
+// mean the same thing everywhere.
+//
+// A BudgetSpec declares the caps (0 = unlimited); a BudgetMeter is the
+// runtime accumulator that charges units against them.  Units are
+// caller-defined: run_stress charges one unit per trial, random_walk and
+// the schedule fuzzer one unit per simulated step.  The wall-clock
+// deadline is optional and — crucially for seed-determinism — the meter
+// touches the clock ONLY when a deadline is configured, so purely
+// unit-capped campaigns are exact functions of their options.
+//
+// Truncation contract shared by all users: when a meter reports
+// exhaustion the campaign must stop, mark its report incomplete
+// (`complete = false` or equivalent) and never fabricate a verdict for
+// work it did not perform.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ff::runtime {
+
+/// Declarative caps.  0 = unlimited for both fields.
+struct BudgetSpec {
+  /// Maximum units (trials, simulated steps, ... — caller-defined).
+  std::uint64_t max_units = 0;
+  /// Wall-clock deadline in milliseconds from meter construction.
+  std::uint64_t max_millis = 0;
+};
+
+class BudgetMeter {
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  explicit BudgetMeter(const BudgetSpec& spec)
+      : spec_(spec),
+        deadline_(spec.max_millis == 0
+                      ? Clock::time_point::max()
+                      : Clock::now() +
+                            std::chrono::milliseconds(spec.max_millis)) {}
+
+  /// Consumes `units`.  Returns false — and marks the meter exhausted —
+  /// when the unit cap would be exceeded (the excess work must not run).
+  bool charge(std::uint64_t units = 1) {
+    if (spec_.max_units != 0 && used_ + units > spec_.max_units) {
+      exhausted_ = true;
+      return false;
+    }
+    used_ += units;
+    return true;
+  }
+
+  /// True once the deadline has passed (checks the clock only when a
+  /// deadline is configured) or a charge was refused.  Campaigns poll
+  /// this at iteration boundaries, so a deadline may overshoot by at
+  /// most one iteration.
+  [[nodiscard]] bool expired() {
+    if (exhausted_) return true;
+    if (spec_.max_millis != 0 && Clock::now() >= deadline_) {
+      exhausted_ = true;
+    }
+    return exhausted_;
+  }
+
+  /// True iff a cap was ever hit (charge refusal or deadline).
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+  [[nodiscard]] const BudgetSpec& spec() const noexcept { return spec_; }
+
+ private:
+  BudgetSpec spec_;
+  Clock::time_point deadline_;
+  std::uint64_t used_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace ff::runtime

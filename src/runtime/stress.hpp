@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "consensus/consensus.hpp"
+#include "runtime/budget.hpp"
 #include "runtime/thread_runner.hpp"
 #include "util/stats.hpp"
 
@@ -31,7 +32,10 @@ namespace ff::runtime {
 
 struct StressOptions {
   std::uint32_t processes = 2;
-  std::uint64_t trials = 100;
+  /// Campaign budget (shared abstraction — see runtime/budget.hpp):
+  /// units are trials here; the deadline, if set, is polled between
+  /// trials.  A deadline-truncated campaign simply reports fewer trials.
+  BudgetSpec budget{.max_units = 100, .max_millis = 0};
   std::uint64_t seed = 0xc0ffee;
   /// Stop early once this many violations have been found (0 = never).
   std::uint64_t stop_after_violations = 0;
@@ -69,7 +73,9 @@ using TrialCheckHook =
                                              const TrialSetupHook& setup = {},
                                              const TrialCheckHook& check = {}) {
   StressReport report;
-  for (std::uint64_t trial = 0; trial < options.trials; ++trial) {
+  BudgetMeter meter(options.budget);
+  for (std::uint64_t trial = 0; !meter.expired() && meter.charge(1);
+       ++trial) {
     protocol.reset();
     if (setup) setup(trial);
 

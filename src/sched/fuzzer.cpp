@@ -1,0 +1,540 @@
+#include "sched/fuzzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/explore_common.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace ff::sched {
+
+namespace {
+
+using detail::Fingerprint;
+using detail::FingerprintHash;
+
+/// Canonical ordering of choices: lower pid first (the adversary's
+/// 0xFFFFFFFF pseudo-pid naturally sorts last), clean before faulty,
+/// lower fault variant first.  The shrinker canonicalizes towards the
+/// minimum of this order.
+[[nodiscard]] std::uint64_t choice_key(const Choice& c) noexcept {
+  return (static_cast<std::uint64_t>(c.pid) << 33) |
+         (static_cast<std::uint64_t>(c.fault) << 32) | c.fault_variant;
+}
+
+/// Unguided pick, identical in spirit to random_walk: prefer a fault
+/// choice with probability `fault_bias`, uniform within the pool.
+[[nodiscard]] Choice biased_pick(const std::vector<Choice>& choices,
+                                 util::Xoshiro256& rng, double fault_bias) {
+  std::vector<Choice> faulty;
+  std::vector<Choice> clean;
+  for (const Choice& c : choices) (c.fault ? faulty : clean).push_back(c);
+  const std::vector<Choice>& pool =
+      (!faulty.empty() && rng.chance(fault_bias)) ? faulty : clean;
+  const std::vector<Choice>& chosen = pool.empty() ? choices : pool;
+  return chosen[rng.below(chosen.size())];
+}
+
+/// PCT state: one priority per process plus one for the adversary's
+/// corruption steps (slot `n`).  Higher value = scheduled first.
+struct PctPriorities {
+  std::vector<std::int64_t> priority;
+
+  [[nodiscard]] std::size_t slot(objects::ProcessId pid) const noexcept {
+    return pid == kAdversaryPid ? priority.size() - 1 : pid;
+  }
+
+  static PctPriorities random(std::uint32_t processes,
+                              util::Xoshiro256& rng) {
+    PctPriorities p;
+    p.priority.resize(processes + 1);
+    for (std::size_t i = 0; i < p.priority.size(); ++i) {
+      p.priority[i] = static_cast<std::int64_t>(i) + 1;
+    }
+    for (std::size_t i = p.priority.size(); i > 1; --i) {
+      std::swap(p.priority[i - 1], p.priority[rng.below(i)]);
+    }
+    return p;
+  }
+
+  /// Demotes the slot below every other priority (a PCT change point).
+  void demote(std::size_t s) {
+    const std::int64_t lowest =
+        *std::min_element(priority.begin(), priority.end());
+    priority[s] = lowest - 1;
+  }
+};
+
+[[nodiscard]] Choice pct_pick(const std::vector<Choice>& choices,
+                              const PctPriorities& prio,
+                              util::Xoshiro256& rng, double fault_bias) {
+  std::size_t best_slot = prio.slot(choices.front().pid);
+  for (const Choice& c : choices) {
+    const std::size_t s = prio.slot(c.pid);
+    if (prio.priority[s] > prio.priority[best_slot]) best_slot = s;
+  }
+  std::vector<Choice> faulty;
+  std::vector<Choice> clean;
+  for (const Choice& c : choices) {
+    if (prio.slot(c.pid) != best_slot) continue;
+    (c.fault ? faulty : clean).push_back(c);
+  }
+  if (!faulty.empty() && (clean.empty() || rng.chance(fault_bias))) {
+    return faulty[rng.below(faulty.size())];
+  }
+  return clean.empty() ? faulty[rng.below(faulty.size())] : clean.front();
+}
+
+/// Resolves a guidance choice against the currently enabled set: exact
+/// match, else same (pid, fault), else same pid preferring its clean
+/// step.  nullopt when the process has no enabled choice at all.
+[[nodiscard]] std::optional<Choice> resolve(
+    const std::vector<Choice>& enabled, const Choice& want) {
+  const Choice* same_pid_clean = nullptr;
+  const Choice* same_pid_any = nullptr;
+  for (const Choice& c : enabled) {
+    if (c == want) return c;
+    if (c.pid != want.pid) continue;
+    if (!same_pid_any) same_pid_any = &c;
+    if (!c.fault && !same_pid_clean) same_pid_clean = &c;
+    if (c.fault == want.fault) return c;
+  }
+  if (same_pid_clean) return *same_pid_clean;
+  if (same_pid_any) return *same_pid_any;
+  return std::nullopt;
+}
+
+enum class Mode : std::uint8_t {
+  kFresh,       ///< PCT-style priority walk
+  kSplice,      ///< prefix of one corpus entry + suffix of another
+  kTruncate,    ///< corpus prefix, then an unguided random tail
+  kPidSwap,     ///< swap two process identities throughout
+  kFaultNudge,  ///< toggle / move / revariant a fault point
+};
+
+[[nodiscard]] std::vector<Choice> make_guidance(
+    Mode mode, const std::vector<std::vector<Choice>>& corpus,
+    std::uint32_t processes, util::Xoshiro256& rng) {
+  const auto& parent = corpus[rng.below(corpus.size())];
+  switch (mode) {
+    case Mode::kFresh:
+      return {};
+    case Mode::kSplice: {
+      const auto& other = corpus[rng.below(corpus.size())];
+      const std::size_t i = rng.below(parent.size() + 1);
+      const std::size_t j = rng.below(other.size() + 1);
+      std::vector<Choice> out(parent.begin(),
+                              parent.begin() + static_cast<std::ptrdiff_t>(i));
+      out.insert(out.end(), other.begin() + static_cast<std::ptrdiff_t>(j),
+                 other.end());
+      return out;
+    }
+    case Mode::kTruncate: {
+      const std::size_t keep = rng.below(parent.size() + 1);
+      return {parent.begin(), parent.begin() + static_cast<std::ptrdiff_t>(keep)};
+    }
+    case Mode::kPidSwap: {
+      std::vector<Choice> out = parent;
+      const auto p = static_cast<objects::ProcessId>(rng.below(processes));
+      const auto q = static_cast<objects::ProcessId>(rng.below(processes));
+      for (Choice& c : out) {
+        if (c.pid == p) {
+          c.pid = q;
+        } else if (c.pid == q) {
+          c.pid = p;
+        }
+      }
+      return out;
+    }
+    case Mode::kFaultNudge: {
+      std::vector<Choice> out = parent;
+      if (out.empty()) return out;
+      const std::size_t idx = rng.below(out.size());
+      switch (rng.below(3)) {
+        case 0:  // toggle the fault flag
+          out[idx].fault = !out[idx].fault;
+          out[idx].fault_variant = 0;
+          break;
+        case 1: {  // move the step one slot (shifts a fault point)
+          const std::size_t other =
+              idx + 1 < out.size() ? idx + 1 : (idx == 0 ? 0 : idx - 1);
+          std::swap(out[idx], out[other]);
+          break;
+        }
+        default:  // revariant: force a faulty step with a fresh variant
+          out[idx].fault = true;
+          out[idx].fault_variant = static_cast<std::uint32_t>(rng.below(4));
+          break;
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+struct ExecOutcome {
+  std::vector<Choice> path;
+  bool new_coverage = false;
+  bool truncated_by_budget = false;
+  std::optional<ViolationKind> kind;
+  std::string detail;
+};
+
+/// Runs one execution: guided by `guidance` where possible, PCT-driven
+/// in fresh mode, biased-random on the tail.  Coverage fingerprints are
+/// recorded after every applied step; a revisited state whose repeated
+/// segment contains a process step is reported as nontermination.
+ExecOutcome run_exec(const SimWorld& initial,
+                     const std::vector<Choice>& guidance, bool fresh,
+                     const FuzzOptions& options, util::Xoshiro256& rng,
+                     runtime::BudgetMeter& meter,
+                     std::unordered_set<Fingerprint, FingerprintHash>&
+                         coverage) {
+  ExecOutcome out;
+  SimWorld world = initial;
+
+  PctPriorities prio;
+  std::vector<std::uint64_t> change_points;
+  if (fresh) {
+    prio = PctPriorities::random(world.processes(), rng);
+    change_points.reserve(options.pct_change_points);
+    for (std::uint32_t i = 0; i < options.pct_change_points; ++i) {
+      change_points.push_back(1 + rng.below(options.max_steps_per_exec));
+    }
+    std::sort(change_points.begin(), change_points.end());
+  }
+
+  // Step count at which each fingerprint was first observed (0 = the
+  // initial state), for exact in-execution cycle detection.
+  std::unordered_map<Fingerprint, std::size_t, FingerprintHash> seen_at;
+  seen_at.emplace(detail::fingerprint(world.encode()), 0);
+
+  while (!world.terminal()) {
+    if (out.path.size() >= options.max_steps_per_exec) return out;
+    if (!meter.charge(1)) {
+      out.truncated_by_budget = true;
+      return out;
+    }
+    const auto choices = world.enabled();
+    std::optional<Choice> picked;
+    if (out.path.size() < guidance.size()) {
+      picked = resolve(choices, guidance[out.path.size()]);
+    } else if (fresh) {
+      if (!change_points.empty() && out.path.size() >= change_points.front()) {
+        // A PCT change point: demote whichever slot currently runs.
+        prio.demote(prio.slot(pct_pick(choices, prio, rng,
+                                       /*fault_bias=*/0.0).pid));
+        change_points.erase(change_points.begin());
+      }
+      picked = pct_pick(choices, prio, rng, options.fault_bias);
+    }
+    const Choice choice =
+        picked ? *picked : biased_pick(choices, rng, options.fault_bias);
+    world.apply(choice);
+    out.path.push_back(choice);
+
+    const Fingerprint fp = detail::fingerprint(world.encode());
+    if (coverage.insert(fp).second) out.new_coverage = true;
+    const auto [it, inserted] = seen_at.try_emplace(fp, out.path.size());
+    if (!inserted) {
+      bool process_steps = false;
+      for (std::size_t k = it->second; k < out.path.size(); ++k) {
+        if (out.path[k].pid != kAdversaryPid) {
+          process_steps = true;
+          break;
+        }
+      }
+      if (process_steps) {
+        out.kind = ViolationKind::kNontermination;
+        out.detail = "schedule revisits the state reached after step " +
+                     std::to_string(it->second) +
+                     " with a process step inside the cycle";
+        return out;
+      }
+    }
+  }
+
+  ExploreOptions eo;
+  eo.killed_is_violation = options.killed_is_violation;
+  out.kind = detail::check_terminal(world, eo, out.detail);
+  return out;
+}
+
+[[nodiscard]] std::string hex_fingerprint(std::uint64_t a, std::uint64_t b) {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return buf;
+}
+
+}  // namespace
+
+FuzzResult fuzz(const SimWorld& initial, const FuzzOptions& options) {
+  FuzzResult result;
+  util::Xoshiro256 rng(options.seed);
+  runtime::BudgetMeter meter(options.budget);
+
+  std::unordered_set<Fingerprint, FingerprintHash> coverage;
+  coverage.insert(detail::fingerprint(initial.encode()));
+
+  bool truncated = false;
+  bool goal_met = false;
+  while (true) {
+    if (options.max_execs != 0 &&
+        result.stats.executions >= options.max_execs) {
+      goal_met = true;
+      break;
+    }
+    if (meter.expired()) {
+      truncated = true;
+      break;
+    }
+
+    Mode mode = Mode::kFresh;
+    if (!result.corpus.empty() && !rng.chance(options.fresh_walk_prob)) {
+      mode = static_cast<Mode>(1 + rng.below(4));
+    }
+    const std::vector<Choice> guidance =
+        make_guidance(mode, mode == Mode::kFresh
+                                ? std::vector<std::vector<Choice>>{{}}
+                                : result.corpus,
+                      initial.processes(), rng);
+    ExecOutcome exec = run_exec(initial, guidance, mode == Mode::kFresh,
+                                options, rng, meter, coverage);
+    if (exec.truncated_by_budget) {
+      // The partial execution is discarded entirely: no verdict and no
+      // corpus entry may come from work the budget did not cover.
+      truncated = true;
+      break;
+    }
+    ++result.stats.executions;
+
+    if (exec.new_coverage && result.corpus.size() < options.max_corpus) {
+      result.corpus.push_back(exec.path);
+    }
+    if (exec.kind) {
+      ++result.stats.violations_found;
+      ++result.violations_by_kind[*exec.kind];
+      Violation v{*exec.kind, exec.path, exec.detail};
+      result.first_by_kind.try_emplace(*exec.kind, v);
+      if (!result.original_violation) {
+        result.original_violation = std::move(v);
+        result.stats.first_violation_exec = result.stats.executions - 1;
+      }
+      if (options.stop_at_first_violation) break;  // early stop: incomplete
+      if (!options.stop_after_kinds.empty() &&
+          std::all_of(options.stop_after_kinds.begin(),
+                      options.stop_after_kinds.end(),
+                      [&](ViolationKind k) {
+                        return result.first_by_kind.contains(k);
+                      })) {
+        goal_met = true;
+        break;
+      }
+    }
+  }
+
+  result.complete = goal_met && !truncated;
+  result.stats.total_steps = meter.used();
+  result.stats.corpus_entries = result.corpus.size();
+  result.stats.unique_states = coverage.size();
+
+  result.coverage.reserve(coverage.size());
+  for (const Fingerprint& fp : coverage) result.coverage.emplace_back(fp.a, fp.b);
+  std::sort(result.coverage.begin(), result.coverage.end());
+
+  if (result.original_violation) {
+    result.stats.witness_steps_found =
+        result.original_violation->schedule.size();
+    result.violation = result.original_violation;
+    if (options.shrink) {
+      result.violation->schedule = shrink_witness(
+          initial, result.original_violation->schedule,
+          result.original_violation->kind, options.killed_is_violation);
+    }
+    result.stats.witness_steps_shrunk = result.violation->schedule.size();
+  }
+  result.rng_state = rng.state();
+  return result;
+}
+
+std::optional<ViolationKind> classify_schedule(
+    const SimWorld& initial, const std::vector<Choice>& schedule,
+    bool killed_is_violation) {
+  SimWorld world = initial;
+  std::vector<std::vector<std::uint64_t>> encodes;
+  encodes.reserve(schedule.size() + 1);
+  encodes.push_back(world.encode());
+  for (const Choice& c : schedule) {
+    const auto enabled = world.enabled();
+    if (std::find(enabled.begin(), enabled.end(), c) == enabled.end()) {
+      return std::nullopt;  // not a legal schedule from this state
+    }
+    world.apply(c);
+    encodes.push_back(world.encode());
+  }
+  if (world.terminal()) {
+    ExploreOptions eo;
+    eo.killed_is_violation = killed_is_violation;
+    std::string detail;
+    return detail::check_terminal(world, eo, detail);
+  }
+  if (schedule.empty()) return std::nullopt;
+  const auto& final_state = encodes.back();
+  for (std::size_t i = 0; i + 1 < encodes.size(); ++i) {
+    if (encodes[i] != final_state) continue;
+    for (std::size_t k = i; k < schedule.size(); ++k) {
+      if (schedule[k].pid != kAdversaryPid) {
+        return ViolationKind::kNontermination;
+      }
+    }
+    return std::nullopt;  // only adversary steps repeat: not a process cycle
+  }
+  return std::nullopt;
+}
+
+std::vector<Choice> shrink_witness(const SimWorld& initial,
+                                   const std::vector<Choice>& schedule,
+                                   ViolationKind kind,
+                                   bool killed_is_violation) {
+  const auto violates = [&](const std::vector<Choice>& s) {
+    return classify_schedule(initial, s, killed_is_violation) == kind;
+  };
+  std::vector<Choice> cur = schedule;
+  if (!violates(cur)) return cur;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Phase 1 — chunk removal to a fixpoint.  Largest chunks first for
+    // fast progress; every successful removal restarts the scan, so at
+    // the fixpoint NO contiguous chunk of ANY size is removable.
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      for (std::size_t len = cur.size(); len >= 1 && !removed; --len) {
+        for (std::size_t start = 0; start + len <= cur.size(); ++start) {
+          std::vector<Choice> cand;
+          cand.reserve(cur.size() - len);
+          cand.insert(cand.end(), cur.begin(),
+                      cur.begin() + static_cast<std::ptrdiff_t>(start));
+          cand.insert(cand.end(),
+                      cur.begin() + static_cast<std::ptrdiff_t>(start + len),
+                      cur.end());
+          if (violates(cand)) {
+            cur = std::move(cand);
+            removed = true;
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Phase 2 — per-step canonicalization: replace each choice by the
+    // smallest enabled alternative (choice_key order: lower pid, clean
+    // over faulty, lower variant) that preserves the violation.
+    SimWorld world = initial;
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      std::vector<Choice> alternatives = world.enabled();
+      std::sort(alternatives.begin(), alternatives.end(),
+                [](const Choice& x, const Choice& y) {
+                  return choice_key(x) < choice_key(y);
+                });
+      for (const Choice& alt : alternatives) {
+        if (choice_key(alt) >= choice_key(cur[i])) break;
+        std::vector<Choice> cand = cur;
+        cand[i] = alt;
+        if (violates(cand)) {
+          cur = std::move(cand);
+          progress = true;
+          break;
+        }
+      }
+      world.apply(cur[i]);
+    }
+  }
+  return cur;
+}
+
+std::string FuzzResult::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("complete", complete);
+
+  w.key("stats").begin_object();
+  w.kv("executions", stats.executions);
+  w.kv("total_steps", stats.total_steps);
+  w.kv("corpus_entries", stats.corpus_entries);
+  w.kv("unique_states", stats.unique_states);
+  w.kv("violations_found", stats.violations_found);
+  w.key("first_violation_exec");
+  if (stats.first_violation_exec) {
+    w.value(*stats.first_violation_exec);
+  } else {
+    w.null();
+  }
+  w.kv("witness_steps_found", stats.witness_steps_found);
+  w.kv("witness_steps_shrunk", stats.witness_steps_shrunk);
+  w.end_object();
+
+  w.key("violations_by_kind").begin_object();
+  for (const auto& [kind, count] : violations_by_kind) {
+    w.kv(to_string(kind), count);
+  }
+  w.end_object();
+
+  const auto emit_violation = [&w](const Violation& v) {
+    w.begin_object();
+    w.kv("kind", to_string(v.kind));
+    w.kv("detail", v.detail);
+    w.kv("steps", static_cast<std::uint64_t>(v.schedule.size()));
+    w.kv("schedule", v.schedule_string());
+    w.end_object();
+  };
+  w.key("violation");
+  if (violation) {
+    emit_violation(*violation);
+  } else {
+    w.null();
+  }
+  w.key("original_violation");
+  if (original_violation) {
+    emit_violation(*original_violation);
+  } else {
+    w.null();
+  }
+  w.key("first_by_kind").begin_object();
+  for (const auto& [kind, v] : first_by_kind) {
+    w.key(to_string(kind));
+    emit_violation(v);
+  }
+  w.end_object();
+
+  w.key("corpus").begin_array();
+  for (const auto& schedule : corpus) {
+    w.begin_array();
+    for (const Choice& c : schedule) w.value(c.to_string());
+    w.end_array();
+  }
+  w.end_array();
+
+  w.key("coverage").begin_array();
+  for (const auto& [a, b] : coverage) w.value(hex_fingerprint(a, b));
+  w.end_array();
+
+  w.key("rng_state").begin_array();
+  for (const std::uint64_t word : rng_state) w.value(word);
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace ff::sched

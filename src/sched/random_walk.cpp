@@ -8,11 +8,12 @@ namespace ff::sched {
 WalkOutcome random_walk(SimWorld world, const WalkOptions& options) {
   util::Xoshiro256 rng(options.seed);
   WalkOutcome outcome;
+  runtime::BudgetMeter meter(options.budget);
 
   std::vector<Choice> faulty;
   std::vector<Choice> clean;
   while (!world.terminal()) {
-    if (outcome.steps >= options.max_steps) {
+    if (meter.expired() || !meter.charge(1)) {
       return outcome;  // terminal stays false: suspected non-termination
     }
     const auto choices = world.enabled();

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "runtime/budget.hpp"
 #include "sched/sim_world.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -21,8 +22,11 @@ struct WalkOptions {
   std::uint64_t seed = 1;
   /// Probability of preferring a fault choice when one is enabled.
   double fault_bias = 0.5;
-  /// Give up after this many steps (suspected non-termination).
-  std::uint64_t max_steps = 1'000'000;
+  /// Walk budget (shared abstraction — see runtime/budget.hpp): units
+  /// are simulated steps.  A walk that exhausts it gives up with
+  /// terminal = false (suspected non-termination / truncation), never a
+  /// fabricated verdict.
+  runtime::BudgetSpec budget{.max_units = 1'000'000, .max_millis = 0};
 };
 
 struct WalkOutcome {

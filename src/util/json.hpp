@@ -1,0 +1,151 @@
+// Minimal streaming JSON writer for serializing harness reports (fuzzer
+// corpora, coverage stats, bench trajectories) without external
+// dependencies.
+//
+// The writer is a thin state machine over an output string: containers
+// are opened/closed explicitly, commas are inserted automatically, and
+// strings are escaped per RFC 8259.  Misuse (a value without a pending
+// key inside an object, unbalanced close) is a programming error caught
+// by assert in debug builds; the writer never throws.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ff::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{', '}'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('[', ']'); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Emits the member name; the next call must produce its value.
+  JsonWriter& key(std::string_view name) {
+    assert(!frames_.empty() && frames_.back().is_object && !pending_key_);
+    comma();
+    append_escaped(name);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    pre_value();
+    append_escaped(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    pre_value();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    pre_value();
+    // JSON has no NaN/Inf; map them to null rather than emit garbage.
+    if (std::isfinite(v)) {
+      out_ += std::to_string(v);
+    } else {
+      out_ += "null";
+    }
+    return *this;
+  }
+  JsonWriter& null() {
+    pre_value();
+    out_ += "null";
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T v) {
+    return key(name).value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const {
+    assert(frames_.empty());
+    return out_;
+  }
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool has_items = false;
+  };
+
+  JsonWriter& open(char o, char c) {
+    pre_value();
+    out_ += o;
+    frames_.push_back({c == '}', false});
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    assert(!frames_.empty() && !pending_key_);
+    assert(frames_.back().is_object == (c == '}'));
+    frames_.pop_back();
+    out_ += c;
+    return *this;
+  }
+
+  /// Comma/key bookkeeping shared by every value-producing call.
+  void pre_value() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    assert(frames_.empty() || !frames_.back().is_object);
+    comma();
+  }
+
+  void comma() {
+    if (!frames_.empty()) {
+      if (frames_.back().has_items) out_ += ',';
+      frames_.back().has_items = true;
+    }
+  }
+
+  void append_escaped(std::string_view s) {
+    out_ += '"';
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            constexpr char hex[] = "0123456789abcdef";
+            out_ += "\\u00";
+            out_ += hex[(static_cast<unsigned char>(ch) >> 4) & 0xF];
+            out_ += hex[static_cast<unsigned char>(ch) & 0xF];
+          } else {
+            out_ += ch;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<Frame> frames_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ff::util

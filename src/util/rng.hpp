@@ -101,6 +101,23 @@ class Xoshiro256 {
     return Xoshiro256((*this)());
   }
 
+  /// The raw 256-bit state, for serializing a generator mid-stream
+  /// (e.g. into a fuzzer's JSON report) and restoring it exactly.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+
+  /// Rebuilds a generator from a previously captured state().  An
+  /// all-zero state is invalid and is nudged to the canonical non-zero
+  /// state, mirroring the seeding guard.
+  [[nodiscard]] static constexpr Xoshiro256 from_state(
+      const std::array<std::uint64_t, 4>& state) noexcept {
+    Xoshiro256 rng;
+    rng.state_ = state;
+    if ((state[0] | state[1] | state[2] | state[3]) == 0) rng.state_[0] = 1;
+    return rng;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -217,7 +217,7 @@ TEST(JitterCas, IntegratesWithStressCampaign) {
 
   runtime::StressOptions stress;
   stress.processes = 4;
-  stress.trials = 100;
+  stress.budget.max_units = 100;
   const auto report = runtime::run_stress(
       protocol, stress, [&](std::uint64_t) { bank.reset(); });
   EXPECT_TRUE(report.all_ok()) << report.violations();
@@ -229,7 +229,7 @@ TEST(StressHarness, StopAfterViolationsCutsTheCampaignShort) {
   consensus::SingleCasConsensus protocol(object);  // breaks at n=3
   runtime::StressOptions options;
   options.processes = 3;
-  options.trials = 10'000;
+  options.budget.max_units = 10'000;
   options.stop_after_violations = 1;
   const auto report = runtime::run_stress(protocol, options);
   EXPECT_LT(report.trials, 10'000u);

@@ -35,7 +35,7 @@ runtime::StressReport run_campaign(std::uint64_t seed) {
   consensus::HerlihyConsensus protocol(object);
   runtime::StressOptions options;
   options.processes = 3;
-  options.trials = 200;
+  options.budget.max_units = 200;
   options.seed = seed;
   return runtime::run_stress(protocol, options);
 }

@@ -1,0 +1,75 @@
+// tier2-fuzz smoke tests: a short wall-clock-bounded fuzz campaign per
+// seed protocol.  Not part of the default (tier1) ctest label — run via
+//   ctest -L tier2-fuzz
+// Each campaign is capped at ~5 seconds of wall clock (and a generous
+// step budget so fast machines finish far earlier).  The assertions are
+// sanity-level: the fuzzer makes progress, never fabricates a witness
+// that does not replay, and reports truncation honestly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "explore_diff.hpp"
+#include "sched/fuzzer.hpp"
+
+namespace ff::sched {
+namespace {
+
+using testutil::differential_grid;
+using testutil::expect_witness_reproduces;
+using testutil::GridCase;
+using testutil::make_world;
+
+class FuzzSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzSmoke, FiveSecondCampaign) {
+  const std::string cell = GetParam();
+  for (const GridCase& gc : differential_grid()) {
+    if (gc.name != cell) continue;
+    const SimWorld world = make_world(gc);
+
+    FuzzOptions fo;
+    fo.seed = 0xfacade;
+    fo.killed_is_violation = gc.kind == model::FaultKind::kNonresponsive;
+    fo.budget.max_units = 400'000;
+    fo.budget.max_millis = 5'000;
+    const FuzzResult run = fuzz(world, fo);
+
+    EXPECT_GT(run.stats.executions, 0u) << gc.name;
+    EXPECT_GT(run.stats.unique_states, 0u) << gc.name;
+    EXPECT_GE(run.stats.unique_states, run.stats.corpus_entries) << gc.name;
+    if (run.violation) {
+      expect_witness_reproduces(world, *run.violation, gc.name);
+      EXPECT_EQ(classify_schedule(world, run.violation->schedule,
+                                  fo.killed_is_violation),
+                run.violation->kind)
+          << gc.name;
+    } else {
+      // No violation: the run must have ended for an honest reason —
+      // budget/deadline truncation (complete = false, nothing found).
+      EXPECT_FALSE(run.complete) << gc.name;
+    }
+    return;
+  }
+  FAIL() << "grid cell " << cell << " missing";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, FuzzSmoke,
+    ::testing::Values("single-cas/overriding/t1/n3",
+                      "single-cas/data/t1/n2",
+                      "tas/overriding/t1/n2",
+                      "fp1-k2/overriding/t1/n2",
+                      "staged-f1t1/overriding/n2",
+                      "retry-silent/silent/tinf/n2",
+                      "announce/overriding/t1/n2"),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
+      for (char& c : name) {
+        if (c == '/' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ff::sched

@@ -61,7 +61,7 @@ TEST(TwoProcess, CorrectUnderAlwaysFaultingObject) {
 
   runtime::StressOptions options;
   options.processes = 2;
-  options.trials = 300;
+  options.budget.max_units = 300;
   const auto report = runtime::run_stress(
       protocol, options, [&](std::uint64_t) { bank.reset_all(); });
   EXPECT_TRUE(report.all_ok()) << "violations=" << report.violations();
@@ -89,7 +89,7 @@ TEST(TwoProcess, HerlihyManyThreadsFaultFree) {
   consensus::HerlihyConsensus protocol(object);
   runtime::StressOptions options;
   options.processes = 6;
-  options.trials = 200;
+  options.budget.max_units = 200;
   const auto report = runtime::run_stress(protocol, options);
   EXPECT_TRUE(report.all_ok());
 }
@@ -111,7 +111,7 @@ TEST_P(FPlusOneThreaded, ToleratesFFaultyObjects) {
 
   runtime::StressOptions options;
   options.processes = n;
-  options.trials = 150;
+  options.budget.max_units = 150;
   options.seed = 0xabc + f * 31 + n;
   const auto report = runtime::run_stress(
       protocol, options, [&](std::uint64_t) { bank.reset_all(); });
@@ -136,7 +136,7 @@ TEST(FPlusOne, TraceStaysCoherentAndWithinBudget) {
 
   runtime::StressOptions options;
   options.processes = 4;
-  options.trials = 50;
+  options.budget.max_units = 50;
   const auto report = runtime::run_stress(
       protocol, options, [&](std::uint64_t) { bank.reset_all(); },
       [&](std::uint64_t trial, const runtime::TrialOutcome& outcome) {
@@ -172,7 +172,7 @@ TEST_P(StagedThreaded, AllObjectsFaultyWithinBounds) {
 
   runtime::StressOptions options;
   options.processes = n;
-  options.trials = 100;
+  options.budget.max_units = 100;
   options.seed = 0xdef + f * 131 + t;
   const auto report = runtime::run_stress(
       protocol, options, [&](std::uint64_t) { bank.reset_all(); },
@@ -257,7 +257,7 @@ TEST(RetrySilent, ToleratesBoundedSilentFaultsThreaded) {
 
   runtime::StressOptions options;
   options.processes = 3;
-  options.trials = 200;
+  options.budget.max_units = 200;
   const auto report = runtime::run_stress(
       protocol, options, [&](std::uint64_t) { bank.reset_all(); });
   EXPECT_TRUE(report.all_ok()) << "violations=" << report.violations();

@@ -50,7 +50,7 @@ TEST(Tas, TwoProcessConsensusCorrectBit) {
 
   runtime::StressOptions options;
   options.processes = 2;
-  options.trials = 300;
+  options.budget.max_units = 300;
   const auto report = runtime::run_stress(protocol, options);
   EXPECT_TRUE(report.all_ok()) << report.violations();
   EXPECT_DOUBLE_EQ(report.steps_per_process.max(), 1.0);
@@ -78,7 +78,7 @@ TEST(Tas, ThreadedOverridingFaultsAreHarmless) {
 
   runtime::StressOptions options;
   options.processes = 2;
-  options.trials = 200;
+  options.budget.max_units = 200;
   const auto report = runtime::run_stress(
       protocol, options, [&](std::uint64_t) { sink.clear(); },
       [&](std::uint64_t trial, const runtime::TrialOutcome&) {
