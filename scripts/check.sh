@@ -1,36 +1,66 @@
 #!/usr/bin/env bash
-# Four-configuration verification gate:
-#   1. default build  → the fast `tier1` test label (all unit suites);
+# Six-stage verification gate:
+#   1. default build (-DFF_WERROR=ON) → the fast `tier1` test label
+#      (all unit suites), warnings promoted to errors;
 #   2. default build  → the `tier2-fuzz` label (wall-clock-bounded smoke
 #      fuzz campaign per seed protocol);
 #   3. FF_SANITIZE=thread build → the multi-threaded suites (label `tsan`,
 #      i.e. the parallel-explorer differential harness and the real-thread
 #      stress suites) under ThreadSanitizer;
 #   4. FF_SANITIZE=address build → the memory-heavy fuzzer/explorer suites
-#      (label `asan`) under AddressSanitizer + UndefinedBehaviorSanitizer.
+#      (label `asan`) under AddressSanitizer + UndefinedBehaviorSanitizer;
+#   5. ff-lint (label `lint`): the rule-engine test suite plus a tree
+#      scan of the shipped sources, with the JSON report summarized;
+#   6. clang-tidy (advisory) when clang-tidy is on PATH, against the
+#      compile database stage 1 exported; skipped with a notice if not.
 # Usage: scripts/check.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/4] default build · ctest -L tier1 =="
-cmake -B build -S . >/dev/null
+echo "== [1/6] default build (FF_WERROR=ON) · ctest -L tier1 =="
+cmake -B build -S . -DFF_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
 
-echo "== [2/4] default build · ctest -L tier2-fuzz =="
+echo "== [2/6] default build · ctest -L tier2-fuzz =="
 ctest --test-dir build -L tier2-fuzz --output-on-failure -j "$JOBS"
 
-echo "== [3/4] FF_SANITIZE=thread build · ctest -L tsan =="
+echo "== [3/6] FF_SANITIZE=thread build · ctest -L tsan =="
 cmake -B build-tsan -S . -DFF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target test_parallel_explorer test_determinism test_concurrency
 ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
 
-echo "== [4/4] FF_SANITIZE=address build · ctest -L asan =="
+echo "== [4/6] FF_SANITIZE=address build · ctest -L asan =="
 cmake -B build-asan -S . -DFF_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target test_fuzzer test_shrink test_fuzz_smoke test_sim test_faults
 ctest --test-dir build-asan -L asan --output-on-failure -j "$JOBS"
 
-echo "OK: all four configurations passed"
+echo "== [5/6] ff-lint · ctest -L lint + tree scan =="
+ctest --test-dir build -L lint --output-on-failure -j "$JOBS"
+lint_status=0
+./build/tools/fflint/fflint --root . --json --quiet \
+  > build/fflint-report.json || lint_status=$?
+if [ "$lint_status" -ge 2 ]; then
+  echo "ff-lint failed to run (exit $lint_status)" >&2
+  exit "$lint_status"
+fi
+python3 scripts/fflint_summary.py build/fflint-report.json
+if [ "$lint_status" -ne 0 ]; then
+  echo "ff-lint: unsuppressed findings — see build/fflint-report.json" >&2
+  exit 1
+fi
+
+echo "== [6/6] clang-tidy (advisory) =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Tidy the first-party sources only; the compile database from stage 1
+  # (CMAKE_EXPORT_COMPILE_COMMANDS) keeps flags identical to the build.
+  git ls-files 'src/**/*.cpp' 'tools/**/*.cpp' \
+    | xargs clang-tidy -p build --quiet
+else
+  echo "notice: clang-tidy not on PATH — stage skipped (advisory only)"
+fi
+
+echo "OK: all six stages passed"

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Print a one-screen summary of an ff-lint --json report.
+
+Usage: scripts/fflint_summary.py build/fflint-report.json
+
+Exit status mirrors the linter: 0 when the report carries no
+unsuppressed findings, 1 otherwise, 2 when the report is unreadable.
+"""
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: fflint_summary.py <report.json>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"fflint_summary: cannot read {argv[1]}: {err}", file=sys.stderr)
+        return 2
+
+    counts = report.get("counts", {})
+    total = sum(counts.values())
+    print(f"ff-lint summary: {report.get('files_scanned', 0)} files scanned, "
+          f"{total} unsuppressed finding(s)")
+    for rule in sorted(counts):
+        if counts[rule]:
+            print(f"  {rule}: {counts[rule]}")
+
+    suppressions = report.get("suppressions", [])
+    if suppressions:
+        print(f"  suppressions in effect: {len(suppressions)}")
+        for s in suppressions:
+            mark = "" if s.get("used") else "  [UNUSED — remove]"
+            print(f"    {s['file']}:{s['line']} allow({s['rule']}): "
+                  f"{s['justification']}{mark}")
+    return 0 if total == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -63,7 +63,7 @@ class RelaxedQueue final : public objects::SharedObject {
 
     if (items_.empty()) {
       ev.obs.returned = std::nullopt;
-      record(ev);
+      trace_.push_back(ev);
       return std::nullopt;
     }
 
@@ -82,7 +82,7 @@ class RelaxedQueue final : public objects::SharedObject {
     const auto it = items_.begin() + static_cast<std::ptrdiff_t>(pick);
     ev.obs.returned = *it;
     items_.erase(it);
-    record(ev);
+    trace_.push_back(ev);
     return ev.obs.returned;
   }
 
@@ -107,8 +107,6 @@ class RelaxedQueue final : public objects::SharedObject {
   }
 
  private:
-  void record(const DequeueEvent& ev) { trace_.push_back(ev); }
-
   const std::uint32_t k_;
   FaultPolicy* const policy_;
   FaultBudget* const budget_;

@@ -54,7 +54,9 @@ class JitterCas final : public objects::CasObject {
   objects::CasObject& inner_;
   const std::uint64_t seed_;
   const std::uint32_t max_yields_;
+  // ff-lint: allow(R1): yield-count cursor for schedule noise; the value
   std::atomic<std::uint64_t> seq_{0};
+  // never reaches protocol code — the wrapped CasObject carries the state.
 };
 
 }  // namespace ff::runtime

@@ -98,8 +98,14 @@ struct Ctx {
   std::vector<Shard> shards;
   std::vector<WorkerQueue> queues;
   /// Items enqueued or being expanded; 0 ⇒ the frontier is drained.
+  /// These three are checker-internal coordination state, not protocol
+  /// state the checker models — the explorer runs *outside* the traced
+  /// object layer by construction.
+  // ff-lint: allow(R1): checker-internal work-stealing frontier counter
   std::atomic<std::int64_t> outstanding{0};
+  // ff-lint: allow(R1): checker-internal state-census counter, not modeled
   std::atomic<std::uint64_t> states{0};
+  // ff-lint: allow(R1): checker-internal stop flag, never protocol-visible
   std::atomic<bool> abort{false};
   std::mutex violation_mu;
   std::optional<PendingViolation> pending;
@@ -197,6 +203,12 @@ void expand(Ctx& ctx, std::uint32_t wid, WorkItem& item, WorkerLocal& local) {
 
 void worker_loop(Ctx& ctx, std::uint32_t wid, WorkerLocal& local) {
   WorkerQueue& self = ctx.queues[wid];
+  // Terminates by quiescence: every enqueue increments `outstanding` and
+  // every completed expansion decrements it, so outstanding == 0 with an
+  // empty deque is final; `expand` honors the max_states cap, bounding
+  // total enqueues.  A BudgetMeter here would duplicate those caps and
+  // put one more shared counter in the steal-path hot loop.
+  // ff-lint: allow(R4): quiescence-terminated; enqueues capped by max_states
   for (;;) {
     if (ctx.abort.load(std::memory_order_relaxed)) return;
 
@@ -252,12 +264,11 @@ void worker_loop(Ctx& ctx, std::uint32_t wid, WorkerLocal& local) {
 /// Choices along the discovery tree from the root to `id`.
 std::vector<Choice> path_from_root(const Ctx& ctx, std::uint32_t id) {
   std::vector<Choice> out;
-  std::uint32_t cur = id;
-  for (;;) {
-    const StateRecord& rec = ctx.record(cur);
-    if (rec.parent == kNoParent) break;
-    out.push_back(rec.choice);
-    cur = rec.parent;
+  // Each hop strictly decreases discovery-tree depth, so the walk is
+  // bounded by the depth of `id` — no open-ended iteration.
+  for (const StateRecord* rec = &ctx.record(id); rec->parent != kNoParent;
+       rec = &ctx.record(rec->parent)) {
+    out.push_back(rec->choice);
   }
   std::reverse(out.begin(), out.end());
   return out;
@@ -355,14 +366,16 @@ CycleScan scan_for_cycles(const Ctx& ctx,
       if (lowlink[f.v] == index[f.v]) {
         const auto scc_id = static_cast<std::uint32_t>(scc_size.size());
         std::uint32_t size = 0;
-        for (;;) {
-          const std::uint32_t w = stack.back();
+        // Pops at most |stack| entries and f.v is guaranteed on the
+        // stack, so the loop is bounded by its own condition.
+        std::uint32_t w = kNoParent;
+        do {
+          w = stack.back();
           stack.pop_back();
           on_stack[w] = false;
           scc_of[w] = scc_id;
           ++size;
-          if (w == f.v) break;
-        }
+        } while (w != f.v);
         scc_size.push_back(size);
       }
       const std::uint32_t low = lowlink[f.v];

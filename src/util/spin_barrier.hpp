@@ -41,8 +41,11 @@ class SpinBarrier {
 
  private:
   const std::size_t parties_;
+  // ff-lint: allow(R1): harness start-line synchronization; the barrier
   std::atomic<std::size_t> remaining_;
+  // ff-lint: allow(R1): runs before/after checked executions, its state
   std::atomic<bool> sense_{false};
+  // is never part of any protocol history.
 };
 
 }  // namespace ff::util

@@ -1,0 +1,22 @@
+// Fixture: R2 positive — every nondeterminism source the rule bans,
+// each on its own line so the test can pin line numbers.
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <random>
+
+namespace ff::consensus {
+
+unsigned flaky_decide(unsigned n) {
+  unsigned v = static_cast<unsigned>(rand());        // line 11: R2
+  std::random_device rd;                             // line 12: R2
+  auto t = std::chrono::steady_clock::now();         // line 13: R2
+  thread_local unsigned cache = 0;                   // line 14: R2
+  static unsigned calls = 0;                         // line 15: R2
+  std::hash<int*> by_address;                        // line 16: R2
+  ++calls;
+  cache += v + static_cast<unsigned>(t.time_since_epoch().count());
+  return cache % (n + 1) + static_cast<unsigned>(by_address(nullptr));
+}
+
+}  // namespace ff::consensus

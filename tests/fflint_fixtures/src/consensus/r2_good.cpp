@@ -1,0 +1,20 @@
+// Fixture: R2 negative — the sanctioned determinism idioms: seeded
+// hash-based randomness, caller-supplied bounds, immutable statics.
+#include <cstdint>
+
+namespace ff::consensus {
+
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  return x ^ (x >> 29);
+}
+
+static constexpr std::uint32_t kMaxRounds = 64;
+
+std::uint64_t decide(std::uint64_t seed, std::uint64_t round) {
+  static const std::uint64_t kSalt = 0x9e3779b97f4a7c15ULL;
+  return mix64(seed ^ kSalt ^ round) % kMaxRounds;
+}
+
+}  // namespace ff::consensus

@@ -1,0 +1,16 @@
+// Fixture: R1 negative — std::atomic inside the object layer is the
+// whole point of src/objects/, so nothing here may be flagged.
+#include <atomic>
+#include <cstdint>
+
+namespace ff::objects {
+
+class WordCell {
+ public:
+  std::uint64_t read() const { return word_.load(); }
+
+ private:
+  std::atomic<std::uint64_t> word_{0};
+};
+
+}  // namespace ff::objects

@@ -1,0 +1,33 @@
+// Fixture: R3 positive — the exact PR 1 bug class: the sink assigns the
+// sequence number and records the event AFTER the lock that covers the
+// linearization point has been released, so two concurrent invocations
+// can linearize in one order and stamp in the other.
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ff::faults {
+
+struct Event {
+  std::uint64_t seq = 0;
+};
+
+class LeakySink {
+ public:
+  void on_event(const Event& event) {
+    Event e = event;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      // linearization point is inside this scope...
+    }
+    e.seq = next_seq_++;     // line 23: R3 (stamp after the lock released)
+    events_.push_back(e);    // line 24: R3 (record outside the lock)
+  }
+
+ private:
+  std::mutex mu_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace ff::faults

@@ -1,0 +1,35 @@
+// Fixture: R3 negative — both sanctioned stamping shapes: under the
+// lock that covers the linearization point, or fused with an atomic RMW
+// so the stamp IS the linearization point.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ff::faults {
+
+struct Event {
+  std::uint64_t seq = 0;
+};
+
+class SoundSink {
+ public:
+  void on_event(const Event& event) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Event e = event;
+    e.seq = next_seq_++;
+    events_.push_back(e);
+  }
+
+  std::uint64_t stamp_lock_free() {
+    return seq_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Event> events_;
+  std::atomic<std::uint64_t> seq_counter_{0};
+};
+
+}  // namespace ff::faults

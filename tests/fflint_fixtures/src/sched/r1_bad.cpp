@@ -1,0 +1,17 @@
+// Fixture: R1 positive — raw shared-state primitives in scheduler code.
+// Never compiled; lexed by test_fflint.cpp through the fixture tree.
+#include <atomic>
+#include <cstdint>
+
+namespace ff::sched {
+
+class LeakyCensus {
+ public:
+  void bump() { hits_.fetch_add(1); }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};  // line 13: R1 (raw std::atomic)
+  volatile std::uint64_t mirror_ = 0;   // line 14: R1 (volatile)
+};
+
+}  // namespace ff::sched

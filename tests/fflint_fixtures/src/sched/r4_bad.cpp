@@ -1,0 +1,20 @@
+// Fixture: R4 positive — infinite-form loops in scheduler code that
+// never consult a BudgetMeter: an adversarial schedule can spin forever
+// instead of reporting truncation.
+#include <cstdint>
+
+namespace ff::sched {
+
+std::uint64_t drain(std::uint64_t x) {
+  while (true) {             // line 9: R4 (no budget consulted)
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((x & 0xFF) == 0) break;
+  }
+  for (;;) {                 // line 13: R4 (no budget consulted)
+    if (x == 0) break;
+    x >>= 1;
+  }
+  return x;
+}
+
+}  // namespace ff::sched

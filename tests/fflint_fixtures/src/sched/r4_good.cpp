@@ -1,0 +1,29 @@
+// Fixture: R4 negative — the sanctioned shape: every infinite-form loop
+// polls its BudgetMeter, so exhaustion turns into honest truncation.
+#include <cstdint>
+
+namespace ff::sched {
+
+struct FakeMeter {
+  std::uint64_t left = 16;
+  bool expired() { return left == 0; }
+  bool charge() {
+    if (left == 0) return false;
+    --left;
+    return true;
+  }
+};
+
+std::uint64_t drain(std::uint64_t x, FakeMeter& meter) {
+  while (true) {
+    if (meter.expired()) break;
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  for (;;) {
+    if (!meter.charge()) break;
+    x >>= 1;
+  }
+  return x;
+}
+
+}  // namespace ff::sched

@@ -1,0 +1,19 @@
+// Fixture: R5 positive — malformed suppressions.  A bare allow() is
+// indistinguishable from a silenced bug, and an unknown rule id is a
+// typo that would silently suppress nothing.
+#include <cstdint>
+
+namespace ff::sched {
+
+// ff-lint: allow(R1)
+std::uint64_t unjustified(std::uint64_t x) {  // line 9: the bare allow
+  return x + 1;                               //   above is an R5 finding
+}
+
+// ff-lint: allow(R9): rule R9 does not exist, so this is a typo
+std::uint64_t unknown_rule(std::uint64_t x) { return x + 2; }
+
+// ff-lint: deny(R1): only allow() exists in the directive grammar
+std::uint64_t unknown_verb(std::uint64_t x) { return x + 3; }
+
+}  // namespace ff::sched

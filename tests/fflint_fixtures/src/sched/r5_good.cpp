@@ -1,0 +1,15 @@
+// Fixture: R5 negative — a justified suppression: the R1 finding below
+// is silenced, the justification is carried into the report, and the
+// directive is marked used.
+#include <atomic>
+#include <cstdint>
+
+namespace ff::sched {
+
+class Probe {
+ private:
+  // ff-lint: allow(R1): fixture counter standing in for checker-internal state
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+}  // namespace ff::sched

@@ -1,0 +1,233 @@
+// ff-lint rule-engine tests: per-rule positive/negative fixtures (the
+// fixture tree under tests/fflint_fixtures/ mirrors the src/ layout so
+// production scoping applies), suppression-justification behavior, the
+// JSON report shape, and the self-lint gate asserting the shipped tree
+// reports zero unsuppressed findings.
+#include "tools/fflint/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/fflint/lexer.hpp"
+
+namespace {
+
+using ff::fflint::analyze_source;
+using ff::fflint::analyze_tree;
+using ff::fflint::FileReport;
+using ff::fflint::Finding;
+using ff::fflint::Rule;
+using ff::fflint::TreeReport;
+
+/// One shared scan of the fixture tree (the fixtures are static data).
+const TreeReport& fixture_report() {
+  static const TreeReport kReport = analyze_tree(FF_FIXTURE_ROOT);
+  return kReport;
+}
+
+const FileReport* fixture_file(const std::string& name) {
+  for (const FileReport& f : fixture_report().files) {
+    if (f.file == name) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<int> lines_of(const std::vector<Finding>& findings, Rule rule) {
+  std::vector<int> lines;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  return lines;
+}
+
+/// Asserts every finding in `f` belongs to `rule` (fixtures are written
+/// to violate exactly one rule so cross-talk is a bug).
+void expect_only_rule(const FileReport& f, Rule rule) {
+  for (const Finding& finding : f.findings) {
+    EXPECT_EQ(finding.rule, rule)
+        << f.file << ":" << finding.line << " unexpected "
+        << ff::fflint::rule_id(finding.rule) << ": " << finding.message;
+  }
+}
+
+// ---------------------------------------------------------------- rules
+
+TEST(FflintR1, FlagsRawSharedStateInSchedulerCode) {
+  const FileReport* f = fixture_file("src/sched/r1_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR1);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR1), (std::vector<int>{13, 14}));
+}
+
+TEST(FflintR1, ObjectLayerIsTheAllowedZone) {
+  // The fixture never even enters the report: no findings, no directives.
+  EXPECT_EQ(fixture_file("src/objects/r1_good.cpp"), nullptr);
+}
+
+TEST(FflintR2, FlagsEveryNondeterminismSource) {
+  const FileReport* f = fixture_file("src/consensus/r2_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR2);
+  // rand, random_device, steady_clock, thread_local, mutable static
+  // local, hash-of-pointer — one per line.
+  EXPECT_EQ(lines_of(f->findings, Rule::kR2),
+            (std::vector<int>{11, 12, 13, 14, 15, 16}));
+}
+
+TEST(FflintR2, SeededDeterminismIdiomsPass) {
+  EXPECT_EQ(fixture_file("src/consensus/r2_good.cpp"), nullptr);
+}
+
+TEST(FflintR3, FlagsStampAndRecordOutsideTheLock) {
+  const FileReport* f = fixture_file("src/objects/r3_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR3);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR3), (std::vector<int>{23, 24}));
+}
+
+TEST(FflintR3, LockScopeAndAtomicRmwStampsPass) {
+  EXPECT_EQ(fixture_file("src/objects/r3_good.cpp"), nullptr);
+}
+
+TEST(FflintR4, FlagsUnbudgetedInfiniteLoops) {
+  const FileReport* f = fixture_file("src/sched/r4_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR4);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR4), (std::vector<int>{9, 13}));
+}
+
+TEST(FflintR4, BudgetMeterConsultationPasses) {
+  EXPECT_EQ(fixture_file("src/sched/r4_good.cpp"), nullptr);
+}
+
+TEST(FflintR5, MalformedSuppressionsAreFindings) {
+  const FileReport* f = fixture_file("src/sched/r5_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR5);
+  // Bare allow(), unknown rule id, unknown verb.
+  EXPECT_EQ(lines_of(f->findings, Rule::kR5), (std::vector<int>{8, 13, 16}));
+  EXPECT_TRUE(f->suppressions.empty());  // none of them count as valid
+}
+
+TEST(FflintR5, JustifiedSuppressionSilencesAndIsReported) {
+  const FileReport* f = fixture_file("src/sched/r5_good.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->findings.empty());
+  ASSERT_EQ(f->suppressed.size(), 1u);
+  EXPECT_EQ(f->suppressed[0].rule, Rule::kR1);
+  ASSERT_EQ(f->suppressions.size(), 1u);
+  EXPECT_TRUE(f->suppressions[0].used);
+  EXPECT_EQ(f->suppressions[0].justification,
+            "fixture counter standing in for checker-internal state");
+}
+
+// ----------------------------------------------- suppression mechanics
+
+TEST(FflintSuppression, TrailingSameLineDirectiveWorks) {
+  const FileReport r = analyze_source(
+      "src/sched/inline.cpp",
+      "#include <atomic>\n"
+      "std::atomic<int> x;  // ff-lint: allow(R1): trailing-form directive\n");
+  EXPECT_TRUE(r.findings.empty());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].line, 2);
+}
+
+TEST(FflintSuppression, DirectiveDoesNotReachPastTheNextLine) {
+  const FileReport r = analyze_source(
+      "src/sched/faraway.cpp",
+      "// ff-lint: allow(R1): too far away to cover the declaration\n"
+      "\n"
+      "std::atomic<int> x;\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, Rule::kR1);
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_FALSE(r.suppressions[0].used);
+}
+
+TEST(FflintSuppression, WrongRuleDoesNotSilence) {
+  const FileReport r = analyze_source(
+      "src/sched/wrong_rule.cpp",
+      "// ff-lint: allow(R2): justified but aimed at the wrong rule\n"
+      "std::atomic<int> x;\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, Rule::kR1);
+}
+
+// ------------------------------------------------------- lexer corners
+
+TEST(FflintLexer, CommentsStringsAndPreprocessorAreNotCode) {
+  // std::atomic in a comment, a string, and an #include must not count.
+  const FileReport r = analyze_source(
+      "src/sched/quoted.cpp",
+      "#include <atomic>\n"
+      "// std::atomic<int> in a comment\n"
+      "/* volatile std::atomic<int> in a block comment */\n"
+      "const char* s = \"std::atomic<int> volatile\";\n"
+      "const char* raw = R\"(std::atomic<long> volatile)\";\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(FflintLexer, MultiLineRawStringKeepsLineNumbersRight) {
+  const FileReport r = analyze_source(
+      "src/sched/rawline.cpp",
+      "const char* s = R\"(\n"
+      "line two\n"
+      "line three)\";\n"
+      "std::atomic<int> x;\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 4);
+}
+
+// ------------------------------------------------------- report shape
+
+TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
+  const std::string json = ff::fflint::render_json(fixture_report());
+  EXPECT_NE(json.find("\"tool\":\"ff-lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"R3\""), std::string::npos);
+  EXPECT_NE(json.find("\"counts\":{\"R1\":2,\"R2\":6,\"R3\":2,\"R4\":2,"
+                      "\"R5\":3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"justification\":\"fixture counter standing in for "
+                      "checker-internal state\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"used\":true"), std::string::npos);
+}
+
+TEST(FflintReport, FixtureTreeTotalsAreExact) {
+  EXPECT_EQ(fixture_report().unsuppressed_total(), 15u);
+  EXPECT_EQ(fixture_report().files_scanned, 10);
+}
+
+// ---------------------------------------------------------- self-lint
+
+TEST(FflintSelfLint, ShippedTreeHasZeroUnsuppressedFindings) {
+  const TreeReport report = analyze_tree(FF_SOURCE_ROOT);
+  ASSERT_GT(report.files_scanned, 50) << "src/ tree not found?";
+  for (const FileReport& f : report.files) {
+    for (const Finding& finding : f.findings) {
+      ADD_FAILURE() << f.file << ":" << finding.line << " ["
+                    << ff::fflint::rule_id(finding.rule) << "] "
+                    << finding.message;
+    }
+  }
+  EXPECT_EQ(report.unsuppressed_total(), 0u);
+}
+
+TEST(FflintSelfLint, EverySuppressionInTheTreeIsUsedAndJustified) {
+  const TreeReport report = analyze_tree(FF_SOURCE_ROOT);
+  for (const FileReport& f : report.files) {
+    for (const auto& s : f.suppressions) {
+      EXPECT_TRUE(s.used) << f.file << ":" << s.line
+                          << " stale allow() — remove it";
+      EXPECT_GE(s.justification.size(), ff::fflint::kMinJustification);
+    }
+  }
+}
+
+}  // namespace

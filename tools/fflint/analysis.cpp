@@ -1,0 +1,703 @@
+#include "tools/fflint/analysis.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <unordered_set>
+
+#include "tools/fflint/lexer.hpp"
+#include "util/json.hpp"
+
+namespace ff::fflint {
+namespace {
+
+using std::string_view;
+
+// ---------------------------------------------------------------- scoping
+
+[[nodiscard]] std::string normalize_path(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  // Match on the src/ suffix so fixture trees mirroring src/ scope the
+  // same way as the production tree.
+  const std::size_t at = p.rfind("src/");
+  return at == std::string::npos ? p : p.substr(at);
+}
+
+[[nodiscard]] bool in_dir(string_view path, string_view dir) {
+  return path.substr(0, dir.size()) == dir;
+}
+
+struct Scope {
+  bool r1 = false, r2 = false, r3 = false, r4 = false;
+};
+
+[[nodiscard]] Scope scope_for(string_view path) {
+  Scope s;
+  if (!in_dir(path, "src/")) return s;  // only src/ is governed
+  const bool object_layer =
+      in_dir(path, "src/objects/") || in_dir(path, "src/faults/");
+  s.r1 = !object_layer;
+  s.r2 = in_dir(path, "src/consensus/") || in_dir(path, "src/universal/") ||
+         in_dir(path, "src/counter/") || in_dir(path, "src/hierarchy/");
+  s.r3 = object_layer;
+  s.r4 = in_dir(path, "src/sched/") || in_dir(path, "src/runtime/");
+  return s;
+}
+
+// ------------------------------------------------------------- utilities
+
+[[nodiscard]] std::string lower(string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+[[nodiscard]] string_view trim(string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+struct Ctx {
+  const std::vector<Token>& t;
+  const Scope& scope;
+  std::vector<Finding>& out;
+  const std::string& file;
+
+  void report(Rule rule, int line, std::string message, std::string fixit) {
+    out.push_back(
+        Finding{rule, file, line, std::move(message), std::move(fixit)});
+  }
+};
+
+// ------------------------------------------------------ directive parsing
+
+struct ParsedDirectives {
+  std::vector<Suppression> valid;
+  std::vector<Finding> malformed;  ///< R5 findings
+};
+
+[[nodiscard]] std::optional<Rule> rule_from_id(string_view id) {
+  if (id.size() == 2 && (id[0] == 'R' || id[0] == 'r') && id[1] >= '1' &&
+      id[1] <= static_cast<char>('0' + kNumRules)) {
+    return static_cast<Rule>(id[1] - '1');
+  }
+  return std::nullopt;
+}
+
+ParsedDirectives parse_directives(const std::vector<Comment>& comments,
+                                  const std::string& file) {
+  ParsedDirectives out;
+  for (const Comment& c : comments) {
+    const std::size_t tag = c.text.find("ff-lint:");
+    if (tag == std::string::npos) continue;
+    string_view rest = string_view(c.text).substr(tag + 8);
+    rest = trim(rest);
+    const auto fail = [&](std::string why) {
+      out.malformed.push_back(Finding{
+          Rule::kR5, file, c.line, std::move(why),
+          "write `// ff-lint: allow(Rk): <justification of at least " +
+              std::to_string(kMinJustification) + " characters>`"});
+    };
+    if (rest.substr(0, 6) != "allow(") {
+      fail("unrecognized ff-lint directive (only `allow(Rk)` exists)");
+      continue;
+    }
+    const std::size_t close = rest.find(')');
+    if (close == string_view::npos) {
+      fail("malformed ff-lint directive: missing `)`");
+      continue;
+    }
+    const std::optional<Rule> rule = rule_from_id(trim(rest.substr(6, close - 6)));
+    if (!rule) {
+      fail("ff-lint allow() names an unknown rule (R1..R5)");
+      continue;
+    }
+    string_view just = trim(rest.substr(close + 1));
+    if (!just.empty() && just.front() == ':') just = trim(just.substr(1));
+    if (just.size() < kMinJustification) {
+      fail(std::string("suppression of ") + rule_id(*rule) +
+           " lacks a justification — an unexplained allow() is "
+           "indistinguishable from a silenced bug");
+      continue;
+    }
+    out.valid.push_back(
+        Suppression{*rule, file, c.line, std::string(just), false});
+  }
+  return out;
+}
+
+// ------------------------------------------------- pass A: R1 + R2 tokens
+
+constexpr string_view kFixR1 =
+    "route this state through the traced object layer (objects::/faults::) "
+    "or justify with `// ff-lint: allow(R1): ...`";
+constexpr string_view kFixR2 =
+    "model-checked code must be a pure function of its inputs: derive "
+    "randomness from a seeded util::Xoshiro256/mix64 and take time/limits "
+    "from caller options";
+
+const std::unordered_set<string_view>& banned_nondeterminism() {
+  static const std::unordered_set<string_view> kSet = {
+      "rand",          "srand",        "rand_r",
+      "drand48",       "random_device", "mt19937",
+      "mt19937_64",    "minstd_rand",  "minstd_rand0",
+      "default_random_engine",         "knuth_b",
+      "steady_clock",  "system_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "thread_local",
+      "getenv",
+  };
+  return kSet;
+}
+
+void token_pass(Ctx& ctx) {
+  const std::vector<Token>& t = ctx.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind != TokKind::kIdent) continue;
+    const bool std_qualified =
+        i >= 2 && t[i - 1].is("::") && t[i - 2].is_ident("std");
+
+    if (ctx.scope.r1) {
+      if (std_qualified && tok.text.rfind("atomic", 0) == 0) {
+        ctx.report(Rule::kR1, tok.line,
+                   "raw std::" + tok.text +
+                       " outside the object layer — shared state the "
+                       "checker cannot trace or schedule",
+                   std::string(kFixR1));
+      } else if (tok.is("volatile")) {
+        ctx.report(Rule::kR1, tok.line,
+                   "`volatile` shared state outside the object layer",
+                   std::string(kFixR1));
+      } else if (tok.is("asm") || tok.is("__asm") || tok.is("__asm__")) {
+        ctx.report(Rule::kR1, tok.line,
+                   "inline assembly outside the object layer",
+                   std::string(kFixR1));
+      }
+    }
+
+    if (ctx.scope.r2) {
+      if (banned_nondeterminism().count(tok.text) != 0) {
+        ctx.report(Rule::kR2, tok.line,
+                   "nondeterminism source `" + tok.text +
+                       "` in model-checked code — the explorer's verdict "
+                       "would not replay",
+                   std::string(kFixR2));
+      } else if (tok.is("hash") && i + 1 < t.size() && t[i + 1].is("<")) {
+        // std::hash<T*> — iteration order / values depend on addresses.
+        int depth = 0;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+          if (t[j].is("<")) ++depth;
+          if (t[j].is(">")) {
+            if (--depth == 0) break;
+          }
+          if (t[j].is("*") && depth >= 1) {
+            ctx.report(Rule::kR2, tok.line,
+                       "address-dependent hashing (hash of a pointer) in "
+                       "model-checked code",
+                       std::string(kFixR2));
+            break;
+          }
+          if (t[j].is(";") || t[j].is("{")) break;  // not a template arg
+        }
+      }
+    }
+  }
+}
+
+// ----------------------------------- pass B: block structure, R2/R3 stmts
+
+enum class BlockKind { kNamespace, kType, kStmt, kInit };
+
+struct Block {
+  BlockKind kind = BlockKind::kStmt;
+  bool lock_from_here = false;
+};
+
+/// Classifies the block opened by the `{` at index `i`.
+[[nodiscard]] BlockKind classify_block(const std::vector<Token>& t,
+                                       std::size_t i,
+                                       const std::vector<Block>& stack) {
+  if (i == 0) return BlockKind::kStmt;
+  const Token& prev = t[i - 1];
+  const bool in_stmt =
+      !stack.empty() && (stack.back().kind == BlockKind::kStmt ||
+                         stack.back().kind == BlockKind::kInit);
+
+  if (prev.is(")")) {
+    // Function body, lambda body, or control statement — find the token
+    // before the matching `(` to tell control blocks apart (both count
+    // as statement context, but the distinction documents intent).
+    int depth = 0;
+    for (std::size_t j = i - 1; j > 0; --j) {
+      if (t[j].is(")")) ++depth;
+      if (t[j].is("(") && --depth == 0) {
+        return BlockKind::kStmt;
+      }
+    }
+    return BlockKind::kStmt;
+  }
+  if (prev.is_ident("else") || prev.is_ident("do") || prev.is_ident("try")) {
+    return BlockKind::kStmt;
+  }
+  if (prev.is("}")) return BlockKind::kStmt;  // body after braced init list
+
+  if (in_stmt) {
+    // Inside a function: `{` after `=`, `(`, `,`, `return`, an identifier
+    // or `>` is a braced initializer; anything else is a nested block.
+    if (prev.is("=") || prev.is("(") || prev.is(",") || prev.is("return") ||
+        prev.is(">") || prev.kind == TokKind::kIdent) {
+      return prev.is_ident("else") ? BlockKind::kStmt : BlockKind::kInit;
+    }
+    return BlockKind::kStmt;
+  }
+
+  // Namespace/type/global scope: scan the declaration head backwards for
+  // the introducing keyword.
+  if (prev.kind == TokKind::kIdent &&
+      (prev.is("const") || prev.is("noexcept") || prev.is("override") ||
+       prev.is("final") || prev.is("mutable"))) {
+    return BlockKind::kStmt;  // function body after trailing specifiers
+  }
+  for (std::size_t j = i; j > 0; --j) {
+    const Token& back = t[j - 1];
+    if (back.is(";") || back.is("{") || back.is("}") || back.is(")")) break;
+    if (back.is_ident("namespace")) return BlockKind::kNamespace;
+    if (back.is_ident("class") || back.is_ident("struct") ||
+        back.is_ident("union") || back.is_ident("enum")) {
+      return BlockKind::kType;
+    }
+  }
+  if (prev.kind == TokKind::kString) return BlockKind::kNamespace;  // extern "C"
+  if (prev.kind == TokKind::kIdent || prev.is("=") || prev.is(">")) {
+    return BlockKind::kInit;  // member/global braced initializer
+  }
+  return BlockKind::kType;
+}
+
+[[nodiscard]] bool is_lock_acquisition(const std::vector<Token>& t,
+                                       std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].is("lock_guard") || t[i].is("scoped_lock") ||
+        t[i].is("unique_lock") || t[i].is("shared_lock")) {
+      return true;
+    }
+    if (t[i].is("lock") && i > begin &&
+        (t[i - 1].is(".") || t[i - 1].is("->")) && i + 1 < end &&
+        t[i + 1].is("(")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool is_lock_release(const std::vector<Token>& t,
+                                   std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (t[i].is_ident("unlock") && i > begin &&
+        (t[i - 1].is(".") || t[i - 1].is("->"))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomic read-modify-write in the same statement: the stamp itself is
+/// the linearization point, no lock needed.
+[[nodiscard]] bool has_atomic_rmw(const std::vector<Token>& t,
+                                  std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].is("fetch_add") || t[i].is("fetch_sub") || t[i].is("exchange") ||
+        t[i].is("compare_exchange_strong") ||
+        t[i].is("compare_exchange_weak") || t[i].is("store")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool ident_mentions(const Token& tok, string_view needle) {
+  return tok.kind == TokKind::kIdent &&
+         lower(tok.text).find(needle) != std::string::npos;
+}
+
+/// Index of a seq-stamp or history-record mutation in [begin, end), or
+/// npos.  Mutations: `<seq-ish> =`, `<seq-ish>++/--`, `++/--<seq-ish>`,
+/// and `<history-ish>.push_back/emplace_back(...)`.
+[[nodiscard]] std::size_t find_stamp(const std::vector<Token>& t,
+                                     std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& tok = t[i];
+    if (tok.kind != TokKind::kIdent) continue;
+    if (ident_mentions(tok, "seq")) {
+      const bool written =
+          (i + 1 < end && (t[i + 1].is("=") || t[i + 1].is("++") ||
+                           t[i + 1].is("--") || t[i + 1].is("+="))) ||
+          (i > begin && (t[i - 1].is("++") || t[i - 1].is("--")));
+      if (written) return i;
+    }
+    if ((tok.is("push_back") || tok.is("emplace_back")) && i >= begin + 2 &&
+        (t[i - 1].is(".") || t[i - 1].is("->"))) {
+      const Token& obj = t[i - 2];
+      if (ident_mentions(obj, "event") || ident_mentions(obj, "history") ||
+          ident_mentions(obj, "trace") || ident_mentions(obj, "log")) {
+        return i;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+void structured_pass(Ctx& ctx) {
+  const std::vector<Token>& t = ctx.t;
+  std::vector<Block> stack;
+  std::size_t stmt_start = 0;
+  int paren = 0;
+
+  const auto lock_active = [&stack]() {
+    return std::any_of(stack.begin(), stack.end(),
+                       [](const Block& b) { return b.lock_from_here; });
+  };
+
+  const auto handle_statement = [&](std::size_t begin, std::size_t end) {
+    if (begin >= end) return;
+    if (stack.empty() || stack.back().kind != BlockKind::kStmt) return;
+
+    if (is_lock_acquisition(t, begin, end)) {
+      stack.back().lock_from_here = true;
+    }
+    if (is_lock_release(t, begin, end)) {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->lock_from_here) {
+          it->lock_from_here = false;
+          break;
+        }
+      }
+    }
+
+    if (ctx.scope.r2) {
+      // Mutable function-local static: survives across invocations, so a
+      // step function stops being a pure function of its inputs.
+      bool has_static = false, immutable = false;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (t[i].is_ident("static")) has_static = true;
+        if (t[i].is_ident("constexpr") || t[i].is_ident("const") ||
+            t[i].is_ident("assert")) {
+          immutable = true;
+        }
+      }
+      if (has_static && !immutable) {
+        ctx.report(Rule::kR2, t[begin].line,
+                   "mutable function-local static in model-checked code — "
+                   "hidden state across invocations breaks determinism",
+                   std::string(kFixR2));
+      }
+    }
+
+    if (ctx.scope.r3) {
+      const std::size_t stamp = find_stamp(t, begin, end);
+      if (stamp != std::string::npos && !lock_active() &&
+          !has_atomic_rmw(t, begin, end)) {
+        ctx.report(
+            Rule::kR3, t[stamp].line,
+            "sequence stamp / history record outside the lock or CAS "
+            "region — the recorded order can contradict the real "
+            "linearization order (the PR 1 traced-CAS bug class)",
+            "move this statement inside the lock_guard scope (or combine "
+            "it with the atomic RMW) that forms the linearization point");
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.is("(")) ++paren;
+    if (tok.is(")") && paren > 0) --paren;
+    if (paren > 0) continue;
+    if (tok.is("{")) {
+      stack.push_back(Block{classify_block(t, i, stack), false});
+      stmt_start = i + 1;
+    } else if (tok.is("}")) {
+      handle_statement(stmt_start, i);  // last statement may lack `;`
+      if (!stack.empty()) stack.pop_back();
+      stmt_start = i + 1;
+    } else if (tok.is(";")) {
+      handle_statement(stmt_start, i);
+      stmt_start = i + 1;
+    }
+  }
+}
+
+// ----------------------------------------------------- pass C: R4 loops
+
+/// True if the loop header starting at `i` (ident `while` / `for`) is an
+/// infinite form: while(true), while(1), for(;;).
+[[nodiscard]] bool infinite_header(const std::vector<Token>& t, std::size_t i,
+                                   std::size_t& body_begin) {
+  if (i + 1 >= t.size() || !t[i + 1].is("(")) return false;
+  if (t[i].is_ident("while")) {
+    if (i + 3 < t.size() &&
+        (t[i + 2].is_ident("true") || t[i + 2].is("1")) && t[i + 3].is(")")) {
+      body_begin = i + 4;
+      return true;
+    }
+    return false;
+  }
+  if (t[i].is_ident("for")) {
+    if (i + 4 < t.size() && t[i + 2].is(";") && t[i + 3].is(";") &&
+        t[i + 4].is(")")) {
+      body_begin = i + 5;
+      return true;
+    }
+  }
+  return false;
+}
+
+void loop_pass(Ctx& ctx) {
+  if (!ctx.scope.r4) return;
+  const std::vector<Token>& t = ctx.t;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    std::size_t body = 0;
+    if (t[i].kind != TokKind::kIdent || !infinite_header(t, i, body)) continue;
+    // Body span: matching braces, or a single statement up to `;`.
+    std::size_t end = body;
+    if (body < t.size() && t[body].is("{")) {
+      int depth = 0;
+      for (end = body; end < t.size(); ++end) {
+        if (t[end].is("{")) ++depth;
+        if (t[end].is("}") && --depth == 0) break;
+      }
+    } else {
+      while (end < t.size() && !t[end].is(";")) ++end;
+    }
+    bool consults_budget = false;
+    for (std::size_t j = body; j < end && j < t.size(); ++j) {
+      if (ident_mentions(t[j], "budget") || ident_mentions(t[j], "meter") ||
+          t[j].is_ident("expired") || t[j].is_ident("charge")) {
+        consults_budget = true;
+        break;
+      }
+    }
+    if (!consults_budget) {
+      ctx.report(
+          Rule::kR4, t[i].line,
+          "infinite-form loop never consults a BudgetMeter — an adversarial "
+          "schedule or fault placement can hang the campaign instead of "
+          "reporting truncation",
+          "poll `meter.expired()` / `meter.charge()` each iteration, or "
+          "rewrite with an explicit structural bound");
+    }
+  }
+}
+
+// ------------------------------------------------- suppression machinery
+
+void apply_suppressions(FileReport& report, std::vector<Finding> raw) {
+  for (Finding& f : raw) {
+    bool silenced = false;
+    for (Suppression& s : report.suppressions) {
+      if (s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line)) {
+        s.used = true;
+        silenced = true;
+        break;
+      }
+    }
+    if (silenced) {
+      report.suppressed.push_back(std::move(f));
+    } else {
+      report.findings.push_back(std::move(f));
+    }
+  }
+  const auto by_line = [](const Finding& a, const Finding& b) {
+    return a.line < b.line;
+  };
+  std::sort(report.findings.begin(), report.findings.end(), by_line);
+  std::sort(report.suppressed.begin(), report.suppressed.end(), by_line);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- public
+
+const char* rule_id(Rule r) {
+  static constexpr const char* kIds[kNumRules] = {"R1", "R2", "R3", "R4",
+                                                  "R5"};
+  return kIds[static_cast<std::size_t>(r)];
+}
+
+const char* rule_title(Rule r) {
+  static constexpr const char* kTitles[kNumRules] = {
+      "raw shared state outside the object layer",
+      "nondeterminism in model-checked code",
+      "stamp/record outside the linearization point",
+      "unbudgeted infinite loop in scheduler/runtime code",
+      "suppression without justification",
+  };
+  return kTitles[static_cast<std::size_t>(r)];
+}
+
+std::size_t TreeReport::unsuppressed_total() const {
+  std::size_t n = 0;
+  for (const FileReport& f : files) n += f.findings.size();
+  return n;
+}
+
+std::array<std::size_t, kNumRules> TreeReport::counts() const {
+  std::array<std::size_t, kNumRules> c{};
+  for (const FileReport& f : files) {
+    for (const Finding& finding : f.findings) {
+      ++c[static_cast<std::size_t>(finding.rule)];
+    }
+  }
+  return c;
+}
+
+std::size_t TreeReport::suppression_total() const {
+  std::size_t n = 0;
+  for (const FileReport& f : files) n += f.suppressions.size();
+  return n;
+}
+
+FileReport analyze_source(const std::string& virtual_path,
+                          const std::string& content) {
+  FileReport report;
+  report.file = normalize_path(virtual_path);
+  const Scope scope = scope_for(report.file);
+  const LexResult lexed = lex(content);
+
+  ParsedDirectives directives = parse_directives(lexed.comments, report.file);
+  report.suppressions = std::move(directives.valid);
+
+  std::vector<Finding> raw = std::move(directives.malformed);
+  Ctx ctx{lexed.tokens, scope, raw, report.file};
+  token_pass(ctx);
+  structured_pass(ctx);
+  loop_pass(ctx);
+
+  apply_suppressions(report, std::move(raw));
+  return report;
+}
+
+TreeReport analyze_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  TreeReport report;
+  report.root = root;
+  const fs::path src = fs::path(root) / "src";
+  if (!fs::exists(src)) return report;
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    FileReport file =
+        analyze_source(fs::relative(p, fs::path(root)).generic_string(),
+                       buf.str());
+    ++report.files_scanned;
+    if (!file.findings.empty() || !file.suppressed.empty() ||
+        !file.suppressions.empty()) {
+      report.files.push_back(std::move(file));
+    }
+  }
+  return report;
+}
+
+std::string render_human(const TreeReport& report) {
+  std::ostringstream out;
+  for (const FileReport& f : report.files) {
+    for (const Finding& finding : f.findings) {
+      out << f.file << ':' << finding.line << ": [" << rule_id(finding.rule)
+          << "] " << finding.message << '\n'
+          << "    fix-it: " << finding.fixit << '\n';
+    }
+  }
+  const auto counts = report.counts();
+  out << "ff-lint: scanned " << report.files_scanned << " files — "
+      << report.unsuppressed_total() << " unsuppressed finding(s)";
+  for (std::size_t r = 0; r < kNumRules; ++r) {
+    if (counts[r] != 0) {
+      out << "  " << rule_id(static_cast<Rule>(r)) << "=" << counts[r];
+    }
+  }
+  out << '\n';
+  if (report.suppression_total() != 0) {
+    out << "suppressions in effect (" << report.suppression_total() << "):\n";
+    for (const FileReport& f : report.files) {
+      for (const Suppression& s : f.suppressions) {
+        out << "  " << f.file << ':' << s.line << " allow(" << rule_id(s.rule)
+            << ")" << (s.used ? "" : " [unused]") << ": " << s.justification
+            << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string render_json(const TreeReport& report) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("tool", "ff-lint");
+  w.kv("root", report.root);
+  w.kv("files_scanned", static_cast<std::uint64_t>(report.files_scanned));
+  w.kv("unsuppressed_total",
+       static_cast<std::uint64_t>(report.unsuppressed_total()));
+  const auto counts = report.counts();
+  w.key("counts").begin_object();
+  for (std::size_t r = 0; r < kNumRules; ++r) {
+    w.kv(rule_id(static_cast<Rule>(r)),
+         static_cast<std::uint64_t>(counts[r]));
+  }
+  w.end_object();
+  w.key("findings").begin_array();
+  for (const FileReport& f : report.files) {
+    for (const Finding& finding : f.findings) {
+      w.begin_object();
+      w.kv("file", f.file);
+      w.kv("line", static_cast<std::uint64_t>(finding.line));
+      w.kv("rule", rule_id(finding.rule));
+      w.kv("title", rule_title(finding.rule));
+      w.kv("message", finding.message);
+      w.kv("fixit", finding.fixit);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("suppressions").begin_array();
+  for (const FileReport& f : report.files) {
+    for (const Suppression& s : f.suppressions) {
+      w.begin_object();
+      w.kv("file", f.file);
+      w.kv("line", static_cast<std::uint64_t>(s.line));
+      w.kv("rule", rule_id(s.rule));
+      w.kv("justification", s.justification);
+      w.kv("used", s.used);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace ff::fflint

@@ -1,0 +1,83 @@
+// ff-lint rule engine — model-soundness checks for protocol and
+// scheduler code (see DESIGN.md §3c for each rule's soundness argument).
+//
+//   R1  raw shared-state primitives (std::atomic / volatile / inline asm)
+//       outside the object layer (src/objects/ + src/faults/)
+//   R2  nondeterminism in model-checked code (src/consensus/,
+//       src/universal/, src/counter/, src/hierarchy/)
+//   R3  linearization-point discipline in the object layer: sequence
+//       stamping / history recording outside the lock or CAS region
+//   R4  infinite-form loops in src/sched/ and src/runtime/ that never
+//       consult a runtime::BudgetMeter
+//   R5  `// ff-lint: allow(Rk)` suppressions must carry a justification;
+//       every suppression is surfaced in the report
+//
+// Suppression grammar, recognized anywhere inside a comment:
+//   // ff-lint: allow(R1): <justification, at least 10 characters>
+// A directive silences findings of that rule on its own line and on the
+// next line (so both trailing and line-above placement work).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ff::fflint {
+
+inline constexpr std::size_t kNumRules = 5;
+/// Minimum justification length (non-whitespace-trimmed) for allow().
+inline constexpr std::size_t kMinJustification = 10;
+
+enum class Rule { kR1 = 0, kR2, kR3, kR4, kR5 };
+
+[[nodiscard]] const char* rule_id(Rule r);
+[[nodiscard]] const char* rule_title(Rule r);
+
+struct Finding {
+  Rule rule = Rule::kR1;
+  std::string file;  ///< normalized path, forward slashes, src/-relative
+  int line = 0;
+  std::string message;
+  std::string fixit;
+};
+
+struct Suppression {
+  Rule rule = Rule::kR1;
+  std::string file;
+  int line = 0;
+  std::string justification;
+  bool used = false;  ///< silenced at least one finding
+};
+
+struct FileReport {
+  std::string file;
+  std::vector<Finding> findings;      ///< surviving (unsuppressed)
+  std::vector<Finding> suppressed;    ///< silenced by a valid allow()
+  std::vector<Suppression> suppressions;  ///< every valid directive
+};
+
+struct TreeReport {
+  std::string root;
+  int files_scanned = 0;
+  std::vector<FileReport> files;
+
+  [[nodiscard]] std::size_t unsuppressed_total() const;
+  [[nodiscard]] std::array<std::size_t, kNumRules> counts() const;
+  [[nodiscard]] std::size_t suppression_total() const;
+};
+
+/// Analyzes one translation unit.  `virtual_path` controls which rules
+/// apply (paths are matched on their `src/...` suffix, so fixture trees
+/// that mirror the src/ layout get the production scoping).
+[[nodiscard]] FileReport analyze_source(const std::string& virtual_path,
+                                        const std::string& content);
+
+/// Walks `<root>/src` recursively (extensions .hpp/.h/.cpp/.cc, sorted
+/// for deterministic output) and analyzes every file.
+[[nodiscard]] TreeReport analyze_tree(const std::string& root);
+
+[[nodiscard]] std::string render_human(const TreeReport& report);
+[[nodiscard]] std::string render_json(const TreeReport& report);
+
+}  // namespace ff::fflint

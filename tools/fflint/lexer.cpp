@@ -1,0 +1,252 @@
+#include "tools/fflint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace ff::fflint {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Longest-match operator table (order matters only for shared prefixes;
+/// scanning tries 3-char, then 2-char, then falls back to 1 char).
+constexpr std::array<std::string_view, 10> kOps3 = {
+    "<<=", ">>=", "<=>", "...", "->*", "", "", "", "", ""};
+constexpr std::array<std::string_view, 19> kOps2 = {
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|="};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (ident_start(c)) {
+        identifier_or_prefixed_literal();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+      } else if (c == '"') {
+        string_literal(/*raw=*/false);
+      } else if (c == '\'') {
+        char_literal();
+      } else {
+        punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const int start_line = line_;
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        Comment{start_line, std::string(src_.substr(begin, pos_ - begin))});
+  }
+
+  void block_comment() {
+    const int start_line = line_;
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    out_.comments.push_back(
+        Comment{start_line, std::string(src_.substr(begin, pos_ - begin))});
+    pos_ += pos_ < src_.size() ? 2 : 0;
+  }
+
+  /// Consumes a whole preprocessor directive including `\` continuations.
+  /// Nothing is emitted: `#include <atomic>` must not look like code, and
+  /// the soundness rules deliberately ignore macro bodies (macro tricks
+  /// that smuggle banned constructs past this lexer are caught by the
+  /// self-lint of the expanded use site or by clang-tidy, not here).
+  void preprocessor_line() {
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // newline handled by main loop
+      // Comments inside directives still count as comments (a directive
+      // may carry an ff-lint annotation).
+      if (src_[pos_] == '/' && peek(1) == '/') {
+        line_comment();
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void identifier_or_prefixed_literal() {
+    const int start_line = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    std::string text(src_.substr(begin, pos_ - begin));
+    // Encoding prefixes glue onto string/char literals: u8"..", LR"(..)".
+    if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'')) {
+      const bool raw = !text.empty() && text.back() == 'R';
+      const bool prefix = text == "u8" || text == "u" || text == "U" ||
+                          text == "L" || text == "R" || text == "u8R" ||
+                          text == "uR" || text == "UR" || text == "LR";
+      if (prefix) {
+        if (src_[pos_] == '"') {
+          string_literal(raw);
+        } else {
+          char_literal();
+        }
+        return;
+      }
+    }
+    emit(TokKind::kIdent, std::move(text), start_line);
+  }
+
+  void number() {
+    const int start_line = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+      } else if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, std::string(src_.substr(begin, pos_ - begin)),
+         start_line);
+  }
+
+  void string_literal(bool raw) {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string body;
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+      ++pos_;  // '('
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src_.find(closer, pos_);
+      const std::size_t stop = end == std::string_view::npos ? src_.size() : end;
+      for (std::size_t i = pos_; i < stop; ++i) {
+        if (src_[i] == '\n') ++line_;
+      }
+      body = std::string(src_.substr(pos_, stop - pos_));
+      pos_ = stop == src_.size() ? stop : stop + closer.size();
+    } else {
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          body += src_[pos_];
+          body += src_[pos_ + 1];
+          pos_ += 2;
+          continue;
+        }
+        if (src_[pos_] == '\n') ++line_;  // unterminated; keep going
+        body += src_[pos_++];
+      }
+      if (pos_ < src_.size()) ++pos_;  // closing quote
+    }
+    emit(TokKind::kString, std::move(body), start_line);
+  }
+
+  void char_literal() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string body;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        body += src_[pos_];
+        body += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // not a char literal after all
+      body += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    emit(TokKind::kChar, std::move(body), start_line);
+  }
+
+  void punct() {
+    const std::string_view rest = src_.substr(pos_);
+    for (const std::string_view op : kOps3) {
+      if (!op.empty() && rest.substr(0, 3) == op) {
+        emit(TokKind::kPunct, std::string(op), line_);
+        pos_ += 3;
+        return;
+      }
+    }
+    for (const std::string_view op : kOps2) {
+      if (rest.substr(0, 2) == op) {
+        emit(TokKind::kPunct, std::string(op), line_);
+        pos_ += 2;
+        return;
+      }
+    }
+    emit(TokKind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace ff::fflint

@@ -1,0 +1,52 @@
+// Lightweight C++ tokenizer for ff-lint.
+//
+// This is not a compiler front end: it produces a flat token stream with
+// comments and preprocessor lines stripped out (comments are captured
+// separately so the rule engine can parse `// ff-lint:` directives).
+// That is exactly enough for the lexical soundness rules in analysis.hpp
+// and keeps the tool free of a libclang dependency.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ff::fflint {
+
+enum class TokKind {
+  kIdent,    ///< identifiers and keywords (no keyword table needed)
+  kNumber,   ///< numeric literals, including digit separators
+  kString,   ///< string literals (escaped and raw), text excludes quotes
+  kChar,     ///< character literals
+  kPunct,    ///< operators and punctuation, longest-match
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+
+  [[nodiscard]] bool is(std::string_view s) const { return text == s; }
+  [[nodiscard]] bool is_ident(std::string_view s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+};
+
+/// A comment with its starting line; text excludes the `//` / `/* */`
+/// markers.  Block comments spanning lines are one entry.
+struct Comment {
+  int line = 0;
+  std::string text;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`.  Never fails: unrecognized bytes become
+/// single-character punct tokens, so the rule passes degrade gracefully
+/// on code this lexer was not designed for.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace ff::fflint
