@@ -3,13 +3,33 @@
 //
 // This calibrates what "exhaustive" costs and explains where the
 // hierarchy prober switches from proofs to stress evidence.
+//
+// Modes:
+//   (default)        google-benchmark suite (all BM_* below)
+//   --json <path>    write a machine-readable BENCH_B3.json report:
+//                    states/sec and peak state counts for the reduced
+//                    (symmetry + sleep sets), unreduced, pre-sized and
+//                    legacy-hot-path explorers on a symmetric reference
+//                    instance, plus reduction_factor and hotpath_speedup.
+//   --smoke          smaller reference instance for CI gating
+//                    (scripts/check.sh stage 7 / scripts/bench_gate.py).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <numeric>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "consensus/machines.hpp"
+#include "sched/explore_common.hpp"
 #include "sched/explorer.hpp"
 #include "sched/parallel_explorer.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -180,6 +200,282 @@ void BM_SimWorldClone(benchmark::State& state) {
 }
 BENCHMARK(BM_SimWorldClone);
 
+// --- JSON report mode ------------------------------------------------------
+
+/// The pre-PR-4 explorer hot path, kept faithful as an in-file baseline
+/// so hotpath_speedup stays measurable after the real explorer moved on:
+/// per-child full world copy + apply, a full world.encode() per
+/// generated child (and again per frame pop), the pre-PR dual-SplitMix64
+/// fingerprint fold, node-based unordered containers for the visited set
+/// and the on-path cycle map, per-frame choice vectors — no flat table,
+/// no incremental encoding, no in-place stepping, no arenas, no
+/// reductions.  It runs the same census, terminal checks and back-edge
+/// cycle detection the old explore() ran.
+sched::detail::Fingerprint legacy_fingerprint(
+    const std::vector<std::uint64_t>& encoded) {
+  sched::detail::Fingerprint fp{0x243f6a8885a308d3ULL,
+                                0x13198a2e03707344ULL};
+  for (const std::uint64_t w : encoded) {
+    fp.a = util::mix64(fp.a ^ w);
+    fp.b = util::mix64(fp.b + w + 0xa5a5a5a5a5a5a5a5ULL);
+  }
+  return fp;
+}
+
+std::uint64_t legacy_explore_count(const sched::SimWorld& initial) {
+  struct Frame {
+    sched::SimWorld world;
+    std::vector<sched::Choice> choices;
+    std::size_t next = 0;
+  };
+  sched::ExploreOptions options;
+  options.stop_at_first_violation = false;
+  std::uint64_t violations = 0;
+  std::unordered_set<sched::detail::Fingerprint,
+                     sched::detail::FingerprintHash>
+      visited;
+  std::unordered_map<sched::detail::Fingerprint, std::uint64_t,
+                     sched::detail::FingerprintHash>
+      on_path;
+  std::vector<Frame> stack;
+  std::vector<sched::Choice> path;
+  const auto root_fp = legacy_fingerprint(initial.encode());
+  visited.insert(root_fp);
+  on_path.emplace(root_fp, 0);
+  stack.push_back(Frame{initial, initial.enabled(), 0});
+  std::uint64_t states = 1;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.choices.size()) {
+      on_path.erase(legacy_fingerprint(frame.world.encode()));
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+    const sched::Choice choice = frame.choices[frame.next++];
+    sched::SimWorld child = frame.world;
+    child.apply(choice);
+    const auto fp = legacy_fingerprint(child.encode());
+    path.push_back(choice);
+    if (const auto it = on_path.find(fp); it != on_path.end()) {
+      // Back-edge: nontermination if a process steps in the segment.
+      for (std::size_t i = it->second; i < path.size(); ++i) {
+        if (path[i].pid != sched::kAdversaryPid) {
+          ++violations;
+          break;
+        }
+      }
+      path.pop_back();
+      continue;
+    }
+    if (visited.contains(fp)) {
+      path.pop_back();
+      continue;
+    }
+    visited.insert(fp);
+    ++states;
+    if (child.terminal()) {
+      std::string detail;
+      if (sched::detail::check_terminal(child, options, detail)) {
+        ++violations;
+      }
+      path.pop_back();
+      continue;
+    }
+    auto choices = child.enabled();
+    on_path.emplace(fp, path.size());
+    stack.push_back(Frame{std::move(child), std::move(choices), 0});
+  }
+  benchmark::DoNotOptimize(violations);
+  return states;
+}
+
+std::vector<std::uint64_t> equal_inputs(std::uint32_t n) {
+  return std::vector<std::uint64_t>(n, 1);
+}
+
+/// Symmetric reference instance: staged consensus (pid-oblivious) at n
+/// processes with EQUAL inputs, one object, overriding faults.  Equal
+/// inputs matter: with distinct inputs every process block stays
+/// distinguishable and orbits are trivial, while equal inputs let the
+/// canonical block sort collapse runs that differ only by which process
+/// took which role — the regime the reduction targets.
+sched::SimWorld symmetric_reference(std::uint32_t t, std::uint32_t n) {
+  sched::SimConfig config;
+  config.num_objects = 1;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = t;
+  const consensus::StagedFactory factory(1, t);
+  return sched::SimWorld(config, factory, equal_inputs(n));
+}
+
+/// Hot-path reference instance: staged f=1 t=2 at n=3 DISTINCT inputs —
+/// ~1.37M distinct states with trivial orbits, so it isolates the raw
+/// sequential engine (flat table, incremental encoding, in-place
+/// stepping) from the reductions.
+sched::SimWorld hotpath_reference() {
+  sched::SimConfig config;
+  config.num_objects = 1;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = 2;
+  const consensus::StagedFactory factory(1, 2);
+  return sched::SimWorld(config, factory, inputs(3));
+}
+
+struct TimedExplore {
+  sched::ExploreResult result;
+  double seconds = 0;
+};
+
+TimedExplore timed_explore(const sched::SimWorld& world,
+                           const sched::ExploreOptions& options) {
+  TimedExplore out;
+  const auto start = std::chrono::steady_clock::now();
+  out.result = sched::explore(world, options);
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+void emit_section(util::JsonWriter& w, std::string_view name,
+                  std::uint64_t states, double seconds,
+                  std::uint64_t max_depth) {
+  w.key(name).begin_object();
+  w.kv("peak_states", states);
+  w.kv("seconds", seconds);
+  w.kv("states_per_sec", seconds > 0 ? static_cast<double>(states) / seconds
+                                     : 0.0);
+  w.kv("max_depth", max_depth);
+  w.end_object();
+}
+
+int write_report(const std::string& path, bool smoke) {
+  // Symmetric instance: staged t=1 n=4 (~136k unreduced states) for the
+  // smoke gate, staged t=2 n=4 (~10.1M unreduced states) for the full
+  // report.  Equal inputs — see symmetric_reference().
+  const std::uint32_t sym_t = smoke ? 1 : 2;
+  const std::uint32_t sym_n = 4;
+  const sched::SimWorld sym_world = symmetric_reference(sym_t, sym_n);
+
+  sched::ExploreOptions reduced_opts;
+  reduced_opts.stop_at_first_violation = false;
+  sched::ExploreOptions unreduced_opts = reduced_opts;
+  unreduced_opts.symmetry_reduction = false;
+  unreduced_opts.sleep_sets = false;
+
+  const TimedExplore reduced = timed_explore(sym_world, reduced_opts);
+  const TimedExplore unreduced = timed_explore(sym_world, unreduced_opts);
+
+  const double reduction_factor =
+      reduced.result.states_visited > 0
+          ? static_cast<double>(unreduced.result.states_visited) /
+                static_cast<double>(reduced.result.states_visited)
+          : 0.0;
+
+  // Hot-path instance (reductions OFF throughout): new engine without
+  // and with the expected_states pre-sizing hint, against the faithful
+  // pre-PR baseline.
+  const sched::SimWorld hot_world = hotpath_reference();
+  const TimedExplore hot = timed_explore(hot_world, unreduced_opts);
+  // The reserve()/pre-sizing satellite, isolated: same unreduced search
+  // with the fingerprint table and DFS containers sized up front.
+  sched::ExploreOptions presized_opts = unreduced_opts;
+  presized_opts.expected_states = hot.result.states_visited;
+  const TimedExplore presized = timed_explore(hot_world, presized_opts);
+
+  const auto legacy_start = std::chrono::steady_clock::now();
+  const std::uint64_t legacy_states = legacy_explore_count(hot_world);
+  const double legacy_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    legacy_start)
+          .count();
+
+  const auto rate = [](std::uint64_t states, double seconds) {
+    return seconds > 0 ? static_cast<double>(states) / seconds : 0.0;
+  };
+  const double legacy_rate = rate(legacy_states, legacy_seconds);
+  const double hotpath_speedup =
+      legacy_rate > 0
+          ? rate(presized.result.states_visited, presized.seconds) /
+                legacy_rate
+          : 0.0;
+  const double presize_speedup =
+      hot.seconds > 0 && presized.seconds > 0
+          ? rate(presized.result.states_visited, presized.seconds) /
+                rate(hot.result.states_visited, hot.seconds)
+          : 0.0;
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "B3");
+  w.kv("smoke", smoke);
+  w.key("symmetric_instance").begin_object();
+  w.kv("protocol", "staged");
+  w.kv("processes", std::uint64_t{sym_n});
+  w.kv("inputs", "equal");
+  w.kv("fault_kind", "overriding");
+  w.kv("t", std::uint64_t{sym_t});
+  w.end_object();
+  emit_section(w, "reduced", reduced.result.states_visited, reduced.seconds,
+               reduced.result.max_depth);
+  emit_section(w, "unreduced", unreduced.result.states_visited,
+               unreduced.seconds, unreduced.result.max_depth);
+  w.kv("reduction_factor", reduction_factor);
+  w.key("hotpath_instance").begin_object();
+  w.kv("protocol", "staged");
+  w.kv("processes", std::uint64_t{3});
+  w.kv("inputs", "distinct");
+  w.kv("fault_kind", "overriding");
+  w.kv("t", std::uint64_t{2});
+  w.end_object();
+  emit_section(w, "hotpath_unreduced", hot.result.states_visited,
+               hot.seconds, hot.result.max_depth);
+  emit_section(w, "hotpath_presized", presized.result.states_visited,
+               presized.seconds, presized.result.max_depth);
+  emit_section(w, "legacy_baseline", legacy_states, legacy_seconds, 0);
+  w.kv("hotpath_speedup", hotpath_speedup);
+  w.kv("presize_speedup", presize_speedup);
+  // Sanity invariants the gate can assert without re-deriving them.
+  w.kv("census_states_match",
+       hot.result.states_visited == legacy_states &&
+           presized.result.states_visited == hot.result.states_visited);
+  w.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::cout << "B3: reduction_factor=" << reduction_factor
+            << " hotpath_speedup=" << hotpath_speedup << " -> " << path
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return write_report(json_path, smoke);
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

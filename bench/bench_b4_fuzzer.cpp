@@ -8,13 +8,26 @@
 //     explorers prove faulty?  Wall time per benchmark iteration IS the
 //     time-to-first-violation; the counters record how many executions
 //     and steps that took.
+// Modes:
+//   (default)        google-benchmark suite (all BM_* below)
+//   --json <path>    write a machine-readable BENCH_B4.json report:
+//                    schedules/sec and steps/sec on a proven-correct
+//                    configuration, plus time-to-first-violation and
+//                    executions-to-violation on proven-faulty ones.
+//   --smoke          reduced budgets for CI gating (scripts/check.sh).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <numeric>
+#include <string>
 
 #include "consensus/machines.hpp"
 #include "sched/fuzzer.hpp"
 #include "sched/sim_world.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -131,6 +144,115 @@ void BM_FuzzFirstViolationLivelock(benchmark::State& state) {
 }
 BENCHMARK(BM_FuzzFirstViolationLivelock)->Unit(benchmark::kMicrosecond);
 
+// --- JSON report mode ------------------------------------------------------
+
+void emit_throughput(util::JsonWriter& w, std::string_view name,
+                     const sched::SimWorld& world, std::uint64_t budget) {
+  sched::FuzzOptions options;
+  options.seed = 1;
+  options.budget.max_units = budget;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = sched::fuzz(world, options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  w.key(name).begin_object();
+  w.kv("executions", result.stats.executions);
+  w.kv("total_steps", result.stats.total_steps);
+  w.kv("unique_states", result.stats.unique_states);
+  w.kv("seconds", seconds);
+  w.kv("schedules_per_sec",
+       seconds > 0 ? static_cast<double>(result.stats.executions) / seconds
+                   : 0.0);
+  w.kv("steps_per_sec",
+       seconds > 0 ? static_cast<double>(result.stats.total_steps) / seconds
+                   : 0.0);
+  w.end_object();
+}
+
+void emit_first_violation(util::JsonWriter& w, std::string_view name,
+                          const sched::SimWorld& world,
+                          std::uint64_t budget) {
+  sched::FuzzOptions options;
+  options.seed = 1;
+  options.budget.max_units = budget;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = sched::fuzz(world, options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  w.key(name).begin_object();
+  w.kv("found", result.violation.has_value());
+  if (result.violation) {
+    w.kv("kind", to_string(result.violation->kind));
+  }
+  w.kv("time_to_first_violation_sec", seconds);
+  w.kv("execs_to_violation", result.stats.executions);
+  w.kv("steps_to_violation", result.stats.total_steps);
+  w.kv("witness_steps", result.stats.witness_steps_found);
+  w.kv("witness_steps_shrunk", result.stats.witness_steps_shrunk);
+  w.end_object();
+}
+
+int write_report(const std::string& path, bool smoke) {
+  const std::uint64_t throughput_budget = smoke ? 20'000 : 200'000;
+  const std::uint64_t violation_budget = smoke ? 500'000 : 5'000'000;
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "B4");
+  w.kv("smoke", smoke);
+  emit_throughput(w, "throughput_retry_silent",
+                  make_world(consensus::RetrySilentFactory{},
+                             model::FaultKind::kSilent, 1, 1, 2),
+                  throughput_budget);
+  emit_throughput(w, "throughput_staged_safe",
+                  make_world(consensus::StagedFactory(1, 1),
+                             model::FaultKind::kOverriding, 1, 1, 2),
+                  throughput_budget);
+  emit_first_violation(w, "first_violation_single_cas",
+                       make_world(consensus::SingleCasFactory{},
+                                  model::FaultKind::kOverriding, 1, 1, 3),
+                       violation_budget);
+  emit_first_violation(
+      w, "first_violation_livelock",
+      make_world(consensus::RetrySilentFactory{}, model::FaultKind::kSilent,
+                 1, model::kUnbounded, 2),
+      violation_budget);
+  w.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::cout << "B4 report -> " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return write_report(json_path, smoke);
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

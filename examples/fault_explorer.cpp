@@ -47,6 +47,11 @@ void print_usage() {
       "  --state-cap explorer state limit                      (default 4e6)\n"
       "  --threads   parallel-explorer worker threads;\n"
       "              0 = sequential DFS explorer                (default 0)\n"
+      "  --no-symmetry    disable process-symmetry reduction (explore one\n"
+      "              state per permutation orbit — DESIGN.md §3d);\n"
+      "              also disables the fuzzer's canonical novelty signal\n"
+      "  --no-sleep-sets  disable sleep-set partial-order reduction\n"
+      "              (explorers only; prunes transitions, never states)\n"
       "  --fuzz      coverage-guided schedule fuzzing instead of\n"
       "              exhaustive exploration (for configurations too large\n"
       "              to enumerate); witnesses are shrunk before printing\n"
@@ -99,6 +104,7 @@ int run_fuzz(const sched::SimWorld& world, const util::Cli& cli,
   options.budget.max_millis = cli.get_uint("fuzz-millis", 0);
   options.max_execs = cli.get_uint("fuzz-execs", 0);
   options.killed_is_violation = kind == model::FaultKind::kNonresponsive;
+  options.symmetry_reduction = !cli.has("no-symmetry");
 
   const sched::FuzzResult result = sched::fuzz(world, options);
 
@@ -199,6 +205,8 @@ int main(int argc, char** argv) {
   sched::ExploreOptions options;
   options.max_states = cli.get_uint("state-cap", 4'000'000);
   options.killed_is_violation = kind == model::FaultKind::kNonresponsive;
+  options.symmetry_reduction = !cli.has("no-symmetry");
+  options.sleep_sets = !cli.has("no-sleep-sets");
 
   const auto threads =
       static_cast<std::uint32_t>(cli.get_uint("threads", 0));

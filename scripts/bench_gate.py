@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Assert the B3 bench report clears the reduction acceptance bars.
+
+Usage: scripts/bench_gate.py <BENCH_B3.json>
+
+Gates (smoke and full mode alike):
+  * census_states_match is true — the reduced explorer visited a state
+    set consistent with the unreduced census (differential soundness);
+  * reduction_factor >= 5 — symmetry + sleep sets shrink the symmetric
+    reference instance by at least 5x.
+
+Exit status: 0 when both gates hold, 1 when either fails, 2 when the
+report is unreadable or missing a gated field.
+"""
+import json
+import sys
+
+MIN_REDUCTION_FACTOR = 5.0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: bench_gate.py <BENCH_B3.json>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"bench_gate: cannot read {argv[1]}: {err}", file=sys.stderr)
+        return 2
+
+    try:
+        factor = float(report["reduction_factor"])
+        census_ok = bool(report["census_states_match"])
+        reduced = int(report["reduced"]["peak_states"])
+        unreduced = int(report["unreduced"]["peak_states"])
+    except (KeyError, TypeError, ValueError) as err:
+        print(f"bench_gate: report missing gated field: {err}",
+              file=sys.stderr)
+        return 2
+
+    mode = "smoke" if report.get("smoke") else "full"
+    print(f"bench gate ({mode}): reduction {unreduced} -> {reduced} states "
+          f"({factor:.2f}x), census match: {census_ok}")
+
+    failed = False
+    if not census_ok:
+        print("bench_gate: FAIL — reduced census diverges from unreduced",
+              file=sys.stderr)
+        failed = True
+    if factor < MIN_REDUCTION_FACTOR:
+        print(f"bench_gate: FAIL — reduction factor {factor:.2f} < "
+              f"{MIN_REDUCTION_FACTOR}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

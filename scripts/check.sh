@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Six-stage verification gate:
+# Seven-stage verification gate:
 #   1. default build (-DFF_WERROR=ON) → the fast `tier1` test label
 #      (all unit suites), warnings promoted to errors;
 #   2. default build  → the `tier2-fuzz` label (wall-clock-bounded smoke
@@ -12,33 +12,36 @@
 #   5. ff-lint (label `lint`): the rule-engine test suite plus a tree
 #      scan of the shipped sources, with the JSON report summarized;
 #   6. clang-tidy (advisory) when clang-tidy is on PATH, against the
-#      compile database stage 1 exported; skipped with a notice if not.
+#      compile database stage 1 exported; skipped with a notice if not;
+#   7. bench smoke: bench_b3_explorer/bench_b4_fuzzer --json --smoke,
+#      then scripts/bench_gate.py asserts the state-space reduction is
+#      >= 5x with a matching differential census.
 # Usage: scripts/check.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/6] default build (FF_WERROR=ON) · ctest -L tier1 =="
+echo "== [1/7] default build (FF_WERROR=ON) · ctest -L tier1 =="
 cmake -B build -S . -DFF_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
 
-echo "== [2/6] default build · ctest -L tier2-fuzz =="
+echo "== [2/7] default build · ctest -L tier2-fuzz =="
 ctest --test-dir build -L tier2-fuzz --output-on-failure -j "$JOBS"
 
-echo "== [3/6] FF_SANITIZE=thread build · ctest -L tsan =="
+echo "== [3/7] FF_SANITIZE=thread build · ctest -L tsan =="
 cmake -B build-tsan -S . -DFF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target test_parallel_explorer test_determinism test_concurrency
 ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
 
-echo "== [4/6] FF_SANITIZE=address build · ctest -L asan =="
+echo "== [4/7] FF_SANITIZE=address build · ctest -L asan =="
 cmake -B build-asan -S . -DFF_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target test_fuzzer test_shrink test_fuzz_smoke test_sim test_faults
 ctest --test-dir build-asan -L asan --output-on-failure -j "$JOBS"
 
-echo "== [5/6] ff-lint · ctest -L lint + tree scan =="
+echo "== [5/7] ff-lint · ctest -L lint + tree scan =="
 ctest --test-dir build -L lint --output-on-failure -j "$JOBS"
 lint_status=0
 ./build/tools/fflint/fflint --root . --json --quiet \
@@ -53,7 +56,7 @@ if [ "$lint_status" -ne 0 ]; then
   exit 1
 fi
 
-echo "== [6/6] clang-tidy (advisory) =="
+echo "== [6/7] clang-tidy (advisory) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Tidy the first-party sources only; the compile database from stage 1
   # (CMAKE_EXPORT_COMPILE_COMMANDS) keeps flags identical to the build.
@@ -63,4 +66,9 @@ else
   echo "notice: clang-tidy not on PATH — stage skipped (advisory only)"
 fi
 
-echo "OK: all six stages passed"
+echo "== [7/7] bench smoke · scripts/bench_gate.py =="
+./build/bench/bench_b3_explorer --json build/BENCH_B3.smoke.json --smoke
+./build/bench/bench_b4_fuzzer --json build/BENCH_B4.smoke.json --smoke
+python3 scripts/bench_gate.py build/BENCH_B3.smoke.json
+
+echo "OK: all seven stages passed"

@@ -23,6 +23,7 @@ class SingleCasFactory final : public sched::MachineFactory {
   [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
       objects::ProcessId pid, std::uint64_t input) const override;
   [[nodiscard]] std::uint32_t objects_used() const override { return 1; }
+  [[nodiscard]] bool pid_oblivious() const override { return true; }
   [[nodiscard]] std::string name() const override { return "single-cas"; }
 };
 
@@ -35,6 +36,7 @@ class FPlusOneFactory final : public sched::MachineFactory {
   [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
       objects::ProcessId pid, std::uint64_t input) const override;
   [[nodiscard]] std::uint32_t objects_used() const override { return k_; }
+  [[nodiscard]] bool pid_oblivious() const override { return true; }
   [[nodiscard]] std::string name() const override { return "f-plus-one"; }
 
  private:
@@ -53,6 +55,7 @@ class StagedFactory final : public sched::MachineFactory {
   [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
       objects::ProcessId pid, std::uint64_t input) const override;
   [[nodiscard]] std::uint32_t objects_used() const override { return f_; }
+  [[nodiscard]] bool pid_oblivious() const override { return true; }
   [[nodiscard]] std::string name() const override { return "staged"; }
   [[nodiscard]] std::uint32_t max_stage() const noexcept;
 
@@ -109,6 +112,7 @@ class RetrySilentFactory final : public sched::MachineFactory {
   [[nodiscard]] std::unique_ptr<sched::StepMachine> make(
       objects::ProcessId pid, std::uint64_t input) const override;
   [[nodiscard]] std::uint32_t objects_used() const override { return 1; }
+  [[nodiscard]] bool pid_oblivious() const override { return true; }
   [[nodiscard]] std::string name() const override { return "retry-silent"; }
 };
 

@@ -7,6 +7,7 @@
 // plumbing so call sites stay declarative.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <vector>
@@ -68,6 +69,35 @@ class FaultyCasBank {
   void reset() {
     for (auto& object : objects_) object->reset();
     if (budget_) budget_->reset();
+  }
+
+  /// Budget-slot usage profile, sorted: one (designated, used) pair per
+  /// object, encoded as (designated << 32) | min(used, t) and sorted
+  /// ascending.  With DYNAMIC designation (Options::designated empty) the
+  /// slots are anonymous — which concrete objects ended up designated is
+  /// an artifact of arrival order — so two budget states that differ only
+  /// by a permutation of slots yield EQUAL profiles.  This is the
+  /// object-space analogue of the explorers' process-symmetry invariant
+  /// (DESIGN.md §3d) and what reduction tests compare across permuted
+  /// runs.  With static designation the profile is still well-defined but
+  /// slots are no longer interchangeable.
+  [[nodiscard]] std::vector<std::uint64_t> usage_profile() const {
+    std::vector<std::uint64_t> profile;
+    profile.reserve(options_.objects);
+    for (std::uint32_t i = 0; i < options_.objects; ++i) {
+      std::uint64_t designated = 0;
+      std::uint64_t used = 0;
+      if (budget_) {
+        designated = budget_->is_designated(i) ? 1 : 0;
+        used = budget_->faults_used(i);
+        if (options_.t != model::kUnbounded && used > options_.t) {
+          used = options_.t;
+        }
+      }
+      profile.push_back((designated << 32) | used);
+    }
+    std::sort(profile.begin(), profile.end());
+    return profile;
   }
 
  private:

@@ -12,6 +12,7 @@
 // distinct states are distinguished.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <set>
@@ -25,8 +26,8 @@
 
 namespace ff::sched::detail {
 
-/// 128-bit fingerprint of an encoded state: two independent SplitMix64
-/// chains.  Collisions would require ~2^64 states; the search caps out
+/// 128-bit fingerprint of an encoded state: two independent accumulation
+/// lanes.  Collisions would require ~2^64 states; the search caps out
 /// orders of magnitude earlier.
 struct Fingerprint {
   std::uint64_t a = 0;
@@ -41,15 +42,123 @@ struct FingerprintHash {
   }
 };
 
+/// Streaming fingerprint fold.  Per word each lane does one rotate-xor
+/// (resp. rotate-add) and one multiply by an odd constant — a ~4-cycle
+/// dependency chain versus ~15 for a full SplitMix64 round, which
+/// matters because the fold is on the explorers' per-edge hot path.
+/// The multiplies are bijective (odd constants) so no word is ever
+/// absorbed; done() runs both lanes through a full mix64 avalanche,
+/// which is what makes the low bits usable as table indices.
+struct FpFold {
+  std::uint64_t a = 0x243f6a8885a308d3ULL;
+  std::uint64_t b = 0x13198a2e03707344ULL;
+  std::uint64_t len = 0;
+
+  void fold(std::uint64_t w) noexcept {
+    a = (std::rotl(a, 5) ^ w) * 0x9e3779b97f4a7c15ULL;
+    b = (std::rotl(b, 7) + w) * 0xc2b2ae3d27d4eb4fULL;
+    ++len;
+  }
+
+  [[nodiscard]] Fingerprint done() const noexcept {
+    return Fingerprint{util::mix64(a ^ len), util::mix64(b + len)};
+  }
+};
+
 [[nodiscard]] inline Fingerprint fingerprint(
     const std::vector<std::uint64_t>& encoded) {
-  Fingerprint fp{0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL};
-  for (const std::uint64_t w : encoded) {
-    fp.a = util::mix64(fp.a ^ w);
-    fp.b = util::mix64(fp.b + w + 0xa5a5a5a5a5a5a5a5ULL);
-  }
-  return fp;
+  FpFold f;
+  for (const std::uint64_t w : encoded) f.fold(w);
+  return f.done();
 }
+
+/// Flat open-addressing hash table from 128-bit fingerprints to dense
+/// 32-bit ids — the sequential explorer's hot-path replacement for
+/// std::unordered_set/map (one contiguous allocation, linear probing, no
+/// per-node indirection).  Emptiness is tracked by the value sentinel, so
+/// any fingerprint (including all-zero) is a legal key.
+class FlatFpMap {
+ public:
+  static constexpr std::uint32_t kNoValue = 0xFFFFFFFFu;
+
+  explicit FlatFpMap(std::size_t expected = 1024) {
+    std::size_t cap = 16;
+    // Size for expected entries at < 70% load.
+    while (cap * 7 < expected * 10) cap <<= 1;
+    slots_.assign(cap, Entry{});
+    mask_ = cap - 1;
+  }
+
+  /// If `fp` is present returns its stored value; otherwise stores
+  /// fp → value and returns kNoValue.  `value` must not be kNoValue.
+  std::uint32_t insert_or_get(const Fingerprint& fp, std::uint32_t value) {
+    if ((size_ + 1) * 10 > (mask_ + 1) * 7) grow();
+    std::size_t i = static_cast<std::size_t>(fp.a) & mask_;
+    // Linear probing terminates: load is kept < 70%, so an empty slot
+    // exists within the table (bounded by its capacity).
+    for (std::size_t step = 0; step <= mask_; ++step) {
+      Entry& e = slots_[i];
+      if (e.value == kNoValue) {
+        e.key = fp;
+        e.value = value;
+        ++size_;
+        return kNoValue;
+      }
+      if (e.key == fp) return e.value;
+      i = (i + 1) & mask_;
+    }
+    return kNoValue;  // unreachable: table never fills
+  }
+
+  /// Hints the cache that `fp`'s home slot is about to be probed.  The
+  /// table is tens of megabytes at full-grid sizes, so every probe is a
+  /// DRAM miss; issuing the prefetch as soon as the fingerprint is known
+  /// overlaps that miss with the caller's remaining per-edge work.
+  void prefetch(const Fingerprint& fp) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[static_cast<std::size_t>(fp.a) & mask_]);
+#else
+    (void)fp;
+#endif
+  }
+
+  /// Value stored for `fp`, or kNoValue when absent.
+  [[nodiscard]] std::uint32_t find(const Fingerprint& fp) const {
+    std::size_t i = static_cast<std::size_t>(fp.a) & mask_;
+    for (std::size_t step = 0; step <= mask_; ++step) {
+      const Entry& e = slots_[i];
+      if (e.value == kNoValue) return kNoValue;
+      if (e.key == fp) return e.value;
+      i = (i + 1) & mask_;
+    }
+    return kNoValue;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Entry {
+    Fingerprint key;
+    std::uint32_t value = kNoValue;
+  };
+
+  void grow() {
+    std::vector<Entry> old = std::move(slots_);
+    const std::size_t cap = (mask_ + 1) << 1;
+    slots_.assign(cap, Entry{});
+    mask_ = cap - 1;
+    for (const Entry& e : old) {
+      if (e.value == kNoValue) continue;
+      std::size_t i = static_cast<std::size_t>(e.key.a) & mask_;
+      while (slots_[i].value != kNoValue) i = (i + 1) & mask_;
+      slots_[i] = e;
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
 
 /// Checks a terminal world; returns a violation kind if one applies.
 [[nodiscard]] inline std::optional<ViolationKind> check_terminal(

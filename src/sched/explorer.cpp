@@ -1,32 +1,180 @@
 #include "sched/explorer.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "sched/explore_common.hpp"
+#include "sched/reduce.hpp"
 
 namespace ff::sched {
 
 using detail::Fingerprint;
 using detail::FingerprintHash;
+using detail::FlatFpMap;
 using detail::check_terminal;
 using detail::fingerprint;
+
+namespace {
+
+/// Pre-size hint for the fingerprint table and search containers: honor
+/// the explicit hint, else derive from max_states but cap the up-front
+/// allocation (the flat table grows by rehash past the hint).
+[[nodiscard]] std::size_t table_hint(const ExploreOptions& options) {
+  // Cap the up-front allocation so tiny worlds (the common test case)
+  // stay cheap; callers with known-large spaces pass expected_states.
+  constexpr std::uint64_t kCap = 1u << 16;
+  if (options.expected_states != 0) {
+    // An explicit hint is trusted up to a hard safety bound.
+    return static_cast<std::size_t>(
+        std::min(options.expected_states, std::uint64_t{1} << 24));
+  }
+  const std::uint64_t from_max =
+      options.max_states == 0 ? kCap : options.max_states;
+  return static_cast<std::size_t>(std::min(from_max, kCap));
+}
+
+}  // namespace
 
 ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
   ExploreResult result;
 
+  const bool sym =
+      options.symmetry_reduction && initial.processes_symmetric();
+  const bool por = options.sleep_sets;
+
+  constexpr std::uint32_t kNotOnPath = 0xFFFFFFFFu;
+
+  // DFS frames index into shared arenas instead of owning vectors: the
+  // frame's arrival sleep set and its transition list live contiguously
+  // in choice_arena (footprints parallel in foot_arena), and frame pops
+  // truncate LIFO-style.  Worlds and encodings stay REAL (one concrete
+  // representative); only the memoization key is canonicalized, so every
+  // recorded witness is a directly replayable schedule.
+  //
+  // Frames do NOT own worlds.  The stack is always a root-to-current
+  // path, so a single world (`cur`) is stepped in place on descent and
+  // rolled back on pop via a per-depth StepUndo stack — no state ever
+  // pays a full world copy (which clones every machine), only the one
+  // machine clone its arrival step saves.
   struct Frame {
-    SimWorld world;
-    std::vector<Choice> choices;
-    std::size_t next = 0;
+    EncodedState enc;
+    std::uint32_t id = 0;
+    std::uint32_t prev_path_frame = kNotOnPath;
+    std::uint32_t arena_base = 0;
+    std::uint32_t sleep_off = 0;
+    std::uint32_t sleep_count = 0;
+    std::uint32_t tran_off = 0;
+    std::uint32_t tran_count = 0;
+    std::uint32_t next = 0;
+    /// Number of choices from the root to this frame's state.
+    std::uint32_t depth = 0;
   };
 
-  std::unordered_set<Fingerprint, FingerprintHash> visited;
-  // Fingerprint → depth on the current DFS path (for cycle detection).
-  std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash> on_path;
+  StateEncoder encoder;
+  FlatFpMap table(table_hint(options));
+  std::uint32_t next_id = 0;
+
+  // Per-state side data, indexed by the dense id the table hands out.
+  std::vector<std::uint32_t> path_frame;  // frame index while on DFS path
+  // Stored sleep set (Godefroid state matching): canonical keys, sorted,
+  // as (begin, end) spans into the append-only sleep_store arena.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sleep_span;
+  std::vector<std::uint64_t> sleep_store;
+
   std::vector<Frame> stack;
+  std::vector<Choice> choice_arena;
+  std::vector<Footprint> foot_arena;
   std::vector<Choice> path;
+  stack.reserve(256);
+  choice_arena.reserve(4096);
+  path.reserve(1024);
+  const std::size_t hint = table_hint(options);
+  path_frame.reserve(hint);
+  sleep_span.reserve(por ? hint : 0);
+
+  // The one concrete world, stepped in place.  undo_stack[i] rolls the
+  // world back from frame i's state to frame i-1's; the slots are reused
+  // across the search so their buffers stop allocating.
+  SimWorld cur(initial);
+  std::vector<SimWorld::StepUndo> undo_stack;
+  undo_stack.resize(64);
+  auto undo_slot = [&](std::size_t i) -> SimWorld::StepUndo& {
+    if (i >= undo_stack.size()) undo_stack.resize(i + 32);
+    return undo_stack[i];
+  };
+
+  // Reusable scratch (cleared per use).
+  EncodedState child_enc;
+  std::vector<Choice> child_sleep;
+  std::vector<Choice> missing_choices;
+  std::vector<std::uint32_t> order_scratch;
+  std::vector<std::uint32_t> slot_scratch;
+  std::vector<std::uint64_t> keys_scratch;
+  std::vector<std::uint64_t> missing_keys;
+  std::vector<std::uint64_t> inter_keys;
+  const std::vector<std::uint32_t> kIdentity;  // empty = identity mapping
+
+  // Sorted canonical keys of `cs`, slotted against encoding `e`.
+  auto keys_of = [&](const std::vector<Choice>& cs, const EncodedState& e)
+      -> const std::vector<std::uint64_t>& {
+    keys_scratch.clear();
+    if (cs.empty()) return keys_scratch;
+    slot_scratch.clear();
+    if (sym) canonical_slots(e, slot_scratch);
+    for (const Choice& c : cs) {
+      keys_scratch.push_back(sleep_key(c, sym ? slot_scratch : kIdentity));
+    }
+    std::sort(keys_scratch.begin(), keys_scratch.end());
+    return keys_scratch;
+  };
+
+  auto store_keys = [&](const std::vector<std::uint64_t>& keys)
+      -> std::pair<std::uint32_t, std::uint32_t> {
+    if (keys.empty()) return {0, 0};
+    const auto begin = static_cast<std::uint32_t>(sleep_store.size());
+    sleep_store.insert(sleep_store.end(), keys.begin(), keys.end());
+    return {begin, static_cast<std::uint32_t>(sleep_store.size())};
+  };
+
+  // Pushes a frame for the state `cur` currently holds.
+  auto push_frame = [&](EncodedState&& enc, std::uint32_t id,
+                        std::uint32_t depth,
+                        const std::vector<Choice>& arrival_sleep,
+                        const std::vector<Choice>* explicit_trans) {
+    const auto arena_base = static_cast<std::uint32_t>(choice_arena.size());
+    choice_arena.insert(choice_arena.end(), arrival_sleep.begin(),
+                        arrival_sleep.end());
+    const auto sleep_count =
+        static_cast<std::uint32_t>(arrival_sleep.size());
+    const auto tran_off = static_cast<std::uint32_t>(choice_arena.size());
+    if (explicit_trans != nullptr) {
+      choice_arena.insert(choice_arena.end(), explicit_trans->begin(),
+                          explicit_trans->end());
+    } else {
+      for (const Choice& c : cur.enabled()) {
+        if (por && std::find(arrival_sleep.begin(), arrival_sleep.end(), c) !=
+                       arrival_sleep.end()) {
+          continue;  // asleep: an equivalent interleaving is explored
+        }
+        choice_arena.push_back(c);
+      }
+    }
+    const auto tran_count =
+        static_cast<std::uint32_t>(choice_arena.size()) - tran_off;
+    if (por) {
+      foot_arena.resize(choice_arena.size());
+      for (std::size_t i = arena_base; i < choice_arena.size(); ++i) {
+        foot_arena[i] = footprint_of(cur, choice_arena[i]);
+      }
+    }
+    const std::uint32_t prev = path_frame[id];
+    path_frame[id] = static_cast<std::uint32_t>(stack.size());
+    stack.push_back(Frame{std::move(enc), id, prev, arena_base, arena_base,
+                          sleep_count, tran_off, tran_count, 0, depth});
+  };
 
   auto record_terminal = [&](const SimWorld& world) {
     ++result.terminal_states;
@@ -46,46 +194,149 @@ ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
     return false;
   };
 
-  const Fingerprint root_fp = fingerprint(initial.encode());
-  visited.insert(root_fp);
-  on_path.emplace(root_fp, 0);
+  EncodedState root_enc;
+  encoder.encode(initial, root_enc);
+  table.insert_or_get(fingerprint_state(root_enc, sym), next_id++);
+  path_frame.push_back(kNotOnPath);
+  sleep_span.emplace_back(0, 0);
   result.states_visited = 1;
 
   if (initial.terminal()) {
     record_terminal(initial);
-    result.complete = result.violations_found == 0 ||
-                      !options.stop_at_first_violation;
+    result.complete =
+        result.violations_found == 0 || !options.stop_at_first_violation;
     return result;
   }
 
-  stack.push_back(Frame{initial, initial.enabled(), 0});
+  push_frame(std::move(root_enc), 0, 0, {}, nullptr);
 
   bool aborted = false;
   while (!stack.empty()) {
     Frame& frame = stack.back();
-    if (frame.next >= frame.choices.size()) {
-      const Fingerprint fp = fingerprint(frame.world.encode());
-      on_path.erase(fp);
+    if (frame.next >= frame.tran_count) {
+      path_frame[frame.id] = frame.prev_path_frame;
+      path.resize(frame.depth == 0 ? 0 : frame.depth - 1);
+      choice_arena.resize(frame.arena_base);
+      if (foot_arena.size() > frame.arena_base) {
+        foot_arena.resize(frame.arena_base);
+      }
+      if (stack.size() > 1) cur.undo_step(undo_stack[stack.size() - 1]);
       stack.pop_back();
-      if (!path.empty()) path.pop_back();
       continue;
     }
 
-    const Choice choice = frame.choices[frame.next++];
-    SimWorld child = frame.world;
-    child.apply(choice);
-    const Fingerprint fp = fingerprint(child.encode());
+    const std::uint32_t ti = frame.next++;
+    const Choice choice = choice_arena[frame.tran_off + ti];
+    // Expand in place (StepUndo): `cur` steps forward; if the child turns
+    // out to be a duplicate or terminal it is rolled back immediately, if
+    // it becomes a frame the undo stays on undo_stack until that frame
+    // pops.  Either way the step costs one machine clone, never a full
+    // world copy.  Everything the child-side logic below consumes
+    // (footprints, transition lists, sibling sleeps) was precomputed into
+    // the arenas at push time, so the parent world being mutated out from
+    // under the frame is never observed.
+    SimWorld::StepUndo& undo = undo_slot(stack.size());
+    cur.apply_with_undo(choice, undo);
+    encoder.patch(cur, frame.enc, choice.pid, child_enc);
+    const Fingerprint fp = fingerprint_state(child_enc, sym);
+    table.prefetch(fp);  // overlap the probe's DRAM miss with the below
 
     path.push_back(choice);
     result.max_depth = std::max<std::uint64_t>(result.max_depth, path.size());
 
-    // Cycle detection: returning to a state on the current path means an
-    // infinite execution exists.  It violates wait-freedom only if a
-    // process (not the corruption adversary) steps within the cycle.
-    if (const auto it = on_path.find(fp); it != on_path.end()) {
-      const std::uint64_t cycle_start = it->second;
+    // Sleep set the child arrives with: every still-independent member of
+    // this frame's arrival sleep, plus every earlier-explored transition
+    // of this frame that is independent of the chosen step (Godefroid).
+    child_sleep.clear();
+    if (por) {
+      const Footprint& fc = foot_arena[frame.tran_off + ti];
+      for (std::uint32_t i = 0; i < frame.sleep_count; ++i) {
+        const Choice& s = choice_arena[frame.sleep_off + i];
+        if (independent(s, foot_arena[frame.sleep_off + i], choice, fc)) {
+          child_sleep.push_back(s);
+        }
+      }
+      for (std::uint32_t j = 0; j < ti; ++j) {
+        const Choice& e = choice_arena[frame.tran_off + j];
+        if (independent(e, foot_arena[frame.tran_off + j], choice, fc)) {
+          child_sleep.push_back(e);
+        }
+      }
+    }
+
+    const std::uint32_t existing = table.insert_or_get(fp, next_id);
+    if (existing == FlatFpMap::kNoValue) {
+      const std::uint32_t id = next_id++;
+      path_frame.push_back(kNotOnPath);
+      sleep_span.push_back(store_keys(keys_of(child_sleep, child_enc)));
+      ++result.states_visited;
+      if (options.max_states != 0 &&
+          result.states_visited > options.max_states) {
+        aborted = true;
+        break;
+      }
+      if (cur.terminal()) {
+        const bool stop = record_terminal(cur);
+        cur.undo_step(undo);
+        path.pop_back();
+        if (stop) {
+          aborted = true;
+          break;
+        }
+        continue;
+      }
+      const auto depth = static_cast<std::uint32_t>(path.size());
+      push_frame(std::move(child_enc), id, depth, child_sleep, nullptr);
+      continue;
+    }
+
+    const std::uint32_t v = existing;
+
+    // Godefroid state matching (decided before rolling back, while
+    // child_enc is live): if this arrival carries a smaller sleep set
+    // than the state was explored with, the difference was pruned under
+    // an assumption that no longer holds — those transitions must be
+    // re-expanded below.
+    bool reexpand = false;
+    if (por) {
+      const auto& arrival_keys = keys_of(child_sleep, child_enc);
+      const auto [sbegin, send] = sleep_span[v];
+      missing_keys.clear();
+      if (send > sbegin) {
+        std::set_difference(sleep_store.begin() + sbegin,
+                            sleep_store.begin() + send, arrival_keys.begin(),
+                            arrival_keys.end(),
+                            std::back_inserter(missing_keys));
+      }
+      if (!missing_keys.empty()) {
+        reexpand = true;
+        inter_keys.clear();
+        std::set_intersection(sleep_store.begin() + sbegin,
+                              sleep_store.begin() + send,
+                              arrival_keys.begin(), arrival_keys.end(),
+                              std::back_inserter(inter_keys));
+        sleep_span[v] = store_keys(inter_keys);
+        order_scratch.clear();
+        if (sym) canonical_order(child_enc, order_scratch);
+        missing_choices.clear();
+        for (const std::uint64_t key : missing_keys) {
+          missing_choices.push_back(resolve_sleep_key(key, order_scratch));
+        }
+      }
+    }
+    // When re-expanding, `cur` stays at the child state (the undo stays
+    // on the stack and rolls back when the pushed frame pops); otherwise
+    // roll back to the parent now.
+    if (!reexpand) cur.undo_step(undo);
+
+    if (path_frame[v] != kNotOnPath) {
+      // Back-edge: the child is (an orbit-mate of) a state on the current
+      // path — an infinite execution exists.  It violates wait-freedom
+      // only if a process (not the corruption adversary) steps within the
+      // repeating segment.
+      const Frame& anc = stack[path_frame[v]];
       bool process_steps = false;
-      for (std::size_t i = cycle_start; i < path.size(); ++i) {
+      for (std::size_t i = anc.depth; i < path.size(); ++i) {
         if (path[i].pid != kAdversaryPid) {
           process_steps = true;
           break;
@@ -95,43 +346,45 @@ ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
         ++result.violations_found;
         ++result.violations_by_kind[ViolationKind::kNontermination];
         if (!result.violation) {
-          result.violation = Violation{ViolationKind::kNontermination, path,
-                                       "cycle in the state graph: a process "
-                                       "can take steps forever"};
+          std::vector<Choice> witness = path;
+          if (sym) {
+            // Under symmetry the segment returns to an orbit-mate, not
+            // necessarily the exact ancestor encoding; extend it by
+            // permuted laps until the encoding closes exactly, so the
+            // witness strict-replays.  Frames hold no worlds, so the
+            // ancestor state is rebuilt by replaying its path prefix —
+            // a one-off O(depth) cost on the first witness only.
+            SimWorld anc_world(initial);
+            for (std::size_t i = 0; i < anc.depth; ++i) {
+              anc_world.apply(path[i]);
+            }
+            const std::vector<Choice> segment(path.begin() + anc.depth,
+                                              path.end());
+            if (auto closed = close_symmetric_cycle(anc_world, segment)) {
+              witness.assign(path.begin(), path.begin() + anc.depth);
+              witness.insert(witness.end(), closed->begin(), closed->end());
+            }
+          }
+          result.violation =
+              Violation{ViolationKind::kNontermination, std::move(witness),
+                        "cycle in the state graph: a process can take "
+                        "steps forever"};
         }
         if (options.stop_at_first_violation) {
           aborted = true;
           break;
         }
       }
-      path.pop_back();
+    }
+
+    if (reexpand) {
+      const auto depth = static_cast<std::uint32_t>(path.size());
+      push_frame(std::move(child_enc), v, depth, child_sleep,
+                 &missing_choices);
       continue;
     }
 
-    if (visited.contains(fp)) {
-      path.pop_back();
-      continue;
-    }
-    visited.insert(fp);
-    ++result.states_visited;
-    if (options.max_states != 0 && result.states_visited > options.max_states) {
-      aborted = true;
-      break;
-    }
-
-    if (child.terminal()) {
-      const bool stop = record_terminal(child);
-      path.pop_back();
-      if (stop) {
-        aborted = true;
-        break;
-      }
-      continue;
-    }
-
-    auto choices = child.enabled();
-    on_path.emplace(fp, path.size());
-    stack.push_back(Frame{std::move(child), std::move(choices), 0});
+    path.pop_back();
   }
 
   result.complete = !aborted && stack.empty();
@@ -148,9 +401,17 @@ LongestExecutionResult longest_execution(const SimWorld& initial,
                                          const ExploreOptions& options) {
   LongestExecutionResult result;
 
+  const bool sym =
+      options.symmetry_reduction && initial.processes_symmetric();
+
   // Post-order DFS computing, per state, the longest distance to any
   // terminal.  A back-edge to a state on the current path is a cycle:
-  // some execution runs forever and no finite bound exists.
+  // some execution runs forever and no finite bound exists.  Distances
+  // are orbit-invariant (a permutation maps executions to equal-length
+  // executions), so memoizing on canonical fingerprints is sound.  Sleep
+  // sets are NOT applied here: they prune interleavings whose lengths
+  // are equal, but the DP below walks explored edges only, so we keep
+  // the full edge set for simplicity.
   struct Frame {
     SimWorld world;
     Fingerprint fp;
@@ -159,11 +420,19 @@ LongestExecutionResult longest_execution(const SimWorld& initial,
     std::uint64_t best = 0;
   };
 
+  StateEncoder encoder;
+  EncodedState enc;
+  const auto fp_of = [&](const SimWorld& world) {
+    encoder.encode(world, enc);
+    return fingerprint_state(enc, sym);
+  };
+
   std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash> memo;
   std::unordered_set<Fingerprint, FingerprintHash> on_path;
   std::vector<Frame> stack;
+  stack.reserve(256);
 
-  const Fingerprint root_fp = fingerprint(initial.encode());
+  const Fingerprint root_fp = fp_of(initial);
   result.states_visited = 1;
   if (initial.terminal()) {
     result.complete = true;
@@ -192,7 +461,7 @@ LongestExecutionResult longest_execution(const SimWorld& initial,
     const Choice choice = frame.choices[frame.next++];
     SimWorld child = frame.world;
     child.apply(choice);
-    const Fingerprint fp = fingerprint(child.encode());
+    const Fingerprint fp = fp_of(child);
 
     if (on_path.contains(fp)) {
       result.bounded = false;  // cycle: unbounded execution exists
@@ -224,15 +493,31 @@ ShortestViolationResult find_shortest_violation(const SimWorld& initial,
                                                 const ExploreOptions& options) {
   ShortestViolationResult result;
 
+  const bool sym =
+      options.symmetry_reduction && initial.processes_symmetric();
+
   struct Node {
     SimWorld world;
     std::vector<Choice> path;
   };
 
-  std::unordered_set<Fingerprint, FingerprintHash> visited;
+  StateEncoder encoder;
+  EncodedState enc;
+  const auto fp_of = [&](const SimWorld& world) {
+    encoder.encode(world, enc);
+    return fingerprint_state(enc, sym);
+  };
+
+  // Symmetry only: BFS expands real worlds and dedups orbit-mates, so
+  // minimality is preserved (a length-L execution exists to a violating
+  // state iff one exists to its representative's orbit).  Sleep sets are
+  // not applied — they would not change the visited-state count and BFS
+  // has no path context to carry them soundly.
+  FlatFpMap visited(table_hint(options));
   std::vector<Node> frontier;
+  frontier.reserve(64);
   frontier.push_back({initial, {}});
-  visited.insert(fingerprint(initial.encode()));
+  visited.insert_or_get(fp_of(initial), 0);
   result.states_visited = 1;
 
   auto check = [&](const Node& node) -> bool {
@@ -250,12 +535,13 @@ ShortestViolationResult find_shortest_violation(const SimWorld& initial,
 
   while (!frontier.empty()) {
     std::vector<Node> next;
+    next.reserve(frontier.size() * 2);
     for (const Node& node : frontier) {
       for (const Choice& choice : node.world.enabled()) {
         SimWorld child = node.world;
         child.apply(choice);
-        const Fingerprint fp = fingerprint(child.encode());
-        if (!visited.insert(fp).second) continue;
+        const Fingerprint fp = fp_of(child);
+        if (visited.insert_or_get(fp, 0) != FlatFpMap::kNoValue) continue;
         ++result.states_visited;
         if (options.max_states != 0 &&
             result.states_visited > options.max_states) {

@@ -72,6 +72,19 @@ struct ExploreOptions {
   bool stop_at_first_violation = true;
   /// Count terminal states with killed processes as kStalled violations.
   bool killed_is_violation = false;
+  /// Memoize on canonical fingerprints (process-permutation orbits) when
+  /// the world is processes_symmetric(): the search visits one
+  /// representative per orbit.  All checked properties are orbit-
+  /// invariant (DESIGN.md §3d), counts become per-orbit counts, and
+  /// witnesses stay directly replayable.  No effect on asymmetric worlds.
+  bool symmetry_reduction = true;
+  /// Sleep-set partial-order reduction: prune interleavings of
+  /// independent steps (sched/reduce.hpp).  Prunes transitions only —
+  /// visited states, terminal census and verdicts are unchanged.
+  bool sleep_sets = true;
+  /// Hint for pre-sizing the fingerprint table and search containers
+  /// (0 = derive from max_states, capped).
+  std::uint64_t expected_states = 0;
 };
 
 struct ExploreResult {

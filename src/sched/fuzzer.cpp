@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sched/explore_common.hpp"
+#include "sched/reduce.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -190,12 +191,14 @@ struct ExecOutcome {
 /// segment contains a process step is reported as nontermination.
 ExecOutcome run_exec(const SimWorld& initial,
                      const std::vector<Choice>& guidance, bool fresh,
-                     const FuzzOptions& options, util::Xoshiro256& rng,
-                     runtime::BudgetMeter& meter,
+                     const FuzzOptions& options, bool sym,
+                     util::Xoshiro256& rng, runtime::BudgetMeter& meter,
                      std::unordered_set<Fingerprint, FingerprintHash>&
                          coverage) {
   ExecOutcome out;
   SimWorld world = initial;
+  StateEncoder encoder;
+  EncodedState enc;
 
   PctPriorities prio;
   std::vector<std::uint64_t> change_points;
@@ -209,9 +212,13 @@ ExecOutcome run_exec(const SimWorld& initial,
   }
 
   // Step count at which each fingerprint was first observed (0 = the
-  // initial state), for exact in-execution cycle detection.
+  // initial state), for exact in-execution cycle detection.  These stay
+  // EXACT even under symmetry reduction: the cycle oracle's verdict
+  // promises a strict revisit of an earlier state of THIS execution,
+  // which classify_schedule later re-verifies by comparing raw encodes.
   std::unordered_map<Fingerprint, std::size_t, FingerprintHash> seen_at;
-  seen_at.emplace(detail::fingerprint(world.encode()), 0);
+  encoder.encode(world, enc);
+  seen_at.emplace(fingerprint_state(enc, /*canonical=*/false), 0);
 
   while (!world.terminal()) {
     if (out.path.size() >= options.max_steps_per_exec) return out;
@@ -237,8 +244,12 @@ ExecOutcome run_exec(const SimWorld& initial,
     world.apply(choice);
     out.path.push_back(choice);
 
-    const Fingerprint fp = detail::fingerprint(world.encode());
-    if (coverage.insert(fp).second) out.new_coverage = true;
+    // Novelty is judged on the canonical (orbit) fingerprint when
+    // symmetry is active; the cycle oracle always uses the exact one.
+    encoder.encode(world, enc);
+    const Fingerprint fp = fingerprint_state(enc, /*canonical=*/false);
+    const Fingerprint cov_fp = sym ? fingerprint_state(enc, true) : fp;
+    if (coverage.insert(cov_fp).second) out.new_coverage = true;
     const auto [it, inserted] = seen_at.try_emplace(fp, out.path.size());
     if (!inserted) {
       bool process_steps = false;
@@ -279,8 +290,15 @@ FuzzResult fuzz(const SimWorld& initial, const FuzzOptions& options) {
   util::Xoshiro256 rng(options.seed);
   runtime::BudgetMeter meter(options.budget);
 
+  const bool sym =
+      options.symmetry_reduction && initial.processes_symmetric();
   std::unordered_set<Fingerprint, FingerprintHash> coverage;
-  coverage.insert(detail::fingerprint(initial.encode()));
+  {
+    StateEncoder encoder;
+    EncodedState enc;
+    encoder.encode(initial, enc);
+    coverage.insert(fingerprint_state(enc, sym));
+  }
 
   bool truncated = false;
   bool goal_met = false;
@@ -305,7 +323,7 @@ FuzzResult fuzz(const SimWorld& initial, const FuzzOptions& options) {
                                 : result.corpus,
                       initial.processes(), rng);
     ExecOutcome exec = run_exec(initial, guidance, mode == Mode::kFresh,
-                                options, rng, meter, coverage);
+                                options, sym, rng, meter, coverage);
     if (exec.truncated_by_budget) {
       // The partial execution is discarded entirely: no verdict and no
       // corpus entry may come from work the budget did not cover.

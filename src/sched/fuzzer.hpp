@@ -79,6 +79,13 @@ struct FuzzOptions {
   std::set<ViolationKind> stop_after_kinds;
   /// Run shrink_witness on the first violation before returning it.
   bool shrink = true;
+  /// Use canonical (process-permutation orbit) fingerprints for the
+  /// coverage/novelty signal when the world is processes_symmetric(), so
+  /// the fuzzer does not waste budget re-discovering permuted replays of
+  /// states it has already covered.  The in-execution cycle oracle keeps
+  /// EXACT fingerprints regardless: a nontermination verdict still
+  /// requires a strict state revisit.  No effect on asymmetric worlds.
+  bool symmetry_reduction = true;
   /// Corpus size cap (schedules retained for mutation).
   std::size_t max_corpus = 4'096;
 };

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sched/explore_common.hpp"
+#include "sched/reduce.hpp"
 
 namespace ff::sched {
 
@@ -23,7 +24,6 @@ namespace {
 using detail::Fingerprint;
 using detail::FingerprintHash;
 using detail::check_terminal;
-using detail::fingerprint;
 
 /// Dense 31-bit state ids: (per-shard index << shard_bits) | shard.
 /// Bit 31 of the table's mapped value flags a terminal state so workers
@@ -32,19 +32,29 @@ constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
 constexpr std::uint32_t kTerminalFlag = 0x80000000u;
 constexpr std::uint64_t kIdSpace = 0x7FFFFFFEull;
 
+/// Canonical-slot sentinel for adversary steps / the root record.
+constexpr std::uint8_t kNoSlot = 0xFF;
+
 struct StateRecord {
   std::uint32_t parent;  ///< state id of the discovering parent
   Choice choice;         ///< choice applied at the parent to reach here
+  /// Canonical slot of choice.pid in the discovering parent's block
+  /// order.  Under symmetry the table identifies orbits, so a later walk
+  /// may hold a different representative of `parent` than the discoverer
+  /// did; the slot is orbit-invariant and resolves to an equivalent
+  /// choice in ANY representative (see replay_path_from_root).
+  std::uint8_t slot = kNoSlot;
 };
 
 /// One transition of the explored graph, kept for the post-pass cycle
 /// detection (targets that are terminal are skipped — they cannot sit on
-/// a cycle).  The choice is packed so an edge stays 16 bytes.
+/// a cycle).  The choice is packed so an edge stays small.
 struct Edge {
   std::uint32_t from;
   std::uint32_t to;
   std::uint32_t pid;
   std::uint32_t variant_fault;  ///< (fault_variant << 1) | fault
+  std::uint8_t slot = kNoSlot;  ///< canonical slot of pid at `from`
 
   [[nodiscard]] Choice choice() const {
     return Choice{pid, (variant_fault & 1u) != 0, variant_fault >> 1};
@@ -60,12 +70,21 @@ struct alignas(64) Shard {
   std::mutex mu;
   std::unordered_map<Fingerprint, std::uint32_t, FingerprintHash> table;
   std::vector<StateRecord> records;
+  /// Godefroid stored sleep sets (canonical keys, sorted) for states of
+  /// this shard that were inserted with a non-empty arrival sleep;
+  /// absent entry = empty set.  Guarded by `mu`.
+  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> sleep;
 };
 
 struct WorkItem {
   SimWorld world;
   std::uint32_t id;
   std::uint32_t depth;
+  /// Arrival sleep set (pid-space, valid for `world`).
+  std::vector<Choice> sleep;
+  /// Non-empty ⇒ re-expansion of a revisited state: explore exactly
+  /// these transitions instead of enabled() \ sleep.
+  std::vector<Choice> explicit_trans;
 };
 
 struct alignas(64) WorkerQueue {
@@ -81,6 +100,16 @@ struct WorkerLocal {
   std::map<ViolationKind, std::uint64_t> by_kind;
   std::set<std::uint64_t> agreed_values;
   std::vector<Edge> edges;
+  /// Reusable encoding scratch (workers never share these).
+  StateEncoder encoder;
+  EncodedState parent_enc;
+  EncodedState child_enc;
+  std::vector<std::uint32_t> parent_slots;
+  std::vector<std::uint32_t> child_order;
+  std::vector<std::uint32_t> child_slots;
+  std::vector<std::uint64_t> child_keys;
+  std::vector<std::uint64_t> missing_keys;
+  std::vector<Footprint> footprints;
 };
 
 struct PendingViolation {
@@ -91,6 +120,9 @@ struct PendingViolation {
 
 struct Ctx {
   const ExploreOptions* opts = nullptr;
+  const SimWorld* root = nullptr;
+  bool sym = false;
+  bool por = false;
   std::uint32_t shard_bits = 0;
   std::uint32_t shard_mask = 0;
   std::uint32_t num_workers = 1;
@@ -118,11 +150,23 @@ struct Ctx {
   }
 };
 
+struct InternResult {
+  std::uint32_t stored = 0;
+  bool inserted = false;
+};
+
 /// Inserts (or finds) the state behind `fp`.  Returns the mapped value
-/// (id | terminal flag) and whether this call inserted it.
-std::pair<std::uint32_t, bool> intern(Ctx& ctx, const Fingerprint& fp,
-                                      bool terminal, std::uint32_t parent,
-                                      const Choice& choice) {
+/// (id | terminal flag) and whether this call inserted it.  When POR is
+/// active, `arrival_keys` (sorted canonical sleep keys the state is
+/// reached with) is stored on insert; on a duplicate hit the Godefroid
+/// state-matching update runs: `missing` receives stored \ arrival (the
+/// transitions pruned under an assumption this arrival invalidates) and
+/// the stored set shrinks to the intersection.
+InternResult intern(Ctx& ctx, const Fingerprint& fp, bool terminal,
+                    std::uint32_t parent, const Choice& choice,
+                    std::uint8_t slot,
+                    const std::vector<std::uint64_t>& arrival_keys,
+                    std::vector<std::uint64_t>* missing) {
   const std::uint32_t shard_idx = ctx.shard_of(fp);
   Shard& shard = ctx.shards[shard_idx];
   std::lock_guard<std::mutex> g(shard.mu);
@@ -136,34 +180,157 @@ std::pair<std::uint32_t, bool> intern(Ctx& ctx, const Fingerprint& fp,
     }
     std::uint32_t stored = (local_idx << ctx.shard_bits) | shard_idx;
     if (terminal) stored |= kTerminalFlag;
-    shard.records.push_back(StateRecord{parent, choice});
+    shard.records.push_back(StateRecord{parent, choice, slot});
+    if (ctx.por && !arrival_keys.empty()) {
+      shard.sleep.emplace(local_idx, arrival_keys);
+    }
     it->second = stored;
     return {stored, true};
+  }
+  if (ctx.por && missing != nullptr) {
+    missing->clear();
+    const std::uint32_t local_idx = (it->second & ~kTerminalFlag) >>
+                                    ctx.shard_bits;
+    const auto sit = shard.sleep.find(local_idx);
+    if (sit != shard.sleep.end()) {
+      std::set_difference(sit->second.begin(), sit->second.end(),
+                          arrival_keys.begin(), arrival_keys.end(),
+                          std::back_inserter(*missing));
+      if (!missing->empty()) {
+        std::vector<std::uint64_t> inter;
+        std::set_intersection(sit->second.begin(), sit->second.end(),
+                              arrival_keys.begin(), arrival_keys.end(),
+                              std::back_inserter(inter));
+        if (inter.empty()) {
+          shard.sleep.erase(sit);
+        } else {
+          sit->second = std::move(inter);
+        }
+      }
+    }
   }
   return {it->second, false};
 }
 
+void enqueue(Ctx& ctx, std::uint32_t wid, WorkItem&& item) {
+  ctx.outstanding.fetch_add(1, std::memory_order_acq_rel);
+  WorkerQueue& self = ctx.queues[wid];
+  std::lock_guard<std::mutex> g(self.mu);
+  self.dq.push_back(std::move(item));
+}
+
 void expand(Ctx& ctx, std::uint32_t wid, WorkItem& item, WorkerLocal& local) {
-  const std::vector<Choice> choices = item.world.enabled();
-  for (const Choice& choice : choices) {
+  // Transition list: enabled() minus the arrival sleep, or — for a
+  // re-expansion of a revisited state — exactly the stored-minus-arrival
+  // transitions the original visit pruned.
+  std::vector<Choice> trans;
+  if (!item.explicit_trans.empty()) {
+    trans = std::move(item.explicit_trans);
+  } else {
+    for (const Choice& c : item.world.enabled()) {
+      if (ctx.por && std::find(item.sleep.begin(), item.sleep.end(), c) !=
+                         item.sleep.end()) {
+        continue;  // asleep: an equivalent interleaving is explored
+      }
+      trans.push_back(c);
+    }
+  }
+
+  // Footprints (at item.world) of the arrival sleep and the transition
+  // list, for the child-sleep computation.
+  if (ctx.por) {
+    local.footprints.clear();
+    for (const Choice& s : item.sleep) {
+      local.footprints.push_back(footprint_of(item.world, s));
+    }
+    for (const Choice& c : trans) {
+      local.footprints.push_back(footprint_of(item.world, c));
+    }
+  }
+  // Canonical slots of the parent representative, for record/edge slots.
+  if (ctx.sym) {
+    local.encoder.encode(item.world, local.parent_enc);
+    canonical_slots(local.parent_enc, local.parent_slots);
+  }
+  const auto slot_of = [&](const Choice& c) -> std::uint8_t {
+    if (!ctx.sym || c.pid == kAdversaryPid) return kNoSlot;
+    return static_cast<std::uint8_t>(local.parent_slots[c.pid]);
+  };
+
+  std::vector<Choice> child_sleep;
+  const std::vector<std::uint32_t> kIdentity;
+  for (std::size_t ti = 0; ti < trans.size(); ++ti) {
     if (ctx.abort.load(std::memory_order_relaxed)) return;
+    const Choice& choice = trans[ti];
     SimWorld child = item.world;
     child.apply(choice);
-    const Fingerprint fp = fingerprint(child.encode());
+    local.encoder.encode(child, local.child_enc);
+    const Fingerprint fp = fingerprint_state(local.child_enc, ctx.sym);
     const bool child_terminal = child.terminal();
     local.max_depth =
         std::max<std::uint64_t>(local.max_depth, item.depth + 1ull);
 
-    const auto [stored, inserted] =
-        intern(ctx, fp, child_terminal, item.id, choice);
-    const bool target_terminal = (stored & kTerminalFlag) != 0;
-    const std::uint32_t child_id = stored & ~kTerminalFlag;
+    // Sleep set the child arrives with (Godefroid): still-independent
+    // members of the arrival sleep plus earlier-explored transitions
+    // independent of the chosen step — with canonical keys so stored
+    // sets compare across orbit representatives.
+    child_sleep.clear();
+    local.child_keys.clear();
+    if (ctx.por) {
+      const Footprint fc = local.footprints[item.sleep.size() + ti];
+      for (std::size_t i = 0; i < item.sleep.size(); ++i) {
+        if (independent(item.sleep[i], local.footprints[i], choice, fc)) {
+          child_sleep.push_back(item.sleep[i]);
+        }
+      }
+      for (std::size_t j = 0; j < ti; ++j) {
+        if (independent(trans[j], local.footprints[item.sleep.size() + j],
+                        choice, fc)) {
+          child_sleep.push_back(trans[j]);
+        }
+      }
+      if (!child_sleep.empty()) {
+        local.child_slots.clear();
+        if (ctx.sym) canonical_slots(local.child_enc, local.child_slots);
+        for (const Choice& s : child_sleep) {
+          local.child_keys.push_back(
+              sleep_key(s, ctx.sym ? local.child_slots : kIdentity));
+        }
+        std::sort(local.child_keys.begin(), local.child_keys.end());
+      }
+    }
+
+    const InternResult in =
+        intern(ctx, fp, child_terminal, item.id, choice, slot_of(choice),
+               local.child_keys, ctx.por ? &local.missing_keys : nullptr);
+    const bool target_terminal = (in.stored & kTerminalFlag) != 0;
+    const std::uint32_t child_id = in.stored & ~kTerminalFlag;
 
     if (!target_terminal) {
-      local.edges.push_back(
-          Edge{item.id, child_id, choice.pid, Edge::pack(choice)});
+      local.edges.push_back(Edge{item.id, child_id, choice.pid,
+                                 Edge::pack(choice), slot_of(choice)});
     }
-    if (!inserted) continue;
+    if (!in.inserted) {
+      if (ctx.por && !local.missing_keys.empty() && !target_terminal) {
+        // Re-expand the revisited state along exactly the transitions its
+        // first visit pruned under a sleep assumption this arrival
+        // invalidates.  `child` IS a representative of that state (under
+        // symmetry possibly a different one than the discoverer held —
+        // canonical keys make the sets comparable, and resolving against
+        // this representative's own order yields equivalent transitions).
+        local.child_order.clear();
+        if (ctx.sym) canonical_order(local.child_enc, local.child_order);
+        std::vector<Choice> missing;
+        missing.reserve(local.missing_keys.size());
+        for (const std::uint64_t key : local.missing_keys) {
+          missing.push_back(resolve_sleep_key(key, local.child_order));
+        }
+        enqueue(ctx, wid,
+                WorkItem{std::move(child), child_id, item.depth + 1,
+                         child_sleep, std::move(missing)});
+      }
+      continue;
+    }
 
     const std::uint64_t n =
         ctx.states.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -193,10 +360,8 @@ void expand(Ctx& ctx, std::uint32_t wid, WorkItem& item, WorkerLocal& local) {
         local.agreed_values.insert(*agreed);
       }
     } else {
-      ctx.outstanding.fetch_add(1, std::memory_order_acq_rel);
-      WorkerQueue& self = ctx.queues[wid];
-      std::lock_guard<std::mutex> g(self.mu);
-      self.dq.push_back(WorkItem{std::move(child), child_id, item.depth + 1});
+      enqueue(ctx, wid, WorkItem{std::move(child), child_id, item.depth + 1,
+                                 child_sleep, {}});
     }
   }
 }
@@ -261,16 +426,52 @@ void worker_loop(Ctx& ctx, std::uint32_t wid, WorkerLocal& local) {
   }
 }
 
-/// Choices along the discovery tree from the root to `id`.
-std::vector<Choice> path_from_root(const Ctx& ctx, std::uint32_t id) {
-  std::vector<Choice> out;
+/// Discovery-tree record chain root → `id` (in forward order).
+std::vector<const StateRecord*> record_chain(const Ctx& ctx,
+                                             std::uint32_t id) {
+  std::vector<const StateRecord*> chain;
   // Each hop strictly decreases discovery-tree depth, so the walk is
   // bounded by the depth of `id` — no open-ended iteration.
   for (const StateRecord* rec = &ctx.record(id); rec->parent != kNoParent;
        rec = &ctx.record(rec->parent)) {
-    out.push_back(rec->choice);
+    chain.push_back(rec);
   }
-  std::reverse(out.begin(), out.end());
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+/// Choices along the discovery tree from the root to `id`, resolved into
+/// a directly replayable schedule.  Without symmetry the recorded
+/// choices replay verbatim.  Under symmetry each record's choice was
+/// taken at the REPRESENTATIVE the discoverer held, which may differ
+/// from the representative this walk reaches — so the choice is
+/// re-resolved through its canonical slot against the walk's own world
+/// (equal blocks are interchangeable, so any tie-break is equivalent).
+/// `world_out`, when non-null, receives the world after the walk.
+std::vector<Choice> path_from_root(const Ctx& ctx, std::uint32_t id,
+                                   SimWorld* world_out = nullptr) {
+  const auto chain = record_chain(ctx, id);
+  std::vector<Choice> out;
+  out.reserve(chain.size());
+  if (!ctx.sym && world_out == nullptr) {
+    for (const StateRecord* rec : chain) out.push_back(rec->choice);
+    return out;
+  }
+  SimWorld world = *ctx.root;
+  StateEncoder encoder;
+  EncodedState enc;
+  std::vector<std::uint32_t> order;
+  for (const StateRecord* rec : chain) {
+    Choice c = rec->choice;
+    if (ctx.sym && rec->slot != kNoSlot) {
+      encoder.encode(world, enc);
+      canonical_order(enc, order);
+      c.pid = order[rec->slot];
+    }
+    out.push_back(c);
+    world.apply(c);
+  }
+  if (world_out != nullptr) *world_out = std::move(world);
   return out;
 }
 
@@ -279,7 +480,9 @@ std::vector<Choice> path_from_root(const Ctx& ctx, std::uint32_t id) {
 /// a wait-freedom violation (inside an SCC, every internal edge lies on a
 /// cycle).  Returns the count and, when one exists, a witness schedule
 /// root → u, u → v (the process edge), v → … → u (a path inside the SCC),
-/// whose replay revisits the state after the root → u prefix.
+/// whose replay revisits the state after the root → u prefix.  Under
+/// symmetry the lap returns to an orbit-mate of u; close_symmetric_cycle
+/// extends it with permuted laps until the encoding closes exactly.
 struct CycleScan {
   std::uint64_t process_cycle_edges = 0;
   std::optional<std::vector<Choice>> witness;
@@ -299,13 +502,6 @@ CycleScan scan_for_cycles(const Ctx& ctx,
   const auto dense = [&](std::uint32_t id) {
     return static_cast<std::uint32_t>(shard_base[id & ctx.shard_mask] +
                                       (id >> ctx.shard_bits));
-  };
-  const auto undense = [&](std::uint32_t d) -> std::uint32_t {
-    const auto s = static_cast<std::uint32_t>(
-        std::upper_bound(shard_base.begin(), shard_base.end(), d) -
-        shard_base.begin() - 1);
-    return (static_cast<std::uint32_t>(d - shard_base[s]) << ctx.shard_bits) |
-           s;
   };
 
   std::uint64_t num_edges = 0;
@@ -404,8 +600,8 @@ CycleScan scan_for_cycles(const Ctx& ctx,
   // inside the SCC.
   const Edge& key = *all_edges[*chosen];
   const std::uint32_t du = dense(key.from), dv = dense(key.to);
-  std::vector<Choice> witness = path_from_root(ctx, key.from);
-  witness.push_back(key.choice());
+  // The lap's edge descriptors in forward order: u → v, then v → … → u.
+  std::vector<const Edge*> lap_edges{&key};
   if (du != dv) {
     std::vector<std::uint32_t> pred(n, kUndef);  // predecessor edge index
     std::vector<std::uint32_t> queue{dv};
@@ -426,14 +622,45 @@ CycleScan scan_for_cycles(const Ctx& ctx,
       }
     }
     assert(found && "SCC is strongly connected: a v→u path must exist");
-    std::vector<Choice> back;
+    std::vector<const Edge*> back;
     for (std::uint32_t cur = du; cur != dv;) {
-      const Edge& e = *all_edges[pred[cur]];
-      back.push_back(e.choice());
-      cur = dense(e.from);
+      const Edge* e = all_edges[pred[cur]];
+      back.push_back(e);
+      cur = dense(e->from);
     }
-    witness.insert(witness.end(), back.rbegin(), back.rend());
-    (void)undense;
+    lap_edges.insert(lap_edges.end(), back.rbegin(), back.rend());
+  }
+
+  SimWorld at_u = *ctx.root;
+  std::vector<Choice> witness = path_from_root(ctx, key.from, &at_u);
+  // Resolve the lap's choices hop by hop against the walked
+  // representatives (identity when symmetry is off).
+  std::vector<Choice> lap;
+  lap.reserve(lap_edges.size());
+  {
+    SimWorld world = at_u;
+    StateEncoder encoder;
+    EncodedState enc;
+    std::vector<std::uint32_t> order;
+    for (const Edge* e : lap_edges) {
+      Choice c = e->choice();
+      if (ctx.sym && e->slot != kNoSlot) {
+        encoder.encode(world, enc);
+        canonical_order(enc, order);
+        c.pid = order[e->slot];
+      }
+      lap.push_back(c);
+      world.apply(c);
+    }
+  }
+  if (ctx.sym) {
+    if (auto closed = close_symmetric_cycle(at_u, lap)) {
+      witness.insert(witness.end(), closed->begin(), closed->end());
+    } else {
+      witness.insert(witness.end(), lap.begin(), lap.end());
+    }
+  } else {
+    witness.insert(witness.end(), lap.begin(), lap.end());
   }
   scan.witness = std::move(witness);
   return scan;
@@ -465,6 +692,9 @@ ExploreResult parallel_explore(const SimWorld& initial,
 
   Ctx ctx;
   ctx.opts = &opts;
+  ctx.root = &initial;
+  ctx.sym = opts.symmetry_reduction && initial.processes_symmetric();
+  ctx.por = opts.sleep_sets;
   const std::uint32_t shards =
       std::bit_ceil(std::max<std::uint32_t>(1, options.shard_count));
   ctx.shard_bits = static_cast<std::uint32_t>(std::countr_zero(shards));
@@ -477,14 +707,19 @@ ExploreResult parallel_explore(const SimWorld& initial,
   ctx.shards = std::vector<Shard>(shards);
   ctx.queues = std::vector<WorkerQueue>(ctx.num_workers);
 
-  const Fingerprint root_fp = fingerprint(initial.encode());
-  const auto [root_stored, root_inserted] =
-      intern(ctx, root_fp, false, kNoParent, Choice{});
-  assert(root_inserted);
-  (void)root_inserted;
+  Fingerprint root_fp;
+  {
+    StateEncoder encoder;
+    EncodedState enc;
+    encoder.encode(initial, enc);
+    root_fp = fingerprint_state(enc, ctx.sym);
+  }
+  const InternResult root_in =
+      intern(ctx, root_fp, false, kNoParent, Choice{}, kNoSlot, {}, nullptr);
+  assert(root_in.inserted);
   ctx.states.store(1, std::memory_order_relaxed);
   ctx.outstanding.store(1, std::memory_order_relaxed);
-  ctx.queues[0].dq.push_back(WorkItem{initial, root_stored, 0});
+  ctx.queues[0].dq.push_back(WorkItem{initial, root_in.stored, 0, {}, {}});
 
   std::vector<WorkerLocal> locals(ctx.num_workers);
   {

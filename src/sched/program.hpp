@@ -50,6 +50,14 @@ class MachineFactory {
   [[nodiscard]] virtual std::uint32_t objects_used() const = 0;
   /// Number of read/write registers the machines address (default none).
   [[nodiscard]] virtual std::uint32_t registers_used() const { return 0; }
+  /// True when the produced machines never observe their pid: make() must
+  /// ignore `pid`, so a machine's behaviour and encoding are functions of
+  /// its input and delivery history alone.  This is the enabling condition
+  /// for process-symmetry reduction (sched/reduce.hpp): two processes
+  /// with equal encoded blocks are then interchangeable forever, and the
+  /// explorer may identify states up to a permutation of process ids.
+  /// Defaults to false — a factory must opt in explicitly.
+  [[nodiscard]] virtual bool pid_oblivious() const { return false; }
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

@@ -23,7 +23,8 @@ SimWorld::SimWorld(SimConfig config, const MachineFactory& factory,
       objects_(config_.num_objects, model::Value::bottom()),
       registers_(config_.num_registers, model::Value::bottom()),
       faults_used_(config_.num_objects, 0),
-      killed_(inputs_.size(), false) {
+      killed_(inputs_.size(), false),
+      symmetric_machines_(factory.pid_oblivious()) {
   machines_.reserve(inputs_.size());
   for (std::uint32_t pid = 0; pid < inputs_.size(); ++pid) {
     machines_.push_back(factory.make(pid, inputs_[pid]));
@@ -46,7 +47,8 @@ SimWorld::SimWorld(const SimWorld& other)
       registers_(other.registers_),
       faults_used_(other.faults_used_),
       killed_(other.killed_),
-      total_steps_(other.total_steps_) {
+      total_steps_(other.total_steps_),
+      symmetric_machines_(other.symmetric_machines_) {
   machines_.reserve(other.machines_.size());
   for (const auto& m : other.machines_) machines_.push_back(m->clone());
 }
@@ -250,6 +252,34 @@ void SimWorld::apply(const Choice& choice) {
   if (config_.sink != nullptr) config_.sink->on_cas(ev);
 }
 
+void SimWorld::apply_with_undo(const Choice& choice, StepUndo& undo) {
+  undo.pid = choice.pid;
+  undo.objects = objects_;
+  undo.registers = registers_;
+  undo.faults_used = faults_used_;
+  undo.killed = killed_;
+  undo.total_steps = total_steps_;
+  if (choice.pid != kAdversaryPid) {
+    undo.machine = machines_[choice.pid]->clone();
+  } else {
+    undo.machine.reset();
+  }
+  apply(choice);
+}
+
+void SimWorld::undo_step(StepUndo& undo) {
+  // Swap, not copy: the undo buffers keep the (now dead) post-step
+  // values and their capacity for the next save.
+  objects_.swap(undo.objects);
+  registers_.swap(undo.registers);
+  faults_used_.swap(undo.faults_used);
+  killed_.swap(undo.killed);
+  total_steps_ = undo.total_steps;
+  if (undo.machine != nullptr) {
+    machines_[undo.pid] = std::move(undo.machine);
+  }
+}
+
 bool SimWorld::terminal() const {
   for (std::uint32_t pid = 0; pid < machines_.size(); ++pid) {
     if (!killed_[pid] && !machines_[pid]->done()) return false;
@@ -277,9 +307,7 @@ std::vector<std::optional<std::uint64_t>> SimWorld::decisions() const {
   return out;
 }
 
-std::vector<std::uint64_t> SimWorld::encode() const {
-  std::vector<std::uint64_t> out;
-  out.reserve(objects_.size() + faults_used_.size() + machines_.size() * 8);
+void SimWorld::encode_shared(std::vector<std::uint64_t>& out) const {
   for (const model::Value v : objects_) out.push_back(v.raw());
   for (const model::Value v : registers_) out.push_back(v.raw());
   // Only the remaining headroom min(used, t) is semantically relevant;
@@ -291,14 +319,21 @@ std::vector<std::uint64_t> SimWorld::encode() const {
                       ? 0
                       : std::min(used, config_.t));
   }
-  std::uint64_t kill_bits = 0;
-  for (std::uint32_t pid = 0; pid < killed_.size(); ++pid) {
-    if (killed_[pid]) kill_bits |= (1ULL << (pid % 64));
-  }
-  out.push_back(kill_bits);
-  for (const auto& machine : machines_) {
-    out.push_back(0xFEEDFACEFEEDFACEULL);  // separator guards alignment
-    machine->encode(out);
+}
+
+void SimWorld::encode_process(objects::ProcessId pid,
+                              std::vector<std::uint64_t>& out) const {
+  out.push_back(0xFEEDFACEFEEDFACEULL);  // separator guards alignment
+  out.push_back(killed_.at(pid) ? 1 : 0);
+  machines_.at(pid)->encode(out);
+}
+
+std::vector<std::uint64_t> SimWorld::encode() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shared_words() + machines_.size() * 8);
+  encode_shared(out);
+  for (std::uint32_t pid = 0; pid < machines_.size(); ++pid) {
+    encode_process(pid, out);
   }
   return out;
 }

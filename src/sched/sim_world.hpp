@@ -81,6 +81,31 @@ class SimWorld {
   /// Advances by one choice (must be one returned by enabled()).
   void apply(const Choice& choice);
 
+  /// Saved pre-step state for the explorers' expand-and-roll-back fast
+  /// path.  One step changes at most: the shared vectors, one kill flag,
+  /// the step counter, and ONE machine — so a child that turns out to be
+  /// an already-visited duplicate costs one machine clone instead of a
+  /// full world copy (which clones every machine and every vector).
+  /// Reuse the same StepUndo across steps: its buffers keep their
+  /// capacity and the per-step saves stop allocating.
+  struct StepUndo {
+    std::unique_ptr<StepMachine> machine;  ///< pre-step clone (process steps)
+    objects::ProcessId pid = kAdversaryPid;
+    std::vector<model::Value> objects;
+    std::vector<model::Value> registers;
+    std::vector<std::uint32_t> faults_used;
+    std::vector<bool> killed;
+    std::uint64_t total_steps = 0;
+  };
+
+  /// apply(), but first saves everything the step may change into `undo`
+  /// so undo_step() can roll this world back to the pre-step state.
+  void apply_with_undo(const Choice& choice, StepUndo& undo);
+
+  /// Rolls back the mutation of the matching apply_with_undo.  Call at
+  /// most once per apply_with_undo, with no intervening apply.
+  void undo_step(StepUndo& undo);
+
   /// Terminal: every process is done or killed (nonresponsive).
   [[nodiscard]] bool terminal() const;
 
@@ -90,9 +115,34 @@ class SimWorld {
   /// Decisions of the completed processes (nullopt for killed ones).
   [[nodiscard]] std::vector<std::optional<std::uint64_t>> decisions() const;
 
-  /// Serializes the full semantic state (objects, budgets, kill flags,
-  /// machine locals) for memoization.
+  /// Serializes the full semantic state for memoization.  Layout:
+  /// shared prefix (encode_shared) followed by one block per process
+  /// (encode_process, in pid order).  The block structure is what lets
+  /// sched/reduce.hpp canonicalize symmetric states by sorting blocks
+  /// and patch a parent encoding incrementally after a step.
   [[nodiscard]] std::vector<std::uint64_t> encode() const;
+
+  /// Appends the process-independent state: object values, register
+  /// values, and the semantically relevant fault-budget headroom.  Fixed
+  /// length for a given configuration.
+  void encode_shared(std::vector<std::uint64_t>& out) const;
+
+  /// Appends process `pid`'s block: separator, kill flag, machine locals.
+  /// Only a step by `pid` (or by nobody, for adversary steps) changes it.
+  void encode_process(objects::ProcessId pid,
+                      std::vector<std::uint64_t>& out) const;
+
+  /// Words encode_shared() appends (fixed per configuration).
+  [[nodiscard]] std::uint32_t shared_words() const noexcept {
+    return config_.num_objects * 2 + config_.num_registers;
+  }
+
+  /// True when process ids are interchangeable: the factory declared its
+  /// machines pid-oblivious and no fault rule singles out a process.
+  /// This is the soundness precondition for symmetry reduction.
+  [[nodiscard]] bool processes_symmetric() const noexcept {
+    return symmetric_machines_ && config_.faulting_processes.empty();
+  }
 
   [[nodiscard]] const std::vector<std::uint64_t>& inputs() const noexcept {
     return inputs_;
@@ -141,6 +191,7 @@ class SimWorld {
   std::vector<std::uint32_t> faults_used_;
   std::vector<bool> killed_;
   std::uint64_t total_steps_ = 0;
+  bool symmetric_machines_ = false;
 };
 
 }  // namespace ff::sched

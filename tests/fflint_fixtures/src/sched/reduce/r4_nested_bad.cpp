@@ -1,0 +1,22 @@
+// Fixture: R4 positive, nested directory — scope is inherited by path
+// prefix, so reduction helpers under src/sched/reduce/ are governed the
+// same as src/sched/ itself.  Both canonicalization loops below spin
+// without ever consulting a BudgetMeter.
+#include <cstdint>
+
+namespace ff::sched::reduce {
+
+std::uint64_t settle(std::uint64_t word) {
+  while (true) {             // line 10: R4 (no budget consulted)
+    const std::uint64_t next = (word >> 1) ^ (word << 63);
+    if (next >= word) break;
+    word = next;
+  }
+  for (;;) {                 // line 15: R4 (no budget consulted)
+    if ((word & 1) == 0) break;
+    word = word * 0x9e3779b97f4a7c15ULL;
+  }
+  return word;
+}
+
+}  // namespace ff::sched::reduce

@@ -1,0 +1,32 @@
+// Fixture: R4 negative, nested directory — the same canonicalization
+// loops as r4_nested_bad.cpp, but every infinite-form loop polls its
+// BudgetMeter so exhaustion becomes honest truncation.
+#include <cstdint>
+
+namespace ff::sched::reduce {
+
+struct FakeMeter {
+  std::uint64_t left = 16;
+  bool expired() { return left == 0; }
+  bool charge() {
+    if (left == 0) return false;
+    --left;
+    return true;
+  }
+};
+
+std::uint64_t settle(std::uint64_t word, FakeMeter& meter) {
+  while (true) {
+    if (meter.expired()) break;
+    const std::uint64_t next = (word >> 1) ^ (word << 63);
+    if (next >= word) break;
+    word = next;
+  }
+  for (;;) {
+    if (!meter.charge()) break;
+    word = word * 0x9e3779b97f4a7c15ULL;
+  }
+  return word;
+}
+
+}  // namespace ff::sched::reduce

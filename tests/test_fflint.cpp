@@ -105,6 +105,19 @@ TEST(FflintR4, BudgetMeterConsultationPasses) {
   EXPECT_EQ(fixture_file("src/sched/r4_good.cpp"), nullptr);
 }
 
+TEST(FflintR4, ScopeCoversNestedSchedulerDirectories) {
+  // src/sched/reduce/ inherits R4 scope by path prefix — the rule set
+  // must not be fooled by subdirectory nesting under a governed root.
+  const FileReport* f = fixture_file("src/sched/reduce/r4_nested_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR4);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR4), (std::vector<int>{10, 15}));
+}
+
+TEST(FflintR4, NestedBudgetMeterConsultationPasses) {
+  EXPECT_EQ(fixture_file("src/sched/reduce/r4_nested_good.cpp"), nullptr);
+}
+
 TEST(FflintR5, MalformedSuppressionsAreFindings) {
   const FileReport* f = fixture_file("src/sched/r5_bad.cpp");
   ASSERT_NE(f, nullptr);
@@ -190,7 +203,7 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
   const std::string json = ff::fflint::render_json(fixture_report());
   EXPECT_NE(json.find("\"tool\":\"ff-lint\""), std::string::npos);
   EXPECT_NE(json.find("\"rule\":\"R3\""), std::string::npos);
-  EXPECT_NE(json.find("\"counts\":{\"R1\":2,\"R2\":6,\"R3\":2,\"R4\":2,"
+  EXPECT_NE(json.find("\"counts\":{\"R1\":2,\"R2\":6,\"R3\":2,\"R4\":4,"
                       "\"R5\":3}"),
             std::string::npos);
   EXPECT_NE(json.find("\"justification\":\"fixture counter standing in for "
@@ -200,8 +213,8 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
 }
 
 TEST(FflintReport, FixtureTreeTotalsAreExact) {
-  EXPECT_EQ(fixture_report().unsuppressed_total(), 15u);
-  EXPECT_EQ(fixture_report().files_scanned, 10);
+  EXPECT_EQ(fixture_report().unsuppressed_total(), 17u);
+  EXPECT_EQ(fixture_report().files_scanned, 12);
 }
 
 // ---------------------------------------------------------- self-lint
