@@ -15,7 +15,7 @@
 #include <iostream>
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "proto/registry.hpp"
 #include "sched/explorer.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -34,7 +34,11 @@ std::string probe(std::uint32_t f, std::uint32_t t, std::uint32_t max_stage,
   std::vector<std::uint64_t> inputs(n);
   std::iota(inputs.begin(), inputs.end(), 1);
   const sched::SimWorld world(
-      config, consensus::StagedFactory(f, t, max_stage), inputs);
+      config,
+      *proto::machine_factory(
+          "staged",
+          proto::Params{{"f", f}, {"t", t}, {"max_stage", max_stage}}),
+      inputs);
   sched::ExploreOptions options;
   options.max_states = state_cap;
   const auto result = sched::explore(world, options);

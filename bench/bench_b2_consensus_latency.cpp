@@ -9,13 +9,12 @@
 #include <memory>
 #include <vector>
 
-#include "consensus/f_plus_one.hpp"
-#include "consensus/single_cas.hpp"
-#include "consensus/staged.hpp"
 #include "faults/budget.hpp"
 #include "faults/faulty_cas.hpp"
 #include "faults/policy.hpp"
 #include "objects/atomic_cas.hpp"
+#include "model/tolerance.hpp"
+#include "proto/registry.hpp"
 #include "runtime/thread_runner.hpp"
 
 namespace {
@@ -41,7 +40,9 @@ struct FaultyBank {
 void BM_FPlusOneSoloDecide(benchmark::State& state) {
   const auto f = static_cast<std::uint32_t>(state.range(0));
   FaultyBank bank(f + 1, f, model::kUnbounded, 0.5);
-  consensus::FPlusOneConsensus protocol(bank.raw);
+  const auto protocol_ptr =
+      proto::protocol("f-plus-one", proto::Params{{"k", f + 1}}, bank.raw);
+  consensus::Protocol& protocol = *protocol_ptr;
   for (auto _ : state) {
     state.PauseTiming();
     protocol.reset();
@@ -57,7 +58,9 @@ void BM_StagedSoloDecide(benchmark::State& state) {
   const auto f = static_cast<std::uint32_t>(state.range(0));
   const auto t = static_cast<std::uint32_t>(state.range(1));
   FaultyBank bank(f, f, t, 0.5);
-  consensus::StagedConsensus protocol(bank.raw, t);
+  const auto protocol_ptr =
+      proto::protocol("staged", proto::Params{{"f", f}, {"t", t}}, bank.raw);
+  consensus::Protocol& protocol = *protocol_ptr;
   for (auto _ : state) {
     state.PauseTiming();
     protocol.reset();
@@ -77,7 +80,9 @@ void BM_FPlusOneContendedTrial(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   constexpr std::uint32_t kF = 2;
   FaultyBank bank(kF + 1, kF, model::kUnbounded, 0.5);
-  consensus::FPlusOneConsensus protocol(bank.raw);
+  const auto protocol_ptr =
+      proto::protocol("f-plus-one", proto::Params{{"k", kF + 1}}, bank.raw);
+  consensus::Protocol& protocol = *protocol_ptr;
   std::uint64_t trial = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -97,7 +102,8 @@ void BM_TrialHarnessOverhead(benchmark::State& state) {
   // a protocol whose decide() is a single uncontended CAS.
   const auto n = static_cast<std::uint32_t>(state.range(0));
   objects::AtomicCas object(0);
-  consensus::SingleCasConsensus protocol(object);
+  const auto protocol_ptr = proto::protocol("single-cas", {}, {&object});
+  consensus::Protocol& protocol = *protocol_ptr;
   std::uint64_t trial = 0;
   for (auto _ : state) {
     state.PauseTiming();

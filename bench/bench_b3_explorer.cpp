@@ -10,7 +10,9 @@
 //                    states/sec and peak state counts for the reduced
 //                    (symmetry + sleep sets), unreduced, pre-sized and
 //                    legacy-hot-path explorers on a symmetric reference
-//                    instance, plus reduction_factor and hotpath_speedup.
+//                    instance, plus reduction_factor, hotpath_speedup and
+//                    ir_overhead (registry IR machines vs the retired
+//                    hand-written machines, best-of-3 states/sec).
 //   --smoke          smaller reference instance for CI gating
 //                    (scripts/check.sh stage 7 / scripts/bench_gate.py).
 #include <benchmark/benchmark.h>
@@ -23,8 +25,10 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
+#include "proto/registry.hpp"
 #include "sched/explore_common.hpp"
 #include "sched/explorer.hpp"
 #include "sched/parallel_explorer.hpp"
@@ -64,26 +68,34 @@ void run_explore(benchmark::State& state, const FactoryT& factory,
 }
 
 void BM_ExploreHerlihy(benchmark::State& state) {
-  run_explore(state, consensus::SingleCasFactory{}, 1, 1,
+  run_explore(state, *proto::machine_factory("single-cas"), 1, 1,
               static_cast<std::uint32_t>(state.range(0)));
 }
 BENCHMARK(BM_ExploreHerlihy)->DenseRange(2, 5);
 
 void BM_ExploreFPlusOne(benchmark::State& state) {
   const auto f = static_cast<std::uint32_t>(state.range(0));
-  run_explore(state, consensus::FPlusOneFactory(f + 1), f + 1,
-              model::kUnbounded, 3);
+  run_explore(state,
+              *proto::machine_factory("f-plus-one",
+                                      proto::Params{{"k", f + 1}}),
+              f + 1, model::kUnbounded, 3);
 }
 BENCHMARK(BM_ExploreFPlusOne)->DenseRange(1, 2);
 
 void BM_ExploreStaged(benchmark::State& state) {
   const auto t = static_cast<std::uint32_t>(state.range(0));
-  run_explore(state, consensus::StagedFactory(1, t), 1, t, 2);
+  run_explore(
+      state,
+      *proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", t}}),
+      1, t, 2);
 }
 BENCHMARK(BM_ExploreStaged)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
 
 void BM_ExploreStagedTwoObjects(benchmark::State& state) {
-  run_explore(state, consensus::StagedFactory(2, 1), 2, 1, 2);
+  run_explore(
+      state,
+      *proto::machine_factory("staged", proto::Params{{"f", 2}, {"t", 1}}),
+      2, 1, 2);
 }
 BENCHMARK(BM_ExploreStagedTwoObjects)->Unit(benchmark::kMillisecond);
 
@@ -97,12 +109,13 @@ BENCHMARK(BM_ExploreStagedTwoObjects)->Unit(benchmark::kMillisecond);
 // the identical reachable set.
 
 sched::SimWorld million_state_world() {
-  static const consensus::StagedFactory factory(1, 2);
+  static const auto factory =
+      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
   sched::SimConfig config;
   config.num_objects = 1;
   config.kind = model::FaultKind::kOverriding;
   config.t = 2;
-  return sched::SimWorld(config, factory, inputs(3));
+  return sched::SimWorld(config, *factory, inputs(3));
 }
 
 void BM_ExploreMillionSequential(benchmark::State& state) {
@@ -151,12 +164,13 @@ void BM_ParallelExploreStagedSmall(benchmark::State& state) {
   // Same configuration as BM_ExploreStaged t=2 — overhead comparison on a
   // small graph, where locking cost dominates and parallelism cannot win.
   const auto threads = static_cast<std::uint32_t>(state.range(0));
-  const consensus::StagedFactory factory(1, 2);
+  const auto factory =
+      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
   sched::SimConfig config;
   config.num_objects = 1;
   config.kind = model::FaultKind::kOverriding;
   config.t = 2;
-  const sched::SimWorld world(config, factory, inputs(2));
+  const sched::SimWorld world(config, *factory, inputs(2));
   for (auto _ : state) {
     sched::ParallelExploreOptions options;
     options.explore.stop_at_first_violation = false;
@@ -170,14 +184,15 @@ BENCHMARK(BM_ParallelExploreStagedSmall)->Arg(1)->Arg(4);
 void BM_SimWorldStepApply(benchmark::State& state) {
   // Cost of one simulated step (clone-free path): drive a solo staged
   // run repeatedly.
-  const consensus::StagedFactory factory(2, 2);
+  const auto factory =
+      proto::machine_factory("staged", proto::Params{{"f", 2}, {"t", 2}});
   sched::SimConfig config;
   config.num_objects = 2;
   config.kind = model::FaultKind::kOverriding;
   config.t = 2;
   std::uint64_t steps = 0;
   for (auto _ : state) {
-    sched::SimWorld world(config, factory, inputs(1));
+    sched::SimWorld world(config, *factory, inputs(1));
     while (!world.terminal()) world.apply({0, false, 0});
     steps += world.total_steps();
   }
@@ -187,12 +202,13 @@ BENCHMARK(BM_SimWorldStepApply);
 
 void BM_SimWorldClone(benchmark::State& state) {
   // Cost of the snapshot the DFS takes per expanded state.
-  const consensus::StagedFactory factory(3, 2);
+  const auto factory =
+      proto::machine_factory("staged", proto::Params{{"f", 3}, {"t", 2}});
   sched::SimConfig config;
   config.num_objects = 3;
   config.kind = model::FaultKind::kOverriding;
   config.t = 2;
-  const sched::SimWorld world(config, factory, inputs(4));
+  const sched::SimWorld world(config, *factory, inputs(4));
   for (auto _ : state) {
     sched::SimWorld copy = world;
     benchmark::DoNotOptimize(copy);
@@ -305,8 +321,9 @@ sched::SimWorld symmetric_reference(std::uint32_t t, std::uint32_t n) {
   config.num_objects = 1;
   config.kind = model::FaultKind::kOverriding;
   config.t = t;
-  const consensus::StagedFactory factory(1, t);
-  return sched::SimWorld(config, factory, equal_inputs(n));
+  const auto factory =
+      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", t}});
+  return sched::SimWorld(config, *factory, equal_inputs(n));
 }
 
 /// Hot-path reference instance: staged f=1 t=2 at n=3 DISTINCT inputs —
@@ -314,6 +331,19 @@ sched::SimWorld symmetric_reference(std::uint32_t t, std::uint32_t n) {
 /// sequential engine (flat table, incremental encoding, in-place
 /// stepping) from the reductions.
 sched::SimWorld hotpath_reference() {
+  sched::SimConfig config;
+  config.num_objects = 1;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = 2;
+  const auto factory =
+      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
+  return sched::SimWorld(config, *factory, inputs(3));
+}
+
+/// The SAME hot-path instance driven by the retired hand-written staged
+/// machine (tests/legacy/) — the baseline the ir_overhead figure divides
+/// against.
+sched::SimWorld handwritten_hotpath_reference() {
   sched::SimConfig config;
   config.num_objects = 1;
   config.kind = model::FaultKind::kOverriding;
@@ -394,6 +424,34 @@ int write_report(const std::string& path, bool smoke) {
   const auto rate = [](std::uint64_t states, double seconds) {
     return seconds > 0 ? static_cast<double>(states) / seconds : 0.0;
   };
+
+  // IR interpreter overhead: the registry's staged IR (hot_world) vs the
+  // retired hand-written machine on the identical instance.  The two
+  // sides run in ALTERNATING best-of-5 pairs so slow machine-wide drift
+  // (thermal throttling, co-tenant load) hits both numerators of the
+  // ratio equally instead of biasing whichever block ran second.
+  const sched::SimWorld handwritten_world = handwritten_hotpath_reference();
+  TimedExplore ir_best;
+  TimedExplore handwritten_best;
+  const auto keep_best = [](TimedExplore& best, TimedExplore run) {
+    if (best.seconds == 0 || run.seconds < best.seconds) best = std::move(run);
+  };
+  for (int i = 0; i < 5; ++i) {
+    keep_best(ir_best, timed_explore(hot_world, unreduced_opts));
+    keep_best(handwritten_best, timed_explore(handwritten_world,
+                                              unreduced_opts));
+  }
+  const double ir_rate = rate(ir_best.result.states_visited, ir_best.seconds);
+  const double handwritten_rate = rate(
+      handwritten_best.result.states_visited, handwritten_best.seconds);
+  const double ir_overhead =
+      ir_rate > 0 ? handwritten_rate / ir_rate - 1.0 : 1.0;
+  const bool ir_census_match =
+      ir_best.result.states_visited ==
+          handwritten_best.result.states_visited &&
+      ir_best.result.terminal_states ==
+          handwritten_best.result.terminal_states &&
+      ir_best.result.agreed_values == handwritten_best.result.agreed_values;
   const double legacy_rate = rate(legacy_states, legacy_seconds);
   const double hotpath_speedup =
       legacy_rate > 0
@@ -434,8 +492,18 @@ int write_report(const std::string& path, bool smoke) {
   emit_section(w, "hotpath_presized", presized.result.states_visited,
                presized.seconds, presized.result.max_depth);
   emit_section(w, "legacy_baseline", legacy_states, legacy_seconds, 0);
+  emit_section(w, "ir_machines", ir_best.result.states_visited,
+               ir_best.seconds, ir_best.result.max_depth);
+  emit_section(w, "handwritten_machines",
+               handwritten_best.result.states_visited,
+               handwritten_best.seconds, handwritten_best.result.max_depth);
   w.kv("hotpath_speedup", hotpath_speedup);
   w.kv("presize_speedup", presize_speedup);
+  // Fractional slowdown of the registry IR vs the hand-written machines
+  // (0.05 = 5% slower; negative = IR faster).  Gated at <= 0.20 by
+  // scripts/bench_gate.py.
+  w.kv("ir_overhead", ir_overhead);
+  w.kv("ir_census_match", ir_census_match);
   // Sanity invariants the gate can assert without re-deriving them.
   w.kv("census_states_match",
        hot.result.states_visited == legacy_states &&
@@ -449,8 +517,8 @@ int write_report(const std::string& path, bool smoke) {
   }
   out << w.str() << "\n";
   std::cout << "B3: reduction_factor=" << reduction_factor
-            << " hotpath_speedup=" << hotpath_speedup << " -> " << path
-            << "\n";
+            << " hotpath_speedup=" << hotpath_speedup
+            << " ir_overhead=" << ir_overhead << " -> " << path << "\n";
   return 0;
 }
 

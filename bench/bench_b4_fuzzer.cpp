@@ -24,7 +24,7 @@
 #include <numeric>
 #include <string>
 
-#include "consensus/machines.hpp"
+#include "proto/registry.hpp"
 #include "sched/fuzzer.hpp"
 #include "sched/sim_world.hpp"
 #include "util/json.hpp"
@@ -74,14 +74,15 @@ void run_throughput(benchmark::State& state, const sched::SimWorld& world) {
 
 void BM_FuzzThroughputRetrySilent(benchmark::State& state) {
   // retry-silent at bounded t is explorer-proven correct: pure search.
-  run_throughput(state, make_world(consensus::RetrySilentFactory{},
+  run_throughput(state, make_world(*proto::machine_factory("retry-silent"),
                                    model::FaultKind::kSilent, 1, 1, 2));
 }
 BENCHMARK(BM_FuzzThroughputRetrySilent)->Unit(benchmark::kMillisecond);
 
 void BM_FuzzThroughputStagedSafe(benchmark::State& state) {
   // staged f=1 t=1 n=2 is within the protocol's fault budget: correct.
-  run_throughput(state, make_world(consensus::StagedFactory(1, 1),
+  run_throughput(state, make_world(*proto::machine_factory("staged",
+                                     proto::Params{{"f", 1}, {"t", 1}}),
                                    model::FaultKind::kOverriding, 1, 1, 2));
 }
 BENCHMARK(BM_FuzzThroughputStagedSafe)->Unit(benchmark::kMillisecond);
@@ -122,7 +123,7 @@ void run_first_violation(benchmark::State& state,
 void BM_FuzzFirstViolationSingleCas(benchmark::State& state) {
   // Figure 1: one overriding fault breaks single-CAS consensus at n=3.
   run_first_violation(state,
-                      make_world(consensus::SingleCasFactory{},
+                      make_world(*proto::machine_factory("single-cas"),
                                  model::FaultKind::kOverriding, 1, 1, 3));
 }
 BENCHMARK(BM_FuzzFirstViolationSingleCas)->Unit(benchmark::kMicrosecond);
@@ -130,7 +131,8 @@ BENCHMARK(BM_FuzzFirstViolationSingleCas)->Unit(benchmark::kMicrosecond);
 void BM_FuzzFirstViolationStaged(benchmark::State& state) {
   // staged f=1 t=1 at n=3 exceeds the protected-process count: faulty.
   run_first_violation(state,
-                      make_world(consensus::StagedFactory(1, 1),
+                      make_world(*proto::machine_factory("staged",
+                                     proto::Params{{"f", 1}, {"t", 1}}),
                                  model::FaultKind::kOverriding, 1, 1, 3));
 }
 BENCHMARK(BM_FuzzFirstViolationStaged)->Unit(benchmark::kMicrosecond);
@@ -139,7 +141,7 @@ void BM_FuzzFirstViolationLivelock(benchmark::State& state) {
   // retry-silent at t = ∞ livelocks: the witness is a machine-checked
   // cycle, exercising the in-execution revisit detector.
   run_first_violation(
-      state, make_world(consensus::RetrySilentFactory{},
+      state, make_world(*proto::machine_factory("retry-silent"),
                         model::FaultKind::kSilent, 1, model::kUnbounded, 2));
 }
 BENCHMARK(BM_FuzzFirstViolationLivelock)->Unit(benchmark::kMicrosecond);
@@ -203,20 +205,21 @@ int write_report(const std::string& path, bool smoke) {
   w.kv("bench", "B4");
   w.kv("smoke", smoke);
   emit_throughput(w, "throughput_retry_silent",
-                  make_world(consensus::RetrySilentFactory{},
+                  make_world(*proto::machine_factory("retry-silent"),
                              model::FaultKind::kSilent, 1, 1, 2),
                   throughput_budget);
   emit_throughput(w, "throughput_staged_safe",
-                  make_world(consensus::StagedFactory(1, 1),
+                  make_world(*proto::machine_factory("staged",
+                                     proto::Params{{"f", 1}, {"t", 1}}),
                              model::FaultKind::kOverriding, 1, 1, 2),
                   throughput_budget);
   emit_first_violation(w, "first_violation_single_cas",
-                       make_world(consensus::SingleCasFactory{},
+                       make_world(*proto::machine_factory("single-cas"),
                                   model::FaultKind::kOverriding, 1, 1, 3),
                        violation_budget);
   emit_first_violation(
       w, "first_violation_livelock",
-      make_world(consensus::RetrySilentFactory{}, model::FaultKind::kSilent,
+      make_world(*proto::machine_factory("retry-silent"), model::FaultKind::kSilent,
                  1, model::kUnbounded, 2),
       violation_budget);
   w.end_object();

@@ -15,6 +15,8 @@
 #include "faults/budget.hpp"
 #include "faults/policy.hpp"
 #include "faults/relaxed_queue.hpp"
+#include "proto/queue_client.hpp"
+#include "proto/registry.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -32,8 +34,11 @@ void run_row(util::Table& table, std::uint32_t k, double rate,
   }
   faults::RelaxedQueue queue(0, k, &policy, budget.get());
 
-  for (std::uint64_t i = 1; i <= ops; ++i) queue.enqueue(i);
-  for (std::uint64_t i = 0; i < ops; ++i) queue.dequeue(0);
+  // The enqueue-then-drain client comes from the shared protocol IR —
+  // the same single-source definition the registry exposes everywhere.
+  const auto program =
+      proto::build_program("queue-client", proto::Params{{"ops", ops}});
+  const auto run = proto::run_queue_client(*program, queue);
 
   util::StreamingStats distance;
   std::uint64_t relaxed = 0;
@@ -49,7 +54,7 @@ void run_row(util::Table& table, std::uint32_t k, double rate,
   }
   table.add(k,
             t == model::kUnbounded ? std::string("inf") : std::to_string(t),
-            rate, ops, relaxed,
+            rate, run.dequeues, relaxed,
             relaxed == 0 ? 0.0 : distance.mean(),
             relaxed == 0 ? 0.0 : distance.max(), all_within_phi_prime);
 }

@@ -10,10 +10,9 @@
 #include <iostream>
 #include <memory>
 
-#include "consensus/machines.hpp"
-#include "consensus/single_cas.hpp"
 #include "faults/faulty_cas.hpp"
 #include "faults/policy.hpp"
+#include "proto/registry.hpp"
 #include "runtime/stress.hpp"
 #include "sched/explorer.hpp"
 #include "util/cli.hpp"
@@ -32,7 +31,7 @@ void exhaustive_table() {
     config.t = model::kUnbounded;
     std::vector<std::uint64_t> inputs;
     for (std::uint32_t i = 0; i < n; ++i) inputs.push_back(i + 1);
-    const sched::SimWorld world(config, consensus::SingleCasFactory{},
+    const sched::SimWorld world(config, *proto::machine_factory("single-cas"),
                                 inputs);
     const auto result = sched::explore(world);
     table.add(n, "inf", result.states_visited, result.terminal_states,
@@ -70,7 +69,8 @@ void threaded_table(std::uint64_t trials) {
       }
       faults::FaultyCas object(0, model::FaultKind::kOverriding,
                                policy.get(), nullptr);
-      consensus::TwoProcessConsensus protocol(object);
+      const auto protocol_ptr = proto::protocol("single-cas", {}, {&object});
+      consensus::Protocol& protocol = *protocol_ptr;
 
       runtime::StressOptions options;
       options.processes = n;

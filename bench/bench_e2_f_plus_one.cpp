@@ -13,11 +13,10 @@
 #include <memory>
 #include <numeric>
 
-#include "consensus/f_plus_one.hpp"
-#include "consensus/machines.hpp"
 #include "faults/budget.hpp"
 #include "faults/faulty_cas.hpp"
 #include "faults/policy.hpp"
+#include "proto/registry.hpp"
 #include "runtime/stress.hpp"
 #include "sched/explorer.hpp"
 #include "util/cli.hpp"
@@ -49,8 +48,10 @@ void exhaustive_table() {
         config.t = model::kUnbounded;
         config.faulty.assign(k, true);
         config.faulty[correct] = false;
-        const sched::SimWorld world(config, consensus::FPlusOneFactory(k),
-                                    inputs(n));
+        const sched::SimWorld world(
+            config, *proto::machine_factory("f-plus-one",
+                                            proto::Params{{"k", k}}),
+            inputs(n));
         const auto result = sched::explore(world);
         max_states = std::max(max_states, result.states_visited);
         all_ok = all_ok && !result.violation;
@@ -80,7 +81,9 @@ void threaded_table(std::uint64_t trials) {
             i, model::FaultKind::kOverriding, &policy, &budget));
         raw.push_back(bank.back().get());
       }
-      consensus::FPlusOneConsensus protocol(raw);
+      const auto protocol_ptr =
+          proto::protocol("f-plus-one", proto::Params{{"k", f + 1}}, raw);
+      consensus::Protocol& protocol = *protocol_ptr;
 
       runtime::StressOptions options;
       options.processes = n;
@@ -105,8 +108,10 @@ void boundary_table() {
     config.num_objects = f;
     config.kind = model::FaultKind::kOverriding;
     config.t = model::kUnbounded;
-    const sched::SimWorld world(config, consensus::FPlusOneFactory(f),
-                                inputs(3));
+    const sched::SimWorld world(
+        config,
+        *proto::machine_factory("f-plus-one", proto::Params{{"k", f}}),
+        inputs(3));
     const auto result = sched::explore(world);
     table.add("Fig2 with only f=" + std::to_string(f) + " objects", f, 3,
               result.violation

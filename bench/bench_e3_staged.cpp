@@ -14,12 +14,12 @@
 #include <memory>
 #include <numeric>
 
-#include "consensus/machines.hpp"
-#include "consensus/staged.hpp"
 #include "faults/budget.hpp"
 #include "faults/faulty_cas.hpp"
 #include "faults/policy.hpp"
 #include "faults/trace.hpp"
+#include "model/tolerance.hpp"
+#include "proto/registry.hpp"
 #include "runtime/stress.hpp"
 #include "sched/explorer.hpp"
 #include "util/cli.hpp"
@@ -42,8 +42,11 @@ void exhaustive_table(std::uint64_t state_cap) {
     config.t = t;
     std::vector<std::uint64_t> inputs(n);
     std::iota(inputs.begin(), inputs.end(), 1);
-    const sched::SimWorld world(config, consensus::StagedFactory(f, t),
-                                inputs);
+    const sched::SimWorld world(
+        config,
+        *proto::machine_factory("staged",
+                                proto::Params{{"f", f}, {"t", t}}),
+        inputs);
     sched::ExploreOptions options;
     options.max_states = state_cap;
     const auto result = sched::explore(world, options);
@@ -86,7 +89,9 @@ void threaded_table(std::uint64_t trials) {
             i, model::FaultKind::kOverriding, &policy, &budget, &trace));
         raw.push_back(bank.back().get());
       }
-      consensus::StagedConsensus protocol(raw, t);
+      const auto protocol_ptr = proto::protocol(
+          "staged", proto::Params{{"f", f}, {"t", t}}, raw);
+      consensus::Protocol& protocol = *protocol_ptr;
       protocol.set_step_limit(10'000'000);
 
       // Convergence stage of a trial: the earliest stage s such that every

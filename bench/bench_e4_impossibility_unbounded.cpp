@@ -15,7 +15,7 @@
 #include <iostream>
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "proto/registry.hpp"
 #include "sched/explorer.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -67,20 +67,25 @@ int main(int argc, char** argv) {
                          "faulty step)"});
   for (std::uint32_t f = 1; f <= 3; ++f) {
     run_row(table, "Fig2 on f=" + std::to_string(f) + " objects",
-            consensus::FPlusOneFactory(f), f, 3, false);
+            *proto::machine_factory("f-plus-one", proto::Params{{"k", f}}),
+            f, 3, false);
   }
-  run_row(table, "Herlihy on 1 faulty object", consensus::SingleCasFactory{},
-          1, 3, false);
+  run_row(table, "Herlihy on 1 faulty object",
+          *proto::machine_factory("single-cas"), 1, 3, false);
   run_row(table, "staged f=1 (t bound revoked)",
-          consensus::StagedFactory(1, 1), 1, 3, false);
+          *proto::machine_factory("staged",
+                                  proto::Params{{"f", 1}, {"t", 1}}),
+          1, 3, false);
   // Theorem 18 explicitly allows an unbounded number of correct
   // read/write registers — they do not help.
   run_row(table, "announce+tiebreak (3 registers)",
-          consensus::AnnounceCasFactory(3), 1, 3, false);
-  run_row(table, "Fig2 on 1 object [reduced]", consensus::FPlusOneFactory(1),
+          *proto::machine_factory("announce-cas", proto::Params{{"n", 3}}),
+          1, 3, false);
+  run_row(table, "Fig2 on 1 object [reduced]",
+          *proto::machine_factory("f-plus-one", proto::Params{{"k", 1}}), 1,
+          3, true);
+  run_row(table, "Herlihy [reduced]", *proto::machine_factory("single-cas"),
           1, 3, true);
-  run_row(table, "Herlihy [reduced]", consensus::SingleCasFactory{}, 1, 3,
-          true);
   std::cout << table
             << "\nEvery candidate admits a violating execution; the reduced "
                "model (only p0's CASes fault)\nalready suffices, exactly as "

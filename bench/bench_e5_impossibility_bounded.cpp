@@ -10,7 +10,7 @@
 #include <iostream>
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "proto/registry.hpp"
 #include "sched/adversary.hpp"
 #include "sched/explorer.hpp"
 #include "util/cli.hpp"
@@ -42,10 +42,12 @@ int main(int argc, char** argv) {
       std::unique_ptr<sched::MachineFactory> factory;
       std::string name;
       if (staged) {
-        factory = std::make_unique<consensus::StagedFactory>(f, 1);
+        factory = proto::machine_factory(
+            "staged", proto::Params{{"f", f}, {"t", 1}});
         name = "staged(f=" + std::to_string(f) + ",t=1)";
       } else {
-        factory = std::make_unique<consensus::FPlusOneFactory>(f);
+        factory =
+            proto::machine_factory("f-plus-one", proto::Params{{"k", f}});
         name = "Fig2 on f=" + std::to_string(f) + " objects";
       }
       const auto result =
@@ -63,9 +65,10 @@ int main(int argc, char** argv) {
   // Register-augmented candidate: Theorem 19's covering schedule also
   // defeats announce-and-tiebreak (f = 1: one CAS object, n = 3).
   {
-    const consensus::AnnounceCasFactory announce(3);
+    const auto announce =
+        proto::machine_factory("announce-cas", proto::Params{{"n", 3}});
     const auto result =
-        sched::run_covering_adversary(announce, 1, inputs(3));
+        sched::run_covering_adversary(*announce, 1, inputs(3));
     std::uint32_t faults = 0;
     for (const auto c : result.faults_per_object) faults += c;
     table.add("announce+tiebreak (registers)", 1, 3, result.claim20_held,
@@ -79,8 +82,9 @@ int main(int argc, char** argv) {
 
   std::cout << "Adversary log for staged(f=2, t=1), n=4 — the proof's "
                "execution, step by step:\n";
-  const consensus::StagedFactory factory(2, 1);
-  const auto detail = sched::run_covering_adversary(factory, 2, inputs(4));
+  const auto factory =
+      proto::machine_factory("staged", proto::Params{{"f", 2}, {"t", 1}});
+  const auto detail = sched::run_covering_adversary(*factory, 2, inputs(4));
   for (const auto& line : detail.log) std::cout << "  " << line << '\n';
 
   std::cout << "\nTightness: the SAME (f, t=1) configurations with only "

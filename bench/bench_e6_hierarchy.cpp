@@ -9,8 +9,8 @@
 #include <iostream>
 #include <numeric>
 
-#include "consensus/machines.hpp"
 #include "hierarchy/consensus_number.hpp"
+#include "proto/registry.hpp"
 #include "sched/explorer.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -65,15 +65,23 @@ int main(int argc, char** argv) {
     clean.num_objects = 1;
     clean.kind = ff::model::FaultKind::kNone;
     level2.add("correct test&set bit",
-               verdict(ff::consensus::TasFactory(2), clean, 2),
-               verdict(ff::consensus::TasFactory(3), clean, 3));
+               verdict(*ff::proto::machine_factory(
+                           "tas", ff::proto::Params{{"n", 2}}),
+                       clean, 2),
+               verdict(*ff::proto::machine_factory(
+                           "tas", ff::proto::Params{{"n", 3}}),
+                       clean, 3));
     ff::sched::SimConfig faulty;
     faulty.num_objects = 1;
     faulty.kind = ff::model::FaultKind::kOverriding;
     faulty.t = 1;
     level2.add("faulty CAS (1 overriding fault), staged protocol",
-               verdict(ff::consensus::StagedFactory(1, 1), faulty, 2),
-               verdict(ff::consensus::StagedFactory(1, 1), faulty, 3));
+               verdict(*ff::proto::machine_factory(
+                           "staged", ff::proto::Params{{"f", 1}, {"t", 1}}),
+                       faulty, 2),
+               verdict(*ff::proto::machine_factory(
+                           "staged", ff::proto::Params{{"f", 1}, {"t", 1}}),
+                       faulty, 3));
   }
   std::cout << "Level 2 from two directions (weak-but-correct vs "
                "strong-but-faulty):\n"

@@ -15,12 +15,11 @@
 #include <memory>
 #include <numeric>
 
-#include "consensus/machines.hpp"
-#include "consensus/staged.hpp"
 #include "faults/budget.hpp"
 #include "faults/data_fault.hpp"
 #include "faults/faulty_cas.hpp"
 #include "faults/policy.hpp"
+#include "proto/registry.hpp"
 #include "runtime/stress.hpp"
 #include "sched/explorer.hpp"
 #include "util/cli.hpp"
@@ -47,8 +46,11 @@ void exhaustive_table() {
       } else {
         config.kind = model::FaultKind::kOverriding;
       }
-      const sched::SimWorld world(config, consensus::StagedFactory(f, t),
-                                  inputs);
+      const sched::SimWorld world(
+          config,
+          *proto::machine_factory("staged",
+                                  proto::Params{{"f", f}, {"t", t}}),
+          inputs);
       const auto result = sched::explore(world);
       table.add(data_faults ? "data corruption (Afek et al.)"
                             : "overriding (functional)",
@@ -81,7 +83,9 @@ void threaded_table(std::uint64_t trials) {
           i, model::FaultKind::kOverriding, &policy, &budget));
       raw.push_back(bank.back().get());
     }
-    consensus::StagedConsensus protocol(raw, kT);
+    const auto protocol_ptr = proto::protocol(
+        "staged", proto::Params{{"f", kF}, {"t", kT}}, raw);
+    consensus::Protocol& protocol = *protocol_ptr;
     protocol.set_step_limit(10'000'000);
     runtime::StressOptions options;
     options.processes = kN;
@@ -105,7 +109,9 @@ void threaded_table(std::uint64_t trials) {
       raw.push_back(bank.back().get());
       targets.push_back(bank.back().get());
     }
-    consensus::StagedConsensus protocol(raw, kT);
+    const auto protocol_ptr = proto::protocol(
+        "staged", proto::Params{{"f", kF}, {"t", kT}}, raw);
+    consensus::Protocol& protocol = *protocol_ptr;
     protocol.set_step_limit(10'000'000);
 
     std::uint64_t ok = 0;

@@ -14,7 +14,7 @@
 #include <iostream>
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "proto/registry.hpp"
 #include "sched/explorer.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -59,8 +59,10 @@ int main(int argc, char** argv) {
 
   ff::util::Table table(
       {"fault kind", "t", "protocol", "n", "verdict", "paper says"});
-  const consensus::SingleCasFactory herlihy;
-  const consensus::RetrySilentFactory retry;
+  const auto herlihy_ptr = proto::machine_factory("single-cas");
+  const auto retry_ptr = proto::machine_factory("retry-silent");
+  const sched::MachineFactory& herlihy = *herlihy_ptr;
+  const sched::MachineFactory& retry = *retry_ptr;
 
   table.add("overriding", "inf", "Fig 1", 2,
             run_cell(herlihy, FaultKind::kOverriding, kUnbounded, 2),

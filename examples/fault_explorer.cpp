@@ -4,6 +4,11 @@
 // explores EVERY schedule and fault placement and reports either a proof
 // of correctness or a concrete violating execution, replayed step by step.
 //
+// Protocols are resolved through the central ProtocolRegistry (the same
+// single-source IR definitions the stress harness runs on real threads),
+// so the names printed here match every other front end exactly.
+//
+//   $ ./fault_explorer --list-protocols
 //   $ ./fault_explorer --protocol staged --f 1 --t 1 --n 3 --kind overriding
 //   $ ./fault_explorer --protocol herlihy --n 2 --kind silent --t 1
 //   $ ./fault_explorer --protocol fp1 --objects 2 --f 1 --n 3
@@ -12,7 +17,7 @@
 #include <memory>
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "proto/registry.hpp"
 #include "sched/explorer.hpp"
 #include "sched/fuzzer.hpp"
 #include "sched/parallel_explorer.hpp"
@@ -33,10 +38,26 @@ model::FaultKind parse_kind(const std::string& name) {
   throw std::invalid_argument("unknown fault kind: " + name);
 }
 
+void print_protocols() {
+  std::cout << "registered protocols (canonical name [aliases] — summary):\n";
+  for (const auto& info : proto::ProtocolRegistry::instance().all()) {
+    std::cout << "  " << info.name;
+    for (const auto& alias : info.aliases) std::cout << " | " << alias;
+    if (!info.simulable) std::cout << "  [queue client — not simulable]";
+    std::cout << "\n      " << info.summary << '\n';
+    for (const auto& param : info.params) {
+      std::cout << "      param " << param.name << " (default "
+                << param.fallback << "): " << param.help << '\n';
+    }
+  }
+}
+
 void print_usage() {
   std::cout <<
       "usage: fault_explorer [options]\n"
-      "  --protocol  herlihy | fp1 | staged | retry-silent | announce\n"
+      "  --list-protocols  print the protocol registry and exit\n"
+      "  --protocol  a registry name or alias, e.g. single-cas | herlihy |\n"
+      "              fp1 | staged | retry-silent | announce-cas | tas\n"
       "                                                      (default staged)\n"
       "  --kind      overriding | silent | invisible | arbitrary |\n"
       "              nonresponsive | data | none              (default overriding)\n"
@@ -153,7 +174,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::string proto = cli.get_string("protocol", "staged");
+  if (cli.has("list-protocols")) {
+    print_protocols();
+    return 0;
+  }
+
+  const std::string proto_name = cli.get_string("protocol", "staged");
   const auto f = static_cast<std::uint32_t>(cli.get_uint("f", 1));
   const auto t_raw = static_cast<std::uint32_t>(cli.get_uint("t", 1));
   const std::uint32_t t = t_raw == 0 ? model::kUnbounded : t_raw;
@@ -161,25 +187,24 @@ int main(int argc, char** argv) {
   const model::FaultKind kind =
       parse_kind(cli.get_string("kind", "overriding"));
 
-  std::unique_ptr<sched::MachineFactory> factory;
-  if (proto == "herlihy") {
-    factory = std::make_unique<consensus::SingleCasFactory>();
-  } else if (proto == "fp1") {
-    const auto k =
-        static_cast<std::uint32_t>(cli.get_uint("objects", f + 1));
-    factory = std::make_unique<consensus::FPlusOneFactory>(k);
-  } else if (proto == "staged") {
-    factory = std::make_unique<consensus::StagedFactory>(
-        f, t == model::kUnbounded ? 1 : t);
-  } else if (proto == "retry-silent") {
-    factory = std::make_unique<consensus::RetrySilentFactory>();
-  } else if (proto == "announce") {
-    factory = std::make_unique<consensus::AnnounceCasFactory>(n);
-  } else {
-    std::cerr << "unknown protocol: " << proto << "\n\n";
-    print_usage();
+  const proto::ProtocolInfo* info =
+      proto::ProtocolRegistry::instance().find(proto_name);
+  if (info == nullptr || !info->simulable) {
+    std::cerr << (info == nullptr
+                      ? "unknown protocol: "
+                      : "protocol is a queue client, not simulable: ")
+              << proto_name << "\n\n";
+    print_protocols();
     return 2;
   }
+  // Map the explorer's CLI vocabulary onto the registry's parameter
+  // schema; anything not set falls back to the schema defaults.
+  proto::Params params;
+  params.set("f", f).set("n", n);
+  params.set("t", t == model::kUnbounded ? 1 : t);
+  params.set("k", cli.get_uint("objects", f + 1));
+  const std::unique_ptr<sched::MachineFactory> factory =
+      proto::machine_factory(info->name, params);
 
   sched::SimConfig config;
   config.num_objects = factory->objects_used();

@@ -17,10 +17,10 @@
 #include <thread>
 #include <vector>
 
-#include "consensus/staged.hpp"
 #include "faults/budget.hpp"
 #include "faults/faulty_cas.hpp"
 #include "faults/policy.hpp"
+#include "proto/registry.hpp"
 #include "util/cli.hpp"
 #include "util/spin_barrier.hpp"
 
@@ -46,7 +46,9 @@ int main(int argc, char** argv) {
         i, ff::model::FaultKind::kOverriding, &policy, &budget));
     raw.push_back(bank.back().get());
   }
-  ff::consensus::StagedConsensus election(raw, t);
+  const auto election_ptr = ff::proto::protocol(
+      "staged", ff::proto::Params{{"f", f}, {"t", t}}, raw);
+  ff::consensus::Protocol& election = *election_ptr;
   election.set_step_limit(10'000'000);
 
   // elected[epoch][worker] = leader this worker observed.

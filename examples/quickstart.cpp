@@ -7,10 +7,10 @@
 #include <memory>
 #include <vector>
 
-#include "consensus/f_plus_one.hpp"
 #include "faults/budget.hpp"
 #include "faults/faulty_cas.hpp"
 #include "faults/policy.hpp"
+#include "proto/registry.hpp"
 #include "runtime/stress.hpp"
 #include "util/cli.hpp"
 
@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
     raw.push_back(bank.back().get());
   }
 
-  ff::consensus::FPlusOneConsensus protocol(raw);
+  const auto protocol_ptr = ff::proto::protocol(
+      "f-plus-one", ff::proto::Params{{"k", f + 1}}, raw);
+  ff::consensus::Protocol& protocol = *protocol_ptr;
 
   ff::runtime::StressOptions options;
   options.processes = n;

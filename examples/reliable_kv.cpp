@@ -18,10 +18,11 @@
 #include <thread>
 #include <vector>
 
-#include "consensus/f_plus_one.hpp"
+#include "consensus/consensus.hpp"
 #include "faults/budget.hpp"
 #include "faults/faulty_cas.hpp"
 #include "faults/policy.hpp"
+#include "proto/registry.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/spin_barrier.hpp"
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
   ff::faults::ProbabilisticFault policy(fault_rate, 0xCAFE);
   std::vector<std::unique_ptr<ff::faults::FaultBudget>> budgets;
   std::vector<std::unique_ptr<ff::faults::FaultyCas>> objects;
-  std::vector<std::unique_ptr<ff::consensus::FPlusOneConsensus>> log;
+  std::vector<std::unique_ptr<ff::consensus::Protocol>> log;
   for (std::uint32_t slot = 0; slot < slots; ++slot) {
     budgets.push_back(std::make_unique<ff::faults::FaultBudget>(
         f + 1, f, ff::model::kUnbounded));
@@ -79,7 +80,8 @@ int main(int argc, char** argv) {
           budgets.back().get()));
       raw.push_back(objects.back().get());
     }
-    log.push_back(std::make_unique<ff::consensus::FPlusOneConsensus>(raw));
+    log.push_back(ff::proto::protocol(
+        "f-plus-one", ff::proto::Params{{"k", f + 1}}, raw));
   }
 
   // Each worker proposes ops and applies the winners.

@@ -7,15 +7,20 @@ Gates (smoke and full mode alike):
   * census_states_match is true — the reduced explorer visited a state
     set consistent with the unreduced census (differential soundness);
   * reduction_factor >= 5 — symmetry + sleep sets shrink the symmetric
-    reference instance by at least 5x.
+    reference instance by at least 5x;
+  * ir_census_match is true — the registry IR machines and the retired
+    hand-written machines explore the identical state graph;
+  * ir_overhead <= 0.20 — the protocol-IR interpreter costs at most 20%
+    over the hand-written machines on the hot-path instance.
 
-Exit status: 0 when both gates hold, 1 when either fails, 2 when the
+Exit status: 0 when all gates hold, 1 when any fails, 2 when the
 report is unreadable or missing a gated field.
 """
 import json
 import sys
 
 MIN_REDUCTION_FACTOR = 5.0
+MAX_IR_OVERHEAD = 0.20
 
 
 def main(argv):
@@ -34,6 +39,8 @@ def main(argv):
         census_ok = bool(report["census_states_match"])
         reduced = int(report["reduced"]["peak_states"])
         unreduced = int(report["unreduced"]["peak_states"])
+        ir_overhead = float(report["ir_overhead"])
+        ir_census_ok = bool(report["ir_census_match"])
     except (KeyError, TypeError, ValueError) as err:
         print(f"bench_gate: report missing gated field: {err}",
               file=sys.stderr)
@@ -41,7 +48,8 @@ def main(argv):
 
     mode = "smoke" if report.get("smoke") else "full"
     print(f"bench gate ({mode}): reduction {unreduced} -> {reduced} states "
-          f"({factor:.2f}x), census match: {census_ok}")
+          f"({factor:.2f}x), census match: {census_ok}, "
+          f"ir overhead: {ir_overhead:.3f} (census match: {ir_census_ok})")
 
     failed = False
     if not census_ok:
@@ -51,6 +59,14 @@ def main(argv):
     if factor < MIN_REDUCTION_FACTOR:
         print(f"bench_gate: FAIL — reduction factor {factor:.2f} < "
               f"{MIN_REDUCTION_FACTOR}", file=sys.stderr)
+        failed = True
+    if not ir_census_ok:
+        print("bench_gate: FAIL — IR machines diverge from the hand-written "
+              "state graph", file=sys.stderr)
+        failed = True
+    if ir_overhead > MAX_IR_OVERHEAD:
+        print(f"bench_gate: FAIL — IR interpreter overhead "
+              f"{ir_overhead:.3f} > {MAX_IR_OVERHEAD}", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

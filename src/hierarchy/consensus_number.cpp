@@ -2,7 +2,7 @@
 
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "proto/registry.hpp"
 #include "sched/adversary.hpp"
 #include "sched/random_walk.hpp"
 
@@ -18,7 +18,7 @@ std::vector<std::uint64_t> distinct_inputs(std::uint32_t n) {
 
 sched::SimWorld make_world(std::uint32_t f, std::uint32_t t,
                            std::uint32_t n,
-                           const consensus::StagedFactory& factory) {
+                           const sched::MachineFactory& factory) {
   sched::SimConfig config;
   config.num_objects = f;
   config.kind = model::FaultKind::kOverriding;
@@ -36,7 +36,9 @@ HierarchyCell probe_staged_cell(std::uint32_t f, std::uint32_t t,
   cell.t = t;
   cell.n = n;
 
-  const consensus::StagedFactory factory(f, t);
+  const auto factory_ptr =
+      proto::machine_factory("staged", proto::Params{{"f", f}, {"t", t}});
+  const sched::MachineFactory& factory = *factory_ptr;
   const sched::SimWorld initial = make_world(f, t, n, factory);
 
   // 1. Exhaustive exploration within the state cap.

@@ -1,0 +1,743 @@
+#include "proto/ir.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace ff::proto {
+
+namespace {
+
+constexpr std::uint32_t kUnboundLabel = 0xFFFFFFFFu;
+
+[[noreturn]] void fail(const std::string& program, const std::string& why) {
+  throw std::invalid_argument("proto IR `" + program + "`: " + why);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- builder
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  prog_.name_ = std::move(name);
+}
+
+std::uint16_t ProgramBuilder::local(std::string name, ExprId init) {
+  if (prog_.locals_.size() >= kMaxLocals) {
+    fail(prog_.name_, "too many locals (max " + std::to_string(kMaxLocals) +
+                          ")");
+  }
+  prog_.locals_.push_back(LocalSpec{std::move(name), init});
+  return static_cast<std::uint16_t>(prog_.locals_.size() - 1);
+}
+
+std::uint16_t ProgramBuilder::scratch(std::string name) {
+  return local(std::move(name), cst(0));
+}
+
+ExprId ProgramBuilder::push(ExprNode node) {
+  if (prog_.exprs_.size() >= kNoExpr) {
+    fail(prog_.name_, "expression pool overflow");
+  }
+  prog_.exprs_.push_back(node);
+  return static_cast<ExprId>(prog_.exprs_.size() - 1);
+}
+
+ExprId ProgramBuilder::cst(Word v) {
+  return push({ExprOp::kConst, v, kNoExpr, kNoExpr, kNoExpr});
+}
+ExprId ProgramBuilder::input() {
+  return push({ExprOp::kInput, 0, kNoExpr, kNoExpr, kNoExpr});
+}
+ExprId ProgramBuilder::pid() {
+  return push({ExprOp::kPid, 0, kNoExpr, kNoExpr, kNoExpr});
+}
+ExprId ProgramBuilder::ref(std::uint16_t l) {
+  return push({ExprOp::kLocal, l, kNoExpr, kNoExpr, kNoExpr});
+}
+ExprId ProgramBuilder::add(ExprId a, ExprId b) {
+  return push({ExprOp::kAdd, 0, a, b, kNoExpr});
+}
+ExprId ProgramBuilder::sub(ExprId a, ExprId b) {
+  return push({ExprOp::kSub, 0, a, b, kNoExpr});
+}
+ExprId ProgramBuilder::eq(ExprId a, ExprId b) {
+  return push({ExprOp::kEq, 0, a, b, kNoExpr});
+}
+ExprId ProgramBuilder::ne(ExprId a, ExprId b) {
+  return push({ExprOp::kNe, 0, a, b, kNoExpr});
+}
+ExprId ProgramBuilder::lt(ExprId a, ExprId b) {
+  return push({ExprOp::kLt, 0, a, b, kNoExpr});
+}
+ExprId ProgramBuilder::ge(ExprId a, ExprId b) {
+  return push({ExprOp::kGe, 0, a, b, kNoExpr});
+}
+ExprId ProgramBuilder::land(ExprId a, ExprId b) {
+  return push({ExprOp::kAnd, 0, a, b, kNoExpr});
+}
+ExprId ProgramBuilder::lor(ExprId a, ExprId b) {
+  return push({ExprOp::kOr, 0, a, b, kNoExpr});
+}
+ExprId ProgramBuilder::lnot(ExprId a) {
+  return push({ExprOp::kNot, 0, a, kNoExpr, kNoExpr});
+}
+ExprId ProgramBuilder::is_bottom(ExprId a) {
+  return push({ExprOp::kIsBottom, 0, a, kNoExpr, kNoExpr});
+}
+ExprId ProgramBuilder::pack(ExprId value, ExprId stage) {
+  return push({ExprOp::kPack, 0, value, stage, kNoExpr});
+}
+ExprId ProgramBuilder::stage_of(ExprId a) {
+  return push({ExprOp::kStage, 0, a, kNoExpr, kNoExpr});
+}
+ExprId ProgramBuilder::value_of(ExprId a) {
+  return push({ExprOp::kValueOf, 0, a, kNoExpr, kNoExpr});
+}
+ExprId ProgramBuilder::select(ExprId cond, ExprId then_e, ExprId else_e) {
+  return push({ExprOp::kSelect, 0, cond, then_e, else_e});
+}
+ExprId ProgramBuilder::u32(ExprId a) {
+  return push({ExprOp::kU32, 0, a, kNoExpr, kNoExpr});
+}
+
+ProgramBuilder::Label ProgramBuilder::label() {
+  label_pcs_.push_back(kUnboundLabel);
+  return static_cast<Label>(label_pcs_.size() - 1);
+}
+
+void ProgramBuilder::bind(Label l) {
+  label_pcs_.at(l) = static_cast<std::uint32_t>(prog_.ops_.size());
+}
+
+void ProgramBuilder::push_op(Op op) {
+  prog_.ops_.push_back(op);
+}
+
+std::uint16_t ProgramBuilder::delivery_scratch() {
+  if (delivery_scratch_ == 0xFFFFu) delivery_scratch_ = scratch("_sink");
+  return delivery_scratch_;
+}
+
+void ProgramBuilder::cas(std::uint16_t dst, ExprId index,
+                         std::uint32_t index_bound, ExprId expected,
+                         ExprId desired) {
+  push_op(Op{OpKind::kCas, dst, index, index_bound, expected, desired, 0});
+}
+void ProgramBuilder::reg_read(std::uint16_t dst, ExprId index,
+                              std::uint32_t index_bound) {
+  push_op(Op{OpKind::kRegRead, dst, index, index_bound, kNoExpr, kNoExpr, 0});
+}
+void ProgramBuilder::reg_write(ExprId index, std::uint32_t index_bound,
+                               ExprId value) {
+  push_op(Op{OpKind::kRegWrite, delivery_scratch(), index, index_bound,
+             kNoExpr, value, 0});
+}
+void ProgramBuilder::enqueue(ExprId value) {
+  push_op(Op{OpKind::kEnqueue, delivery_scratch(), kNoExpr, 0, kNoExpr,
+             value, 0});
+}
+void ProgramBuilder::dequeue(std::uint16_t dst) {
+  push_op(Op{OpKind::kDequeue, dst, kNoExpr, 0, kNoExpr, kNoExpr, 0});
+}
+void ProgramBuilder::set(std::uint16_t dst, ExprId value) {
+  push_op(Op{OpKind::kSet, dst, kNoExpr, 0, kNoExpr, value, 0});
+}
+void ProgramBuilder::branch(ExprId cond, Label target) {
+  fixups_.emplace_back(static_cast<std::uint32_t>(prog_.ops_.size()), target);
+  push_op(Op{OpKind::kBranch, 0, kNoExpr, 0, kNoExpr, cond, 0});
+}
+void ProgramBuilder::jump(Label target) {
+  fixups_.emplace_back(static_cast<std::uint32_t>(prog_.ops_.size()), target);
+  push_op(Op{OpKind::kGoto, 0, kNoExpr, 0, kNoExpr, kNoExpr, 0});
+}
+void ProgramBuilder::halt(ExprId decision) {
+  push_op(Op{OpKind::kHalt, 0, kNoExpr, 0, kNoExpr, decision, 0});
+}
+
+void ProgramBuilder::emit(std::uint16_t l) {
+  prog_.layout_.push_back(l);
+}
+
+// ----------------------------------------------------------- finalize
+
+namespace {
+
+/// Collects the locals read by expression `id` into `out`, and reports
+/// whether kInput / kPid occur anywhere in the tree.
+struct ExprScan {
+  const std::vector<ExprNode>& exprs;
+  void walk(ExprId id, std::set<std::uint16_t>& out, bool& uses_input,
+            bool& uses_pid) const {
+    if (id == kNoExpr) return;
+    const ExprNode& e = exprs[id];
+    if (e.op == ExprOp::kInput) uses_input = true;
+    if (e.op == ExprOp::kPid) uses_pid = true;
+    if (e.op == ExprOp::kLocal) {
+      out.insert(static_cast<std::uint16_t>(e.imm));
+      return;
+    }
+    if (e.op == ExprOp::kConst) return;
+    walk(e.a, out, uses_input, uses_pid);
+    walk(e.b, out, uses_input, uses_pid);
+    walk(e.c, out, uses_input, uses_pid);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const Program> ProgramBuilder::finalize() {
+  if (finalized_) fail(prog_.name_, "finalize() called twice");
+  finalized_ = true;
+  const std::string& name = prog_.name_;
+
+  // Resolve labels.
+  for (const auto& [op_index, l] : fixups_) {
+    const std::uint32_t pc = label_pcs_.at(l);
+    if (pc == kUnboundLabel) fail(name, "jump to an unbound label");
+    prog_.ops_[op_index].target = pc;
+  }
+
+  const std::size_t n_ops = prog_.ops_.size();
+  if (n_ops == 0) fail(name, "empty program");
+  const ExprScan scan{prog_.exprs_};
+
+  // Per-op structural checks + derived counts + per-op read/write sets.
+  std::vector<std::set<std::uint16_t>> uses(n_ops);
+  std::vector<bool> runtime_input(n_ops, false);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    const Op& op = prog_.ops_[i];
+    bool in = false;
+    bool pid_used = false;
+    scan.walk(op.index, uses[i], in, pid_used);
+    scan.walk(op.expected, uses[i], in, pid_used);
+    scan.walk(op.value, uses[i], in, pid_used);
+    runtime_input[i] = in;
+    prog_.uses_pid_ = prog_.uses_pid_ || pid_used;
+
+    if (op.target >= n_ops &&
+        (op.kind == OpKind::kBranch || op.kind == OpKind::kGoto)) {
+      fail(name, "jump target out of range");
+    }
+    const bool falls_through =
+        op.kind != OpKind::kGoto && op.kind != OpKind::kHalt;
+    if (falls_through && i + 1 >= n_ops) {
+      fail(name, "control can fall off the end of the program");
+    }
+    switch (op.kind) {
+      case OpKind::kCas:
+        if (op.index_bound == 0) fail(name, "kCas with zero index bound");
+        prog_.num_objects_ = std::max(prog_.num_objects_, op.index_bound);
+        break;
+      case OpKind::kRegRead:
+      case OpKind::kRegWrite:
+        if (op.index_bound == 0) {
+          fail(name, "register op with zero index bound");
+        }
+        prog_.num_registers_ = std::max(prog_.num_registers_, op.index_bound);
+        break;
+      case OpKind::kEnqueue:
+      case OpKind::kDequeue:
+        prog_.uses_queue_ = true;
+        break;
+      default:
+        break;
+    }
+    if (op.dst >= prog_.locals_.size() &&
+        (is_shared_op(op.kind) || op.kind == OpKind::kSet)) {
+      fail(name, "op writes an undeclared local");
+    }
+    if (runtime_input[i]) {
+      fail(name,
+           "`input` referenced outside local initializers — a paused "
+           "machine's behaviour must be a function of (pc, locals) alone");
+    }
+  }
+
+  // Local initializers: input is allowed, pid taints, local refs are not
+  // (initializers run before any local is meaningful).
+  for (const LocalSpec& l : prog_.locals_) {
+    if (l.init == kNoExpr) fail(name, "local without initializer");
+    std::set<std::uint16_t> init_reads;
+    bool in = false;
+    bool pid_used = false;
+    scan.walk(l.init, init_reads, in, pid_used);
+    prog_.uses_pid_ = prog_.uses_pid_ || pid_used;
+    if (!init_reads.empty()) {
+      fail(name, "local initializer references another local");
+    }
+  }
+
+  if (prog_.uses_queue_ &&
+      (prog_.num_objects_ != 0 || prog_.num_registers_ != 0)) {
+    fail(name, "queue clients may not mix CAS/register ops");
+  }
+
+  // Every control-flow cycle must contain a shared op (a pause), so the
+  // interpreter's run-to-next-pause loop is structurally bounded.  DFS
+  // over the subgraph induced by the LOCAL ops only: a cycle there is a
+  // potential infinite no-pause spin.
+  {
+    enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
+    std::vector<Mark> mark(n_ops, Mark::kWhite);
+    std::vector<std::pair<std::uint32_t, int>> stack;  // (op, next edge)
+    const auto succ = [&](std::uint32_t pc, int edge) -> std::uint32_t {
+      const Op& op = prog_.ops_[pc];
+      if (op.kind == OpKind::kHalt) return kUnboundLabel;
+      if (op.kind == OpKind::kGoto) {
+        return edge == 0 ? op.target : kUnboundLabel;
+      }
+      if (op.kind == OpKind::kBranch) {
+        if (edge == 0) return op.target;
+        if (edge == 1) return pc + 1;
+        return kUnboundLabel;
+      }
+      return edge == 0 ? pc + 1 : kUnboundLabel;  // kSet and shared ops
+    };
+    for (std::uint32_t root = 0; root < n_ops; ++root) {
+      if (mark[root] != Mark::kWhite || is_shared_op(prog_.ops_[root].kind)) {
+        continue;
+      }
+      mark[root] = Mark::kGrey;
+      stack.emplace_back(root, 0);
+      while (!stack.empty()) {
+        auto& [pc, edge] = stack.back();
+        const std::uint32_t next = succ(pc, edge++);
+        if (next == kUnboundLabel) {
+          mark[pc] = Mark::kBlack;
+          stack.pop_back();
+          continue;
+        }
+        if (is_shared_op(prog_.ops_[next].kind)) continue;  // pause breaks it
+        if (mark[next] == Mark::kGrey) {
+          fail(name,
+               "control-flow cycle without a shared-memory operation — "
+               "the interpreter could spin without pausing");
+        }
+        if (mark[next] == Mark::kWhite) {
+          mark[next] = Mark::kGrey;
+          stack.emplace_back(next, 0);
+        }
+      }
+    }
+  }
+
+  // Backward liveness: at every pause point (shared op), the locals the
+  // machine can still read must all be in the encode() layout — with the
+  // pending op's own operand reads counting as live (they ARE the pending
+  // step) and its dst counting as defined by the delivery.  This is the
+  // static half of the encode() soundness argument (DESIGN.md §3e).
+  {
+    std::vector<std::set<std::uint16_t>> live_in(n_ops);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = n_ops; i-- > 0;) {
+        const Op& op = prog_.ops_[i];
+        std::set<std::uint16_t> out;
+        const auto join = [&](std::uint32_t s) {
+          if (s < n_ops) out.insert(live_in[s].begin(), live_in[s].end());
+        };
+        switch (op.kind) {
+          case OpKind::kHalt:
+            break;
+          case OpKind::kGoto:
+            join(op.target);
+            break;
+          case OpKind::kBranch:
+            join(op.target);
+            join(static_cast<std::uint32_t>(i + 1));
+            break;
+          default:
+            join(static_cast<std::uint32_t>(i + 1));
+            break;
+        }
+        if (is_shared_op(op.kind) || op.kind == OpKind::kSet) {
+          out.erase(op.dst);  // delivery / assignment defines dst
+        }
+        out.insert(uses[i].begin(), uses[i].end());
+        if (out != live_in[i]) {
+          live_in[i] = std::move(out);
+          changed = true;
+        }
+      }
+    }
+    std::set<std::uint16_t> layout_set(prog_.layout_.begin(),
+                                       prog_.layout_.end());
+    for (const std::uint16_t l : layout_set) {
+      if (l >= prog_.locals_.size()) {
+        fail(name, "layout names an undeclared local");
+      }
+    }
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      if (!is_shared_op(prog_.ops_[i].kind) &&
+          prog_.ops_[i].kind != OpKind::kHalt) {
+        continue;
+      }
+      for (const std::uint16_t l : live_in[i]) {
+        if (layout_set.count(l) == 0) {
+          fail(name, "local `" + prog_.locals_[l].name +
+                         "` is live at a pause point but missing from the "
+                         "encode() layout — equal encodings would not imply "
+                         "equal behaviour");
+        }
+      }
+    }
+  }
+
+  // Flatten every expression tree into contiguous postfix code so that
+  // Program::eval (ir.hpp) is an iterative loop — the hot path of both
+  // drivers.  The builder only ever hands out ids of already-pushed
+  // nodes, so children always have smaller ids and the pool is a DAG;
+  // a postorder walk with an explicit stack terminates.  The simulated
+  // operand-stack depth doubles as the kMaxEvalDepth check.
+  {
+    const std::size_t n_exprs = prog_.exprs_.size();
+    prog_.post_off_.resize(n_exprs, 0);
+    prog_.post_len_.resize(n_exprs, 0);
+    std::vector<std::pair<ExprId, bool>> walk;  // (node, children emitted)
+    for (ExprId root = 0; root < n_exprs; ++root) {
+      const auto off = static_cast<std::uint32_t>(prog_.post_.size());
+      prog_.post_off_[root] = off;
+      std::size_t depth = 0;
+      std::size_t max_depth = 0;
+      walk.emplace_back(root, false);
+      while (!walk.empty()) {
+        auto& [id, emitted] = walk.back();
+        const ExprNode& e = prog_.exprs_[id];
+        if (!emitted) {
+          emitted = true;
+          // Push children in reverse so they evaluate a, b, c in order.
+          if (e.c != kNoExpr) walk.emplace_back(e.c, false);
+          if (e.b != kNoExpr) walk.emplace_back(e.b, false);
+          if (e.a != kNoExpr) walk.emplace_back(e.a, false);
+          continue;
+        }
+        walk.pop_back();
+        prog_.post_.push_back(PostOp{e.op, e.imm});
+        const std::size_t arity = (e.a != kNoExpr ? 1u : 0u) +
+                                  (e.b != kNoExpr ? 1u : 0u) +
+                                  (e.c != kNoExpr ? 1u : 0u);
+        depth = depth - arity + 1;
+        max_depth = std::max(max_depth, depth);
+      }
+      if (max_depth > kMaxEvalDepth) {
+        fail(name, "expression exceeds the evaluation-stack bound");
+      }
+      prog_.post_len_[root] =
+          static_cast<std::uint16_t>(prog_.post_.size() - off);
+    }
+  }
+
+  // Compile the whole op list into one flat VM stream (see VmCode):
+  // each op becomes its operands' postfix code followed by a terminator
+  // token, so IrMachine's run-to-pause loop is a single dispatch loop.
+  // The operand stack is empty at every op boundary (each terminator
+  // consumes exactly what its operands pushed), so the per-op simulated
+  // depth check below bounds the whole stream by kMaxEvalDepth.
+  {
+    const auto stack_effect = [](VmCode code) -> int {
+      switch (code) {
+        case VmCode::kConst:
+        case VmCode::kInput:
+        case VmCode::kPid:
+        case VmCode::kLocal:
+        case VmCode::kAddLC:
+        case VmCode::kSubLC:
+        case VmCode::kEqLC:
+        case VmCode::kNeLC:
+        case VmCode::kLtLC:
+        case VmCode::kGeLC:
+        case VmCode::kAddLL:
+        case VmCode::kSubLL:
+        case VmCode::kEqLL:
+        case VmCode::kNeLL:
+        case VmCode::kLtLL:
+        case VmCode::kGeLL:
+        case VmCode::kIsBottomL:
+        case VmCode::kNotBottomL:
+        case VmCode::kStageL:
+        case VmCode::kValueOfL:
+        case VmCode::kGeSL:
+        case VmCode::kLtSC:
+          return 1;
+        case VmCode::kNot:
+        case VmCode::kIsBottom:
+        case VmCode::kStage:
+        case VmCode::kValueOf:
+        case VmCode::kU32:
+          return 0;
+        case VmCode::kSelect:
+          return -2;
+        default:
+          return -1;  // binary expression operators
+      }
+    };
+    // Fused counterpart of a binary ExprOp, or kConst when not fusable.
+    const auto fused_lc = [](ExprOp op) -> VmCode {
+      switch (op) {
+        case ExprOp::kAdd:
+          return VmCode::kAddLC;
+        case ExprOp::kSub:
+          return VmCode::kSubLC;
+        case ExprOp::kEq:
+          return VmCode::kEqLC;
+        case ExprOp::kNe:
+          return VmCode::kNeLC;
+        case ExprOp::kLt:
+          return VmCode::kLtLC;
+        case ExprOp::kGe:
+          return VmCode::kGeLC;
+        default:
+          return VmCode::kConst;
+      }
+    };
+    const auto fused_ll = [](ExprOp op) -> VmCode {
+      switch (op) {
+        case ExprOp::kAdd:
+          return VmCode::kAddLL;
+        case ExprOp::kSub:
+          return VmCode::kSubLL;
+        case ExprOp::kEq:
+          return VmCode::kEqLL;
+        case ExprOp::kNe:
+          return VmCode::kNeLL;
+        case ExprOp::kLt:
+          return VmCode::kLtLL;
+        case ExprOp::kGe:
+          return VmCode::kGeLL;
+        default:
+          return VmCode::kConst;
+      }
+    };
+    // Fused compare-and-branch counterpart of a single fused compare
+    // token, or kConst when the terminator cannot absorb it.
+    const auto fused_branch = [](VmCode code) -> VmCode {
+      switch (code) {
+        case VmCode::kEqLL:
+          return VmCode::kOpBranchEqLL;
+        case VmCode::kNeLL:
+          return VmCode::kOpBranchNeLL;
+        case VmCode::kLtLL:
+          return VmCode::kOpBranchLtLL;
+        case VmCode::kGeLL:
+          return VmCode::kOpBranchGeLL;
+        case VmCode::kEqLC:
+          return VmCode::kOpBranchEqLC;
+        case VmCode::kNeLC:
+          return VmCode::kOpBranchNeLC;
+        case VmCode::kLtLC:
+          return VmCode::kOpBranchLtLC;
+        case VmCode::kGeLC:
+          return VmCode::kOpBranchGeLC;
+        default:
+          return VmCode::kConst;
+      }
+    };
+    prog_.vm_off_.resize(n_ops, 0);
+    // `packed` fixups patch only imm's high half (the low half already
+    // carries the fused branch's second operand).
+    struct Fixup {
+      std::size_t tok;
+      std::uint32_t target;
+      bool packed;
+    };
+    std::vector<Fixup> vm_fixups;
+    std::vector<VmOp> tmp;  // one op's tokens, pre-peephole
+    const auto append_expr = [&](ExprId id) {
+      const std::uint32_t off = prog_.post_off_[id];
+      for (std::uint32_t k = 0; k < prog_.post_len_[id]; ++k) {
+        const PostOp& tok = prog_.post_[off + k];
+        tmp.push_back(VmOp{static_cast<VmCode>(tok.op), 0, tok.imm});
+      }
+    };
+    // Peephole over one op's postfix run.  Every rewrite replaces a
+    // "push, [push,] combine" suffix whose operands were pushed by the
+    // immediately preceding tokens, so it is context-free and exact.
+    const auto peephole = [&]() {
+      std::vector<VmOp> out;
+      out.reserve(tmp.size());
+      for (const VmOp& t : tmp) {
+        const std::size_t n = out.size();
+        if (n >= 2 && out[n - 2].code == VmCode::kLocal &&
+            out[n - 1].code == VmCode::kConst &&
+            fused_lc(static_cast<ExprOp>(t.code)) != VmCode::kConst) {
+          const VmOp fused{fused_lc(static_cast<ExprOp>(t.code)),
+                           static_cast<std::uint32_t>(out[n - 2].imm),
+                           out[n - 1].imm};
+          out.resize(n - 2);
+          out.push_back(fused);
+          continue;
+        }
+        if (n >= 2 && out[n - 2].code == VmCode::kLocal &&
+            out[n - 1].code == VmCode::kLocal &&
+            fused_ll(static_cast<ExprOp>(t.code)) != VmCode::kConst) {
+          const VmOp fused{fused_ll(static_cast<ExprOp>(t.code)),
+                           static_cast<std::uint32_t>(out[n - 2].imm),
+                           out[n - 1].imm};
+          out.resize(n - 2);
+          out.push_back(fused);
+          continue;
+        }
+        if (n >= 1 && out[n - 1].code == VmCode::kLocal) {
+          VmCode fused = VmCode::kConst;
+          switch (static_cast<ExprOp>(t.code)) {
+            case ExprOp::kIsBottom:
+              fused = VmCode::kIsBottomL;
+              break;
+            case ExprOp::kStage:
+              fused = VmCode::kStageL;
+              break;
+            case ExprOp::kValueOf:
+            case ExprOp::kU32:
+              fused = VmCode::kValueOfL;
+              break;
+            default:
+              break;
+          }
+          if (fused != VmCode::kConst) {
+            const VmOp rewritten{
+                fused, static_cast<std::uint32_t>(out[n - 1].imm), 0};
+            out.resize(n - 1);
+            out.push_back(rewritten);
+            continue;
+          }
+        }
+        if (n >= 1 && out[n - 1].code == VmCode::kIsBottomL &&
+            static_cast<ExprOp>(t.code) == ExprOp::kNot) {
+          out[n - 1].code = VmCode::kNotBottomL;
+          continue;
+        }
+        // Stage-field compares — the staged protocol's hot-loop guards.
+        if (n >= 2 && out[n - 2].code == VmCode::kStageL &&
+            out[n - 1].code == VmCode::kLocal &&
+            static_cast<ExprOp>(t.code) == ExprOp::kGe) {
+          const VmOp fused{VmCode::kGeSL, out[n - 2].aux, out[n - 1].imm};
+          out.resize(n - 2);
+          out.push_back(fused);
+          continue;
+        }
+        if (n >= 2 && out[n - 2].code == VmCode::kStageL &&
+            out[n - 1].code == VmCode::kConst &&
+            static_cast<ExprOp>(t.code) == ExprOp::kLt) {
+          const VmOp fused{VmCode::kLtSC, out[n - 2].aux, out[n - 1].imm};
+          out.resize(n - 2);
+          out.push_back(fused);
+          continue;
+        }
+        out.push_back(t);
+      }
+      tmp = std::move(out);
+    };
+    // Flushes the op's (peepholed) tokens plus its terminator, checking
+    // the simulated stack depth stays within kMaxEvalDepth.
+    const auto flush_op = [&](VmOp terminator, int operand_count) {
+      peephole();
+      // kSet of a single push fuses into the terminator itself.
+      if (terminator.code == VmCode::kOpSet && tmp.size() == 1) {
+        if (tmp[0].code == VmCode::kConst) {
+          terminator = VmOp{VmCode::kOpSetConst, terminator.aux, tmp[0].imm};
+          tmp.clear();
+          operand_count = 0;
+        } else if (tmp[0].code == VmCode::kLocal) {
+          terminator = VmOp{VmCode::kOpSetLocal, terminator.aux, tmp[0].imm};
+          tmp.clear();
+          operand_count = 0;
+        } else if (tmp[0].code == VmCode::kAddLC) {
+          // dst and src local indices are both < kMaxLocals, so the two
+          // halves of aux hold them comfortably.
+          terminator = VmOp{VmCode::kOpSetAddLC,
+                            (terminator.aux << 16) | tmp[0].aux, tmp[0].imm};
+          tmp.clear();
+          operand_count = 0;
+        }
+      }
+      int depth = 0;
+      for (const VmOp& t : tmp) {
+        depth += stack_effect(t.code);
+        if (depth > static_cast<int>(kMaxEvalDepth)) {
+          fail(prog_.name_, "op operands exceed the evaluation-stack bound");
+        }
+        prog_.vm_.push_back(t);
+      }
+      assert(depth == operand_count);
+      (void)operand_count;
+      prog_.vm_.push_back(terminator);
+      tmp.clear();
+    };
+    for (std::uint32_t i = 0; i < n_ops; ++i) {
+      const Op& op = prog_.ops_[i];
+      prog_.vm_off_[i] = static_cast<std::uint32_t>(prog_.vm_.size());
+      switch (op.kind) {
+        case OpKind::kSet:
+          append_expr(op.value);
+          flush_op(VmOp{VmCode::kOpSet, op.dst, 0}, 1);
+          break;
+        case OpKind::kBranch: {
+          append_expr(op.value);
+          peephole();
+          // A condition that peepholed down to one fused compare token
+          // merges into the terminator itself (the LC forms only when
+          // the constant leaves imm's high half free for the target).
+          const VmCode fb =
+              tmp.size() == 1 ? fused_branch(tmp[0].code) : VmCode::kConst;
+          const bool fuse =
+              fb != VmCode::kConst && tmp[0].imm <= 0xFFFFFFFFULL;
+          if (fuse) {
+            prog_.vm_.push_back(VmOp{fb, tmp[0].aux, tmp[0].imm});
+            tmp.clear();
+          } else {
+            flush_op(VmOp{VmCode::kOpBranch, 0, 0}, 1);
+          }
+          vm_fixups.push_back({prog_.vm_.size() - 1, op.target, fuse});
+          break;
+        }
+        case OpKind::kGoto:
+          flush_op(VmOp{VmCode::kOpGoto, 0, 0}, 0);
+          vm_fixups.push_back({prog_.vm_.size() - 1, op.target, false});
+          break;
+        case OpKind::kHalt:
+          append_expr(op.value);
+          flush_op(VmOp{VmCode::kOpHalt, 0, i}, 1);
+          break;
+        case OpKind::kCas:
+          append_expr(op.index);
+          append_expr(op.expected);
+          append_expr(op.value);
+          flush_op(VmOp{VmCode::kOpCas, op.dst, i}, 3);
+          break;
+        case OpKind::kRegRead:
+          append_expr(op.index);
+          flush_op(VmOp{VmCode::kOpRegRead, op.dst, i}, 1);
+          break;
+        case OpKind::kRegWrite:
+          append_expr(op.index);
+          append_expr(op.value);
+          flush_op(VmOp{VmCode::kOpRegWrite, op.dst, i}, 2);
+          break;
+        case OpKind::kEnqueue:
+          append_expr(op.value);
+          flush_op(VmOp{VmCode::kOpEnqueue, op.dst, i}, 1);
+          break;
+        case OpKind::kDequeue:
+          flush_op(VmOp{VmCode::kOpDequeue, op.dst, i}, 0);
+          break;
+      }
+    }
+    for (const auto& fx : vm_fixups) {
+      const Word off = prog_.vm_off_[fx.target];
+      if (fx.packed) {
+        prog_.vm_[fx.tok].imm |= off << 32;
+      } else {
+        prog_.vm_[fx.tok].imm = off;
+      }
+    }
+  }
+
+  auto out = std::shared_ptr<Program>(new Program(std::move(prog_)));
+  return out;
+}
+
+}  // namespace ff::proto

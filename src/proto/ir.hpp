@@ -1,0 +1,445 @@
+// Protocol IR — one definition, two drivers.
+//
+// Every protocol in the reproduction used to be written twice: a
+// thread-facing consensus::Protocol and a hand-transcribed
+// sched::StepMachine twin whose header openly admitted it was a
+// "line-for-line transcription" kept honest only by cross-validation
+// tests.  This module removes the duplication: a protocol is now a single
+// Program — a structured op-list with an explicit program counter, typed
+// word locals, object/register operands and deterministic branch/goto
+// combinators — and the two executions are *derived*:
+//
+//   * proto::IrMachine (machine.hpp) steps a Program inside the
+//     deterministic simulator, satisfying the full StepMachine contract
+//     (pure next_op(), deliver(), encode(), clone());
+//   * proto::IrProtocol (protocol.hpp) runs the same Program
+//     synchronously against real objects::CasObject/AtomicRegister on
+//     real threads for the stress campaigns.
+//
+// Programs are built per parameterization (f, t, n, k are folded into
+// constants by the builder), then finalized.  finalize() performs the
+// static checks that make the derivation sound:
+//
+//   * `input` may appear only in local initializers, and `pid` taints the
+//     program as pid-dependent — so a paused machine's behaviour is a
+//     function of (pc, locals) alone, and pid-obliviousness (the enabling
+//     condition for process-symmetry reduction) is DERIVED, not declared;
+//   * every control-flow cycle contains a shared-memory operation, so the
+//     run-to-next-pause interpreter loop is structurally bounded;
+//   * a backward liveness analysis proves that every local a paused
+//     machine can still read is listed in the encoding layout — the static
+//     half of the StepMachine guarantee that equal encode() words imply
+//     identical behaviour forever (DESIGN.md §3e);
+//   * object and register counts are derived from the operand bounds of
+//     the ops themselves, retiring the hand-maintained (and easy to get
+//     wrong) objects_used()/registers_used() constants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/value.hpp"
+
+namespace ff::proto {
+
+/// All IR values are raw 64-bit words; the all-ones word is ⊥, exactly as
+/// in model::Value, so words round-trip through shared objects unchanged.
+using Word = std::uint64_t;
+inline constexpr Word kBottomWord = ~Word{0};
+
+using ExprId = std::uint16_t;
+inline constexpr ExprId kNoExpr = 0xFFFFu;
+
+/// Pure word expressions over locals / pid / input.  No expression has a
+/// side effect, so evaluation order never matters and kAnd/kOr need no
+/// short-circuit semantics.
+enum class ExprOp : std::uint8_t {
+  kConst,     ///< imm
+  kInput,     ///< the process input (valid only in local initializers)
+  kPid,       ///< the process id (taints the program as pid-dependent)
+  kLocal,     ///< locals[imm]
+  kAdd,       ///< a + b (wrapping)
+  kSub,       ///< a - b (wrapping)
+  kEq,        ///< a == b
+  kNe,        ///< a != b
+  kLt,        ///< a < b (unsigned)
+  kGe,        ///< a >= b (unsigned)
+  kAnd,       ///< (a != 0) && (b != 0)
+  kOr,        ///< (a != 0) || (b != 0)
+  kNot,       ///< a == 0
+  kIsBottom,  ///< a == ⊥
+  kPack,      ///< StagedValue(value=a, stage=b).pack(); both truncated to 32
+  kStage,     ///< StagedValue::unpack(a).stage()
+  kValueOf,   ///< StagedValue::unpack(a).value()
+  kSelect,    ///< a != 0 ? b : c
+  kU32,       ///< a & 0xFFFFFFFF (the static_cast<uint32_t> of the paper code)
+};
+
+struct ExprNode {
+  ExprOp op = ExprOp::kConst;
+  Word imm = 0;  ///< kConst value / kLocal index
+  ExprId a = kNoExpr;
+  ExprId b = kNoExpr;
+  ExprId c = kNoExpr;
+};
+
+/// One step of a flattened (postorder) expression.  finalize() compiles
+/// every expression tree into a contiguous run of these so that eval()
+/// is a single iterative loop over hot, cache-local code instead of a
+/// recursive descent over ExprNodes — the interpreter's per-step cost is
+/// what the bench_b3 `ir_overhead` gate measures.
+struct PostOp {
+  ExprOp op = ExprOp::kConst;
+  Word imm = 0;
+};
+
+/// Evaluation-stack bound for flattened expressions; finalize() rejects
+/// programs whose expressions would need more.
+inline constexpr std::size_t kMaxEvalDepth = 16;
+
+/// Opcodes of the flat VM stream finalize() compiles for IrMachine's
+/// run-to-pause loop: the first block mirrors ExprOp one-for-one (same
+/// numeric values, same stack effect), the rest terminate an op by
+/// consuming its operand words from the stack.  One token stream per
+/// program means the machine interpreter is a single dispatch loop — no
+/// nested per-operand eval() calls on the simulator hot path.
+enum class VmCode : std::uint8_t {
+  kConst = static_cast<std::uint8_t>(ExprOp::kConst),
+  kInput = static_cast<std::uint8_t>(ExprOp::kInput),
+  kPid = static_cast<std::uint8_t>(ExprOp::kPid),
+  kLocal = static_cast<std::uint8_t>(ExprOp::kLocal),
+  kAdd = static_cast<std::uint8_t>(ExprOp::kAdd),
+  kSub = static_cast<std::uint8_t>(ExprOp::kSub),
+  kEq = static_cast<std::uint8_t>(ExprOp::kEq),
+  kNe = static_cast<std::uint8_t>(ExprOp::kNe),
+  kLt = static_cast<std::uint8_t>(ExprOp::kLt),
+  kGe = static_cast<std::uint8_t>(ExprOp::kGe),
+  kAnd = static_cast<std::uint8_t>(ExprOp::kAnd),
+  kOr = static_cast<std::uint8_t>(ExprOp::kOr),
+  kNot = static_cast<std::uint8_t>(ExprOp::kNot),
+  kIsBottom = static_cast<std::uint8_t>(ExprOp::kIsBottom),
+  kPack = static_cast<std::uint8_t>(ExprOp::kPack),
+  kStage = static_cast<std::uint8_t>(ExprOp::kStage),
+  kValueOf = static_cast<std::uint8_t>(ExprOp::kValueOf),
+  kSelect = static_cast<std::uint8_t>(ExprOp::kSelect),
+  kU32 = static_cast<std::uint8_t>(ExprOp::kU32),
+  // --- fused expression tokens (finalize()'s peephole pass; LC = the
+  // postfix pair kLocal/kConst feeding a binary op, LL = kLocal twice) ---
+  kAddLC,       ///< push locals[aux] + imm
+  kSubLC,       ///< push locals[aux] - imm
+  kEqLC,        ///< push locals[aux] == imm
+  kNeLC,        ///< push locals[aux] != imm
+  kLtLC,        ///< push locals[aux] < imm
+  kGeLC,        ///< push locals[aux] >= imm
+  kAddLL,       ///< push locals[aux] + locals[imm]
+  kSubLL,       ///< push locals[aux] - locals[imm]
+  kEqLL,        ///< push locals[aux] == locals[imm]
+  kNeLL,        ///< push locals[aux] != locals[imm]
+  kLtLL,        ///< push locals[aux] < locals[imm]
+  kGeLL,        ///< push locals[aux] >= locals[imm]
+  kIsBottomL,   ///< push locals[aux] == ⊥
+  kNotBottomL,  ///< push locals[aux] != ⊥
+  kStageL,      ///< push locals[aux] >> 32
+  kValueOfL,    ///< push locals[aux] & 0xFFFFFFFF
+  kGeSL,        ///< push (locals[aux] >> 32) >= locals[imm]
+  kLtSC,        ///< push (locals[aux] >> 32) < imm
+  // --- op terminators ---
+  kOpSet,       ///< locals[aux] ← pop
+  kOpSetConst,  ///< locals[aux] ← imm (fused kConst + kOpSet)
+  kOpSetLocal,  ///< locals[aux] ← locals[imm] (fused kLocal + kOpSet)
+  kOpBranch,    ///< if pop ≠ 0 jump to token offset imm
+  // Fused compare-and-branch: jump target in imm's high half, the
+  // second operand (local index, or a constant that fits 32 bits) in
+  // the low half; first operand is locals[aux].
+  kOpBranchEqLL,  ///< if locals[aux] == locals[lo32] jump hi32
+  kOpBranchNeLL,  ///< if locals[aux] != locals[lo32] jump hi32
+  kOpBranchLtLL,  ///< if locals[aux] <  locals[lo32] jump hi32
+  kOpBranchGeLL,  ///< if locals[aux] >= locals[lo32] jump hi32
+  kOpBranchEqLC,  ///< if locals[aux] == lo32 jump hi32
+  kOpBranchNeLC,  ///< if locals[aux] != lo32 jump hi32
+  kOpBranchLtLC,  ///< if locals[aux] <  lo32 jump hi32
+  kOpBranchGeLC,  ///< if locals[aux] >= lo32 jump hi32
+  kOpSetAddLC,    ///< locals[aux >> 16] ← locals[aux & 0xFFFF] + imm
+  kOpGoto,      ///< jump to token offset imm
+  kOpHalt,      ///< decide pop; imm = op index (pc)
+  kOpCas,       ///< pause: CAS(O[s-3], s-2, s-1); imm = op index, aux = dst
+  kOpRegRead,   ///< pause: read R[s-1]; imm = op index, aux = dst
+  kOpRegWrite,  ///< pause: R[s-2] ← s-1; imm = op index, aux = dst
+  kOpEnqueue,   ///< queue clients only; never reaches IrMachine
+  kOpDequeue,   ///< queue clients only; never reaches IrMachine
+};
+
+struct VmOp {
+  VmCode code = VmCode::kConst;
+  std::uint32_t aux = 0;  ///< fused-token local index / pause dst local
+  Word imm = 0;
+};
+
+/// Op kinds.  The first five are SHARED ops: the machine pauses there,
+/// the scheduler picks who moves, and the step's result is delivered into
+/// `dst`.  The rest are LOCAL ops executed by the interpreter between
+/// pauses.
+enum class OpKind : std::uint8_t {
+  kCas,       ///< dst ← CAS(O[index], expected, value)
+  kRegRead,   ///< dst ← R[index]
+  kRegWrite,  ///< R[index] ← value; dst receives ⊥ (scratch)
+  kEnqueue,   ///< Q.enqueue(value); dst receives ⊥ (queue clients only)
+  kDequeue,   ///< dst ← Q.dequeue() (⊥ when empty; queue clients only)
+  kSet,       ///< locals[dst] ← value
+  kBranch,    ///< if value ≠ 0 goto target
+  kGoto,      ///< goto target
+  kHalt,      ///< decide value; machine is done
+};
+
+[[nodiscard]] constexpr bool is_shared_op(OpKind k) noexcept {
+  return k == OpKind::kCas || k == OpKind::kRegRead ||
+         k == OpKind::kRegWrite || k == OpKind::kEnqueue ||
+         k == OpKind::kDequeue;
+}
+
+struct Op {
+  OpKind kind = OpKind::kHalt;
+  std::uint16_t dst = 0;          ///< result local (shared ops, kSet)
+  ExprId index = kNoExpr;         ///< object/register index (shared ops)
+  std::uint32_t index_bound = 0;  ///< static exclusive bound on `index`
+  ExprId expected = kNoExpr;      ///< kCas only
+  ExprId value = kNoExpr;         ///< desired / written / rhs / cond / decision
+  std::uint32_t target = 0;       ///< kBranch / kGoto
+};
+
+struct LocalSpec {
+  std::string name;
+  ExprId init = kNoExpr;  ///< evaluated once at machine construction
+};
+
+/// Hard cap on locals so drivers can keep them in a flat inline array.
+inline constexpr std::size_t kMaxLocals = 12;
+
+class ProgramBuilder;
+
+/// An immutable, finalized protocol program.  Shared by all machines and
+/// protocol instances derived from it (std::shared_ptr<const Program>).
+class Program {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Op>& ops() const noexcept { return ops_; }
+  [[nodiscard]] const std::vector<ExprNode>& exprs() const noexcept {
+    return exprs_;
+  }
+  [[nodiscard]] const std::vector<LocalSpec>& locals() const noexcept {
+    return locals_;
+  }
+  /// Ordered local ids emitted by StepMachine::encode().
+  [[nodiscard]] const std::vector<std::uint16_t>& layout() const noexcept {
+    return layout_;
+  }
+  /// Derived from kCas operand bounds (satisfies MachineFactory).
+  [[nodiscard]] std::uint32_t num_objects() const noexcept {
+    return num_objects_;
+  }
+  /// Derived from kRegRead/kRegWrite operand bounds.
+  [[nodiscard]] std::uint32_t num_registers() const noexcept {
+    return num_registers_;
+  }
+  /// True when any expression reads `pid`; pid_oblivious() = !uses_pid().
+  [[nodiscard]] bool uses_pid() const noexcept { return uses_pid_; }
+  /// True for queue-client programs (kEnqueue/kDequeue); such programs
+  /// run under proto::run_queue_client, not the CAS simulator.
+  [[nodiscard]] bool uses_queue() const noexcept { return uses_queue_; }
+
+  /// Evaluates expression `id` over `locals` (array of at least
+  /// locals().size() words), the process id and the process input.
+  /// Defined inline below: an iterative loop over the flattened postfix
+  /// code finalize() compiled (expressions are pure and total, so full
+  /// postorder evaluation — no short circuit — is semantics-preserving).
+  [[nodiscard]] Word eval(ExprId id, const Word* locals, Word pid,
+                          Word input) const;
+
+  /// The whole-program VM stream (IrMachine's run-to-pause loop) and the
+  /// token offset where op `pc`'s code begins.
+  [[nodiscard]] const std::vector<VmOp>& vm_code() const noexcept {
+    return vm_;
+  }
+  [[nodiscard]] std::uint32_t vm_offset(std::uint32_t pc) const noexcept {
+    return vm_off_[pc];
+  }
+
+ private:
+  friend class ProgramBuilder;
+  Program() = default;
+
+  std::string name_;
+  std::vector<ExprNode> exprs_;
+  std::vector<Op> ops_;
+  std::vector<LocalSpec> locals_;
+  std::vector<std::uint16_t> layout_;
+  /// Flattened postfix bodies, one contiguous run per expression:
+  /// post_[post_off_[id] .. post_off_[id] + post_len_[id]).
+  std::vector<PostOp> post_;
+  std::vector<std::uint32_t> post_off_;
+  std::vector<std::uint16_t> post_len_;
+  /// Whole-program VM stream + per-op start offsets (see VmCode).
+  std::vector<VmOp> vm_;
+  std::vector<std::uint32_t> vm_off_;
+  std::uint32_t num_objects_ = 0;
+  std::uint32_t num_registers_ = 0;
+  bool uses_pid_ = false;
+  bool uses_queue_ = false;
+};
+
+/// Builds a Program op by op.  Labels are forward-declarable jump targets;
+/// finalize() resolves them and runs the static validation described in
+/// the header comment, throwing std::invalid_argument on any violation.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // ---- locals ----------------------------------------------------------
+  /// Declares a local initialized to `init` (may reference input/pid).
+  std::uint16_t local(std::string name, ExprId init);
+  /// Declares a scratch local initialized to 0 (delivery target etc.).
+  std::uint16_t scratch(std::string name);
+
+  // ---- expressions -----------------------------------------------------
+  ExprId cst(Word v);
+  ExprId input();
+  ExprId pid();
+  ExprId ref(std::uint16_t local);
+  ExprId add(ExprId a, ExprId b);
+  ExprId sub(ExprId a, ExprId b);
+  ExprId eq(ExprId a, ExprId b);
+  ExprId ne(ExprId a, ExprId b);
+  ExprId lt(ExprId a, ExprId b);
+  ExprId ge(ExprId a, ExprId b);
+  ExprId land(ExprId a, ExprId b);
+  ExprId lor(ExprId a, ExprId b);
+  ExprId lnot(ExprId a);
+  ExprId is_bottom(ExprId a);
+  ExprId pack(ExprId value, ExprId stage);
+  ExprId stage_of(ExprId a);
+  ExprId value_of(ExprId a);
+  ExprId select(ExprId cond, ExprId then_e, ExprId else_e);
+  ExprId u32(ExprId a);
+  ExprId bottom() { return cst(kBottomWord); }
+
+  // ---- labels ----------------------------------------------------------
+  using Label = std::uint32_t;
+  Label label();
+  void bind(Label l);
+
+  // ---- ops -------------------------------------------------------------
+  void cas(std::uint16_t dst, ExprId index, std::uint32_t index_bound,
+           ExprId expected, ExprId desired);
+  void reg_read(std::uint16_t dst, ExprId index, std::uint32_t index_bound);
+  void reg_write(ExprId index, std::uint32_t index_bound, ExprId value);
+  void enqueue(ExprId value);
+  void dequeue(std::uint16_t dst);
+  void set(std::uint16_t dst, ExprId value);
+  void branch(ExprId cond, Label target);
+  void jump(Label target);
+  void halt(ExprId decision);
+
+  // ---- encoding layout -------------------------------------------------
+  /// Appends `local` to the encode() layout (order = emission order).
+  void emit(std::uint16_t local);
+
+  /// Validates and freezes the program (see class comment).
+  [[nodiscard]] std::shared_ptr<const Program> finalize();
+
+ private:
+  ExprId push(ExprNode node);
+  void push_op(Op op);
+  [[nodiscard]] std::uint16_t delivery_scratch();
+
+  Program prog_;
+  std::vector<std::uint32_t> label_pcs_;  ///< kUnboundLabel until bind()
+  /// (op index, label) pairs patched at finalize().
+  std::vector<std::pair<std::uint32_t, Label>> fixups_;
+  std::uint16_t delivery_scratch_ = 0xFFFFu;
+  bool finalized_ = false;
+};
+
+inline Word Program::eval(ExprId id, const Word* locals, Word pid,
+                          Word input) const {
+  const PostOp* p = post_.data() + post_off_[id];
+  const PostOp* const end = p + post_len_[id];
+  Word stack[kMaxEvalDepth];
+  Word* sp = stack;  // points one past the top
+  for (; p != end; ++p) {
+    switch (p->op) {
+      case ExprOp::kConst:
+        *sp++ = p->imm;
+        break;
+      case ExprOp::kInput:
+        *sp++ = input;
+        break;
+      case ExprOp::kPid:
+        *sp++ = pid;
+        break;
+      case ExprOp::kLocal:
+        *sp++ = locals[p->imm];
+        break;
+      case ExprOp::kAdd:
+        sp[-2] = sp[-2] + sp[-1];
+        --sp;
+        break;
+      case ExprOp::kSub:
+        sp[-2] = sp[-2] - sp[-1];
+        --sp;
+        break;
+      case ExprOp::kEq:
+        sp[-2] = sp[-2] == sp[-1] ? 1 : 0;
+        --sp;
+        break;
+      case ExprOp::kNe:
+        sp[-2] = sp[-2] != sp[-1] ? 1 : 0;
+        --sp;
+        break;
+      case ExprOp::kLt:
+        sp[-2] = sp[-2] < sp[-1] ? 1 : 0;
+        --sp;
+        break;
+      case ExprOp::kGe:
+        sp[-2] = sp[-2] >= sp[-1] ? 1 : 0;
+        --sp;
+        break;
+      case ExprOp::kAnd:
+        sp[-2] = (sp[-2] != 0 && sp[-1] != 0) ? 1 : 0;
+        --sp;
+        break;
+      case ExprOp::kOr:
+        sp[-2] = (sp[-2] != 0 || sp[-1] != 0) ? 1 : 0;
+        --sp;
+        break;
+      case ExprOp::kNot:
+        sp[-1] = sp[-1] == 0 ? 1 : 0;
+        break;
+      case ExprOp::kIsBottom:
+        sp[-1] = sp[-1] == kBottomWord ? 1 : 0;
+        break;
+      case ExprOp::kPack:
+        // StagedValue(value, stage).pack(): both halves truncated to 32
+        // bits, so a u32 stage wrap (stage − 1 at stage 0) matches the
+        // legacy protocols' std::uint32_t arithmetic exactly.
+        sp[-2] = ((sp[-1] & 0xFFFFFFFFULL) << 32) | (sp[-2] & 0xFFFFFFFFULL);
+        --sp;
+        break;
+      case ExprOp::kStage:
+        sp[-1] = sp[-1] >> 32;
+        break;
+      case ExprOp::kValueOf:
+      case ExprOp::kU32:
+        sp[-1] = sp[-1] & 0xFFFFFFFFULL;
+        break;
+      case ExprOp::kSelect:
+        sp[-3] = sp[-3] != 0 ? sp[-2] : sp[-1];
+        sp -= 2;
+        break;
+    }
+  }
+  return sp[-1];
+}
+
+}  // namespace ff::proto

@@ -1,0 +1,254 @@
+#include "proto/programs.hpp"
+
+#include "model/tolerance.hpp"
+
+namespace ff::proto {
+
+// Layouts below reproduce the legacy machine encodings word for word:
+// status/phase locals mirror the old explicit program counters, and the
+// "decision slot" locals start at the input so pre-decision states encode
+// the input exactly as the legacy machines did.
+
+std::shared_ptr<const Program> single_cas_program() {
+  ProgramBuilder b("single-cas");
+  const auto dn = b.local("dn", b.cst(0));       // legacy done_ flag
+  const auto out = b.local("out", b.input());    // input, then decision
+  const auto r = b.scratch("r");
+  b.emit(dn);
+  b.emit(out);
+
+  // old ← CAS(O_0, ⊥, out); if old ≠ ⊥ adopt it.
+  b.cas(r, b.cst(0), 1, b.bottom(), b.ref(out));
+  b.set(out, b.select(b.is_bottom(b.ref(r)), b.ref(out), b.ref(r)));
+  b.set(dn, b.cst(1));
+  b.halt(b.ref(out));
+  return b.finalize();
+}
+
+std::shared_ptr<const Program> f_plus_one_program(std::uint32_t k) {
+  ProgramBuilder b("f-plus-one");
+  const auto i = b.local("i", b.cst(0));
+  const auto out = b.local("out", b.input());
+  b.emit(i);
+  b.emit(out);
+  if (k == 0) {  // degenerate: no objects, decide the input immediately
+    b.halt(b.ref(out));
+    return b.finalize();
+  }
+  const auto r = b.scratch("r");
+
+  const auto loop = b.label();
+  const auto done = b.label();
+  b.bind(loop);  // for i = 0 to k-1
+  b.branch(b.ge(b.ref(i), b.cst(k)), done);
+  b.cas(r, b.ref(i), k, b.bottom(), b.ref(out));  // old ← CAS(O_i, ⊥, out)
+  b.set(out, b.select(b.is_bottom(b.ref(r)), b.ref(out), b.ref(r)));
+  b.set(i, b.add(b.ref(i), b.cst(1)));
+  b.jump(loop);
+  b.bind(done);
+  b.halt(b.ref(out));
+  return b.finalize();
+}
+
+std::shared_ptr<const Program> staged_program(std::uint32_t f,
+                                              std::uint32_t t,
+                                              std::uint32_t max_stage_override) {
+  const auto max_stage =
+      max_stage_override != 0
+          ? max_stage_override
+          : static_cast<std::uint32_t>(model::staged_max_stage(f, t));
+  ProgramBuilder b("staged");
+  // Legacy encoding order: {phase, i, s, exp, output}.  phase 0 = main
+  // stages, 1 = final stage, 2 = done — a pure encoding mirror of the
+  // paused position, never read except by the maxStage = 0 entry guard.
+  const auto phase = b.local("phase", b.cst(max_stage == 0 ? 1 : 0));
+  const auto i = b.local("i", b.cst(0));
+  const auto s = b.local("s", b.cst(0));
+  const auto exp = b.local("exp", b.bottom());
+  const auto out = b.local("out", b.u32(b.input()));
+  const auto r = b.scratch("r");
+  b.emit(phase);
+  b.emit(i);
+  b.emit(s);
+  b.emit(exp);
+  b.emit(out);
+
+  const auto main_loop = b.label();
+  const auto adopt = b.label();
+  const auto advance = b.label();
+  const auto to_final = b.label();
+  const auto final_loop = b.label();
+  const auto retry_final = b.label();
+  const auto set_done = b.label();
+
+  // maxStage = 0 guard: skip straight to the final stage (line 3 never
+  // admits a main-stage iteration).
+  b.branch(b.eq(b.ref(phase), b.cst(1)), final_loop);
+
+  // Lines 5-16: old ← CAS(O_i, exp, ⟨output, s⟩) and the retry ladder.
+  b.bind(main_loop);
+  b.cas(r, b.ref(i), f, b.ref(exp), b.pack(b.ref(out), b.ref(s)));
+  b.branch(b.eq(b.ref(r), b.ref(exp)), advance);  // line 16: success
+  b.branch(b.land(b.lnot(b.is_bottom(b.ref(r))),  // line 8: old.stage ≥ s
+                  b.ge(b.stage_of(b.ref(r)), b.ref(s))),
+           adopt);
+  b.set(exp, b.ref(r));  // line 15: repair exp, retry the same object
+  b.jump(main_loop);
+
+  // Lines 9-14: adopt the observed ⟨value, stage⟩.
+  b.bind(adopt);
+  b.set(out, b.value_of(b.ref(r)));  // line 9
+  b.set(s, b.stage_of(b.ref(r)));    // line 10
+  b.branch(b.eq(b.ref(s), b.cst(max_stage)), set_done);  // lines 11-12
+  // Line 13: exp ← ⟨old.val, old.stage − 1⟩ (stage-0 wrap yields a
+  // never-matching pair, repaired by line 15 on first use).
+  b.set(exp, b.pack(b.value_of(b.ref(r)),
+                    b.sub(b.stage_of(b.ref(r)), b.cst(1))));
+  b.jump(advance);  // line 14
+
+  // Lines 4 / 17-18: next object; stage rollover with the ⊥ filler.
+  b.bind(advance);
+  b.set(i, b.add(b.ref(i), b.cst(1)));
+  b.branch(b.lt(b.ref(i), b.cst(f)), main_loop);
+  b.set(exp, b.pack(b.select(b.is_bottom(b.ref(exp)),
+                             b.cst(kStagedNeverValue),
+                             b.value_of(b.ref(exp))),
+                    b.ref(s)));  // line 17
+  b.set(s, b.add(b.ref(s), b.cst(1)));  // line 18
+  b.set(i, b.cst(0));
+  b.branch(b.ge(b.ref(s), b.cst(max_stage)), to_final);  // line 3 exit
+  b.jump(main_loop);
+
+  b.bind(to_final);
+  b.set(phase, b.cst(1));
+  b.jump(final_loop);
+
+  // Lines 19-23: write ⟨output, maxStage⟩ to O_0 until it sticks.
+  b.bind(final_loop);
+  b.cas(r, b.cst(0), f, b.ref(exp), b.pack(b.ref(out), b.cst(max_stage)));
+  b.branch(b.land(b.ne(b.ref(r), b.ref(exp)),
+                  b.lor(b.is_bottom(b.ref(r)),
+                        b.lt(b.stage_of(b.ref(r)), b.cst(max_stage)))),
+           retry_final);
+  b.jump(set_done);  // line 23
+  b.bind(retry_final);
+  b.set(exp, b.ref(r));  // line 22
+  b.jump(final_loop);
+
+  b.bind(set_done);
+  b.set(phase, b.cst(2));
+  b.halt(b.ref(out));  // line 24
+  return b.finalize();
+}
+
+std::shared_ptr<const Program> announce_cas_program(std::uint32_t n) {
+  ProgramBuilder b("announce-cas");
+  const auto st = b.local("st", b.cst(0));   // legacy pc_ mirror
+  const auto w = b.local("w", b.cst(0));     // legacy winner_
+  const auto d = b.local("d", b.input());    // input, then decision
+  const auto r = b.scratch("r");
+  b.emit(st);
+  b.emit(w);
+  b.emit(d);
+
+  b.reg_write(b.pid(), n, b.ref(d));  // announce: A[pid] ← input
+  b.set(st, b.cst(1));
+  b.cas(r, b.cst(0), 1, b.bottom(), b.pid());  // tiebreak: CAS(O_0, ⊥, pid)
+  // Legacy truncates the winner pid to 32 bits (static_cast<ProcessId>).
+  b.set(w, b.select(b.is_bottom(b.ref(r)), b.pid(), b.u32(b.ref(r))));
+  b.set(st, b.cst(2));
+  b.reg_read(r, b.ref(w), n);  // read the winner's announcement
+  b.set(d, b.ref(r));
+  b.set(st, b.cst(3));
+  b.halt(b.ref(d));
+  return b.finalize();
+}
+
+std::shared_ptr<const Program> tas_program(std::uint32_t n) {
+  ProgramBuilder b("tas");
+  const auto st = b.local("st", b.cst(0));
+  const auto d = b.local("d", b.input());
+  const auto r = b.scratch("r");
+  b.emit(st);
+  b.emit(d);
+
+  const auto won = b.label();
+
+  b.reg_write(b.pid(), n, b.ref(d));  // announce A[pid] ← input
+  b.set(st, b.cst(1));
+  b.cas(r, b.cst(0), 1, b.bottom(), b.cst(1));  // TAS the bit
+  b.branch(b.is_bottom(b.ref(r)), won);
+  // Lost: read the other announcement (pid ≥ 2: the naive A[0]).
+  b.set(st, b.cst(2));
+  b.reg_read(r, b.select(b.lt(b.pid(), b.cst(2)),
+                         b.sub(b.cst(1), b.pid()), b.cst(0)),
+             n);
+  b.set(d, b.ref(r));
+  b.set(st, b.cst(3));
+  b.halt(b.ref(d));
+  b.bind(won);  // won the bit: keep the input
+  b.set(st, b.cst(3));
+  b.halt(b.ref(d));
+  return b.finalize();
+}
+
+std::shared_ptr<const Program> retry_silent_program() {
+  ProgramBuilder b("retry-silent");
+  const auto st = b.local("st", b.cst(0));
+  const auto d = b.local("d", b.input());
+  const auto r = b.scratch("r");
+  b.emit(st);
+  b.emit(d);
+
+  const auto attempt = b.label();
+  const auto adopt_r = b.label();
+  const auto decide_mine = b.label();
+
+  b.bind(attempt);  // old ← CAS(O, ⊥, val)
+  b.cas(r, b.cst(0), 1, b.bottom(), b.ref(d));
+  b.branch(b.lnot(b.is_bottom(b.ref(r))), adopt_r);  // a write landed
+  b.set(st, b.cst(1));
+  b.cas(r, b.cst(0), 1, b.ref(d), b.ref(d));  // conf ← CAS(O, val, val)
+  b.branch(b.eq(b.ref(r), b.ref(d)), decide_mine);   // content is val
+  b.branch(b.lnot(b.is_bottom(b.ref(r))), adopt_r);  // someone else's
+  b.set(st, b.cst(0));  // conf = ⊥ ⇒ our write was dropped — retry
+  b.jump(attempt);
+
+  b.bind(adopt_r);
+  b.set(d, b.ref(r));
+  b.bind(decide_mine);
+  b.set(st, b.cst(2));
+  b.halt(b.ref(d));
+  return b.finalize();
+}
+
+std::shared_ptr<const Program> queue_client_program(std::uint64_t ops) {
+  ProgramBuilder b("queue-client");
+  const auto i = b.local("i", b.cst(0));
+  const auto j = b.local("j", b.cst(0));
+  const auto x = b.scratch("x");
+  b.emit(i);
+  b.emit(j);
+
+  const auto enq = b.label();
+  const auto deq = b.label();
+  const auto done = b.label();
+
+  b.bind(enq);  // enqueue 1..ops
+  b.branch(b.ge(b.ref(i), b.cst(ops)), deq);
+  b.enqueue(b.add(b.ref(i), b.cst(1)));
+  b.set(i, b.add(b.ref(i), b.cst(1)));
+  b.jump(enq);
+
+  b.bind(deq);  // dequeue ops times
+  b.branch(b.ge(b.ref(j), b.cst(ops)), done);
+  b.dequeue(x);
+  b.set(j, b.add(b.ref(j), b.cst(1)));
+  b.jump(deq);
+
+  b.bind(done);
+  b.halt(b.cst(0));
+  return b.finalize();
+}
+
+}  // namespace ff::proto

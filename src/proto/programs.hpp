@@ -1,0 +1,54 @@
+// The paper's protocols as single IR definitions.
+//
+// Each builder returns the ONE authoritative definition of a protocol,
+// already specialized to its parameters; IrMachine explores it and
+// IrProtocol runs it on threads.  tests/test_proto_ir.cpp proves every
+// program bit-for-bit equivalent (full census + per-state encode() words)
+// to the retired hand-written twins kept under tests/legacy/.
+//
+// The encode() layouts intentionally reproduce the legacy machines'
+// encodings word for word, so state graphs, fingerprints and witnesses
+// computed before the migration remain valid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "proto/ir.hpp"
+
+namespace ff::proto {
+
+/// Filler value for the staged protocol's "⊥ with a stage" pair — no
+/// process may propose it (mirrors the retired StagedConsensus constant).
+inline constexpr std::uint32_t kStagedNeverValue = 0xFFFFFFFEu;
+
+/// Figure 1 / Herlihy: one CAS on O_0, adopt a non-⊥ old value.
+[[nodiscard]] std::shared_ptr<const Program> single_cas_program();
+
+/// Figure 2: one pass over O_0..O_{k-1}, adopting every non-⊥ old value.
+/// k = f+1 instantiates Theorem 5; k = f the candidate Theorem 18 refutes.
+[[nodiscard]] std::shared_ptr<const Program> f_plus_one_program(
+    std::uint32_t k);
+
+/// Figure 3: staged protocol over f objects, maxStage = t·(4f+f²) unless
+/// overridden (non-zero override = ablation instance, no guarantee).
+[[nodiscard]] std::shared_ptr<const Program> staged_program(
+    std::uint32_t f, std::uint32_t t, std::uint32_t max_stage_override = 0);
+
+/// Announce-and-tiebreak over registers A[0..n-1] plus one CAS object.
+[[nodiscard]] std::shared_ptr<const Program> announce_cas_program(
+    std::uint32_t n);
+
+/// Test&set consensus (TAS ≡ CAS(⊥→1)); the pid ≥ 2 generalization is
+/// deliberately naive (losers read A[0]) and breaks at n = 3.
+[[nodiscard]] std::shared_ptr<const Program> tas_program(std::uint32_t n);
+
+/// §3.4 silent-fault protocol: Herlihy attempt + no-op confirmation probe.
+[[nodiscard]] std::shared_ptr<const Program> retry_silent_program();
+
+/// Relaxed-queue client (§6 experiments): enqueue 1..ops, then dequeue
+/// `ops` times.  Runs under proto::run_queue_client, never the simulator.
+[[nodiscard]] std::shared_ptr<const Program> queue_client_program(
+    std::uint64_t ops);
+
+}  // namespace ff::proto

@@ -1,0 +1,132 @@
+// IrProtocol — runs the SAME proto::Program synchronously against real
+// objects::CasObject / objects::AtomicRegister instances, so real-thread
+// stress campaigns (runtime/stress.hpp) execute the identical definition
+// the simulator model-checks.
+//
+// Semantics mirror the retired hand-written Protocol classes exactly:
+//   * only CAS operations count toward Decision::cas_steps (the TAS and
+//     announce protocols report register traffic as zero steps, as their
+//     legacy twins did);
+//   * the step limit is consulted before every CAS, so retry-loop
+//     protocols return Decision::undecided on suspected livelock instead
+//     of spinning (single-pass protocols are structurally bounded and
+//     never hit it in practice);
+//   * a NonresponsiveError thrown by a faulty object propagates to the
+//     caller — runtime::run_trial() catches it, as before.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "objects/cas_object.hpp"
+#include "objects/register.hpp"
+#include "proto/ir.hpp"
+
+namespace ff::proto {
+
+class IrProtocol final : public consensus::Protocol {
+ public:
+  IrProtocol(std::shared_ptr<const Program> program,
+             std::vector<objects::CasObject*> objects,
+             std::vector<objects::AtomicRegister*> registers = {})
+      : program_(std::move(program)),
+        objects_(std::move(objects)),
+        registers_(std::move(registers)) {
+    assert(program_ != nullptr);
+    assert(!program_->uses_queue());
+    assert(objects_.size() >= program_->num_objects());
+    assert(registers_.size() >= program_->num_registers());
+  }
+
+  consensus::Decision decide(consensus::InputValue input,
+                             objects::ProcessId pid) override {
+    assert(input != consensus::kReservedInput);
+    Word locals[kMaxLocals] = {};
+    const auto& specs = program_->locals();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      locals[i] = program_->eval(specs[i].init, locals, pid, input);
+    }
+
+    const auto& ops = program_->ops();
+    const auto eval = [&](ExprId id) {
+      return program_->eval(id, locals, pid, /*input=*/0);
+    };
+
+    std::uint64_t steps = 0;
+    std::uint32_t pc = 0;
+    for (;;) {
+      const Op& op = ops[pc];
+      switch (op.kind) {
+        case OpKind::kSet:
+          locals[op.dst] = eval(op.value);
+          ++pc;
+          break;
+        case OpKind::kBranch:
+          pc = eval(op.value) != 0 ? op.target : pc + 1;
+          break;
+        case OpKind::kGoto:
+          pc = op.target;
+          break;
+        case OpKind::kHalt:
+          return consensus::Decision::of(eval(op.value), steps);
+        case OpKind::kCas: {
+          if (exhausted(steps)) return consensus::Decision::undecided(steps);
+          const Word index = eval(op.index);
+          assert(index < op.index_bound);
+          const model::Value old = objects_[index]->cas(
+              model::Value::of(eval(op.expected)),
+              model::Value::of(eval(op.value)), pid);
+          ++steps;
+          locals[op.dst] = old.raw();
+          ++pc;
+          break;
+        }
+        case OpKind::kRegRead: {
+          const Word index = eval(op.index);
+          assert(index < op.index_bound);
+          locals[op.dst] = registers_[index]->read().raw();
+          ++pc;
+          break;
+        }
+        case OpKind::kRegWrite: {
+          const Word index = eval(op.index);
+          assert(index < op.index_bound);
+          registers_[index]->write(model::Value::of(eval(op.value)));
+          locals[op.dst] = kBottomWord;
+          ++pc;
+          break;
+        }
+        case OpKind::kEnqueue:
+        case OpKind::kDequeue:
+          assert(false && "queue ops cannot run against CAS objects");
+          return consensus::Decision::undecided(steps);
+      }
+    }
+  }
+
+  void reset() override {
+    for (objects::CasObject* object : objects_) object->reset();
+    for (objects::AtomicRegister* reg : registers_) reg->reset();
+  }
+
+  [[nodiscard]] std::string name() const override { return program_->name(); }
+  [[nodiscard]] std::uint32_t objects_used() const override {
+    return program_->num_objects();
+  }
+
+  [[nodiscard]] const std::shared_ptr<const Program>& program()
+      const noexcept {
+    return program_;
+  }
+
+ private:
+  std::shared_ptr<const Program> program_;
+  std::vector<objects::CasObject*> objects_;
+  std::vector<objects::AtomicRegister*> registers_;
+};
+
+}  // namespace ff::proto

@@ -1,0 +1,83 @@
+// run_queue_client — executes a queue-client Program against a real
+// faults::RelaxedQueue.
+//
+// Queue clients are the third driver of the protocol IR: the §6 bridge
+// experiments (E10) exercise the k-relaxation functional fault through
+// the SAME single-source definition machinery as the consensus
+// protocols, even though the relaxed queue lives outside the CAS
+// simulator.  The classification pipeline then reads the queue's own
+// DequeueEvent trace, exactly as before.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "faults/relaxed_queue.hpp"
+#include "proto/ir.hpp"
+
+namespace ff::proto {
+
+struct QueueRunResult {
+  std::uint64_t enqueues = 0;
+  std::uint64_t dequeues = 0;
+  /// Dequeue results in program order (nullopt = empty queue).
+  std::vector<std::optional<model::QueueElement>> dequeued;
+};
+
+[[nodiscard]] inline QueueRunResult run_queue_client(
+    const Program& program, faults::RelaxedQueue& queue,
+    objects::ProcessId pid = 0, Word input = 0) {
+  assert(program.uses_queue());
+  Word locals[kMaxLocals] = {};
+  const auto& specs = program.locals();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    locals[i] = program.eval(specs[i].init, locals, pid, input);
+  }
+
+  const auto& ops = program.ops();
+  const auto eval = [&](ExprId id) {
+    return program.eval(id, locals, pid, /*input=*/0);
+  };
+
+  QueueRunResult result;
+  std::uint32_t pc = 0;
+  for (;;) {
+    const Op& op = ops[pc];
+    switch (op.kind) {
+      case OpKind::kSet:
+        locals[op.dst] = eval(op.value);
+        ++pc;
+        break;
+      case OpKind::kBranch:
+        pc = eval(op.value) != 0 ? op.target : pc + 1;
+        break;
+      case OpKind::kGoto:
+        pc = op.target;
+        break;
+      case OpKind::kHalt:
+        return result;
+      case OpKind::kEnqueue:
+        queue.enqueue(eval(op.value));
+        locals[op.dst] = kBottomWord;
+        ++result.enqueues;
+        ++pc;
+        break;
+      case OpKind::kDequeue: {
+        const std::optional<model::QueueElement> element = queue.dequeue(pid);
+        locals[op.dst] = element ? *element : kBottomWord;
+        result.dequeued.push_back(element);
+        ++result.dequeues;
+        ++pc;
+        break;
+      }
+      case OpKind::kCas:
+      case OpKind::kRegRead:
+      case OpKind::kRegWrite:
+        assert(false && "CAS/register ops cannot run against a queue");
+        return result;
+    }
+  }
+}
+
+}  // namespace ff::proto

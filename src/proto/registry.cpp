@@ -1,0 +1,148 @@
+#include "proto/registry.hpp"
+
+#include <stdexcept>
+
+#include "proto/programs.hpp"
+
+namespace ff::proto {
+
+namespace {
+
+std::shared_ptr<const Program> build_single_cas(const Params&) {
+  return single_cas_program();
+}
+
+std::shared_ptr<const Program> build_f_plus_one(const Params& p) {
+  return f_plus_one_program(static_cast<std::uint32_t>(p.get("k", 2)));
+}
+
+std::shared_ptr<const Program> build_staged(const Params& p) {
+  return staged_program(static_cast<std::uint32_t>(p.get("f", 1)),
+                        static_cast<std::uint32_t>(p.get("t", 1)),
+                        static_cast<std::uint32_t>(p.get("max_stage", 0)));
+}
+
+std::shared_ptr<const Program> build_announce_cas(const Params& p) {
+  return announce_cas_program(static_cast<std::uint32_t>(p.get("n", 2)));
+}
+
+std::shared_ptr<const Program> build_tas(const Params& p) {
+  return tas_program(static_cast<std::uint32_t>(p.get("n", 2)));
+}
+
+std::shared_ptr<const Program> build_retry_silent(const Params&) {
+  return retry_silent_program();
+}
+
+std::shared_ptr<const Program> build_queue_client(const Params& p) {
+  return queue_client_program(p.get("ops", 100));
+}
+
+}  // namespace
+
+ProtocolRegistry::ProtocolRegistry() {
+  infos_ = {
+      ProtocolInfo{
+          "single-cas",
+          "Figure 1 / Herlihy: one CAS on O_0, adopt a non-bottom old",
+          {"herlihy"},
+          {},
+          true,
+          &build_single_cas},
+      ProtocolInfo{
+          "f-plus-one",
+          "Figure 2: one pass over O_0..O_{k-1}, adopting old values",
+          {"fp1"},
+          {{"k", 2, "object count (f+1 = Theorem 5; f = Theorem 18)"}},
+          true,
+          &build_f_plus_one},
+      ProtocolInfo{
+          "staged",
+          "Figure 3: staged protocol, maxStage = t*(4f+f^2)",
+          {},
+          {{"f", 1, "object count (all possibly faulty)"},
+           {"t", 1, "per-object fault bound fixing maxStage"},
+           {"max_stage", 0, "non-zero: ablation override of maxStage"}},
+          true,
+          &build_staged},
+      ProtocolInfo{
+          "retry-silent",
+          "Section 3.4: Herlihy attempt + no-op confirmation probe",
+          {},
+          {},
+          true,
+          &build_retry_silent},
+      ProtocolInfo{
+          "announce-cas",
+          "announce to A[pid], tiebreak via CAS, read the winner",
+          {"announce"},
+          {{"n", 2, "process/register count"}},
+          true,
+          &build_announce_cas},
+      ProtocolInfo{
+          "tas",
+          "test&set consensus (TAS = CAS(bottom->1)); naive beyond n=2",
+          {},
+          {{"n", 2, "process/register count"}},
+          true,
+          &build_tas},
+      ProtocolInfo{
+          "queue-client",
+          "relaxed-queue client: enqueue 1..ops then dequeue ops times",
+          {},
+          {{"ops", 100, "enqueue/dequeue pairs"}},
+          false,
+          &build_queue_client},
+  };
+}
+
+const ProtocolRegistry& ProtocolRegistry::instance() {
+  static const ProtocolRegistry kRegistry;
+  return kRegistry;
+}
+
+const ProtocolInfo* ProtocolRegistry::find(std::string_view name) const {
+  for (const ProtocolInfo& info : infos_) {
+    if (info.name == name) return &info;
+    for (const std::string& alias : info.aliases) {
+      if (alias == name) return &info;
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const Program> build_program(std::string_view name,
+                                             const Params& params) {
+  const ProtocolInfo* info = ProtocolRegistry::instance().find(name);
+  if (info == nullptr) {
+    throw std::invalid_argument("unknown protocol: " + std::string(name));
+  }
+  return info->build(params);
+}
+
+std::unique_ptr<sched::MachineFactory> machine_factory(std::string_view name,
+                                                       const Params& params) {
+  auto program = build_program(name, params);
+  if (program->uses_queue()) {
+    throw std::invalid_argument("protocol `" + std::string(name) +
+                                "` is a queue client — it cannot run in "
+                                "the CAS simulator");
+  }
+  return std::make_unique<IrMachineFactory>(std::move(program));
+}
+
+std::unique_ptr<consensus::Protocol> protocol(
+    std::string_view name, const Params& params,
+    std::vector<objects::CasObject*> objects,
+    std::vector<objects::AtomicRegister*> registers) {
+  auto program = build_program(name, params);
+  if (program->uses_queue()) {
+    throw std::invalid_argument("protocol `" + std::string(name) +
+                                "` is a queue client — use "
+                                "run_queue_client()");
+  }
+  return std::make_unique<IrProtocol>(std::move(program), std::move(objects),
+                                      std::move(registers));
+}
+
+}  // namespace ff::proto

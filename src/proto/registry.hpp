@@ -1,0 +1,95 @@
+// ProtocolRegistry — the single name → IR + parameter-schema table.
+//
+// Every front end (examples/fault_explorer, the stress harness, the
+// E-/B-series benches, hierarchy probes) resolves protocols here, so the
+// simulator, the thread runtime and every report print the SAME canonical
+// name — the old skew between Protocol::name() and MachineFactory::name()
+// call sites cannot recur, because both adapters read Program::name().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proto/machine.hpp"
+#include "proto/protocol.hpp"
+
+namespace ff::proto {
+
+/// Name → value parameter bag for instantiating a registered protocol.
+class Params {
+ public:
+  Params() = default;
+  Params(std::initializer_list<std::pair<const std::string, std::uint64_t>>
+             init)
+      : kv_(init) {}
+
+  Params& set(const std::string& key, std::uint64_t value) {
+    kv_[key] = value;
+    return *this;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv_.count(key) != 0;
+  }
+  [[nodiscard]] std::uint64_t get(const std::string& key,
+                                  std::uint64_t fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> kv_;
+};
+
+struct ParamSpec {
+  std::string name;
+  std::uint64_t fallback = 0;
+  std::string help;
+};
+
+struct ProtocolInfo {
+  std::string name;     ///< canonical name (what every report prints)
+  std::string summary;  ///< one-line description for --list-protocols
+  std::vector<std::string> aliases;
+  std::vector<ParamSpec> params;
+  /// False for queue clients: they run under run_queue_client(), not the
+  /// CAS simulator / consensus stress harness.
+  bool simulable = true;
+  std::shared_ptr<const Program> (*build)(const Params&) = nullptr;
+};
+
+class ProtocolRegistry {
+ public:
+  /// The process-wide table (immutable after construction).
+  static const ProtocolRegistry& instance();
+
+  /// Looks up a canonical name or alias; nullptr when unknown.
+  [[nodiscard]] const ProtocolInfo* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<ProtocolInfo>& all() const noexcept {
+    return infos_;
+  }
+
+ private:
+  ProtocolRegistry();
+  std::vector<ProtocolInfo> infos_;
+};
+
+/// Builds the IR for a registered protocol; throws std::invalid_argument
+/// on an unknown name.
+[[nodiscard]] std::shared_ptr<const Program> build_program(
+    std::string_view name, const Params& params = {});
+
+/// Simulator-side adapter (throws for unknown/non-simulable protocols).
+[[nodiscard]] std::unique_ptr<sched::MachineFactory> machine_factory(
+    std::string_view name, const Params& params = {});
+
+/// Thread-side adapter over real shared objects (same IR, same name).
+[[nodiscard]] std::unique_ptr<consensus::Protocol> protocol(
+    std::string_view name, const Params& params,
+    std::vector<objects::CasObject*> objects,
+    std::vector<objects::AtomicRegister*> registers = {});
+
+}  // namespace ff::proto

@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 #include "sched/explorer.hpp"
 #include "sched/parallel_explorer.hpp"
 #include "sched/sim_world.hpp"

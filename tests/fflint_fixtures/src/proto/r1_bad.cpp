@@ -1,0 +1,17 @@
+// Fixture: R1 positive — raw shared-state primitives in the protocol-IR
+// layer.  IrMachine state must flow through the simulator's object layer,
+// never through ambient atomics.  Never compiled; lexed by test_fflint.
+#include <atomic>
+#include <cstdint>
+
+namespace ff::proto {
+
+class CachedDecision {
+ public:
+  void publish(std::uint64_t v) { decision_.store(v); }
+
+ private:
+  std::atomic<std::uint64_t> decision_{0};  // line 14: R1 (raw std::atomic)
+};
+
+}  // namespace ff::proto

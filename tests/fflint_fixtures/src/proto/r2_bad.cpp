@@ -1,0 +1,15 @@
+// Fixture: R2 positive — nondeterminism in protocol-IR code.  A Program
+// must be a pure function of (name, params); a mutable build counter or
+// rand()-seeded tie-break would make two builds of the same protocol
+// disagree, breaking the encode()-equality contract.
+#include <cstdlib>
+
+namespace ff::proto {
+
+unsigned jitter(unsigned bound) {
+  static unsigned salt = 0;                      // line 10: R2 (mutable static)
+  salt += static_cast<unsigned>(rand());         // line 11: R2 (rand)
+  return salt % bound;
+}
+
+}  // namespace ff::proto

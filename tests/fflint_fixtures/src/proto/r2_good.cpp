@@ -1,0 +1,19 @@
+// Fixture: R2 negative — the deterministic idioms the protocol-IR layer
+// actually uses: immutable static tables (the registry singleton) and
+// parameter-folded constants.
+#include <cstdint>
+
+namespace ff::proto {
+
+static constexpr std::uint64_t kBottomWord = ~std::uint64_t{0};
+
+std::uint64_t fold_stage(std::uint64_t word) {
+  static const std::uint64_t kStageShift = 32;
+  return word >> kStageShift;
+}
+
+std::uint64_t is_bottom(std::uint64_t word) {
+  return word == kBottomWord ? 1 : 0;
+}
+
+}  // namespace ff::proto

@@ -1,6 +1,6 @@
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 
-#include "consensus/staged.hpp"
+#include "legacy/staged.hpp"
 #include "model/tolerance.hpp"
 #include "model/value.hpp"
 

@@ -3,7 +3,7 @@
 
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 #include "hierarchy/consensus_number.hpp"
 #include "sched/adversary.hpp"
 

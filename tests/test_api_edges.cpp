@@ -3,8 +3,8 @@
 
 #include <memory>
 
-#include "consensus/machines.hpp"
-#include "consensus/single_cas.hpp"
+#include "legacy/machines.hpp"
+#include "legacy/single_cas.hpp"
 #include "hierarchy/consensus_number.hpp"
 #include "objects/atomic_cas.hpp"
 #include "objects/register.hpp"

@@ -8,9 +8,9 @@
 #include <thread>
 #include <vector>
 
-#include "consensus/f_plus_one.hpp"
-#include "consensus/machines.hpp"
-#include "consensus/single_cas.hpp"
+#include "legacy/f_plus_one.hpp"
+#include "legacy/machines.hpp"
+#include "legacy/single_cas.hpp"
 #include "faults/bank.hpp"
 #include "faults/budget.hpp"
 #include "faults/faulty_cas.hpp"

@@ -13,7 +13,7 @@
 
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 #include "sched/explorer.hpp"
 
 namespace ff {

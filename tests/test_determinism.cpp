@@ -7,7 +7,7 @@
 // the options.
 #include <gtest/gtest.h>
 
-#include "consensus/single_cas.hpp"
+#include "legacy/single_cas.hpp"
 #include "objects/atomic_cas.hpp"
 #include "runtime/stress.hpp"
 #include "sched/random_walk.hpp"

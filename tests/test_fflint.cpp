@@ -83,6 +83,30 @@ TEST(FflintR2, SeededDeterminismIdiomsPass) {
   EXPECT_EQ(fixture_file("src/consensus/r2_good.cpp"), nullptr);
 }
 
+TEST(FflintR1, ProtocolIrLayerIsGoverned) {
+  // src/proto/ joined the governed tree with the single-source IR: the
+  // IR layer feeds the simulator, so ambient atomics are as unsound
+  // there as in src/sched/.
+  const FileReport* f = fixture_file("src/proto/r1_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR1);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR1), (std::vector<int>{14}));
+}
+
+TEST(FflintR2, ProtocolIrLayerIsGoverned) {
+  // Programs must be pure functions of (name, params) — a mutable build
+  // counter or rand() tie-break breaks the encode()-equality contract.
+  const FileReport* f = fixture_file("src/proto/r2_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR2);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR2), (std::vector<int>{10, 11}));
+}
+
+TEST(FflintR2, DeterministicIrIdiomsPass) {
+  // Immutable static tables (the registry singleton idiom) stay legal.
+  EXPECT_EQ(fixture_file("src/proto/r2_good.cpp"), nullptr);
+}
+
 TEST(FflintR3, FlagsStampAndRecordOutsideTheLock) {
   const FileReport* f = fixture_file("src/objects/r3_bad.cpp");
   ASSERT_NE(f, nullptr);
@@ -203,7 +227,7 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
   const std::string json = ff::fflint::render_json(fixture_report());
   EXPECT_NE(json.find("\"tool\":\"ff-lint\""), std::string::npos);
   EXPECT_NE(json.find("\"rule\":\"R3\""), std::string::npos);
-  EXPECT_NE(json.find("\"counts\":{\"R1\":2,\"R2\":6,\"R3\":2,\"R4\":4,"
+  EXPECT_NE(json.find("\"counts\":{\"R1\":3,\"R2\":8,\"R3\":2,\"R4\":4,"
                       "\"R5\":3}"),
             std::string::npos);
   EXPECT_NE(json.find("\"justification\":\"fixture counter standing in for "
@@ -213,8 +237,8 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
 }
 
 TEST(FflintReport, FixtureTreeTotalsAreExact) {
-  EXPECT_EQ(fixture_report().unsuppressed_total(), 17u);
-  EXPECT_EQ(fixture_report().files_scanned, 12);
+  EXPECT_EQ(fixture_report().unsuppressed_total(), 20u);
+  EXPECT_EQ(fixture_report().files_scanned, 15);
 }
 
 // ---------------------------------------------------------- self-lint

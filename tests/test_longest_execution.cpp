@@ -4,7 +4,7 @@
 
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 #include "sched/explorer.hpp"
 
 namespace ff {

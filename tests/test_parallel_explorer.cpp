@@ -7,7 +7,7 @@
 // violation on a correct configuration).
 #include <gtest/gtest.h>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 #include "explore_diff.hpp"
 #include "sched/explorer.hpp"
 #include "sched/parallel_explorer.hpp"

@@ -6,10 +6,10 @@
 #include <memory>
 #include <vector>
 
-#include "consensus/f_plus_one.hpp"
-#include "consensus/retry_silent.hpp"
-#include "consensus/single_cas.hpp"
-#include "consensus/staged.hpp"
+#include "legacy/f_plus_one.hpp"
+#include "legacy/retry_silent.hpp"
+#include "legacy/single_cas.hpp"
+#include "legacy/staged.hpp"
 #include "consensus/verify.hpp"
 #include "faults/budget.hpp"
 #include "faults/faulty_cas.hpp"

@@ -21,7 +21,7 @@
 #include <set>
 #include <vector>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 #include "explore_diff.hpp"
 #include "faults/bank.hpp"
 #include "sched/explore_common.hpp"

@@ -6,7 +6,7 @@
 
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 #include "sched/explorer.hpp"
 #include "sched/sim_world.hpp"
 

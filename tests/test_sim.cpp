@@ -5,11 +5,11 @@
 
 #include <memory>
 
-#include "consensus/f_plus_one.hpp"
-#include "consensus/machines.hpp"
-#include "consensus/retry_silent.hpp"
-#include "consensus/single_cas.hpp"
-#include "consensus/staged.hpp"
+#include "legacy/f_plus_one.hpp"
+#include "legacy/machines.hpp"
+#include "legacy/retry_silent.hpp"
+#include "legacy/single_cas.hpp"
+#include "legacy/staged.hpp"
 #include "faults/faulty_cas.hpp"
 #include "objects/atomic_cas.hpp"
 #include "sched/explorer.hpp"

@@ -7,7 +7,7 @@
 
 #include <numeric>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 #include "consensus/verify.hpp"
 #include "sched/explorer.hpp"
 #include "sched/random_walk.hpp"

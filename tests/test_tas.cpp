@@ -7,8 +7,8 @@
 
 #include <numeric>
 
-#include "consensus/machines.hpp"
-#include "consensus/tas.hpp"
+#include "legacy/machines.hpp"
+#include "legacy/tas.hpp"
 #include "objects/atomic_cas.hpp"
 #include "objects/register.hpp"
 #include "faults/faulty_cas.hpp"

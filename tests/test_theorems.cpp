@@ -9,7 +9,7 @@
 
 #include <vector>
 
-#include "consensus/machines.hpp"
+#include "legacy/machines.hpp"
 #include "sched/explorer.hpp"
 #include "sched/sim_world.hpp"
 

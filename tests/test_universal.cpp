@@ -7,8 +7,8 @@
 #include <thread>
 #include <vector>
 
-#include "consensus/f_plus_one.hpp"
-#include "consensus/single_cas.hpp"
+#include "legacy/f_plus_one.hpp"
+#include "legacy/single_cas.hpp"
 #include "faults/bank.hpp"
 #include "objects/atomic_cas.hpp"
 #include "universal/log.hpp"

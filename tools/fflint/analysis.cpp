@@ -43,7 +43,8 @@ struct Scope {
       in_dir(path, "src/objects/") || in_dir(path, "src/faults/");
   s.r1 = !object_layer;
   s.r2 = in_dir(path, "src/consensus/") || in_dir(path, "src/universal/") ||
-         in_dir(path, "src/counter/") || in_dir(path, "src/hierarchy/");
+         in_dir(path, "src/counter/") || in_dir(path, "src/hierarchy/") ||
+         in_dir(path, "src/proto/");
   s.r3 = object_layer;
   s.r4 = in_dir(path, "src/sched/") || in_dir(path, "src/runtime/");
   return s;

@@ -4,7 +4,7 @@
 //   R1  raw shared-state primitives (std::atomic / volatile / inline asm)
 //       outside the object layer (src/objects/ + src/faults/)
 //   R2  nondeterminism in model-checked code (src/consensus/,
-//       src/universal/, src/counter/, src/hierarchy/)
+//       src/universal/, src/counter/, src/hierarchy/, src/proto/)
 //   R3  linearization-point discipline in the object layer: sequence
 //       stamping / history recording outside the lock or CAS region
 //   R4  infinite-form loops in src/sched/ and src/runtime/ that never
