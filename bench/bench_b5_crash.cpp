@@ -1,0 +1,250 @@
+// B5 — cost of the crash–recovery fault model.
+//
+// Two questions feed the BENCH trajectory:
+//   * How much does the crash branch grow the state space?  The same
+//     recoverable protocol is explored exhaustively at crash budgets
+//     0, 1 and 2; the growth factor is states(b)/states(0), and the
+//     budget-0 census must match the protocol's non-recoverable
+//     original exactly (the crash plumbing must be free when unused).
+//   * What does recoverable consensus cost on real threads?  Trials of
+//     crashed-and-restarted worker threads (runtime::run_crash_trial)
+//     against crash-free trials of the same protocol give the latency
+//     of surviving a forced crash per process.
+// Modes:
+//   (default)        google-benchmark suite (all BM_* below)
+//   --json <path>    machine-readable BENCH_B5 report for
+//                    scripts/bench_gate.py
+//   --smoke          reduced trial counts for CI gating (check.sh).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+
+#include "faults/crash_policy.hpp"
+#include "objects/atomic_cas.hpp"
+#include "proto/registry.hpp"
+#include "runtime/crash_runner.hpp"
+#include "sched/explorer.hpp"
+#include "sched/sim_world.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ff;
+
+std::vector<std::uint64_t> inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+sched::SimWorld make_world(const sched::MachineFactory& factory,
+                           model::FaultKind kind, std::uint32_t t,
+                           std::uint32_t n, std::uint32_t crash_budget) {
+  sched::SimConfig config;
+  config.num_objects = factory.objects_used();
+  config.num_registers = factory.registers_used();
+  config.kind = kind;
+  config.t = kind == model::FaultKind::kNone ? 0 : t;
+  config.crash_budget = crash_budget;
+  return sched::SimWorld(config, factory, inputs(n));
+}
+
+sched::ExploreResult explore_full(const sched::SimWorld& world) {
+  sched::ExploreOptions options;
+  options.stop_at_first_violation = false;
+  return sched::explore(world, options);
+}
+
+// --- State-space growth of the crash branch -------------------------------
+
+void BM_CrashBranchExploreStaged(benchmark::State& state) {
+  // recoverable-staged under overriding faults AND crashes: the
+  // cross-product instance.  Arg = crash budget.
+  const auto factory = proto::machine_factory(
+      "recoverable-staged", proto::Params{{"f", 1}, {"t", 1}});
+  const auto budget = static_cast<std::uint32_t>(state.range(0));
+  const auto world =
+      make_world(*factory, model::FaultKind::kOverriding, 1, 2, budget);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto result = explore_full(world);
+    states = result.states_visited;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_CrashBranchExploreStaged)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Real-thread recoverable-consensus latency ----------------------------
+
+void BM_RecoverableConsensusTrial(benchmark::State& state) {
+  // Every process forced through `Arg` crashes before deciding: the
+  // wall time per iteration is the latency of a fully crash-exercised
+  // consensus trial (thread spawn + restart included).
+  const auto budget = static_cast<std::uint32_t>(state.range(0));
+  objects::AtomicCas object(0);
+  const auto protocol = proto::protocol(
+      "recoverable-staged", proto::Params{{"f", 1}, {"t", 1}}, {&object});
+  auto& ir = dynamic_cast<proto::IrProtocol&>(*protocol);
+  faults::RunLengthCrash policy(budget > 0 ? 1 : 0);
+  for (auto _ : state) {
+    ir.reset();
+    const auto outcome = runtime::run_crash_trial(ir, {1, 2}, policy, budget);
+    if (!outcome.verdict.ok()) state.SkipWithError("consensus violated");
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_RecoverableConsensusTrial)
+    ->Arg(0)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- JSON report mode ------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Exhaustive explores at budgets 0/1/2 plus the budget-0 census check
+/// against the protocol's non-recoverable original.
+void emit_growth(util::JsonWriter& w, std::string_view key,
+                 const std::string& recoverable, const proto::Params& params,
+                 const std::string& original) {
+  const auto factory = proto::machine_factory(recoverable, params);
+  const auto baseline = proto::machine_factory(original, params);
+
+  const auto original_census = explore_full(
+      make_world(*baseline, model::FaultKind::kOverriding, 1, 2, 0));
+
+  w.key(key).begin_object();
+  w.kv("protocol", recoverable);
+  std::uint64_t states_b0 = 0;
+  for (const std::uint32_t budget : {0u, 1u, 2u}) {
+    const auto world =
+        make_world(*factory, model::FaultKind::kOverriding, 1, 2, budget);
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = explore_full(world);
+    const double secs = seconds_since(start);
+    const std::string tag = "b" + std::to_string(budget);
+    if (budget == 0) {
+      states_b0 = result.states_visited;
+      w.kv("crash_free_census_match",
+           result.states_visited == original_census.states_visited &&
+               result.terminal_states == original_census.terminal_states &&
+               result.violations_by_kind ==
+                   original_census.violations_by_kind);
+    }
+    w.kv("states_" + tag, result.states_visited);
+    w.kv("terminals_" + tag, result.terminal_states);
+    w.kv("complete_" + tag, result.complete);
+    w.kv("seconds_" + tag, secs);
+    if (budget > 0 && states_b0 > 0) {
+      w.kv("growth_factor_" + tag,
+           static_cast<double>(result.states_visited) /
+               static_cast<double>(states_b0));
+    }
+  }
+  w.end_object();
+}
+
+/// Crash-free vs forced-crash thread trials of recoverable consensus.
+void emit_latency(util::JsonWriter& w, std::uint64_t trials) {
+  objects::AtomicCas object(0);
+  const auto protocol = proto::protocol(
+      "recoverable-staged", proto::Params{{"f", 1}, {"t", 1}}, {&object});
+  auto& ir = dynamic_cast<proto::IrProtocol&>(*protocol);
+
+  w.key("recoverable_latency").begin_object();
+  w.kv("trials", trials);
+  bool all_ok = true;
+  std::uint64_t total_crashes = 0;
+
+  faults::NeverCrash never;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    ir.reset();
+    const auto outcome = runtime::run_crash_trial(ir, {1, 2}, never, 0);
+    all_ok = all_ok && outcome.verdict.ok();
+  }
+  const double crash_free_secs = seconds_since(start);
+
+  faults::RunLengthCrash every_first_op(1);
+  start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    ir.reset();
+    const auto outcome =
+        runtime::run_crash_trial(ir, {1, 2}, every_first_op, 2);
+    all_ok = all_ok && outcome.verdict.ok();
+    total_crashes += outcome.crashes[0] + outcome.crashes[1];
+  }
+  const double crashed_secs = seconds_since(start);
+
+  w.kv("all_ok", all_ok);
+  w.kv("total_crashes", total_crashes);
+  w.kv("crash_free_mean_ms",
+       trials > 0 ? crash_free_secs * 1e3 / static_cast<double>(trials) : 0.0);
+  w.kv("crashed_mean_ms",
+       trials > 0 ? crashed_secs * 1e3 / static_cast<double>(trials) : 0.0);
+  w.end_object();
+}
+
+int write_report(const std::string& path, bool smoke) {
+  const std::uint64_t trials = smoke ? 40 : 400;
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "B5");
+  w.kv("smoke", smoke);
+  emit_growth(w, "crash_growth_staged", "recoverable-staged",
+              proto::Params{{"f", 1}, {"t", 1}}, "staged");
+  emit_growth(w, "crash_growth_cas", "recoverable-cas", proto::Params{},
+              "single-cas");
+  emit_latency(w, trials);
+  w.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::cout << "B5 report -> " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return write_report(json_path, smoke);
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

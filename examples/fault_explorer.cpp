@@ -57,8 +57,8 @@ void print_usage() {
       "usage: fault_explorer [options]\n"
       "  --list-protocols  print the protocol registry and exit\n"
       "  --protocol  a registry name or alias, e.g. single-cas | herlihy |\n"
-      "              fp1 | staged | retry-silent | announce-cas | tas\n"
-      "                                                      (default staged)\n"
+      "              fp1 | staged | retry-silent | announce-cas | tas |\n"
+      "              recoverable-cas | recoverable-staged    (default staged)\n"
       "  --kind      overriding | silent | invisible | arbitrary |\n"
       "              nonresponsive | data | none              (default overriding)\n"
       "  --f         faulty-object bound / staged object count (default 1)\n"
@@ -73,6 +73,11 @@ void print_usage() {
       "              also disables the fuzzer's canonical novelty signal\n"
       "  --no-sleep-sets  disable sleep-set partial-order reduction\n"
       "              (explorers only; prunes transitions, never states)\n"
+      "  --crashes   enable process crash-recovery branches (budget 1);\n"
+      "              only protocols with a recovery label (recoverable-cas,\n"
+      "              recoverable-staged) branch — others are unaffected\n"
+      "  --crash-budget  max crashes per process (implies --crashes;\n"
+      "              0 = crashes disabled)                     (default 0)\n"
       "  --fuzz      coverage-guided schedule fuzzing instead of\n"
       "              exhaustive exploration (for configurations too large\n"
       "              to enumerate); witnesses are shrunk before printing\n"
@@ -99,13 +104,44 @@ void print_witness_replay(const sched::SimWorld& world,
       continue;
     }
     const auto op = replayed.pending(choice.pid);
-    std::cout << "  " << ++step << ". p" << choice.pid
-              << (choice.fault ? " [FAULT]" : "") << " CAS(O" << op.object
-              << ", " << op.expected.to_string() << ", "
-              << op.desired.to_string() << ")";
+    std::cout << "  " << ++step << ". p" << choice.pid;
+    if (choice.crash) {
+      // Crash branch: variant 1 = the op's effect lands, the response is
+      // lost; variant 0 = the op never reaches shared memory.
+      std::cout << " [CRASH " << (choice.fault_variant == 1 ? "after" : "before")
+                << " op]";
+    } else if (choice.fault) {
+      std::cout << " [FAULT]";
+    }
+    switch (op.type) {
+      case sched::OpType::kCas:
+        std::cout << " CAS(O" << op.object << ", " << op.expected.to_string()
+                  << ", " << op.desired.to_string() << ")";
+        break;
+      case sched::OpType::kRegRead:
+        std::cout << " read R" << op.object;
+        break;
+      case sched::OpType::kRegWrite:
+        std::cout << " R" << op.object << " <- " << op.desired.to_string();
+        break;
+      case sched::OpType::kNone:
+        break;
+    }
     replayed.apply(choice);
-    std::cout << " -> O" << op.object << " = "
-              << replayed.object_value(op.object).to_string() << '\n';
+    if (op.type == sched::OpType::kCas) {
+      std::cout << " -> O" << op.object << " = "
+                << replayed.object_value(op.object).to_string();
+    } else if (op.type == sched::OpType::kRegWrite) {
+      std::cout << " -> R" << op.object << " = "
+                << replayed.register_value(op.object).to_string();
+    }
+    if (choice.crash) {
+      std::cout << "; p" << choice.pid << " restarts at recover ("
+                << replayed.crashes_used(choice.pid) << " crash"
+                << (replayed.crashes_used(choice.pid) == 1 ? "" : "es")
+                << " used)";
+    }
+    std::cout << '\n';
   }
   std::cout << "final decisions:\n";
   const auto decisions = replayed.decisions();
@@ -212,6 +248,8 @@ int main(int argc, char** argv) {
   config.kind = kind;
   config.t = t;
   config.allow_corruption_steps = kind == model::FaultKind::kDataCorruption;
+  config.crash_budget = static_cast<std::uint32_t>(
+      cli.get_uint("crash-budget", cli.has("crashes") ? 1 : 0));
   std::vector<std::uint64_t> inputs(n);
   std::iota(inputs.begin(), inputs.end(), 1);
   const sched::SimWorld world(config, *factory, inputs);

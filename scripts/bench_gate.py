@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Assert the B3 bench report clears the reduction acceptance bars.
+"""Assert bench reports clear their acceptance bars.
 
-Usage: scripts/bench_gate.py <BENCH_B3.json>
+Usage: scripts/bench_gate.py <BENCH_B3.json> [<BENCH_B5.json> ...]
 
-Gates (smoke and full mode alike):
+Each report is dispatched on its "bench" field.
+
+B3 gates (smoke and full mode alike):
   * census_states_match is true — the reduced explorer visited a state
     set consistent with the unreduced census (differential soundness);
   * reduction_factor >= 5 — symmetry + sleep sets shrink the symmetric
@@ -13,42 +15,39 @@ Gates (smoke and full mode alike):
   * ir_overhead <= 0.20 — the protocol-IR interpreter costs at most 20%
     over the hand-written machines on the hot-path instance.
 
-Exit status: 0 when all gates hold, 1 when any fails, 2 when the
-report is unreadable or missing a gated field.
+B5 gates:
+  * crash_free_census_match is true for every crash_growth_* section —
+    crash budget 0 reproduces the non-recoverable original's census
+    exactly (the crash plumbing is free when unused);
+  * every growth_factor_* >= 1 and the budget-1 growth stays under
+    MAX_CRASH_GROWTH_B1 — the crash branch grows the state space but
+    must not blow it up on the reference instances;
+  * every explore completed (complete_b0/b1/b2 all true);
+  * recoverable_latency.all_ok is true and total_crashes > 0 — every
+    thread trial reached consensus AND real crash/restart cycles ran.
+
+Exit status: 0 when all gates hold, 1 when any fails, 2 when a report
+is unreadable or missing a gated field.
 """
 import json
 import sys
 
 MIN_REDUCTION_FACTOR = 5.0
 MAX_IR_OVERHEAD = 0.20
+MAX_CRASH_GROWTH_B1 = 64.0
 
 
-def main(argv):
-    if len(argv) != 2:
-        print("usage: bench_gate.py <BENCH_B3.json>", file=sys.stderr)
-        return 2
-    try:
-        with open(argv[1], encoding="utf-8") as fh:
-            report = json.load(fh)
-    except (OSError, ValueError) as err:
-        print(f"bench_gate: cannot read {argv[1]}: {err}", file=sys.stderr)
-        return 2
-
-    try:
-        factor = float(report["reduction_factor"])
-        census_ok = bool(report["census_states_match"])
-        reduced = int(report["reduced"]["peak_states"])
-        unreduced = int(report["unreduced"]["peak_states"])
-        ir_overhead = float(report["ir_overhead"])
-        ir_census_ok = bool(report["ir_census_match"])
-    except (KeyError, TypeError, ValueError) as err:
-        print(f"bench_gate: report missing gated field: {err}",
-              file=sys.stderr)
-        return 2
+def gate_b3(report):
+    factor = float(report["reduction_factor"])
+    census_ok = bool(report["census_states_match"])
+    reduced = int(report["reduced"]["peak_states"])
+    unreduced = int(report["unreduced"]["peak_states"])
+    ir_overhead = float(report["ir_overhead"])
+    ir_census_ok = bool(report["ir_census_match"])
 
     mode = "smoke" if report.get("smoke") else "full"
-    print(f"bench gate ({mode}): reduction {unreduced} -> {reduced} states "
-          f"({factor:.2f}x), census match: {census_ok}, "
+    print(f"bench gate B3 ({mode}): reduction {unreduced} -> {reduced} "
+          f"states ({factor:.2f}x), census match: {census_ok}, "
           f"ir overhead: {ir_overhead:.3f} (census match: {ir_census_ok})")
 
     failed = False
@@ -68,6 +67,87 @@ def main(argv):
         print(f"bench_gate: FAIL — IR interpreter overhead "
               f"{ir_overhead:.3f} > {MAX_IR_OVERHEAD}", file=sys.stderr)
         failed = True
+    return failed
+
+
+def gate_b5(report):
+    failed = False
+    mode = "smoke" if report.get("smoke") else "full"
+    for key in ("crash_growth_staged", "crash_growth_cas"):
+        growth = report[key]
+        protocol = growth["protocol"]
+        census_ok = bool(growth["crash_free_census_match"])
+        factor_b1 = float(growth["growth_factor_b1"])
+        factor_b2 = float(growth["growth_factor_b2"])
+        complete = all(bool(growth[f"complete_b{b}"]) for b in (0, 1, 2))
+        print(f"bench gate B5 ({mode}): {protocol} crash growth "
+              f"b1 {factor_b1:.2f}x b2 {factor_b2:.2f}x, budget-0 census "
+              f"match: {census_ok}, complete: {complete}")
+        if not census_ok:
+            print(f"bench_gate: FAIL — {protocol} budget-0 census diverges "
+                  "from the non-recoverable original", file=sys.stderr)
+            failed = True
+        if factor_b1 < 1.0 or factor_b2 < factor_b1:
+            print(f"bench_gate: FAIL — {protocol} crash growth not monotone "
+                  f"(b1 {factor_b1:.2f}, b2 {factor_b2:.2f})",
+                  file=sys.stderr)
+            failed = True
+        if factor_b1 > MAX_CRASH_GROWTH_B1:
+            print(f"bench_gate: FAIL — {protocol} budget-1 growth "
+                  f"{factor_b1:.2f}x > {MAX_CRASH_GROWTH_B1}x",
+                  file=sys.stderr)
+            failed = True
+        if not complete:
+            print(f"bench_gate: FAIL — {protocol} crash explore truncated",
+                  file=sys.stderr)
+            failed = True
+
+    latency = report["recoverable_latency"]
+    all_ok = bool(latency["all_ok"])
+    crashes = int(latency["total_crashes"])
+    print(f"bench gate B5 ({mode}): {latency['trials']} thread trials, "
+          f"{crashes} crash/restart cycles, crash-free "
+          f"{float(latency['crash_free_mean_ms']):.3f} ms vs crashed "
+          f"{float(latency['crashed_mean_ms']):.3f} ms per trial, "
+          f"all ok: {all_ok}")
+    if not all_ok:
+        print("bench_gate: FAIL — a recoverable-consensus thread trial "
+              "violated consensus", file=sys.stderr)
+        failed = True
+    if crashes <= 0:
+        print("bench_gate: FAIL — no crash/restart cycle ran: the latency "
+              "campaign never exercised recovery", file=sys.stderr)
+        failed = True
+    return failed
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: bench_gate.py <BENCH.json> [<BENCH.json> ...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                report = json.load(fh)
+        except (OSError, ValueError) as err:
+            print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+        bench = report.get("bench")
+        try:
+            if bench == "B3":
+                failed |= gate_b3(report)
+            elif bench == "B5":
+                failed |= gate_b5(report)
+            else:
+                print(f"bench_gate: {path} has unknown bench id {bench!r}",
+                      file=sys.stderr)
+                return 2
+        except (KeyError, TypeError, ValueError) as err:
+            print(f"bench_gate: {path} missing gated field: {err}",
+                  file=sys.stderr)
+            return 2
     return 1 if failed else 0
 
 

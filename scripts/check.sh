@@ -6,16 +6,18 @@
 #      fuzz campaign per seed protocol);
 #   3. FF_SANITIZE=thread build → the multi-threaded suites (label `tsan`,
 #      i.e. the parallel-explorer differential harness and the real-thread
-#      stress suites) under ThreadSanitizer;
+#      stress suites, the crashed-and-restarted worker threads of the
+#      recoverable-consensus campaign included) under ThreadSanitizer;
 #   4. FF_SANITIZE=address build → the memory-heavy fuzzer/explorer suites
 #      (label `asan`) under AddressSanitizer + UndefinedBehaviorSanitizer;
 #   5. ff-lint (label `lint`): the rule-engine test suite plus a tree
 #      scan of the shipped sources, with the JSON report summarized;
 #   6. clang-tidy (advisory) when clang-tidy is on PATH, against the
 #      compile database stage 1 exported; skipped with a notice if not;
-#   7. bench smoke: bench_b3_explorer/bench_b4_fuzzer --json --smoke,
-#      then scripts/bench_gate.py asserts the state-space reduction is
-#      >= 5x with a matching differential census.
+#   7. bench smoke: bench_b3_explorer/bench_b4_fuzzer/bench_b5_crash
+#      --json --smoke, then scripts/bench_gate.py asserts the B3
+#      state-space reduction is >= 5x with a matching differential
+#      census and the B5 crash-branch growth/latency bounds hold.
 # Usage: scripts/check.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,7 +34,8 @@ ctest --test-dir build -L tier2-fuzz --output-on-failure -j "$JOBS"
 echo "== [3/7] FF_SANITIZE=thread build · ctest -L tsan =="
 cmake -B build-tsan -S . -DFF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target test_parallel_explorer test_determinism test_concurrency
+  --target test_parallel_explorer test_determinism test_concurrency \
+           test_recoverable_consensus
 ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
 
 echo "== [4/7] FF_SANITIZE=address build · ctest -L asan =="
@@ -69,6 +72,8 @@ fi
 echo "== [7/7] bench smoke · scripts/bench_gate.py =="
 ./build/bench/bench_b3_explorer --json build/BENCH_B3.smoke.json --smoke
 ./build/bench/bench_b4_fuzzer --json build/BENCH_B4.smoke.json --smoke
-python3 scripts/bench_gate.py build/BENCH_B3.smoke.json
+./build/bench/bench_b5_crash --json build/BENCH_B5.smoke.json --smoke
+python3 scripts/bench_gate.py build/BENCH_B3.smoke.json \
+                              build/BENCH_B5.smoke.json
 
 echo "OK: all seven stages passed"

@@ -1,0 +1,129 @@
+// Crash policies: WHEN does a process (virtually) lose power?
+//
+// The simulator branches on every legal crash point exhaustively; the
+// real-thread stress campaigns instead *sample* crash points through a
+// policy, mirroring the pull-the-plug instrumentation of crash-test
+// harnesses (a fault point is consulted immediately before each shared
+// operation and may decide to kill the calling process there).  The
+// three non-trivial shapes follow the classic instrumented-fault modes:
+//
+//   * Independent    — each crash point fires with a fixed probability;
+//   * RunLength      — crash exactly on the k-th shared op of each
+//                      incarnation (op indices start at 1);
+//   * UniformOverRun — per (process, incarnation), pick a run length
+//                      uniformly from 1..run_length-1 (exclusive upper
+//                      bound) and crash there.
+//
+// A policy only expresses *intent*: the protocol's crash budget has
+// final say, exactly as FaultBudget throttles FaultPolicy.  All
+// decisions are deterministic in (pid, incarnation, op_index) so a
+// seeded trial replays identically regardless of thread interleaving.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "objects/shared_object.hpp"
+#include "util/rng.hpp"
+
+namespace ff::faults {
+
+/// Thrown out of an instrumented protocol step to "pull the plug" on the
+/// calling process: the worker thread unwinds and dies, and the runtime
+/// may start a REPLACEMENT thread that re-enters at the protocol's
+/// recovery label (volatile locals lost, persistent locals preserved).
+class CrashError : public std::runtime_error {
+ public:
+  CrashError() : std::runtime_error("process crash (instrumented)") {}
+};
+
+class CrashPolicy {
+ public:
+  virtual ~CrashPolicy() = default;
+
+  /// Whether the process should crash at this crash point.  `incarnation`
+  /// counts prior crashes of `pid` in this trial (0 = first life) and
+  /// `op_index` is the 1-based shared-op index within the current
+  /// incarnation.  Implementations must be thread-safe and deterministic
+  /// in their arguments.
+  virtual bool should_crash(objects::ProcessId pid, std::uint32_t incarnation,
+                            std::uint64_t op_index) = 0;
+
+  /// Resets internal state between trials (default: nothing to reset).
+  virtual void reset() {}
+};
+
+/// Never crashes — the baseline that must reproduce crash-free runs.
+class NeverCrash final : public CrashPolicy {
+ public:
+  bool should_crash(objects::ProcessId, std::uint32_t,
+                    std::uint64_t) override {
+    return false;
+  }
+};
+
+/// Each crash point fires independently with probability p.  Stateless
+/// and thread-safe: the decision is a hash of (seed, pid, incarnation,
+/// op_index), so a seeded trial is reproducible under any interleaving.
+class IndependentCrash final : public CrashPolicy {
+ public:
+  IndependentCrash(double p, std::uint64_t seed) noexcept
+      : p_(p), seed_(seed) {}
+
+  bool should_crash(objects::ProcessId pid, std::uint32_t incarnation,
+                    std::uint64_t op_index) override {
+    if (p_ <= 0.0) return false;
+    if (p_ >= 1.0) return true;
+    const std::uint64_t h = util::mix64(
+        seed_ ^ util::mix64((static_cast<std::uint64_t>(pid) << 32) ^
+                            (static_cast<std::uint64_t>(incarnation) << 52) ^
+                            op_index));
+    return (static_cast<double>(h >> 11) * 0x1.0p-53) < p_;
+  }
+
+  [[nodiscard]] double probability() const noexcept { return p_; }
+
+ private:
+  const double p_;
+  const std::uint64_t seed_;
+};
+
+/// Crashes exactly on the run_length-th shared op of every incarnation
+/// (1-based).  run_length 0 never crashes.
+class RunLengthCrash final : public CrashPolicy {
+ public:
+  explicit RunLengthCrash(std::uint64_t run_length) noexcept
+      : run_length_(run_length) {}
+
+  bool should_crash(objects::ProcessId, std::uint32_t,
+                    std::uint64_t op_index) override {
+    return run_length_ != 0 && op_index == run_length_;
+  }
+
+ private:
+  const std::uint64_t run_length_;
+};
+
+/// Per (process, incarnation), draws a run length uniformly from
+/// 1..run_length-1 (exclusive upper bound) and crashes on that shared
+/// op.  run_length < 2 never crashes.
+class UniformOverRunCrash final : public CrashPolicy {
+ public:
+  UniformOverRunCrash(std::uint64_t run_length, std::uint64_t seed) noexcept
+      : run_length_(run_length), seed_(seed) {}
+
+  bool should_crash(objects::ProcessId pid, std::uint32_t incarnation,
+                    std::uint64_t op_index) override {
+    if (run_length_ < 2) return false;
+    const std::uint64_t h = util::mix64(
+        seed_ ^ util::mix64((static_cast<std::uint64_t>(pid) << 32) ^
+                            incarnation));
+    return op_index == 1 + h % (run_length_ - 1);
+  }
+
+ private:
+  const std::uint64_t run_length_;
+  const std::uint64_t seed_;
+};
+
+}  // namespace ff::faults

@@ -37,6 +37,12 @@ std::uint16_t ProgramBuilder::scratch(std::string name) {
   return local(std::move(name), cst(0));
 }
 
+std::uint16_t ProgramBuilder::persistent(std::string name, ExprId init) {
+  const std::uint16_t id = local(std::move(name), init);
+  prog_.locals_[id].persistent = true;
+  return id;
+}
+
 ExprId ProgramBuilder::push(ExprNode node) {
   if (prog_.exprs_.size() >= kNoExpr) {
     fail(prog_.name_, "expression pool overflow");
@@ -110,6 +116,13 @@ ProgramBuilder::Label ProgramBuilder::label() {
 
 void ProgramBuilder::bind(Label l) {
   label_pcs_.at(l) = static_cast<std::uint32_t>(prog_.ops_.size());
+}
+
+void ProgramBuilder::recover_at(Label l) {
+  if (recovery_label_ != kUnboundLabel) {
+    fail(prog_.name_, "recover_at() called twice");
+  }
+  recovery_label_ = l;
 }
 
 void ProgramBuilder::push_op(Op op) {
@@ -202,6 +215,14 @@ std::shared_ptr<const Program> ProgramBuilder::finalize() {
 
   const std::size_t n_ops = prog_.ops_.size();
   if (n_ops == 0) fail(name, "empty program");
+
+  // Resolve the crash-recovery entry (`recover:`).
+  if (recovery_label_ != kUnboundLabel) {
+    const std::uint32_t pc = label_pcs_.at(recovery_label_);
+    if (pc == kUnboundLabel) fail(name, "recovery label is never bound");
+    if (pc >= n_ops) fail(name, "recovery label points past the program");
+    prog_.recovery_pc_ = pc;
+  }
   const ExprScan scan{prog_.exprs_};
 
   // Per-op structural checks + derived counts + per-op read/write sets.
@@ -273,6 +294,9 @@ std::shared_ptr<const Program> ProgramBuilder::finalize() {
   if (prog_.uses_queue_ &&
       (prog_.num_objects_ != 0 || prog_.num_registers_ != 0)) {
     fail(name, "queue clients may not mix CAS/register ops");
+  }
+  if (prog_.uses_queue_ && prog_.has_recovery()) {
+    fail(name, "queue clients do not support crash recovery");
   }
 
   // Every control-flow cycle must contain a shared op (a pause), so the
@@ -382,6 +406,30 @@ std::shared_ptr<const Program> ProgramBuilder::finalize() {
                          "` is live at a pause point but missing from the "
                          "encode() layout — equal encodings would not imply "
                          "equal behaviour");
+        }
+      }
+    }
+
+    // Crash-edge liveness: a crash at ANY pause point re-enters at the
+    // recovery pc with every non-persistent local wiped to 0, so a local
+    // that is live at the recovery entry reads its pre-crash value only
+    // if it is persistent — anything else would make the recovered run
+    // depend on wiped (stale) state.  The persistent locals live there
+    // additionally carry state across the crash edge, so they must be in
+    // the encode() layout or equal encodings at a pause would not pin
+    // down post-crash behaviour.
+    if (prog_.has_recovery()) {
+      for (const std::uint16_t l : live_in[prog_.recovery_pc_]) {
+        if (!prog_.locals_[l].persistent) {
+          fail(name, "volatile local `" + prog_.locals_[l].name +
+                         "` is live at the recovery entry — a recovered "
+                         "process would read wiped state; declare it "
+                         "persistent() or define it on the recovery path");
+        }
+        if (layout_set.count(l) == 0) {
+          fail(name, "persistent local `" + prog_.locals_[l].name +
+                         "` is live at the recovery entry but missing from "
+                         "the encode() layout");
         }
       }
     }

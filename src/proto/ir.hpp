@@ -212,6 +212,10 @@ struct Op {
 struct LocalSpec {
   std::string name;
   ExprId init = kNoExpr;  ///< evaluated once at machine construction
+  /// Survives a process crash (models a persistent per-process register,
+  /// as in Golab's recoverable-consensus model).  Non-persistent locals
+  /// are wiped to 0 by crash().
+  bool persistent = false;
 };
 
 /// Hard cap on locals so drivers can keep them in a flat inline array.
@@ -249,6 +253,18 @@ class Program {
   /// run under proto::run_queue_client, not the CAS simulator.
   [[nodiscard]] bool uses_queue() const noexcept { return uses_queue_; }
 
+  /// Crash–recovery support: programs that bind a recovery label re-enter
+  /// at recovery_pc() after a crash (volatile locals wiped to 0,
+  /// persistent locals and shared objects preserved).  Programs without a
+  /// recovery label are not crashable — the simulator offers them no
+  /// crash branches.
+  [[nodiscard]] bool has_recovery() const noexcept {
+    return recovery_pc_ != kNoRecoveryPc;
+  }
+  [[nodiscard]] std::uint32_t recovery_pc() const noexcept {
+    return recovery_pc_;
+  }
+
   /// Evaluates expression `id` over `locals` (array of at least
   /// locals().size() words), the process id and the process input.
   /// Defined inline below: an iterative loop over the flattened postfix
@@ -285,6 +301,8 @@ class Program {
   std::vector<std::uint32_t> vm_off_;
   std::uint32_t num_objects_ = 0;
   std::uint32_t num_registers_ = 0;
+  static constexpr std::uint32_t kNoRecoveryPc = 0xFFFFFFFFu;
+  std::uint32_t recovery_pc_ = kNoRecoveryPc;
   bool uses_pid_ = false;
   bool uses_queue_ = false;
 };
@@ -301,6 +319,10 @@ class ProgramBuilder {
   std::uint16_t local(std::string name, ExprId init);
   /// Declares a scratch local initialized to 0 (delivery target etc.).
   std::uint16_t scratch(std::string name);
+  /// Declares a PERSISTENT local: it survives a crash (crash() preserves
+  /// it while wiping every other local to 0).  Only meaningful together
+  /// with recover_at().
+  std::uint16_t persistent(std::string name, ExprId init);
 
   // ---- expressions -----------------------------------------------------
   ExprId cst(Word v);
@@ -328,6 +350,11 @@ class ProgramBuilder {
   using Label = std::uint32_t;
   Label label();
   void bind(Label l);
+  /// Marks `l` as the crash-recovery entry point (`recover:`): after a
+  /// crash the machine re-enters here.  finalize() validates that the
+  /// label is bound, in range, and that every local live at the recovery
+  /// entry is persistent.
+  void recover_at(Label l);
 
   // ---- ops -------------------------------------------------------------
   void cas(std::uint16_t dst, ExprId index, std::uint32_t index_bound,
@@ -358,6 +385,7 @@ class ProgramBuilder {
   /// (op index, label) pairs patched at finalize().
   std::vector<std::pair<std::uint32_t, Label>> fixups_;
   std::uint16_t delivery_scratch_ = 0xFFFFu;
+  Label recovery_label_ = 0xFFFFFFFFu;  ///< unset until recover_at()
   bool finalized_ = false;
 };
 

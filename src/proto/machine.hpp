@@ -68,6 +68,26 @@ class IrMachine final : public sched::StepMachine {
   /// layout determines it — the dynamic half of encode() soundness).
   [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
 
+  /// Crash–recovery (StepMachine overrides).  A crash wipes every
+  /// volatile local to 0, preserves the persistent locals, drops the
+  /// pending op, and re-enters the program at the recovery entry —
+  /// exactly the state a freshly restarted process observes in Golab's
+  /// model (shared memory and its persistent register survive, nothing
+  /// else does).  finalize() proved no volatile local is live at the
+  /// recovery entry, so the wipe value never influences behaviour.
+  [[nodiscard]] bool can_crash() const override {
+    return program_->has_recovery() && !halted_;
+  }
+  void crash() override {
+    assert(can_crash());
+    const auto& specs = program_->locals();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (!specs[i].persistent) locals_[i] = 0;
+    }
+    pending_ = sched::PendingOp::none();
+    run_from(program_->vm_offset(program_->recovery_pc()));
+  }
+
  private:
   /// One dispatch loop over the Program's flat VM stream (see VmCode),
   /// starting at token index `tok`: expression tokens push/combine words

@@ -50,22 +50,36 @@ std::shared_ptr<const Program> f_plus_one_program(std::uint32_t k) {
   return b.finalize();
 }
 
-std::shared_ptr<const Program> staged_program(std::uint32_t f,
-                                              std::uint32_t t,
-                                              std::uint32_t max_stage_override) {
+namespace {
+
+/// Shared body of staged_program / recoverable_staged_program.  The
+/// recoverable variant differs ONLY in making the five state locals
+/// persistent and binding the entry-point phase dispatch as the crash
+/// recovery label — the op stream is identical.
+std::shared_ptr<const Program> build_staged_body(const char* name,
+                                                 std::uint32_t f,
+                                                 std::uint32_t t,
+                                                 std::uint32_t max_stage_override,
+                                                 bool recoverable) {
   const auto max_stage =
       max_stage_override != 0
           ? max_stage_override
           : static_cast<std::uint32_t>(model::staged_max_stage(f, t));
-  ProgramBuilder b("staged");
+  ProgramBuilder b(name);
   // Legacy encoding order: {phase, i, s, exp, output}.  phase 0 = main
   // stages, 1 = final stage, 2 = done — a pure encoding mirror of the
-  // paused position, never read except by the maxStage = 0 entry guard.
-  const auto phase = b.local("phase", b.cst(max_stage == 0 ? 1 : 0));
-  const auto i = b.local("i", b.cst(0));
-  const auto s = b.local("s", b.cst(0));
-  const auto exp = b.local("exp", b.bottom());
-  const auto out = b.local("out", b.u32(b.input()));
+  // paused position, never read except by the maxStage = 0 entry guard
+  // (and, in the recoverable variant, the crash-recovery dispatch, which
+  // IS that same guard).
+  const auto declare = [&](const char* local_name, ExprId init) {
+    return recoverable ? b.persistent(local_name, init)
+                       : b.local(local_name, init);
+  };
+  const auto phase = declare("phase", b.cst(max_stage == 0 ? 1 : 0));
+  const auto i = declare("i", b.cst(0));
+  const auto s = declare("s", b.cst(0));
+  const auto exp = declare("exp", b.bottom());
+  const auto out = declare("out", b.u32(b.input()));
   const auto r = b.scratch("r");
   b.emit(phase);
   b.emit(i);
@@ -82,7 +96,12 @@ std::shared_ptr<const Program> staged_program(std::uint32_t f,
   const auto set_done = b.label();
 
   // maxStage = 0 guard: skip straight to the final stage (line 3 never
-  // admits a main-stage iteration).
+  // admits a main-stage iteration).  In the recoverable variant this
+  // entry dispatch doubles as the `recover:` label — a crashed process
+  // resumes the stage walk from its persisted {phase, i, s, exp, out}.
+  const auto entry = b.label();
+  b.bind(entry);
+  if (recoverable) b.recover_at(entry);
   b.branch(b.eq(b.ref(phase), b.cst(1)), final_loop);
 
   // Lines 5-16: old ← CAS(O_i, exp, ⟨output, s⟩) and the retry ladder.
@@ -138,6 +157,50 @@ std::shared_ptr<const Program> staged_program(std::uint32_t f,
   b.bind(set_done);
   b.set(phase, b.cst(2));
   b.halt(b.ref(out));  // line 24
+  return b.finalize();
+}
+
+}  // namespace
+
+std::shared_ptr<const Program> staged_program(std::uint32_t f,
+                                              std::uint32_t t,
+                                              std::uint32_t max_stage_override) {
+  return build_staged_body("staged", f, t, max_stage_override,
+                           /*recoverable=*/false);
+}
+
+std::shared_ptr<const Program> recoverable_staged_program(
+    std::uint32_t f, std::uint32_t t, std::uint32_t max_stage_override) {
+  return build_staged_body("recoverable-staged", f, t, max_stage_override,
+                           /*recoverable=*/true);
+}
+
+std::shared_ptr<const Program> recoverable_cas_program() {
+  ProgramBuilder b("recoverable-cas");
+  // dn mirrors done() into the encoding (the single-cas convention: the
+  // machine block must determine the paused/halted position).  It is
+  // volatile — a crash can only hit a paused machine, where dn = 0, so
+  // the wipe is a no-op and dn is never live at recovery.
+  const auto dn = b.local("dn", b.cst(0));
+  // The proposal is the ONE persistent word (Golab's per-process stable
+  // storage); the delivery scratch is volatile and wiped by a crash.
+  const auto out = b.persistent("out", b.input());
+  const auto r = b.scratch("r");
+  b.emit(dn);
+  b.emit(out);
+
+  const auto retry = b.label();
+  b.bind(retry);
+  b.recover_at(retry);
+  // old ← CAS(O_0, ⊥, out).  A crash-after loses only the response: the
+  // recovery retry observes O_0 = out when we won (CAS returns out, the
+  // select keeps it) or the winner's value otherwise — either way the
+  // decision equals O_0's settled content, so agreement survives any
+  // number of budgeted crashes.
+  b.cas(r, b.cst(0), 1, b.bottom(), b.ref(out));
+  b.set(out, b.select(b.is_bottom(b.ref(r)), b.ref(out), b.ref(r)));
+  b.set(dn, b.cst(1));
+  b.halt(b.ref(out));
   return b.finalize();
 }
 

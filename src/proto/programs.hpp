@@ -51,4 +51,21 @@ inline constexpr std::uint32_t kStagedNeverValue = 0xFFFFFFFEu;
 [[nodiscard]] std::shared_ptr<const Program> queue_client_program(
     std::uint64_t ops);
 
+/// Recoverable single-CAS consensus (Golab's recoverable-consensus model):
+/// the proposal lives in a PERSISTENT local, and the recovery entry simply
+/// retries the CAS — a crash-after loses only the response, which the
+/// retry re-reads from the object itself (our value is in O_0 iff we won).
+/// Crash-correct, but inherits single-cas's vulnerability to overriding
+/// functional faults.
+[[nodiscard]] std::shared_ptr<const Program> recoverable_cas_program();
+
+/// Figure 3 staged protocol with all five state locals persistent and a
+/// recovery entry at the phase dispatch: after a crash the process
+/// resumes the stage walk from its persisted {phase, i, s, exp, out}.
+/// The retry ladder (line 15) already self-repairs a stale `exp`, so a
+/// lost CAS response is re-observed from the object — this is the
+/// protocol the crash x overriding-fault cross-product is checked on.
+[[nodiscard]] std::shared_ptr<const Program> recoverable_staged_program(
+    std::uint32_t f, std::uint32_t t, std::uint32_t max_stage_override = 0);
+
 }  // namespace ff::proto

@@ -13,8 +13,22 @@
 //     never hit it in practice);
 //   * a NonresponsiveError thrown by a faulty object propagates to the
 //     caller — runtime::run_trial() catches it, as before.
+//
+// Crash instrumentation (enable_crashes): for programs with a recovery
+// label, a faults::CrashPolicy is consulted at a crash point immediately
+// BEFORE every shared op — the pull-the-plug style of instrumented crash
+// testing.  When the policy fires (and the per-process crash budget is
+// not exhausted) the persistent locals are snapshotted and CrashError is
+// thrown, killing the worker thread mid-protocol.  The next decide()
+// call by the same pid is a recovery incarnation: volatile locals are 0,
+// persistent locals are restored from the snapshot, and execution
+// re-enters at recovery_pc() — exactly IrMachine::crash()'s semantics.
+// The crashed thread and its replacement must be ordered by join (the
+// runtime's crash runner does this), which is the happens-before edge
+// the per-process snapshot relies on.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <memory>
 #include <string>
@@ -22,6 +36,7 @@
 #include <vector>
 
 #include "consensus/consensus.hpp"
+#include "faults/crash_policy.hpp"
 #include "objects/cas_object.hpp"
 #include "objects/register.hpp"
 #include "proto/ir.hpp"
@@ -47,17 +62,42 @@ class IrProtocol final : public consensus::Protocol {
     assert(input != consensus::kReservedInput);
     Word locals[kMaxLocals] = {};
     const auto& specs = program_->locals();
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      locals[i] = program_->eval(specs[i].init, locals, pid, input);
+    const bool crashable =
+        crash_policy_ != nullptr && program_->has_recovery();
+    std::uint32_t pc = 0;
+    if (crashable && crash_state_.at(pid).incarnation > 0) {
+      // Recovery re-entry: volatile locals stay 0, persistent locals are
+      // restored from the crash-time snapshot, control enters `recover:`.
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].persistent) locals[i] = crash_state_[pid].persistent[i];
+      }
+      pc = program_->recovery_pc();
+    } else {
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        locals[i] = program_->eval(specs[i].init, locals, pid, input);
+      }
     }
 
     const auto& ops = program_->ops();
     const auto eval = [&](ExprId id) {
       return program_->eval(id, locals, pid, /*input=*/0);
     };
+    const auto crash_point = [&] {
+      if (!crashable) return;
+      CrashState& cs = crash_state_[pid];
+      if (cs.incarnation >= crash_budget_) return;  // budget has final say
+      if (!crash_policy_->should_crash(pid, cs.incarnation, ++cs.op_index)) {
+        return;
+      }
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].persistent) cs.persistent[i] = locals[i];
+      }
+      ++cs.incarnation;
+      cs.op_index = 0;
+      throw faults::CrashError();
+    };
 
     std::uint64_t steps = 0;
-    std::uint32_t pc = 0;
     for (;;) {
       const Op& op = ops[pc];
       switch (op.kind) {
@@ -75,6 +115,7 @@ class IrProtocol final : public consensus::Protocol {
           return consensus::Decision::of(eval(op.value), steps);
         case OpKind::kCas: {
           if (exhausted(steps)) return consensus::Decision::undecided(steps);
+          crash_point();
           const Word index = eval(op.index);
           assert(index < op.index_bound);
           const model::Value old = objects_[index]->cas(
@@ -86,6 +127,7 @@ class IrProtocol final : public consensus::Protocol {
           break;
         }
         case OpKind::kRegRead: {
+          crash_point();
           const Word index = eval(op.index);
           assert(index < op.index_bound);
           locals[op.dst] = registers_[index]->read().raw();
@@ -93,6 +135,7 @@ class IrProtocol final : public consensus::Protocol {
           break;
         }
         case OpKind::kRegWrite: {
+          crash_point();
           const Word index = eval(op.index);
           assert(index < op.index_bound);
           registers_[index]->write(model::Value::of(eval(op.value)));
@@ -111,6 +154,25 @@ class IrProtocol final : public consensus::Protocol {
   void reset() override {
     for (objects::CasObject* object : objects_) object->reset();
     for (objects::AtomicRegister* reg : registers_) reg->reset();
+    for (CrashState& cs : crash_state_) cs = CrashState{};
+    if (crash_policy_ != nullptr) crash_policy_->reset();
+  }
+
+  /// Arms the crash instrumentation for up to `processes` worker pids.
+  /// `policy` (borrowed) decides when a crash point fires; `budget` caps
+  /// crashes per process, so every trial terminates.  Only meaningful for
+  /// programs with a recovery label; a null policy disarms.
+  void enable_crashes(faults::CrashPolicy* policy, std::uint32_t budget,
+                      std::uint32_t processes) {
+    assert(policy == nullptr || program_->has_recovery());
+    crash_policy_ = policy;
+    crash_budget_ = budget;
+    crash_state_.assign(processes, CrashState{});
+  }
+
+  /// Crashes suffered by `pid` so far in this trial.
+  [[nodiscard]] std::uint32_t crashes(objects::ProcessId pid) const {
+    return crash_state_.at(pid).incarnation;
   }
 
   [[nodiscard]] std::string name() const override { return program_->name(); }
@@ -124,9 +186,21 @@ class IrProtocol final : public consensus::Protocol {
   }
 
  private:
+  /// Per-process crash bookkeeping.  Distinct pids touch distinct slots;
+  /// a crashed incarnation and its replacement thread are ordered by the
+  /// runner's join, so no slot is ever accessed concurrently.
+  struct CrashState {
+    std::uint32_t incarnation = 0;  ///< crashes suffered so far
+    std::uint64_t op_index = 0;     ///< shared ops this incarnation
+    std::array<Word, kMaxLocals> persistent = {};
+  };
+
   std::shared_ptr<const Program> program_;
   std::vector<objects::CasObject*> objects_;
   std::vector<objects::AtomicRegister*> registers_;
+  faults::CrashPolicy* crash_policy_ = nullptr;
+  std::uint32_t crash_budget_ = 0;
+  std::vector<CrashState> crash_state_;
 };
 
 }  // namespace ff::proto

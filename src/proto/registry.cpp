@@ -38,6 +38,17 @@ std::shared_ptr<const Program> build_queue_client(const Params& p) {
   return queue_client_program(p.get("ops", 100));
 }
 
+std::shared_ptr<const Program> build_recoverable_cas(const Params&) {
+  return recoverable_cas_program();
+}
+
+std::shared_ptr<const Program> build_recoverable_staged(const Params& p) {
+  return recoverable_staged_program(
+      static_cast<std::uint32_t>(p.get("f", 1)),
+      static_cast<std::uint32_t>(p.get("t", 1)),
+      static_cast<std::uint32_t>(p.get("max_stage", 0)));
+}
+
 }  // namespace
 
 ProtocolRegistry::ProtocolRegistry() {
@@ -86,6 +97,22 @@ ProtocolRegistry::ProtocolRegistry() {
           {{"n", 2, "process/register count"}},
           true,
           &build_tas},
+      ProtocolInfo{
+          "recoverable-cas",
+          "single CAS with a persistent proposal; recovery retries it",
+          {"rcas"},
+          {},
+          true,
+          &build_recoverable_cas},
+      ProtocolInfo{
+          "recoverable-staged",
+          "Figure 3 staged with persistent state + recovery dispatch",
+          {"rstaged"},
+          {{"f", 1, "object count (all possibly faulty)"},
+           {"t", 1, "per-object fault bound fixing maxStage"},
+           {"max_stage", 0, "non-zero: ablation override of maxStage"}},
+          true,
+          &build_recoverable_staged},
       ProtocolInfo{
           "queue-client",
           "relaxed-queue client: enqueue 1..ops then dequeue ops times",

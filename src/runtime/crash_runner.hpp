@@ -1,0 +1,94 @@
+// Real-thread execution of consensus trials under process crashes.
+//
+// One trial = n supervisors released through a spin barrier.  Each
+// supervisor runs its process as a sequence of REAL worker threads: the
+// first worker enters protocol.decide(); when the armed CrashPolicy
+// pulls the plug (proto::IrProtocol throws faults::CrashError) that
+// worker thread unwinds and dies, the supervisor joins it — the
+// happens-before edge the persistent-local snapshot relies on — and
+// starts a fresh std::thread that re-enters decide() at the protocol's
+// recovery label.  The restart loop is bounded by the per-process crash
+// budget, which the protocol enforces (a crash point never fires once
+// the budget is spent), so every trial terminates.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "consensus/verify.hpp"
+#include "faults/crash_policy.hpp"
+#include "faults/faulty_cas.hpp"
+#include "proto/protocol.hpp"
+#include "util/rng.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace ff::runtime {
+
+struct CrashTrialOutcome {
+  std::vector<consensus::InputValue> inputs;
+  std::vector<consensus::Decision> decisions;
+  std::vector<std::uint32_t> crashes;  ///< per process
+  consensus::Verdict verdict;
+};
+
+/// Runs one crash-instrumented consensus trial.  `policy` decides when a
+/// crash point fires, `crash_budget` caps crashes per process, and
+/// `stagger_seed` adds a small random pre-start spin per supervisor to
+/// vary interleavings (0 = no stagger).  The protocol must be built from
+/// a program with a recovery label when crash_budget > 0.
+[[nodiscard]] inline CrashTrialOutcome run_crash_trial(
+    proto::IrProtocol& protocol,
+    const std::vector<consensus::InputValue>& inputs,
+    faults::CrashPolicy& policy, std::uint32_t crash_budget,
+    std::uint64_t stagger_seed = 0) {
+  const auto n = static_cast<std::uint32_t>(inputs.size());
+  std::vector<consensus::Decision> decisions(n);
+  std::vector<std::uint32_t> crashes(n, 0);
+  protocol.enable_crashes(crash_budget > 0 ? &policy : nullptr, crash_budget,
+                          n);
+  util::SpinBarrier barrier(n);
+
+  std::vector<std::thread> supervisors;
+  supervisors.reserve(n);
+  for (std::uint32_t pid = 0; pid < n; ++pid) {
+    supervisors.emplace_back([&, pid] {
+      std::uint64_t spins = 0;
+      if (stagger_seed != 0) {
+        spins = util::mix64(stagger_seed ^ pid) % 256;
+      }
+      barrier.arrive_and_wait();
+      for (std::uint64_t i = 0; i < spins; ++i) {
+        std::this_thread::yield();
+      }
+      // Restart loop, bounded by the crash budget: the protocol stops
+      // offering crash points once `pid` has crashed crash_budget times.
+      while (crashes[pid] <= crash_budget) {
+        bool crashed = false;
+        std::thread worker([&] {
+          try {
+            decisions[pid] = protocol.decide(inputs[pid], pid);
+          } catch (const faults::CrashError&) {
+            crashed = true;
+          } catch (const faults::NonresponsiveError&) {
+            decisions[pid] = consensus::Decision::undecided(0);
+          }
+        });
+        worker.join();
+        if (!crashed) return;
+        ++crashes[pid];
+      }
+    });
+  }
+  for (auto& t : supervisors) t.join();
+
+  CrashTrialOutcome outcome;
+  outcome.inputs = inputs;
+  outcome.decisions = std::move(decisions);
+  outcome.crashes = std::move(crashes);
+  outcome.verdict = consensus::verify_consensus(inputs, outcome.decisions);
+  return outcome;
+}
+
+}  // namespace ff::runtime

@@ -19,21 +19,26 @@ using detail::Fingerprint;
 using detail::FingerprintHash;
 
 /// Canonical ordering of choices: lower pid first (the adversary's
-/// 0xFFFFFFFF pseudo-pid naturally sorts last), clean before faulty,
-/// lower fault variant first.  The shrinker canonicalizes towards the
-/// minimum of this order.
+/// 0xFFFFFFFF pseudo-pid naturally sorts last), clean before faulty
+/// before crashing, lower fault variant first.  The shrinker
+/// canonicalizes towards the minimum of this order.
 [[nodiscard]] std::uint64_t choice_key(const Choice& c) noexcept {
-  return (static_cast<std::uint64_t>(c.pid) << 33) |
+  return (static_cast<std::uint64_t>(c.pid) << 34) |
+         (static_cast<std::uint64_t>(c.crash) << 33) |
          (static_cast<std::uint64_t>(c.fault) << 32) | c.fault_variant;
 }
 
-/// Unguided pick, identical in spirit to random_walk: prefer a fault
-/// choice with probability `fault_bias`, uniform within the pool.
+/// Unguided pick, identical in spirit to random_walk: prefer a fault or
+/// crash choice with probability `fault_bias`, uniform within the pool.
+/// With crash_budget 0 no crash choice ever exists, so the pools — and
+/// every RNG draw — are bit-identical to the crash-unaware fuzzer.
 [[nodiscard]] Choice biased_pick(const std::vector<Choice>& choices,
                                  util::Xoshiro256& rng, double fault_bias) {
   std::vector<Choice> faulty;
   std::vector<Choice> clean;
-  for (const Choice& c : choices) (c.fault ? faulty : clean).push_back(c);
+  for (const Choice& c : choices) {
+    (c.fault || c.crash ? faulty : clean).push_back(c);
+  }
   const std::vector<Choice>& pool =
       (!faulty.empty() && rng.chance(fault_bias)) ? faulty : clean;
   const std::vector<Choice>& chosen = pool.empty() ? choices : pool;
@@ -82,7 +87,7 @@ struct PctPriorities {
   std::vector<Choice> clean;
   for (const Choice& c : choices) {
     if (prio.slot(c.pid) != best_slot) continue;
-    (c.fault ? faulty : clean).push_back(c);
+    (c.fault || c.crash ? faulty : clean).push_back(c);
   }
   if (!faulty.empty() && (clean.empty() || rng.chance(fault_bias))) {
     return faulty[rng.below(faulty.size())];
@@ -91,8 +96,8 @@ struct PctPriorities {
 }
 
 /// Resolves a guidance choice against the currently enabled set: exact
-/// match, else same (pid, fault), else same pid preferring its clean
-/// step.  nullopt when the process has no enabled choice at all.
+/// match, else same (pid, fault, crash), else same pid preferring its
+/// clean step.  nullopt when the process has no enabled choice at all.
 [[nodiscard]] std::optional<Choice> resolve(
     const std::vector<Choice>& enabled, const Choice& want) {
   const Choice* same_pid_clean = nullptr;
@@ -101,8 +106,8 @@ struct PctPriorities {
     if (c == want) return c;
     if (c.pid != want.pid) continue;
     if (!same_pid_any) same_pid_any = &c;
-    if (!c.fault && !same_pid_clean) same_pid_clean = &c;
-    if (c.fault == want.fault) return c;
+    if (!c.fault && !c.crash && !same_pid_clean) same_pid_clean = &c;
+    if (c.fault == want.fault && c.crash == want.crash) return c;
   }
   if (same_pid_clean) return *same_pid_clean;
   if (same_pid_any) return *same_pid_any;
@@ -156,9 +161,10 @@ enum class Mode : std::uint8_t {
       if (out.empty()) return out;
       const std::size_t idx = rng.below(out.size());
       switch (rng.below(3)) {
-        case 0:  // toggle the fault flag
+        case 0:  // toggle the fault flag (and drop any crash marker)
           out[idx].fault = !out[idx].fault;
           out[idx].fault_variant = 0;
+          out[idx].crash = false;
           break;
         case 1: {  // move the step one slot (shifts a fault point)
           const std::size_t other =
@@ -168,6 +174,7 @@ enum class Mode : std::uint8_t {
         }
         default:  // revariant: force a faulty step with a fresh variant
           out[idx].fault = true;
+          out[idx].crash = false;
           out[idx].fault_variant = static_cast<std::uint32_t>(rng.below(4));
           break;
       }
@@ -457,7 +464,8 @@ std::vector<Choice> shrink_witness(const SimWorld& initial,
 
     // Phase 2 — per-step canonicalization: replace each choice by the
     // smallest enabled alternative (choice_key order: lower pid, clean
-    // over faulty, lower variant) that preserves the violation.
+    // over faulty over crashing, lower variant) that preserves the
+    // violation.
     SimWorld world = initial;
     for (std::size_t i = 0; i < cur.size(); ++i) {
       std::vector<Choice> alternatives = world.enabled();

@@ -53,16 +53,17 @@ struct Edge {
   std::uint32_t from;
   std::uint32_t to;
   std::uint32_t pid;
-  std::uint32_t variant_fault;  ///< (fault_variant << 1) | fault
+  std::uint32_t variant_fault;  ///< (fault_variant << 2) | (crash << 1) | fault
   std::uint8_t slot = kNoSlot;  ///< canonical slot of pid at `from`
 
   [[nodiscard]] Choice choice() const {
-    return Choice{pid, (variant_fault & 1u) != 0, variant_fault >> 1};
+    return Choice{pid, (variant_fault & 1u) != 0, variant_fault >> 2,
+                  (variant_fault & 2u) != 0};
   }
   [[nodiscard]] bool process_step() const { return pid != kAdversaryPid; }
 
   static std::uint32_t pack(const Choice& c) {
-    return (c.fault_variant << 1) | (c.fault ? 1u : 0u);
+    return (c.fault_variant << 2) | (c.crash ? 2u : 0u) | (c.fault ? 1u : 0u);
   }
 };
 

@@ -37,6 +37,15 @@ class StepMachine {
 
   virtual void encode(std::vector<std::uint64_t>& out) const = 0;
   [[nodiscard]] virtual std::unique_ptr<StepMachine> clone() const = 0;
+
+  /// Crash–recovery support (default: not crashable).  can_crash() is
+  /// true when the machine has a recovery entry and is not done;
+  /// crash() wipes the machine's volatile locals (to 0), preserves its
+  /// persistent locals, and re-enters the program at the recovery entry.
+  /// The legacy hand-written machines keep the defaults: no recovery
+  /// label means the simulator never offers them a crash branch.
+  [[nodiscard]] virtual bool can_crash() const { return false; }
+  virtual void crash() {}
 };
 
 /// Factory producing the machine for process `pid` with input `input`.

@@ -214,6 +214,10 @@ Footprint footprint_of(const SimWorld& world, const Choice& c) {
   if (c.pid == kAdversaryPid) {
     return Footprint{Footprint::Space::kGlobal, 0, true};
   }
+  // Crash choices inherit the pending op's footprint: crash-after may
+  // write that location, crash-before touches only per-process state
+  // (always dependent with same-pid choices anyway) — conservative but
+  // sound for the sleep-set commutation argument.
   const PendingOp op = world.pending(c.pid);
   switch (op.type) {
     case OpType::kCas:
@@ -247,7 +251,8 @@ bool independent(const Choice& ca, const Footprint& fa, const Choice& cb,
 std::vector<Choice> normalize_trace(const SimWorld& initial,
                                     std::vector<Choice> schedule) {
   const auto key = [](const Choice& c) {
-    return (static_cast<std::uint64_t>(c.pid) << 33) |
+    return (static_cast<std::uint64_t>(c.pid) << 34) |
+           (static_cast<std::uint64_t>(c.crash ? 1 : 0) << 33) |
            (static_cast<std::uint64_t>(c.fault ? 1 : 0) << 32) |
            c.fault_variant;
   };

@@ -154,8 +154,8 @@ struct Footprint {
     const Choice& c, const std::vector<std::uint32_t>& slot_of) {
   const std::uint64_t slot =
       (c.pid == kAdversaryPid || slot_of.empty()) ? c.pid : slot_of[c.pid];
-  return (slot << 33) | (static_cast<std::uint64_t>(c.fault ? 1 : 0) << 32) |
-         c.fault_variant;
+  return (slot << 34) | (static_cast<std::uint64_t>(c.crash ? 1 : 0) << 33) |
+         (static_cast<std::uint64_t>(c.fault ? 1 : 0) << 32) | c.fault_variant;
 }
 
 /// Inverse of sleep_key: resolves a canonical key against a concrete
@@ -164,9 +164,10 @@ struct Footprint {
 /// deterministic order makes it reproducible.
 [[nodiscard]] inline Choice resolve_sleep_key(
     std::uint64_t key, const std::vector<std::uint32_t>& order) {
-  const auto slot = static_cast<std::uint32_t>(key >> 33);
+  const auto slot = static_cast<std::uint32_t>(key >> 34);
   Choice c;
   c.pid = order.empty() ? slot : order.at(slot);
+  c.crash = ((key >> 33) & 1) != 0;
   c.fault = ((key >> 32) & 1) != 0;
   c.fault_variant = static_cast<std::uint32_t>(key & 0xFFFFFFFFULL);
   return c;

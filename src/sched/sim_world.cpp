@@ -23,6 +23,7 @@ SimWorld::SimWorld(SimConfig config, const MachineFactory& factory,
       objects_(config_.num_objects, model::Value::bottom()),
       registers_(config_.num_registers, model::Value::bottom()),
       faults_used_(config_.num_objects, 0),
+      crashes_used_(inputs_.size(), 0),
       killed_(inputs_.size(), false),
       symmetric_machines_(factory.pid_oblivious()) {
   machines_.reserve(inputs_.size());
@@ -46,6 +47,7 @@ SimWorld::SimWorld(const SimWorld& other)
       objects_(other.objects_),
       registers_(other.registers_),
       faults_used_(other.faults_used_),
+      crashes_used_(other.crashes_used_),
       killed_(other.killed_),
       total_steps_(other.total_steps_),
       symmetric_machines_(other.symmetric_machines_) {
@@ -135,6 +137,29 @@ std::vector<Choice> SimWorld::enabled() const {
     out.push_back({pid, false, 0});
     // Register operations are always correct; only CAS steps may fault.
     if (op.type == OpType::kCas) append_fault_choices(pid, op, out);
+    // Crash branches (crash_budget > 0 and a recoverable machine only).
+    // Variant 0 = crash-before: the pending op never reaches the object.
+    // Variant 1 = crash-after: the op's effect lands but the response is
+    // lost with the crash — offered only when the effect would actually
+    // change shared state (a lost response to a no-op is observationally
+    // identical to crash-before, mirroring the Definition 1 manifest
+    // pruning); reads never change shared state, so they only get
+    // variant 0.
+    if (config_.crash_budget > 0 &&
+        crashes_used_[pid] < config_.crash_budget &&
+        machines_[pid]->can_crash()) {
+      out.push_back({pid, false, 0, true});
+      if (op.type == OpType::kCas) {
+        const model::CasEffect effect = model::cas_apply(
+            objects_[op.object], model::CasCall{op.expected, op.desired});
+        if (effect.after != objects_[op.object]) {
+          out.push_back({pid, false, 1, true});
+        }
+      } else if (op.type == OpType::kRegWrite &&
+                 registers_[op.object] != op.desired) {
+        out.push_back({pid, false, 1, true});
+      }
+    }
   }
   if (any_live && config_.allow_corruption_steps &&
       config_.kind == model::FaultKind::kDataCorruption) {
@@ -179,6 +204,35 @@ void SimWorld::apply(const Choice& choice) {
   assert(!killed_[choice.pid] && !machine.done());
   const PendingOp op = machine.next_op();
   ++total_steps_;
+
+  if (choice.crash) {
+    assert(config_.crash_budget > 0 &&
+           crashes_used_[choice.pid] < config_.crash_budget);
+    assert(machine.can_crash());
+    if (choice.fault_variant == 1) {
+      // Crash-after: the operation's effect reaches the object, but the
+      // process crashes before observing the response.
+      if (op.type == OpType::kCas) {
+        const model::Value before = objects_[op.object];
+        const model::CasEffect effect = model::cas_apply(
+            before, model::CasCall{op.expected, op.desired});
+        objects_[op.object] = effect.after;
+        if (config_.sink != nullptr) {
+          faults::CasEvent ev;
+          ev.object = op.object;
+          ev.caller = choice.pid;
+          ev.call = {op.expected, op.desired};
+          ev.obs = {before, effect.after, effect.returned};
+          config_.sink->on_cas(ev);
+        }
+      } else if (op.type == OpType::kRegWrite) {
+        registers_.at(op.object) = op.desired;
+      }
+    }
+    ++crashes_used_[choice.pid];
+    machine.crash();
+    return;
+  }
 
   if (op.type == OpType::kRegRead) {
     assert(!choice.fault);
@@ -257,6 +311,7 @@ void SimWorld::apply_with_undo(const Choice& choice, StepUndo& undo) {
   undo.objects = objects_;
   undo.registers = registers_;
   undo.faults_used = faults_used_;
+  undo.crashes_used = crashes_used_;
   undo.killed = killed_;
   undo.total_steps = total_steps_;
   if (choice.pid != kAdversaryPid) {
@@ -273,6 +328,7 @@ void SimWorld::undo_step(StepUndo& undo) {
   objects_.swap(undo.objects);
   registers_.swap(undo.registers);
   faults_used_.swap(undo.faults_used);
+  crashes_used_.swap(undo.crashes_used);
   killed_.swap(undo.killed);
   total_steps_ = undo.total_steps;
   if (undo.machine != nullptr) {
@@ -325,6 +381,13 @@ void SimWorld::encode_process(objects::ProcessId pid,
                               std::vector<std::uint64_t>& out) const {
   out.push_back(0xFEEDFACEFEEDFACEULL);  // separator guards alignment
   out.push_back(killed_.at(pid) ? 1 : 0);
+  // The crash counter is per-process state (it gates this process's
+  // remaining crash branches), so it lives in the process block — and
+  // only when crashes are enabled at all, so budget-0 encodings are
+  // bit-identical to the crash-free ones.  The counter is monotone and
+  // encoded, so a crash edge can never close a cycle: recovery loops are
+  // budgeted by construction.
+  if (config_.crash_budget > 0) out.push_back(crashes_used_.at(pid));
   machines_.at(pid)->encode(out);
 }
 

@@ -54,6 +54,14 @@ struct SimConfig {
   /// any process step the adversary may overwrite a designated object
   /// with any candidate value, consuming budget.
   bool allow_corruption_steps = false;
+  /// Max crashes per process (0 = crashes disabled).  A crash is a
+  /// per-process nondeterministic branch at a pause point: the process
+  /// loses its volatile locals and re-enters at its recovery label
+  /// (StepMachine::crash()); shared objects and persistent locals
+  /// survive.  Only machines with a recovery entry (can_crash()) are
+  /// offered crash branches, so budget 0 — and every non-recoverable
+  /// protocol — reproduces the crash-free state space exactly.
+  std::uint32_t crash_budget = 0;
   /// Optional CAS-event recorder (borrowed).  Only meaningful for LINEAR
   /// drives of one world — random walks, adversaries, witness replays.
   /// The DFS explorer interleaves branches through copies that share
@@ -94,6 +102,7 @@ class SimWorld {
     std::vector<model::Value> objects;
     std::vector<model::Value> registers;
     std::vector<std::uint32_t> faults_used;
+    std::vector<std::uint32_t> crashes_used;
     std::vector<bool> killed;
     std::uint64_t total_steps = 0;
   };
@@ -159,6 +168,9 @@ class SimWorld {
   [[nodiscard]] std::uint32_t faults_used(objects::ObjectId id) const {
     return faults_used_.at(id);
   }
+  [[nodiscard]] std::uint32_t crashes_used(objects::ProcessId pid) const {
+    return crashes_used_.at(pid);
+  }
   [[nodiscard]] std::uint64_t total_steps() const noexcept {
     return total_steps_;
   }
@@ -189,6 +201,7 @@ class SimWorld {
   std::vector<model::Value> objects_;
   std::vector<model::Value> registers_;
   std::vector<std::uint32_t> faults_used_;
+  std::vector<std::uint32_t> crashes_used_;  ///< per process
   std::vector<bool> killed_;
   std::uint64_t total_steps_ = 0;
   bool symmetric_machines_ = false;

@@ -48,13 +48,26 @@ struct PendingOp {
 /// fires a fault on that step.  `fault_variant` selects among multiple
 /// possible faulty outcomes (used by the arbitrary/data faults whose Φ′
 /// admits several written values); 0 for single-outcome faults.
+///
+/// `crash` selects the crash–recovery branch instead: the process crashes
+/// at this step and immediately re-enters at its recovery label (volatile
+/// locals wiped, persistent locals and shared objects preserved).  For a
+/// crash, `fault_variant` distinguishes crash-before (0: the pending op
+/// never reaches the object) from crash-after (1: the op's effect lands
+/// on the shared object but the response is lost with the crash).
 struct Choice {
   objects::ProcessId pid = 0;
   bool fault = false;
   std::uint32_t fault_variant = 0;
+  bool crash = false;
 
   [[nodiscard]] std::string to_string() const {
     std::string s = "p" + std::to_string(pid);
+    if (crash) {
+      s += "~";
+      if (fault_variant != 0) s += std::to_string(fault_variant);
+      return s;
+    }
     if (fault) {
       s += "!";
       if (fault_variant != 0) s += std::to_string(fault_variant);

@@ -1,0 +1,22 @@
+// Fixture: R2 positive — direct crash-injection primitives in
+// model-checked code, one per line so the test can pin line numbers.
+// Each kills or teleports control flow behind the model's back: a crash
+// the explorer cannot branch on, budget, or replay.
+#include <csetjmp>
+#include <csignal>
+#include <cstdlib>
+
+namespace ff::consensus {
+
+std::jmp_buf recovery_env;
+
+unsigned crashy_decide(unsigned v) {
+  if (v == 0) abort();                        // line 14: R2
+  if (v == 1) std::_Exit(2);                  // line 15: R2
+  if (v == 2) raise(SIGABRT);                 // line 16: R2
+  if (setjmp(recovery_env) != 0) return v;    // line 17: R2
+  if (v == 3) longjmp(recovery_env, 1);       // line 18: R2
+  return v;
+}
+
+}  // namespace ff::consensus

@@ -1,0 +1,19 @@
+// Fixture: R2 negative — the sanctioned crash idiom: a deterministic
+// policy object decides the crash point and the runtime unwinds with an
+// exception, so the simulator can enumerate the identical branch and a
+// witness replays it.
+namespace ff::consensus {
+
+struct CrashError {};
+
+struct PolicyLike {
+  unsigned fire_at = 0;
+  bool should_crash(unsigned op) const { return op == fire_at; }
+};
+
+unsigned guarded_step(const PolicyLike& policy, unsigned op, unsigned v) {
+  if (policy.should_crash(op)) throw CrashError{};
+  return v + 1;
+}
+
+}  // namespace ff::consensus

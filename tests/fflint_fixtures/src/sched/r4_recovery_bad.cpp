@@ -1,0 +1,24 @@
+// Fixture: R4 positive — recovery/restart loops that never consult the
+// crash budget: a crash-looping process respawns forever instead of
+// exhausting its budget and letting the trial terminate.
+#include <cstdint>
+
+namespace ff::sched {
+
+void restart_process(std::uint32_t pid);
+
+std::uint32_t respawn_forever(bool& crashed) {
+  std::uint32_t incarnation = 0;
+  while (crashed) {                    // line 12: R4 (unbudgeted recovery)
+    ++incarnation;
+    crashed = incarnation < 3;
+  }
+  std::uint32_t spawned = 0;
+  while (spawned < 8) {                // line 17: R4 (unbudgeted restart)
+    restart_process(spawned);
+    ++spawned;
+  }
+  return incarnation;
+}
+
+}  // namespace ff::sched

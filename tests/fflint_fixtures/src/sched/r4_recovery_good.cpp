@@ -1,0 +1,25 @@
+// Fixture: R4 negative — the sanctioned recovery shape: every restart
+// loop is bounded on the per-process crash budget (or a BudgetMeter),
+// so a crash-looping process terminates the moment its budget is spent.
+#include <cstdint>
+
+namespace ff::sched {
+
+void restart_process(std::uint32_t pid);
+
+std::uint32_t respawn_within_budget(bool& crashed,
+                                    std::uint32_t crash_budget) {
+  std::uint32_t incarnation = 0;
+  while (crashed && incarnation <= crash_budget) {
+    ++incarnation;
+    crashed = incarnation < 3;
+  }
+  std::uint32_t budget_left = crash_budget;
+  while (budget_left > 0) {
+    restart_process(budget_left);
+    --budget_left;
+  }
+  return incarnation;
+}
+
+}  // namespace ff::sched

@@ -83,6 +83,23 @@ TEST(FflintR2, SeededDeterminismIdiomsPass) {
   EXPECT_EQ(fixture_file("src/consensus/r2_good.cpp"), nullptr);
 }
 
+TEST(FflintR2, FlagsDirectCrashInjectionPrimitives) {
+  // Crash nondeterminism may only enter through a faults::CrashPolicy
+  // decision point: abort/_Exit/raise/setjmp/longjmp kill or teleport
+  // control flow behind the model's back.
+  const FileReport* f = fixture_file("src/consensus/r2_crash_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR2);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR2),
+            (std::vector<int>{14, 15, 16, 17, 18}));
+}
+
+TEST(FflintR2, PolicyMediatedCrashIdiomPasses) {
+  // should_crash() + throw is the sanctioned shape: the simulator can
+  // enumerate the identical branch and a witness replays it.
+  EXPECT_EQ(fixture_file("src/consensus/r2_crash_good.cpp"), nullptr);
+}
+
 TEST(FflintR1, ProtocolIrLayerIsGoverned) {
   // src/proto/ joined the governed tree with the single-source IR: the
   // IR layer feeds the simulator, so ambient atomics are as unsound
@@ -127,6 +144,19 @@ TEST(FflintR4, FlagsUnbudgetedInfiniteLoops) {
 
 TEST(FflintR4, BudgetMeterConsultationPasses) {
   EXPECT_EQ(fixture_file("src/sched/r4_good.cpp"), nullptr);
+}
+
+TEST(FflintR4, FlagsUnbudgetedRecoveryLoops) {
+  // The crash model's unbounded shape: a restart loop that never
+  // consults the crash budget respawns a crash-looping process forever.
+  const FileReport* f = fixture_file("src/sched/r4_recovery_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR4);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR4), (std::vector<int>{12, 17}));
+}
+
+TEST(FflintR4, BudgetBoundedRecoveryLoopsPass) {
+  EXPECT_EQ(fixture_file("src/sched/r4_recovery_good.cpp"), nullptr);
 }
 
 TEST(FflintR4, ScopeCoversNestedSchedulerDirectories) {
@@ -227,7 +257,7 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
   const std::string json = ff::fflint::render_json(fixture_report());
   EXPECT_NE(json.find("\"tool\":\"ff-lint\""), std::string::npos);
   EXPECT_NE(json.find("\"rule\":\"R3\""), std::string::npos);
-  EXPECT_NE(json.find("\"counts\":{\"R1\":3,\"R2\":8,\"R3\":2,\"R4\":4,"
+  EXPECT_NE(json.find("\"counts\":{\"R1\":3,\"R2\":13,\"R3\":2,\"R4\":6,"
                       "\"R5\":3}"),
             std::string::npos);
   EXPECT_NE(json.find("\"justification\":\"fixture counter standing in for "
@@ -237,8 +267,8 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
 }
 
 TEST(FflintReport, FixtureTreeTotalsAreExact) {
-  EXPECT_EQ(fixture_report().unsuppressed_total(), 20u);
-  EXPECT_EQ(fixture_report().files_scanned, 15);
+  EXPECT_EQ(fixture_report().unsuppressed_total(), 27u);
+  EXPECT_EQ(fixture_report().files_scanned, 19);
 }
 
 // ---------------------------------------------------------- self-lint

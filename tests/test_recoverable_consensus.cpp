@@ -1,0 +1,247 @@
+// Recoverable consensus (Golab's crash–recovery model) checked three
+// ways:
+//   1. Model checking over the small-parameter grid: agreement, validity
+//      and recoverable wait-freedom under every schedule, crash
+//      placement and functional-fault placement within budget — the
+//      crash × overriding cross-product included.  recoverable-staged
+//      survives the cross-product at its design point; recoverable-cas
+//      is crash-correct but inherits single-cas's overriding
+//      vulnerability (the documented finding, with its minimal witness
+//      exercised in test_crash_recovery.cpp).
+//   2. Thread-vs-simulator equality: every decision a real crashed-and-
+//      restarted thread execution produces is one the exhaustive
+//      simulation admits.
+//   3. A seeded stress campaign with REAL worker threads that crash
+//      (faults::CrashError unwinds the thread) and restart as fresh
+//      std::threads entering the recovery label.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consensus/verify.hpp"
+#include "faults/crash_policy.hpp"
+#include "objects/atomic_cas.hpp"
+#include "proto/registry.hpp"
+#include "runtime/crash_runner.hpp"
+#include "sched/explorer.hpp"
+#include "sched/sim_world.hpp"
+
+namespace ff {
+namespace {
+
+using sched::ViolationKind;
+
+sched::SimWorld make_world(const sched::MachineFactory& factory,
+                           model::FaultKind kind, std::uint32_t t,
+                           std::uint32_t n, std::uint32_t crash_budget) {
+  sched::SimConfig config;
+  config.num_objects = factory.objects_used();
+  config.num_registers = factory.registers_used();
+  config.kind = kind;
+  config.t = kind == model::FaultKind::kNone ? 0 : t;
+  config.crash_budget = crash_budget;
+  std::vector<std::uint64_t> inputs(n);
+  for (std::uint32_t i = 0; i < n; ++i) inputs[i] = i + 1;
+  return sched::SimWorld(config, factory, inputs);
+}
+
+sched::ExploreResult check(const sched::SimWorld& world) {
+  sched::ExploreOptions options;
+  options.stop_at_first_violation = false;
+  return sched::explore(world, options);
+}
+
+// ---------------------------------------------------------------------------
+// 1. Model checking over the small-parameter grid.
+
+struct GridCell {
+  std::string protocol;
+  proto::Params params;
+  model::FaultKind kind;
+  std::uint32_t t;
+  std::uint32_t n;
+  std::uint32_t budget;
+  bool correct;  ///< expected: no violation of any kind
+};
+
+TEST(RecoverableConsensus, GridAgreementValidityAndWaitFreedom) {
+  using model::FaultKind;
+  std::vector<GridCell> grid;
+  // recoverable-cas: crash-correct at every budget and process count…
+  for (const std::uint32_t n : {2u, 3u}) {
+    for (const std::uint32_t b : {0u, 1u, 2u}) {
+      grid.push_back({"recoverable-cas", {}, FaultKind::kNone, 0, n, b, true});
+    }
+  }
+  // …but one overriding fault breaks agreement as soon as a crash can
+  // strand a winner between its CAS and its decision (budget ≥ 1).
+  grid.push_back(
+      {"recoverable-cas", {}, FaultKind::kOverriding, 1, 2, 0, true});
+  grid.push_back(
+      {"recoverable-cas", {}, FaultKind::kOverriding, 1, 2, 1, false});
+  grid.push_back(
+      {"recoverable-cas", {}, FaultKind::kOverriding, 1, 2, 2, false});
+  // recoverable-staged at its design point (n = 2 = f + 1): correct under
+  // crashes alone AND under the crash × overriding cross-product.
+  for (const std::uint32_t b : {0u, 1u, 2u}) {
+    grid.push_back({"recoverable-staged", proto::Params{{"f", 1}, {"t", 1}},
+                    FaultKind::kNone, 0, 2, b, true});
+  }
+  for (const std::uint32_t b : {0u, 1u}) {
+    grid.push_back({"recoverable-staged", proto::Params{{"f", 1}, {"t", 1}},
+                    FaultKind::kOverriding, 1, 2, b, true});
+  }
+  grid.push_back({"recoverable-staged", proto::Params{{"f", 1}, {"t", 2}},
+                  FaultKind::kOverriding, 2, 2, 1, true});
+  // Beyond the design point the staged protocol already fails crash-free
+  // at n = 3 (one overriding fault, three processes); the recoverable
+  // variant must inherit exactly that behavior, not mask or worsen it.
+  grid.push_back({"staged", proto::Params{{"f", 1}, {"t", 1}},
+                  FaultKind::kOverriding, 1, 3, 0, false});
+  grid.push_back({"recoverable-staged", proto::Params{{"f", 1}, {"t", 1}},
+                  FaultKind::kOverriding, 1, 3, 0, false});
+  grid.push_back({"recoverable-staged", proto::Params{{"f", 1}, {"t", 1}},
+                  FaultKind::kOverriding, 1, 3, 1, false});
+
+  for (const GridCell& cell : grid) {
+    const std::string label = cell.protocol + "/" +
+                              std::string(model::to_string(cell.kind)) +
+                              "/t" + std::to_string(cell.t) + "/n" +
+                              std::to_string(cell.n) + "/b" +
+                              std::to_string(cell.budget);
+    const auto factory = proto::machine_factory(cell.protocol, cell.params);
+    const auto world =
+        make_world(*factory, cell.kind, cell.t, cell.n, cell.budget);
+    const auto result = check(world);
+
+    ASSERT_TRUE(result.complete) << label;
+    if (cell.correct) {
+      EXPECT_EQ(result.violations_found, 0u) << label;
+      // Recoverable validity: every agreed value is a proposed input.
+      for (const std::uint64_t v : result.agreed_values) {
+        EXPECT_GE(v, 1u) << label;
+        EXPECT_LE(v, cell.n) << label;
+      }
+    } else {
+      EXPECT_GT(result.violations_of(ViolationKind::kInconsistent), 0u)
+          << label;
+    }
+    // Recoverable wait-freedom: within a finite crash budget every
+    // process decides — no reachable cycle, no stalled terminal.
+    EXPECT_EQ(result.violations_of(ViolationKind::kNontermination), 0u)
+        << label;
+    EXPECT_EQ(result.violations_of(ViolationKind::kStalled), 0u) << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Thread-vs-simulator decision equality.
+
+TEST(RecoverableConsensus, ThreadDecisionsAreSimulatorAdmissible) {
+  for (const char* name : {"recoverable-cas", "recoverable-staged"}) {
+    const proto::Params params =
+        std::string(name) == "recoverable-staged"
+            ? proto::Params{{"f", 1}, {"t", 1}}
+            : proto::Params{};
+    // Exhaustive crash-aware simulation fixes the admissible agreed set.
+    const auto factory = proto::machine_factory(name, params);
+    const auto oracle =
+        check(make_world(*factory, model::FaultKind::kNone, 0, 2, 2));
+    ASSERT_TRUE(oracle.complete) << name;
+    ASSERT_FALSE(oracle.agreed_values.empty()) << name;
+
+    objects::AtomicCas object(0);
+    const auto protocol = proto::protocol(name, params, {&object});
+    auto& ir = dynamic_cast<proto::IrProtocol&>(*protocol);
+
+    std::uint64_t crashed_trials = 0;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+      ir.reset();
+      faults::IndependentCrash policy(0.5, seed);
+      const auto outcome =
+          runtime::run_crash_trial(ir, {1, 2}, policy, /*crash_budget=*/2,
+                                   /*stagger_seed=*/seed);
+      const std::string label =
+          std::string(name) + " seed=" + std::to_string(seed);
+      EXPECT_TRUE(outcome.verdict.ok()) << label << ": "
+                                        << outcome.verdict.describe();
+      ASSERT_TRUE(outcome.verdict.agreed.has_value()) << label;
+      EXPECT_TRUE(oracle.agreed_values.contains(*outcome.verdict.agreed))
+          << label << ": threads agreed on " << *outcome.verdict.agreed
+          << ", which no simulated schedule admits";
+      for (const std::uint32_t c : outcome.crashes) EXPECT_LE(c, 2u) << label;
+      if (outcome.crashes[0] + outcome.crashes[1] > 0) ++crashed_trials;
+    }
+    // p = 0.5 per shared op across 24 seeded trials: crashes certainly
+    // manifested — otherwise the campaign never tested recovery.
+    EXPECT_GT(crashed_trials, 0u) << name;
+  }
+}
+
+TEST(RecoverableConsensus, SoloCrashedProcessDecidesItsOwnInput) {
+  // n = 1 removes schedule nondeterminism entirely: with a forced crash
+  // on every first operation, the decision must still be the sole
+  // process's own (persistent) proposal — exact equality with the
+  // simulator's unique outcome.
+  objects::AtomicCas object(0);
+  const auto protocol = proto::protocol("recoverable-cas", {}, {&object});
+  auto& ir = dynamic_cast<proto::IrProtocol&>(*protocol);
+
+  faults::RunLengthCrash policy(1);
+  const auto outcome =
+      runtime::run_crash_trial(ir, {7}, policy, /*crash_budget=*/2);
+  EXPECT_TRUE(outcome.verdict.ok()) << outcome.verdict.describe();
+  ASSERT_TRUE(outcome.decisions[0].decided);
+  EXPECT_EQ(outcome.decisions[0].value, 7u);
+  // The policy fires on the first op of EVERY incarnation, so the
+  // process crashed exactly budget times before it was allowed through.
+  EXPECT_EQ(outcome.crashes[0], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Seeded stress campaign with real crashed-and-restarted threads.
+
+TEST(RecoverableConsensus, StressCampaignWithRealThreadCrashes) {
+  objects::AtomicCas object(0);
+  const proto::Params params{{"f", 1}, {"t", 1}};
+  const auto protocol = proto::protocol("recoverable-staged", params, {&object});
+  auto& ir = dynamic_cast<proto::IrProtocol&>(*protocol);
+
+  std::uint64_t total_crashes = 0;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    ir.reset();
+    faults::IndependentCrash policy(0.25, 0xFEEDu + seed);
+    const auto outcome =
+        runtime::run_crash_trial(ir, {1, 2}, policy, /*crash_budget=*/2,
+                                 /*stagger_seed=*/seed);
+    ASSERT_TRUE(outcome.verdict.ok())
+        << "seed=" << seed << ": " << outcome.verdict.describe();
+    total_crashes += outcome.crashes[0] + outcome.crashes[1];
+  }
+  EXPECT_GT(total_crashes, 0u);
+
+  // Deterministic restart coverage: every process forced through the
+  // full crash budget before completing.
+  ir.reset();
+  faults::RunLengthCrash every_first_op(1);
+  const auto forced =
+      runtime::run_crash_trial(ir, {1, 2}, every_first_op, /*crash_budget=*/2);
+  EXPECT_TRUE(forced.verdict.ok()) << forced.verdict.describe();
+  EXPECT_EQ(forced.crashes[0], 2u);
+  EXPECT_EQ(forced.crashes[1], 2u);
+
+  // UniformOverRun picks one crash point within the first run_length
+  // ops per incarnation; the trial must still converge within budget.
+  ir.reset();
+  faults::UniformOverRunCrash windowed(4, 0xABCDu);
+  const auto uniform =
+      runtime::run_crash_trial(ir, {1, 2}, windowed, /*crash_budget=*/1);
+  EXPECT_TRUE(uniform.verdict.ok()) << uniform.verdict.describe();
+}
+
+}  // namespace
+}  // namespace ff

@@ -147,6 +147,10 @@ constexpr string_view kFixR2 =
     "model-checked code must be a pure function of its inputs: derive "
     "randomness from a seeded util::Xoshiro256/mix64 and take time/limits "
     "from caller options";
+constexpr string_view kFixR2Crash =
+    "crash nondeterminism must flow through a faults::CrashPolicy decision "
+    "point (threads: throw faults::CrashError; simulator: the crash "
+    "branch), so the explorer can schedule and replay the crash";
 
 const std::unordered_set<string_view>& banned_nondeterminism() {
   static const std::unordered_set<string_view> kSet = {
@@ -157,6 +161,21 @@ const std::unordered_set<string_view>& banned_nondeterminism() {
       "steady_clock",  "system_clock", "high_resolution_clock",
       "gettimeofday",  "clock_gettime", "thread_local",
       "getenv",
+  };
+  return kSet;
+}
+
+/// Direct crash-injection primitives: process death the model checker
+/// cannot branch on.  The crash–recovery fault model makes a crash an
+/// enumerable choice (SimConfig::crash_budget / faults::CrashPolicy);
+/// anything that kills or teleports control flow behind the model's back
+/// forfeits both replay and the budget accounting.
+const std::unordered_set<string_view>& banned_crash_primitives() {
+  static const std::unordered_set<string_view> kSet = {
+      "abort",      "_exit",          "_Exit",
+      "quick_exit", "raise",          "setjmp",
+      "sigsetjmp",  "longjmp",        "siglongjmp",
+      "terminate",  "pthread_kill",   "pthread_cancel",
   };
   return kSet;
 }
@@ -194,6 +213,12 @@ void token_pass(Ctx& ctx) {
                        "` in model-checked code — the explorer's verdict "
                        "would not replay",
                    std::string(kFixR2));
+      } else if (banned_crash_primitives().count(tok.text) != 0) {
+        ctx.report(Rule::kR2, tok.line,
+                   "direct crash injection `" + tok.text +
+                       "` in model-checked code — a crash the explorer "
+                       "cannot branch on, budget, or replay",
+                   std::string(kFixR2Crash));
       } else if (tok.is("hash") && i + 1 < t.size() && t[i + 1].is("<")) {
         // std::hash<T*> — iteration order / values depend on addresses.
         int depth = 0;
@@ -470,12 +495,28 @@ void loop_pass(Ctx& ctx) {
   if (!ctx.scope.r4) return;
   const std::vector<Token>& t = ctx.t;
   for (std::size_t i = 0; i < t.size(); ++i) {
-    std::size_t body = 0;
-    if (t[i].kind != TokKind::kIdent || !infinite_header(t, i, body)) continue;
+    if (t[i].kind != TokKind::kIdent ||
+        (!t[i].is("while") && !t[i].is("for"))) {
+      continue;
+    }
+    if (i + 1 >= t.size() || !t[i + 1].is("(")) continue;
+    std::size_t infinite_body = 0;
+    const bool infinite = infinite_header(t, i, infinite_body);
+
+    // Header span: the parenthesized condition after the keyword.
+    std::size_t header_end = i + 1;
+    int depth = 0;
+    for (; header_end < t.size(); ++header_end) {
+      if (t[header_end].is("(")) ++depth;
+      if (t[header_end].is(")") && --depth == 0) break;
+    }
+    if (header_end >= t.size()) continue;
+    const std::size_t body = infinite ? infinite_body : header_end + 1;
+
     // Body span: matching braces, or a single statement up to `;`.
     std::size_t end = body;
     if (body < t.size() && t[body].is("{")) {
-      int depth = 0;
+      depth = 0;
       for (end = body; end < t.size(); ++end) {
         if (t[end].is("{")) ++depth;
         if (t[end].is("}") && --depth == 0) break;
@@ -483,15 +524,22 @@ void loop_pass(Ctx& ctx) {
     } else {
       while (end < t.size() && !t[end].is(";")) ++end;
     }
+
     bool consults_budget = false;
-    for (std::size_t j = body; j < end && j < t.size(); ++j) {
+    bool recovery_loop = false;
+    for (std::size_t j = i + 1; j < end && j < t.size(); ++j) {
       if (ident_mentions(t[j], "budget") || ident_mentions(t[j], "meter") ||
           t[j].is_ident("expired") || t[j].is_ident("charge")) {
         consults_budget = true;
-        break;
+      }
+      if (ident_mentions(t[j], "recover") || ident_mentions(t[j], "restart") ||
+          ident_mentions(t[j], "incarnation")) {
+        recovery_loop = true;
       }
     }
-    if (!consults_budget) {
+    if (consults_budget) continue;
+
+    if (infinite) {
       ctx.report(
           Rule::kR4, t[i].line,
           "infinite-form loop never consults a BudgetMeter — an adversarial "
@@ -499,6 +547,18 @@ void loop_pass(Ctx& ctx) {
           "reporting truncation",
           "poll `meter.expired()` / `meter.charge()` each iteration, or "
           "rewrite with an explicit structural bound");
+    } else if (recovery_loop) {
+      // Crash–recovery loops are the unbounded shape the crash model
+      // introduces: without a budget bound in the loop condition or
+      // body, a crash-looping process restarts forever instead of
+      // exhausting its crash budget and terminating the trial.
+      ctx.report(
+          Rule::kR4, t[i].line,
+          "recovery/restart loop never consults the crash budget — a "
+          "crash-looping process would respawn forever instead of "
+          "exhausting its budget and letting the trial terminate",
+          "bound the loop on the per-process crash budget (e.g. `while "
+          "(crashes <= crash_budget)`) or poll a BudgetMeter");
     }
   }
 }
