@@ -10,17 +10,24 @@
 //                    states/sec and peak state counts for the reduced
 //                    (symmetry + sleep sets), unreduced, pre-sized and
 //                    legacy-hot-path explorers on a symmetric reference
-//                    instance, plus reduction_factor, hotpath_speedup and
-//                    ir_overhead (registry IR machines vs the retired
-//                    hand-written machines, best-of-3 states/sec).
+//                    instance, plus reduction_factor, hotpath_speedup,
+//                    ir_overhead (the ffgen-GENERATED machines
+//                    machine_factory selects vs the retired hand-written
+//                    machines, gated at <= 0.02), interpreter_overhead
+//                    (IrMachine oracle, informational),
+//                    codegen_census_match (generated == interpreted
+//                    census for every registry protocol, gated) and the
+//                    batched StatePool throughput.
 //   --smoke          smaller reference instance for CI gating
 //                    (scripts/check.sh stage 7 / scripts/bench_gate.py).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <unordered_map>
@@ -28,6 +35,7 @@
 #include <utility>
 
 #include "legacy/machines.hpp"
+#include "proto/pool.hpp"
 #include "proto/registry.hpp"
 #include "sched/explore_common.hpp"
 #include "sched/explorer.hpp"
@@ -329,7 +337,9 @@ sched::SimWorld symmetric_reference(std::uint32_t t, std::uint32_t n) {
 /// Hot-path reference instance: staged f=1 t=2 at n=3 DISTINCT inputs —
 /// ~1.37M distinct states with trivial orbits, so it isolates the raw
 /// sequential engine (flat table, incremental encoding, in-place
-/// stepping) from the reductions.
+/// stepping) from the reductions.  machine_factory() selects the
+/// ffgen-generated machine here (staged f=1 t=2 is in the generation
+/// grid), so this world measures the generated path.
 sched::SimWorld hotpath_reference() {
   sched::SimConfig config;
   config.num_objects = 1;
@@ -337,6 +347,19 @@ sched::SimWorld hotpath_reference() {
   config.t = 2;
   const auto factory =
       proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
+  return sched::SimWorld(config, *factory, inputs(3));
+}
+
+/// The SAME instance on the IrMachine interpreter — the differential
+/// oracle; its overhead vs the hand-written machines is reported as
+/// interpreter_overhead (informational, not gated).
+sched::SimWorld interpreted_hotpath_reference() {
+  sched::SimConfig config;
+  config.num_objects = 1;
+  config.kind = model::FaultKind::kOverriding;
+  config.t = 2;
+  const auto factory = proto::machine_factory_interpreted(
+      "staged", proto::Params{{"f", 1}, {"t", 2}});
   return sched::SimWorld(config, *factory, inputs(3));
 }
 
@@ -425,33 +448,174 @@ int write_report(const std::string& path, bool smoke) {
     return seconds > 0 ? static_cast<double>(states) / seconds : 0.0;
   };
 
-  // IR interpreter overhead: the registry's staged IR (hot_world) vs the
-  // retired hand-written machine on the identical instance.  The two
-  // sides run in ALTERNATING best-of-5 pairs so slow machine-wide drift
-  // (thermal throttling, co-tenant load) hits both numerators of the
-  // ratio equally instead of biasing whichever block ran second.
+  // Machine overhead on the identical instance, three ways: the
+  // ffgen-GENERATED machine (hot_world — what machine_factory selects
+  // and what ir_overhead now gates at <= 0.02), the IrMachine
+  // INTERPRETER (the differential oracle, informational
+  // interpreter_overhead), and the retired HAND-WRITTEN machine as the
+  // baseline denominator.  Each round runs the three sides
+  // back-to-back and takes the PAIRED rate ratio within the round, and
+  // the reported overhead is the MEDIAN of the per-round ratios: slow
+  // machine-wide drift (thermal throttling, co-tenant load) hits both
+  // sides of a pair equally, and the median discards the rounds a
+  // scheduler hiccup poisoned — a 2% gate needs a statistic whose
+  // run-to-run spread is well under 2%.
   const sched::SimWorld handwritten_world = handwritten_hotpath_reference();
-  TimedExplore ir_best;
+  const sched::SimWorld interpreted_world = interpreted_hotpath_reference();
+  TimedExplore generated_best;
+  TimedExplore interpreted_best;
   TimedExplore handwritten_best;
   const auto keep_best = [](TimedExplore& best, TimedExplore run) {
     if (best.seconds == 0 || run.seconds < best.seconds) best = std::move(run);
   };
-  for (int i = 0; i < 5; ++i) {
-    keep_best(ir_best, timed_explore(hot_world, unreduced_opts));
-    keep_best(handwritten_best, timed_explore(handwritten_world,
-                                              unreduced_opts));
+  std::vector<double> generated_ratios;
+  std::vector<double> interpreted_ratios;
+  // The overhead rounds run with the table pre-sized to the census (the
+  // count is known from the hot run above): mid-run rehashes and the
+  // page faults of growing a ~50MB table are per-run noise that lands
+  // on one side of a paired ratio, and the 2% gate cannot afford it.
+  for (int i = 0; i < 7; ++i) {
+    TimedExplore generated_run = timed_explore(hot_world, presized_opts);
+    TimedExplore interpreted_run =
+        timed_explore(interpreted_world, presized_opts);
+    TimedExplore handwritten_run =
+        timed_explore(handwritten_world, presized_opts);
+    const double handwritten_run_rate =
+        rate(handwritten_run.result.states_visited, handwritten_run.seconds);
+    const double generated_run_rate =
+        rate(generated_run.result.states_visited, generated_run.seconds);
+    const double interpreted_run_rate =
+        rate(interpreted_run.result.states_visited, interpreted_run.seconds);
+    if (generated_run_rate > 0) {
+      generated_ratios.push_back(handwritten_run_rate / generated_run_rate);
+    }
+    if (interpreted_run_rate > 0) {
+      interpreted_ratios.push_back(handwritten_run_rate /
+                                   interpreted_run_rate);
+    }
+    keep_best(generated_best, std::move(generated_run));
+    keep_best(interpreted_best, std::move(interpreted_run));
+    keep_best(handwritten_best, std::move(handwritten_run));
   }
-  const double ir_rate = rate(ir_best.result.states_visited, ir_best.seconds);
-  const double handwritten_rate = rate(
-      handwritten_best.result.states_visited, handwritten_best.seconds);
-  const double ir_overhead =
-      ir_rate > 0 ? handwritten_rate / ir_rate - 1.0 : 1.0;
+  const auto median = [](std::vector<double> v) {
+    if (v.empty()) return 2.0;  // no valid round: fail the gate loudly
+    std::sort(v.begin(), v.end());
+    const std::size_t mid = v.size() / 2;
+    return v.size() % 2 == 1 ? v[mid] : (v[mid - 1] + v[mid]) / 2.0;
+  };
+  const double ir_overhead = median(generated_ratios) - 1.0;
+  const double interpreter_overhead = median(interpreted_ratios) - 1.0;
   const bool ir_census_match =
-      ir_best.result.states_visited ==
+      interpreted_best.result.states_visited ==
           handwritten_best.result.states_visited &&
-      ir_best.result.terminal_states ==
+      interpreted_best.result.terminal_states ==
           handwritten_best.result.terminal_states &&
-      ir_best.result.agreed_values == handwritten_best.result.agreed_values;
+      interpreted_best.result.agreed_values ==
+          handwritten_best.result.agreed_values;
+
+  // Generated-vs-interpreter census equality over EVERY simulable
+  // registry protocol at default parameters (small instance: n=2, t=1,
+  // crash budget 1 where the protocol has a recovery entry).  This is
+  // the report-level restatement of test_codegen's grid — gated by
+  // scripts/bench_gate.py so a drifted generated tree cannot ship a
+  // green benchmark report.
+  bool codegen_census_match = true;
+  for (const auto& info : proto::ProtocolRegistry::instance().all()) {
+    if (!info.simulable) continue;
+    const auto generated_factory = proto::machine_factory(info.name);
+    const auto interpreted_factory =
+        proto::machine_factory_interpreted(info.name);
+    sched::SimConfig config;
+    config.num_objects = generated_factory->objects_used();
+    config.num_registers = generated_factory->registers_used();
+    config.kind = model::FaultKind::kOverriding;
+    config.t = 1;
+    if (proto::build_program(info.name)->has_recovery()) {
+      config.crash_budget = 1;
+    }
+    const sched::SimWorld generated_world(config, *generated_factory,
+                                          inputs(2));
+    const sched::SimWorld oracle_world(config, *interpreted_factory,
+                                       inputs(2));
+    const auto generated_census =
+        sched::explore(generated_world, unreduced_opts);
+    const auto oracle_census = sched::explore(oracle_world, unreduced_opts);
+    codegen_census_match =
+        codegen_census_match &&
+        generated_census.states_visited == oracle_census.states_visited &&
+        generated_census.terminal_states == oracle_census.terminal_states &&
+        generated_census.violations_found == oracle_census.violations_found &&
+        generated_census.agreed_values == oracle_census.agreed_values;
+  }
+
+  // Batched SoA pool throughput (informational): the same generated
+  // staged machine stepped 4096 lanes at a time through StatePool's one
+  // indirect call per round, against a scalar vector of the SAME
+  // generated machines paying one virtual deliver() per lane per round.
+  const auto pool_program =
+      proto::build_program("staged", proto::Params{{"f", 1}, {"t", 2}});
+  const std::size_t pool_lanes = smoke ? 1024 : 4096;
+  const std::size_t pool_rounds = 64;
+  std::vector<std::uint64_t> returned(pool_lanes, 0);
+  for (std::size_t lane = 0; lane < pool_lanes; ++lane) {
+    returned[lane] = util::mix64(lane) % 3;
+  }
+  std::uint64_t pool_deliveries = 0;
+  const auto pool_start = std::chrono::steady_clock::now();
+  {
+    proto::StatePool pool(pool_program, pool_lanes);
+    for (std::size_t lane = 0; lane < pool_lanes; ++lane) {
+      pool.add(static_cast<objects::ProcessId>(lane % 4), 1 + lane % 3);
+    }
+    for (std::size_t round = 0; round < pool_rounds; ++round) {
+      std::uint64_t active = 0;
+      for (std::size_t lane = 0; lane < pool_lanes; ++lane) {
+        if (!pool.done(lane)) ++active;
+      }
+      if (active == 0) break;
+      pool.deliver_all(returned.data());
+      pool_deliveries += active;
+    }
+    benchmark::DoNotOptimize(pool);
+  }
+  const double pool_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pool_start)
+          .count();
+  const auto pool_factory =
+      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
+  std::uint64_t scalar_deliveries = 0;
+  const auto scalar_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::unique_ptr<sched::StepMachine>> machines;
+    machines.reserve(pool_lanes);
+    for (std::size_t lane = 0; lane < pool_lanes; ++lane) {
+      machines.push_back(pool_factory->make(
+          static_cast<objects::ProcessId>(lane % 4), 1 + lane % 3));
+    }
+    for (std::size_t round = 0; round < pool_rounds; ++round) {
+      std::uint64_t active = 0;
+      for (std::size_t lane = 0; lane < pool_lanes; ++lane) {
+        if (!machines[lane]->done()) ++active;
+      }
+      if (active == 0) break;
+      for (std::size_t lane = 0; lane < pool_lanes; ++lane) {
+        if (!machines[lane]->done()) {
+          machines[lane]->deliver(model::Value::of(returned[lane]));
+        }
+      }
+      scalar_deliveries += active;
+    }
+    benchmark::DoNotOptimize(machines);
+  }
+  const double scalar_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scalar_start)
+          .count();
+  const double pool_rate = rate(pool_deliveries, pool_seconds);
+  const double scalar_rate = rate(scalar_deliveries, scalar_seconds);
+  const double pool_batch_speedup =
+      scalar_rate > 0 ? pool_rate / scalar_rate : 0.0;
   const double legacy_rate = rate(legacy_states, legacy_seconds);
   const double hotpath_speedup =
       legacy_rate > 0
@@ -492,18 +656,37 @@ int write_report(const std::string& path, bool smoke) {
   emit_section(w, "hotpath_presized", presized.result.states_visited,
                presized.seconds, presized.result.max_depth);
   emit_section(w, "legacy_baseline", legacy_states, legacy_seconds, 0);
-  emit_section(w, "ir_machines", ir_best.result.states_visited,
-               ir_best.seconds, ir_best.result.max_depth);
+  emit_section(w, "generated_machines", generated_best.result.states_visited,
+               generated_best.seconds, generated_best.result.max_depth);
+  emit_section(w, "interpreted_machines",
+               interpreted_best.result.states_visited, interpreted_best.seconds,
+               interpreted_best.result.max_depth);
   emit_section(w, "handwritten_machines",
                handwritten_best.result.states_visited,
                handwritten_best.seconds, handwritten_best.result.max_depth);
   w.kv("hotpath_speedup", hotpath_speedup);
   w.kv("presize_speedup", presize_speedup);
-  // Fractional slowdown of the registry IR vs the hand-written machines
-  // (0.05 = 5% slower; negative = IR faster).  Gated at <= 0.20 by
-  // scripts/bench_gate.py.
+  // Fractional slowdown of what machine_factory actually selects — the
+  // ffgen-GENERATED machine — vs the hand-written machines (0.05 = 5%
+  // slower; negative = generated faster).  Gated at <= 0.02 by
+  // scripts/bench_gate.py: straight-line codegen owes the census at
+  // native speed.
   w.kv("ir_overhead", ir_overhead);
+  // The interpreter's overhead on the same instance (informational —
+  // the oracle only has to be correct, not fast).
+  w.kv("interpreter_overhead", interpreter_overhead);
   w.kv("ir_census_match", ir_census_match);
+  // Generated == interpreted census for every simulable registry
+  // protocol (gated).
+  w.kv("codegen_census_match", codegen_census_match);
+  // Batched SoA pool vs scalar virtual dispatch (informational).
+  w.key("pool_batch").begin_object();
+  w.kv("lanes", static_cast<std::uint64_t>(pool_lanes));
+  w.kv("rounds", static_cast<std::uint64_t>(pool_rounds));
+  w.kv("deliveries_per_sec", pool_rate);
+  w.kv("scalar_deliveries_per_sec", scalar_rate);
+  w.kv("speedup", pool_batch_speedup);
+  w.end_object();
   // Sanity invariants the gate can assert without re-deriving them.
   w.kv("census_states_match",
        hot.result.states_visited == legacy_states &&
@@ -518,7 +701,11 @@ int write_report(const std::string& path, bool smoke) {
   out << w.str() << "\n";
   std::cout << "B3: reduction_factor=" << reduction_factor
             << " hotpath_speedup=" << hotpath_speedup
-            << " ir_overhead=" << ir_overhead << " -> " << path << "\n";
+            << " ir_overhead=" << ir_overhead
+            << " interpreter_overhead=" << interpreter_overhead
+            << " codegen_census_match=" << codegen_census_match
+            << " pool_batch_speedup=" << pool_batch_speedup << " -> " << path
+            << "\n";
   return 0;
 }
 

@@ -1,50 +1,62 @@
 #!/usr/bin/env bash
-# Seven-stage verification gate:
+# Eight-stage verification gate:
 #   1. default build (-DFF_WERROR=ON) → the fast `tier1` test label
-#      (all unit suites), warnings promoted to errors;
-#   2. default build  → the `tier2-fuzz` label (wall-clock-bounded smoke
+#      (all unit suites) plus the `codegen` differential suite,
+#      warnings promoted to errors;
+#   2. ffgen drift gate: the committed src/proto/generated/ tree must be
+#      byte-identical to what tools/ffgen emits from the current IR —
+#      a changed Program with a stale generated tree fails here (the
+#      fingerprint selection would silently fall back to the
+#      interpreter, and hand edits to generated files would dodge
+#      regeneration);
+#   3. default build  → the `tier2-fuzz` label (wall-clock-bounded smoke
 #      fuzz campaign per seed protocol);
-#   3. FF_SANITIZE=thread build → the multi-threaded suites (label `tsan`,
+#   4. FF_SANITIZE=thread build → the multi-threaded suites (label `tsan`,
 #      i.e. the parallel-explorer differential harness and the real-thread
 #      stress suites, the crashed-and-restarted worker threads of the
 #      recoverable-consensus campaign included) under ThreadSanitizer;
-#   4. FF_SANITIZE=address build → the memory-heavy fuzzer/explorer suites
+#   5. FF_SANITIZE=address build → the memory-heavy fuzzer/explorer suites
 #      (label `asan`) under AddressSanitizer + UndefinedBehaviorSanitizer;
-#   5. ff-lint (label `lint`): the rule-engine test suite plus a tree
+#   6. ff-lint (label `lint`): the rule-engine test suite plus a tree
 #      scan of the shipped sources, with the JSON report summarized;
-#   6. clang-tidy (advisory) when clang-tidy is on PATH, against the
+#   7. clang-tidy (advisory) when clang-tidy is on PATH, against the
 #      compile database stage 1 exported; skipped with a notice if not;
-#   7. bench smoke: bench_b3_explorer/bench_b4_fuzzer/bench_b5_crash
+#   8. bench smoke: bench_b3_explorer/bench_b4_fuzzer/bench_b5_crash
 #      --json --smoke, then scripts/bench_gate.py asserts the B3
 #      state-space reduction is >= 5x with a matching differential
-#      census and the B5 crash-branch growth/latency bounds hold.
+#      census, the generated-machine overhead is <= 2% with every
+#      registry protocol's generated census matching the interpreter,
+#      and the B5 crash-branch growth/latency bounds hold.
 # Usage: scripts/check.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/7] default build (FF_WERROR=ON) · ctest -L tier1 =="
+echo "== [1/8] default build (FF_WERROR=ON) · ctest -L 'tier1|codegen' =="
 cmake -B build -S . -DFF_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+ctest --test-dir build -L 'tier1|codegen' --output-on-failure -j "$JOBS"
 
-echo "== [2/7] default build · ctest -L tier2-fuzz =="
+echo "== [2/8] ffgen drift gate =="
+./build/tools/ffgen/ffgen --check --out src/proto/generated
+
+echo "== [3/8] default build · ctest -L tier2-fuzz =="
 ctest --test-dir build -L tier2-fuzz --output-on-failure -j "$JOBS"
 
-echo "== [3/7] FF_SANITIZE=thread build · ctest -L tsan =="
+echo "== [4/8] FF_SANITIZE=thread build · ctest -L tsan =="
 cmake -B build-tsan -S . -DFF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target test_parallel_explorer test_determinism test_concurrency \
            test_recoverable_consensus
 ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
 
-echo "== [4/7] FF_SANITIZE=address build · ctest -L asan =="
+echo "== [5/8] FF_SANITIZE=address build · ctest -L asan =="
 cmake -B build-asan -S . -DFF_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target test_fuzzer test_shrink test_fuzz_smoke test_sim test_faults
 ctest --test-dir build-asan -L asan --output-on-failure -j "$JOBS"
 
-echo "== [5/7] ff-lint · ctest -L lint + tree scan =="
+echo "== [6/8] ff-lint · ctest -L lint + tree scan =="
 ctest --test-dir build -L lint --output-on-failure -j "$JOBS"
 lint_status=0
 ./build/tools/fflint/fflint --root . --json --quiet \
@@ -59,7 +71,7 @@ if [ "$lint_status" -ne 0 ]; then
   exit 1
 fi
 
-echo "== [6/7] clang-tidy (advisory) =="
+echo "== [7/8] clang-tidy (advisory) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Tidy the first-party sources only; the compile database from stage 1
   # (CMAKE_EXPORT_COMPILE_COMMANDS) keeps flags identical to the build.
@@ -69,11 +81,11 @@ else
   echo "notice: clang-tidy not on PATH — stage skipped (advisory only)"
 fi
 
-echo "== [7/7] bench smoke · scripts/bench_gate.py =="
+echo "== [8/8] bench smoke · scripts/bench_gate.py =="
 ./build/bench/bench_b3_explorer --json build/BENCH_B3.smoke.json --smoke
 ./build/bench/bench_b4_fuzzer --json build/BENCH_B4.smoke.json --smoke
 ./build/bench/bench_b5_crash --json build/BENCH_B5.smoke.json --smoke
 python3 scripts/bench_gate.py build/BENCH_B3.smoke.json \
                               build/BENCH_B5.smoke.json
 
-echo "OK: all seven stages passed"
+echo "OK: all eight stages passed"

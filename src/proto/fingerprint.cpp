@@ -1,0 +1,64 @@
+#include "proto/fingerprint.hpp"
+
+#include "util/rng.hpp"
+
+namespace ff::proto {
+namespace {
+
+/// mix64 chain over the structural words.  Not a hot path (one call per
+/// factory construction), so every word gets a full avalanche round.
+struct Fold {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+
+  void word(std::uint64_t v) noexcept { h = util::mix64(h ^ v); }
+
+  void str(const std::string& s) noexcept {
+    word(s.size());
+    for (const char c : s) word(static_cast<unsigned char>(c));
+  }
+};
+
+}  // namespace
+
+std::uint64_t program_fingerprint(const Program& p) noexcept {
+  Fold f;
+  f.str(p.name());
+
+  f.word(p.exprs().size());
+  for (const ExprNode& e : p.exprs()) {
+    f.word(static_cast<std::uint64_t>(e.op));
+    f.word(e.imm);
+    f.word(e.a);
+    f.word(e.b);
+    f.word(e.c);
+  }
+
+  f.word(p.ops().size());
+  for (const Op& o : p.ops()) {
+    f.word(static_cast<std::uint64_t>(o.kind));
+    f.word(o.dst);
+    f.word(o.index);
+    f.word(o.index_bound);
+    f.word(o.expected);
+    f.word(o.value);
+    f.word(o.target);
+  }
+
+  f.word(p.locals().size());
+  for (const LocalSpec& l : p.locals()) {
+    f.word(l.init);
+    f.word(l.persistent ? 1 : 0);
+  }
+
+  f.word(p.layout().size());
+  for (const std::uint16_t l : p.layout()) f.word(l);
+
+  f.word(p.num_objects());
+  f.word(p.num_registers());
+  f.word(p.uses_pid() ? 1 : 0);
+  f.word(p.uses_queue() ? 1 : 0);
+  f.word(p.has_recovery() ? p.recovery_pc() : 0xFFFFFFFFULL);
+  return f.h;
+}
+
+}  // namespace ff::proto

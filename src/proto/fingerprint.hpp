@@ -1,0 +1,26 @@
+// Structural fingerprint of a finalized proto::Program.
+//
+// The ffgen code generator (tools/ffgen) stamps every emitted machine
+// with the fingerprint of the Program it was compiled from, and
+// proto::machine_factory() re-computes the fingerprint of the Program it
+// just built to decide whether a generated machine exists for it.  The
+// fold therefore covers every field that influences machine behaviour —
+// ops, expression trees, locals (initializers and persistence), the
+// encode() layout, derived operand bounds, pid-dependence and the
+// recovery entry — so two Programs share a fingerprint only when the
+// generated code for one is the generated code for the other.  A
+// parameterization outside the generation grid simply misses the table
+// and falls back to the IrMachine interpreter: selection is sound by
+// construction, never by convention.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/ir.hpp"
+
+namespace ff::proto {
+
+[[nodiscard]] std::uint64_t program_fingerprint(
+    const Program& program) noexcept;
+
+}  // namespace ff::proto

@@ -1,0 +1,171 @@
+// StatePool — structure-of-arrays batch stepping over many machines of
+// one Program.
+//
+// The single-state StepMachine interface forces one virtual next_op()
+// and one virtual deliver() per simulator state per step — fine for a
+// DFS that touches one state at a time, hostile to anything that holds
+// thousands of paused machines (frontier replays, lockstep harnesses,
+// throughput benches).  A StatePool keeps N machine states as columns
+// (local i of lane l at locals[i * stride + lane]) and steps ALL paused
+// lanes with ONE indirect call into the ffgen-generated batch kernel:
+// per lane the kernel is the same straight-line advance() the scalar
+// generated machine runs, with no per-lane virtual dispatch.
+//
+// When the Program's fingerprint has no generated entry the pool falls
+// back to a plain vector of IrMachine — the differential oracle path —
+// with identical observable behaviour (test_codegen drives both in
+// lockstep).  Lane capacity is fixed at construction: growing the
+// column pitch would re-lay every column, and every caller knows its
+// lane count up front (the same stale-pre-size reasoning as
+// sched::detail::table_hint).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "proto/fingerprint.hpp"
+#include "proto/genapi.hpp"
+#include "proto/machine.hpp"
+#include "sched/step.hpp"
+
+namespace ff::proto {
+
+class StatePool {
+ public:
+  StatePool(std::shared_ptr<const Program> program, std::size_t lane_capacity)
+      : program_(std::move(program)),
+        entry_(gen::find_generated(program_fingerprint(*program_))),
+        capacity_(lane_capacity == 0 ? 1 : lane_capacity) {
+    assert(program_ != nullptr && !program_->uses_queue());
+    if (entry_ != nullptr) {
+      locals_.resize(program_->locals().size() * capacity_, 0);
+      pid_.resize(capacity_, 0);
+      pc_.resize(capacity_, 0);
+      status_.resize(capacity_, gen::kLanePaused);
+      decision_.resize(capacity_, 0);
+      op_type_.resize(capacity_,
+                      static_cast<std::uint8_t>(sched::OpType::kNone));
+      op_object_.resize(capacity_, 0);
+      op_expected_.resize(capacity_, 0);
+      op_desired_.resize(capacity_, 0);
+    } else {
+      machines_.reserve(capacity_);
+    }
+  }
+
+  /// True when the generated batch kernel backs this pool (fingerprint
+  /// hit); false on the IrMachine oracle fallback.
+  [[nodiscard]] bool generated() const noexcept { return entry_ != nullptr; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Adds a fresh machine (run to its first pause) and returns its lane.
+  std::size_t add(objects::ProcessId pid, std::uint64_t input) {
+    assert(size_ < capacity_);
+    const std::size_t lane = size_++;
+    if (entry_ != nullptr) {
+      pid_[lane] = pid;
+      const gen::LaneView v = view();
+      entry_->init(v, lane, pid, input);
+    } else {
+      machines_.emplace_back(program_, pid, input);
+    }
+    return lane;
+  }
+
+  /// Delivers returned[lane] to every paused lane and runs each to its
+  /// next pause/halt.  Halted lanes ignore their slot.  One indirect
+  /// call total on the generated path; one virtual call per lane on the
+  /// oracle fallback.
+  void deliver_all(const std::uint64_t* returned) {
+    if (entry_ != nullptr) {
+      const gen::LaneView v = view();
+      entry_->batch(v, size_, returned);
+      return;
+    }
+    for (std::size_t lane = 0; lane < machines_.size(); ++lane) {
+      if (!machines_[lane].done()) {
+        machines_[lane].deliver(model::Value::of(returned[lane]));
+      }
+    }
+  }
+
+  [[nodiscard]] bool done(std::size_t lane) const {
+    assert(lane < size_);
+    return entry_ != nullptr ? status_[lane] == gen::kLaneHalted
+                             : machines_[lane].done();
+  }
+
+  [[nodiscard]] std::uint64_t decision(std::size_t lane) const {
+    assert(lane < size_);
+    return entry_ != nullptr ? decision_[lane] : machines_[lane].decision();
+  }
+
+  [[nodiscard]] sched::PendingOp pending(std::size_t lane) const {
+    assert(lane < size_);
+    if (entry_ == nullptr) return machines_[lane].next_op();
+    return sched::PendingOp{static_cast<sched::OpType>(op_type_[lane]),
+                            op_object_[lane],
+                            model::Value::of(op_expected_[lane]),
+                            model::Value::of(op_desired_[lane])};
+  }
+
+  /// Appends the lane's encode() words (the Program's layout locals) —
+  /// bit-identical to the scalar machine's encode().
+  void encode(std::size_t lane, std::vector<std::uint64_t>& out) const {
+    assert(lane < size_);
+    if (entry_ == nullptr) {
+      machines_[lane].encode(out);
+      return;
+    }
+    for (const std::uint16_t l : program_->layout()) {
+      out.push_back(locals_[l * capacity_ + lane]);
+    }
+  }
+
+  [[nodiscard]] const std::shared_ptr<const Program>& program()
+      const noexcept {
+    return program_;
+  }
+
+ private:
+  [[nodiscard]] gen::LaneView view() {
+    gen::LaneView v;
+    v.locals = locals_.data();
+    v.stride = capacity_;
+    v.pid = pid_.data();
+    v.pc = pc_.data();
+    v.status = status_.data();
+    v.decision = decision_.data();
+    v.op_type = op_type_.data();
+    v.op_object = op_object_.data();
+    v.op_expected = op_expected_.data();
+    v.op_desired = op_desired_.data();
+    return v;
+  }
+
+  std::shared_ptr<const Program> program_;
+  const gen::GenEntry* entry_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+
+  // Generated path: column-major state (see gen::LaneView).
+  std::vector<std::uint64_t> locals_;
+  std::vector<std::uint64_t> pid_;
+  std::vector<std::uint32_t> pc_;
+  std::vector<std::uint8_t> status_;
+  std::vector<std::uint64_t> decision_;
+  std::vector<std::uint8_t> op_type_;
+  std::vector<std::uint32_t> op_object_;
+  std::vector<std::uint64_t> op_expected_;
+  std::vector<std::uint64_t> op_desired_;
+
+  // Oracle fallback: one interpreter per lane.
+  std::vector<IrMachine> machines_;
+};
+
+}  // namespace ff::proto

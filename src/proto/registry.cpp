@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "proto/fingerprint.hpp"
+#include "proto/genapi.hpp"
 #include "proto/programs.hpp"
 
 namespace ff::proto {
@@ -149,6 +151,27 @@ std::shared_ptr<const Program> build_program(std::string_view name,
 
 std::unique_ptr<sched::MachineFactory> machine_factory(std::string_view name,
                                                        const Params& params) {
+  auto program = build_program(name, params);
+  if (program->uses_queue()) {
+    throw std::invalid_argument("protocol `" + std::string(name) +
+                                "` is a queue client — it cannot run in "
+                                "the CAS simulator");
+  }
+  // Generated when available: ffgen stamped each emitted machine with the
+  // structural fingerprint of the Program it was compiled from, so a hit
+  // here means "this exact Program".  Parameterizations outside the
+  // generation grid miss and run on the IrMachine interpreter, which
+  // stays the always-on differential oracle either way (test_codegen,
+  // bench_b3 codegen_census_match).
+  if (const gen::GenEntry* entry =
+          gen::find_generated(program_fingerprint(*program))) {
+    return std::make_unique<gen::GenMachineFactory>(std::move(program), entry);
+  }
+  return std::make_unique<IrMachineFactory>(std::move(program));
+}
+
+std::unique_ptr<sched::MachineFactory> machine_factory_interpreted(
+    std::string_view name, const Params& params) {
   auto program = build_program(name, params);
   if (program->uses_queue()) {
     throw std::invalid_argument("protocol `" + std::string(name) +

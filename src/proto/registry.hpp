@@ -83,8 +83,17 @@ class ProtocolRegistry {
     std::string_view name, const Params& params = {});
 
 /// Simulator-side adapter (throws for unknown/non-simulable protocols).
+/// Selects the ffgen-generated machine when the Program's structural
+/// fingerprint is in the generated table (src/proto/generated/), and
+/// falls back to the IrMachine interpreter otherwise.
 [[nodiscard]] std::unique_ptr<sched::MachineFactory> machine_factory(
     std::string_view name, const Params& params = {});
+
+/// Same adapter, but always the IrMachine interpreter — the differential
+/// oracle the generated machines are cross-checked against (test_codegen,
+/// bench_b3 codegen_census_match).
+[[nodiscard]] std::unique_ptr<sched::MachineFactory>
+machine_factory_interpreted(std::string_view name, const Params& params = {});
 
 /// Thread-side adapter over real shared objects (same IR, same name).
 [[nodiscard]] std::unique_ptr<consensus::Protocol> protocol(

@@ -16,27 +16,7 @@ using detail::FingerprintHash;
 using detail::FlatFpMap;
 using detail::check_terminal;
 using detail::fingerprint;
-
-namespace {
-
-/// Pre-size hint for the fingerprint table and search containers: honor
-/// the explicit hint, else derive from max_states but cap the up-front
-/// allocation (the flat table grows by rehash past the hint).
-[[nodiscard]] std::size_t table_hint(const ExploreOptions& options) {
-  // Cap the up-front allocation so tiny worlds (the common test case)
-  // stay cheap; callers with known-large spaces pass expected_states.
-  constexpr std::uint64_t kCap = 1u << 16;
-  if (options.expected_states != 0) {
-    // An explicit hint is trusted up to a hard safety bound.
-    return static_cast<std::size_t>(
-        std::min(options.expected_states, std::uint64_t{1} << 24));
-  }
-  const std::uint64_t from_max =
-      options.max_states == 0 ? kCap : options.max_states;
-  return static_cast<std::size_t>(std::min(from_max, kCap));
-}
-
-}  // namespace
+using detail::table_hint;
 
 ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
   ExploreResult result;
@@ -205,6 +185,7 @@ ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
     record_terminal(initial);
     result.complete =
         result.violations_found == 0 || !options.stop_at_first_violation;
+    result.table_grows = table.grows();
     return result;
   }
 
@@ -388,6 +369,7 @@ ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
   }
 
   result.complete = !aborted && stack.empty();
+  result.table_grows = table.grows();
   return result;
 }
 

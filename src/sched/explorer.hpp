@@ -102,6 +102,11 @@ struct ExploreResult {
   std::optional<Violation> violation;
   /// Agreed values observed across consistent terminal states.
   std::set<std::uint64_t> agreed_values;
+  /// Mid-run rehashes of the fingerprint table.  0 exactly when
+  /// expected_states pre-sized the table for the whole census — the
+  /// regression signal for the stale-pre-size path (batched pools size
+  /// their columns from the same hint).
+  std::uint64_t table_grows = 0;
 
   [[nodiscard]] std::uint64_t violations_of(ViolationKind kind) const {
     const auto it = violations_by_kind.find(kind);

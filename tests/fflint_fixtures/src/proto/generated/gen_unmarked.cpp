@@ -1,0 +1,9 @@
+// Fixture: generated-exemption positive — no ffgen stamp at all, so a
+// hand-written file squatting in src/proto/generated/ stays governed.
+#include <cstdlib>
+
+namespace ff::proto::gen {
+
+unsigned jitter() { return static_cast<unsigned>(rand()); }  // line 7: R2
+
+}  // namespace ff::proto::gen

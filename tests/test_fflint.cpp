@@ -193,6 +193,64 @@ TEST(FflintR5, JustifiedSuppressionSilencesAndIsReported) {
             "fixture counter standing in for checker-internal state");
 }
 
+// ------------------------------------------- generated-code exemption
+
+TEST(FflintGenerated, VerifiedStampLiftsR1AndR2) {
+  // gen_ok.cpp contains a raw std::atomic and rand() — both would fire
+  // under src/proto/ scoping — but its ffgen stamp (marker line 1,
+  // matching FNV-1a 64 checksum line 2) verifies, so it never enters
+  // the report at all.
+  EXPECT_EQ(fixture_file("src/proto/generated/gen_ok.cpp"), nullptr);
+}
+
+TEST(FflintGenerated, StaleChecksumForfeitsTheExemption) {
+  // Same directory, marker present, checksum does not match the content:
+  // a hand-edited "generated" file is fully governed again.
+  const FileReport* f = fixture_file("src/proto/generated/gen_stale.cpp");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR1), (std::vector<int>{11}));
+  EXPECT_EQ(lines_of(f->findings, Rule::kR2), (std::vector<int>{13}));
+}
+
+TEST(FflintGenerated, UnmarkedFileInGeneratedTreeStaysGoverned) {
+  // No stamp at all: hand-written code cannot hide by squatting in
+  // src/proto/generated/.
+  const FileReport* f = fixture_file("src/proto/generated/gen_unmarked.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR2);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR2), (std::vector<int>{7}));
+}
+
+TEST(FflintGenerated, ValidStampOutsideGeneratedTreeEarnsNothing) {
+  // The exemption is directory-scoped AND content-bound: a correct stamp
+  // pasted onto a file elsewhere in src/proto/ changes nothing.
+  const FileReport* f = fixture_file("src/proto/gen_escape.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR2);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR2), (std::vector<int>{10}));
+}
+
+TEST(FflintGenerated, ExemptionIsRecomputedFromContentNotTrusted) {
+  // One byte of drift from the stamped content re-arms the linter: the
+  // checksum is recomputed at analysis time, never taken on faith.
+  const std::string stamped_body =
+      "#include <cstdlib>\n"
+      "int salt() { return rand(); }\n";
+  // FNV-1a 64 of stamped_body, precomputed offline.
+  const std::string header =
+      "// @generated by ffgen -- DO NOT EDIT; regenerate with tools/ffgen.\n"
+      "// checksum: 694caf5633837438\n";
+  const FileReport clean = analyze_source(
+      "src/proto/generated/gen_inline.cpp", header + stamped_body);
+  EXPECT_TRUE(clean.findings.empty());
+  const FileReport edited = analyze_source(
+      "src/proto/generated/gen_inline.cpp",
+      header + "#include <cstdlib>\n"
+               "int salt() { return rand(); }  // edited\n");
+  ASSERT_EQ(edited.findings.size(), 1u);
+  EXPECT_EQ(edited.findings[0].rule, Rule::kR2);
+}
+
 // ----------------------------------------------- suppression mechanics
 
 TEST(FflintSuppression, TrailingSameLineDirectiveWorks) {
@@ -257,7 +315,7 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
   const std::string json = ff::fflint::render_json(fixture_report());
   EXPECT_NE(json.find("\"tool\":\"ff-lint\""), std::string::npos);
   EXPECT_NE(json.find("\"rule\":\"R3\""), std::string::npos);
-  EXPECT_NE(json.find("\"counts\":{\"R1\":3,\"R2\":13,\"R3\":2,\"R4\":6,"
+  EXPECT_NE(json.find("\"counts\":{\"R1\":4,\"R2\":16,\"R3\":2,\"R4\":6,"
                       "\"R5\":3}"),
             std::string::npos);
   EXPECT_NE(json.find("\"justification\":\"fixture counter standing in for "
@@ -267,8 +325,8 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
 }
 
 TEST(FflintReport, FixtureTreeTotalsAreExact) {
-  EXPECT_EQ(fixture_report().unsuppressed_total(), 27u);
-  EXPECT_EQ(fixture_report().files_scanned, 19);
+  EXPECT_EQ(fixture_report().unsuppressed_total(), 31u);
+  EXPECT_EQ(fixture_report().files_scanned, 23);
 }
 
 // ---------------------------------------------------------- self-lint

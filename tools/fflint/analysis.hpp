@@ -16,6 +16,13 @@
 //   // ff-lint: allow(R1): <justification, at least 10 characters>
 // A directive silences findings of that rule on its own line and on the
 // next line (so both trailing and line-above placement work).
+//
+// Generated-code exemption: a file under src/proto/generated/ whose
+// ffgen stamp verifies (marker on line 1, matching FNV-1a 64 content
+// checksum on line 2) is exempt from R1/R2 — the generator's
+// differential suite owns its soundness.  Files in that directory whose
+// stamp is missing, malformed, or stale get the full governed scope, so
+// hand-written or hand-edited code cannot hide under the exemption.
 #pragma once
 
 #include <array>
