@@ -548,6 +548,47 @@ int write_report(const std::string& path, bool smoke) {
         generated_census.agreed_values == oracle_census.agreed_values;
   }
 
+  // A2 immunity-pruning differential (ffcheck, DESIGN.md §3h): for every
+  // simulable registry protocol, the census with proved-immune overriding
+  // branches skipped must be bit-equal to the brute-force census, and the
+  // sweep's prune factor (checks+skips)/checks is gated >= 1.0 — the
+  // analyzer never makes exploration do more work, and exceeds 1 whenever
+  // some protocol proved an object immune (tas does).
+  bool immune_census_match = true;
+  std::uint64_t immune_checks = 0;
+  std::uint64_t immune_skips = 0;
+  for (const auto& info : proto::ProtocolRegistry::instance().all()) {
+    if (!info.simulable) continue;
+    const auto factory = proto::machine_factory(info.name);
+    sched::SimConfig config;
+    config.num_objects = factory->objects_used();
+    config.num_registers = factory->registers_used();
+    config.kind = model::FaultKind::kOverriding;
+    config.t = 1;
+    if (proto::build_program(info.name)->has_recovery()) {
+      config.crash_budget = 1;
+    }
+    const sched::SimWorld pruned_world(config, *factory, inputs(2));
+    config.use_immunity_pruning = false;
+    const sched::SimWorld brute_world(config, *factory, inputs(2));
+    const auto pruned = sched::explore(pruned_world, unreduced_opts);
+    const auto brute = sched::explore(brute_world, unreduced_opts);
+    immune_census_match =
+        immune_census_match &&
+        pruned.states_visited == brute.states_visited &&
+        pruned.terminal_states == brute.terminal_states &&
+        pruned.violations_found == brute.violations_found &&
+        pruned.agreed_values == brute.agreed_values;
+    immune_checks += pruned.immunity_checks;
+    immune_skips += pruned.immunity_skips;
+  }
+  const double immune_prune_factor =
+      immune_checks + immune_skips == 0
+          ? 1.0
+          : static_cast<double>(immune_checks + immune_skips) /
+                static_cast<double>(
+                    std::max<std::uint64_t>(1, immune_checks));
+
   // Batched SoA pool throughput (informational): the same generated
   // staged machine stepped 4096 lanes at a time through StatePool's one
   // indirect call per round, against a scalar vector of the SAME
@@ -679,6 +720,13 @@ int write_report(const std::string& path, bool smoke) {
   // Generated == interpreted census for every simulable registry
   // protocol (gated).
   w.kv("codegen_census_match", codegen_census_match);
+  // A2 immunity pruning: census parity with pruning on vs off (gated),
+  // and the branch-condition prune factor across the registry sweep
+  // (gated >= 1.0; > 1 means proved-immune objects skipped real work).
+  w.kv("immune_census_match", immune_census_match);
+  w.kv("immune_prune_factor", immune_prune_factor);
+  w.kv("immune_checks", immune_checks);
+  w.kv("immune_skips", immune_skips);
   // Batched SoA pool vs scalar virtual dispatch (informational).
   w.key("pool_batch").begin_object();
   w.kv("lanes", static_cast<std::uint64_t>(pool_lanes));
@@ -704,6 +752,8 @@ int write_report(const std::string& path, bool smoke) {
             << " ir_overhead=" << ir_overhead
             << " interpreter_overhead=" << interpreter_overhead
             << " codegen_census_match=" << codegen_census_match
+            << " immune_prune_factor=" << immune_prune_factor
+            << " immune_census_match=" << immune_census_match
             << " pool_batch_speedup=" << pool_batch_speedup << " -> " << path
             << "\n";
   return 0;

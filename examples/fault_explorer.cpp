@@ -17,6 +17,7 @@
 #include <memory>
 #include <numeric>
 
+#include "proto/analysis/analysis.hpp"
 #include "proto/registry.hpp"
 #include "sched/explorer.hpp"
 #include "sched/fuzzer.hpp"
@@ -73,6 +74,13 @@ void print_usage() {
       "              also disables the fuzzer's canonical novelty signal\n"
       "  --no-sleep-sets  disable sleep-set partial-order reduction\n"
       "              (explorers only; prunes transitions, never states)\n"
+      "  --analyze   print the ffcheck analysis report (footprints,\n"
+      "              overriding-immunity, loop bounds, recovery proof)\n"
+      "              for --protocol and exit; nonzero if violated\n"
+      "  --no-immunity-pruning  disable skipping overriding-fault branches\n"
+      "              on objects the analyzer proved immune (A2); the\n"
+      "              census is identical either way — this flag exists\n"
+      "              for differential testing and prune-factor baselines\n"
       "  --crashes   enable process crash-recovery branches (budget 1);\n"
       "              only protocols with a recovery label (recoverable-cas,\n"
       "              recoverable-staged) branch — others are unaffected\n"
@@ -239,6 +247,14 @@ int main(int argc, char** argv) {
   params.set("f", f).set("n", n);
   params.set("t", t == model::kUnbounded ? 1 : t);
   params.set("k", cli.get_uint("objects", f + 1));
+
+  if (cli.has("analyze")) {
+    const auto program = proto::build_program(info->name, params);
+    const auto report = proto::analysis::analyze(*program);
+    std::cout << proto::analysis::render_human(report);
+    return report.ok() ? 0 : 1;
+  }
+
   const std::unique_ptr<sched::MachineFactory> factory =
       proto::machine_factory(info->name, params);
 
@@ -250,6 +266,7 @@ int main(int argc, char** argv) {
   config.allow_corruption_steps = kind == model::FaultKind::kDataCorruption;
   config.crash_budget = static_cast<std::uint32_t>(
       cli.get_uint("crash-budget", cli.has("crashes") ? 1 : 0));
+  config.use_immunity_pruning = !cli.has("no-immunity-pruning");
   std::vector<std::uint64_t> inputs(n);
   std::iota(inputs.begin(), inputs.end(), 1);
   const sched::SimWorld world(config, *factory, inputs);
@@ -301,6 +318,11 @@ int main(int argc, char** argv) {
             << (result.complete ? "COMPLETE (exhaustive proof)"
                                 : "partial (cap hit or stopped early)")
             << '\n';
+  if (result.immunity_skips > 0) {
+    std::cout << "A2 pruning     : " << result.immunity_skips
+              << " overriding branches skipped via proved-immune objects ("
+              << result.immunity_checks << " checked dynamically)\n";
+  }
 
   if (!result.violation) {
     std::cout << "verdict        : no violation — consensus holds for every "

@@ -18,7 +18,12 @@ B3 gates (smoke and full mode alike):
     interpreter's cost is reported separately as interpreter_overhead,
     informational);
   * codegen_census_match is true — generated and interpreted machines
-    produce the identical census for every simulable registry protocol.
+    produce the identical census for every simulable registry protocol;
+  * immune_census_match is true — skipping overriding-fault branches on
+    ffcheck's proved-immune objects leaves the census bit-identical for
+    every simulable registry protocol;
+  * immune_prune_factor >= 1.0 — the A2 pruning never adds work
+    ((checks+skips)/checks; > 1 whenever an immunity proof fired).
 
 B5 gates:
   * crash_free_census_match is true for every crash_growth_* section —
@@ -40,6 +45,7 @@ import sys
 MIN_REDUCTION_FACTOR = 5.0
 MAX_IR_OVERHEAD = 0.02
 MAX_CRASH_GROWTH_B1 = 64.0
+MIN_IMMUNE_PRUNE_FACTOR = 1.0
 
 
 def gate_b3(report):
@@ -51,13 +57,16 @@ def gate_b3(report):
     ir_census_ok = bool(report["ir_census_match"])
     codegen_census_ok = bool(report["codegen_census_match"])
     interp_overhead = float(report.get("interpreter_overhead", 0.0))
+    immune_census_ok = bool(report["immune_census_match"])
+    immune_factor = float(report["immune_prune_factor"])
 
     mode = "smoke" if report.get("smoke") else "full"
     print(f"bench gate B3 ({mode}): reduction {unreduced} -> {reduced} "
           f"states ({factor:.2f}x), census match: {census_ok}, "
           f"generated overhead: {ir_overhead:.3f} (interpreter: "
           f"{interp_overhead:.3f}), ir census match: {ir_census_ok}, "
-          f"codegen census match: {codegen_census_ok}")
+          f"codegen census match: {codegen_census_ok}, immune prune "
+          f"{immune_factor:.2f}x (census match: {immune_census_ok})")
 
     failed = False
     if not census_ok:
@@ -79,6 +88,14 @@ def gate_b3(report):
     if ir_overhead > MAX_IR_OVERHEAD:
         print(f"bench_gate: FAIL — generated-machine overhead "
               f"{ir_overhead:.3f} > {MAX_IR_OVERHEAD}", file=sys.stderr)
+        failed = True
+    if not immune_census_ok:
+        print("bench_gate: FAIL — A2 immunity pruning changed the census "
+              "of a registry protocol", file=sys.stderr)
+        failed = True
+    if immune_factor < MIN_IMMUNE_PRUNE_FACTOR:
+        print(f"bench_gate: FAIL — immune prune factor {immune_factor:.2f} "
+              f"< {MIN_IMMUNE_PRUNE_FACTOR}", file=sys.stderr)
         failed = True
     return failed
 

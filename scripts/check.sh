@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Eight-stage verification gate:
+# Nine-stage verification gate:
 #   1. default build (-DFF_WERROR=ON) → the fast `tier1` test label
 #      (all unit suites) plus the `codegen` differential suite,
 #      warnings promoted to errors;
@@ -19,44 +19,49 @@
 #      (label `asan`) under AddressSanitizer + UndefinedBehaviorSanitizer;
 #   6. ff-lint (label `lint`): the rule-engine test suite plus a tree
 #      scan of the shipped sources, with the JSON report summarized;
-#   7. clang-tidy (advisory) when clang-tidy is on PATH, against the
+#   7. ffcheck (label `analysis`): the IR-analyzer test suite (A1-A5
+#      fixtures + the A2 pruning differential) plus a registry-wide
+#      `ffcheck --json` run, with the obligation report summarized —
+#      any violated obligation fails the stage;
+#   8. clang-tidy (advisory) when clang-tidy is on PATH, against the
 #      compile database stage 1 exported; skipped with a notice if not;
-#   8. bench smoke: bench_b3_explorer/bench_b4_fuzzer/bench_b5_crash
+#   9. bench smoke: bench_b3_explorer/bench_b4_fuzzer/bench_b5_crash
 #      --json --smoke, then scripts/bench_gate.py asserts the B3
 #      state-space reduction is >= 5x with a matching differential
 #      census, the generated-machine overhead is <= 2% with every
 #      registry protocol's generated census matching the interpreter,
-#      and the B5 crash-branch growth/latency bounds hold.
+#      the A2 immunity pruning leaves the census bit-identical with a
+#      prune factor >= 1, and the B5 crash growth/latency bounds hold.
 # Usage: scripts/check.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/8] default build (FF_WERROR=ON) · ctest -L 'tier1|codegen' =="
+echo "== [1/9] default build (FF_WERROR=ON) · ctest -L 'tier1|codegen' =="
 cmake -B build -S . -DFF_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -L 'tier1|codegen' --output-on-failure -j "$JOBS"
 
-echo "== [2/8] ffgen drift gate =="
+echo "== [2/9] ffgen drift gate =="
 ./build/tools/ffgen/ffgen --check --out src/proto/generated
 
-echo "== [3/8] default build · ctest -L tier2-fuzz =="
+echo "== [3/9] default build · ctest -L tier2-fuzz =="
 ctest --test-dir build -L tier2-fuzz --output-on-failure -j "$JOBS"
 
-echo "== [4/8] FF_SANITIZE=thread build · ctest -L tsan =="
+echo "== [4/9] FF_SANITIZE=thread build · ctest -L tsan =="
 cmake -B build-tsan -S . -DFF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target test_parallel_explorer test_determinism test_concurrency \
            test_recoverable_consensus
 ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
 
-echo "== [5/8] FF_SANITIZE=address build · ctest -L asan =="
+echo "== [5/9] FF_SANITIZE=address build · ctest -L asan =="
 cmake -B build-asan -S . -DFF_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target test_fuzzer test_shrink test_fuzz_smoke test_sim test_faults
 ctest --test-dir build-asan -L asan --output-on-failure -j "$JOBS"
 
-echo "== [6/8] ff-lint · ctest -L lint + tree scan =="
+echo "== [6/9] ff-lint · ctest -L lint + tree scan =="
 ctest --test-dir build -L lint --output-on-failure -j "$JOBS"
 lint_status=0
 ./build/tools/fflint/fflint --root . --json --quiet \
@@ -71,7 +76,22 @@ if [ "$lint_status" -ne 0 ]; then
   exit 1
 fi
 
-echo "== [7/8] clang-tidy (advisory) =="
+echo "== [7/9] ffcheck · ctest -L analysis + registry obligations =="
+ctest --test-dir build -L analysis --output-on-failure -j "$JOBS"
+ffcheck_status=0
+./build/tools/ffcheck/ffcheck --json \
+  > build/ffcheck-report.json || ffcheck_status=$?
+if [ "$ffcheck_status" -ge 2 ]; then
+  echo "ffcheck failed to run (exit $ffcheck_status)" >&2
+  exit "$ffcheck_status"
+fi
+python3 scripts/ffcheck_summary.py build/ffcheck-report.json
+if [ "$ffcheck_status" -ne 0 ]; then
+  echo "ffcheck: violated obligations — see build/ffcheck-report.json" >&2
+  exit 1
+fi
+
+echo "== [8/9] clang-tidy (advisory) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Tidy the first-party sources only; the compile database from stage 1
   # (CMAKE_EXPORT_COMPILE_COMMANDS) keeps flags identical to the build.
@@ -81,11 +101,11 @@ else
   echo "notice: clang-tidy not on PATH — stage skipped (advisory only)"
 fi
 
-echo "== [8/8] bench smoke · scripts/bench_gate.py =="
+echo "== [9/9] bench smoke · scripts/bench_gate.py =="
 ./build/bench/bench_b3_explorer --json build/BENCH_B3.smoke.json --smoke
 ./build/bench/bench_b4_fuzzer --json build/BENCH_B4.smoke.json --smoke
 ./build/bench/bench_b5_crash --json build/BENCH_B5.smoke.json --smoke
 python3 scripts/bench_gate.py build/BENCH_B3.smoke.json \
                               build/BENCH_B5.smoke.json
 
-echo "OK: all eight stages passed"
+echo "OK: all nine stages passed"

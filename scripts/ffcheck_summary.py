@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Print a one-screen summary of an ffcheck --json report.
+
+Usage: scripts/ffcheck_summary.py build/ffcheck-report.json
+
+One line per registry program: the five analysis verdicts, the exact
+static-footprint fraction (A1), the proved-immune object count (A2) and
+the loop certificates (A3).  Exit status mirrors the analyzer: 0 when
+every obligation holds, 1 when any analysis is violated, 2 when the
+report is unreadable.
+"""
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: ffcheck_summary.py <report.json>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"ffcheck_summary: cannot read {argv[1]}: {err}",
+              file=sys.stderr)
+        return 2
+
+    programs = report.get("programs", [])
+    immune_total = 0
+    violated = []
+    print(f"ffcheck summary: {len(programs)} registry program(s) analyzed")
+    for p in programs:
+        verdicts = []
+        for key in ("a1", "a2", "a3", "a4", "a5"):
+            verdict = p.get(key, {}).get("verdict", "?")
+            verdicts.append(f"{key.upper()}:{verdict}")
+            if verdict == "violated":
+                violated.append(f"{p.get('program', '?')}/{key.upper()}")
+        a1 = p.get("a1", {})
+        a2 = p.get("a2", {})
+        a3 = p.get("a3", {})
+        immune = sum(1 for o in a2.get("objects", []) if o.get("immune"))
+        immune_total += immune
+        loops = a3.get("loops", [])
+        counted = sum(1 for l in loops if l.get("kind") == "counted")
+        print(f"  {p.get('program', '?'):20s} {' '.join(verdicts)}  "
+              f"footprints {a1.get('exact_sites', 0)}/"
+              f"{a1.get('shared_sites', 0)} exact, "
+              f"{immune}/{len(a2.get('objects', []))} objects immune, "
+              f"{counted}/{len(loops)} loop(s) counted")
+    print(f"  proved overriding-immune objects: {immune_total}")
+    if violated:
+        print(f"  VIOLATED obligations: {', '.join(violated)}",
+              file=sys.stderr)
+    return 0 if report.get("ok") and not violated else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

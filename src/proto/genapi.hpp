@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -107,6 +108,14 @@ class GenMachineFactory final : public sched::MachineFactory {
   }
   [[nodiscard]] std::string name() const override { return program_->name(); }
 
+  /// ffcheck facts for the Program the machines were generated from;
+  /// lazy, once per factory (defined in analysis/analysis.cpp).  Sound
+  /// for the generated machines because codegen is semantics-preserving
+  /// (the census differential in tests/test_codegen.cpp pins that) and
+  /// they report the same per-op pcs via pending_site().
+  [[nodiscard]] std::shared_ptr<const sched::ProgramFacts> facts()
+      const override;
+
   [[nodiscard]] const std::shared_ptr<const Program>& program()
       const noexcept {
     return program_;
@@ -116,6 +125,8 @@ class GenMachineFactory final : public sched::MachineFactory {
  private:
   std::shared_ptr<const Program> program_;
   const GenEntry* entry_;
+  mutable std::once_flag facts_once_;
+  mutable std::shared_ptr<const sched::ProgramFacts> facts_cache_;
 };
 
 }  // namespace ff::proto::gen

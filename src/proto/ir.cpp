@@ -201,7 +201,7 @@ struct ExprScan {
 
 }  // namespace
 
-std::shared_ptr<const Program> ProgramBuilder::finalize() {
+std::shared_ptr<const Program> ProgramBuilder::finalize(Validate mode) {
   if (finalized_) fail(prog_.name_, "finalize() called twice");
   finalized_ = true;
   const std::string& name = prog_.name_;
@@ -299,11 +299,20 @@ std::shared_ptr<const Program> ProgramBuilder::finalize() {
     fail(name, "queue clients do not support crash recovery");
   }
 
+  // Layout well-formedness is a memory-safety property of encode(), so
+  // it holds in BOTH validation modes (kSyntaxOnly programs still get
+  // interpreted and encoded by the analyzer's test fixtures).
+  for (const std::uint16_t l : prog_.layout_) {
+    if (l >= prog_.locals_.size()) {
+      fail(name, "layout names an undeclared local");
+    }
+  }
+
   // Every control-flow cycle must contain a shared op (a pause), so the
   // interpreter's run-to-next-pause loop is structurally bounded.  DFS
   // over the subgraph induced by the LOCAL ops only: a cycle there is a
   // potential infinite no-pause spin.
-  {
+  if (mode == Validate::kFull) {
     enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
     std::vector<Mark> mark(n_ops, Mark::kWhite);
     std::vector<std::pair<std::uint32_t, int>> stack;  // (op, next edge)
@@ -353,7 +362,7 @@ std::shared_ptr<const Program> ProgramBuilder::finalize() {
   // pending op's own operand reads counting as live (they ARE the pending
   // step) and its dst counting as defined by the delivery.  This is the
   // static half of the encode() soundness argument (DESIGN.md §3e).
-  {
+  if (mode == Validate::kFull) {
     std::vector<std::set<std::uint16_t>> live_in(n_ops);
     bool changed = true;
     while (changed) {
@@ -388,13 +397,8 @@ std::shared_ptr<const Program> ProgramBuilder::finalize() {
         }
       }
     }
-    std::set<std::uint16_t> layout_set(prog_.layout_.begin(),
-                                       prog_.layout_.end());
-    for (const std::uint16_t l : layout_set) {
-      if (l >= prog_.locals_.size()) {
-        fail(name, "layout names an undeclared local");
-      }
-    }
+    const std::set<std::uint16_t> layout_set(prog_.layout_.begin(),
+                                             prog_.layout_.end());
     for (std::size_t i = 0; i < n_ops; ++i) {
       if (!is_shared_op(prog_.ops_[i].kind) &&
           prog_.ops_[i].kind != OpKind::kHalt) {

@@ -307,6 +307,21 @@ class Program {
   bool uses_queue_ = false;
 };
 
+/// How much static validation finalize() performs.
+///
+/// kFull is the production mode: every check in the class comment runs
+/// and a violating program never comes into existence.  kSyntaxOnly
+/// keeps just the structural checks that make a Program memory-safe to
+/// *inspect and interpret* (label resolution, operand bounds, fall-off,
+/// expression-depth limits) while skipping the semantic obligations
+/// (pause-free cycles, liveness/layout coverage, recovery liveness).
+/// It exists for the analyzer's negative fixtures: ffcheck's A3–A5 must
+/// be demonstrably able to REJECT programs that violate exactly the
+/// obligations kFull enforces, and such programs are only constructible
+/// when finalize() lets them through.  Production builders must never
+/// use it — build_program()/the registry always finalize kFull.
+enum class Validate : std::uint8_t { kFull, kSyntaxOnly };
+
 /// Builds a Program op by op.  Labels are forward-declarable jump targets;
 /// finalize() resolves them and runs the static validation described in
 /// the header comment, throwing std::invalid_argument on any violation.
@@ -372,8 +387,11 @@ class ProgramBuilder {
   /// Appends `local` to the encode() layout (order = emission order).
   void emit(std::uint16_t local);
 
-  /// Validates and freezes the program (see class comment).
-  [[nodiscard]] std::shared_ptr<const Program> finalize();
+  /// Validates and freezes the program (see class comment).  The mode
+  /// selects how much validation runs (see Validate); the default kFull
+  /// is what every production builder uses.
+  [[nodiscard]] std::shared_ptr<const Program> finalize(
+      Validate mode = Validate::kFull);
 
  private:
   ExprId push(ExprNode node);

@@ -20,6 +20,7 @@
 #include <array>
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -67,6 +68,12 @@ class IrMachine final : public sched::StepMachine {
   /// The paused program counter (differential tests assert the encoding
   /// layout determines it — the dynamic half of encode() soundness).
   [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+
+  /// The pending op's pc doubles as the index into the factory's static
+  /// footprint table (sched/facts.hpp).
+  [[nodiscard]] std::uint32_t pending_site() const override {
+    return halted_ ? sched::kNoSite : pc_;
+  }
 
   /// Crash–recovery (StepMachine overrides).  A crash wipes every
   /// volatile local to 0, preserves the persistent locals, drops the
@@ -401,6 +408,12 @@ class IrMachineFactory final : public sched::MachineFactory {
   }
   [[nodiscard]] std::string name() const override { return program_->name(); }
 
+  /// ffcheck facts for the Program, computed lazily ONCE per factory and
+  /// shared by every SimWorld (defined in analysis/analysis.cpp so this
+  /// header does not depend on the analyzer).
+  [[nodiscard]] std::shared_ptr<const sched::ProgramFacts> facts()
+      const override;
+
   [[nodiscard]] const std::shared_ptr<const Program>& program()
       const noexcept {
     return program_;
@@ -408,6 +421,8 @@ class IrMachineFactory final : public sched::MachineFactory {
 
  private:
   std::shared_ptr<const Program> program_;
+  mutable std::once_flag facts_once_;
+  mutable std::shared_ptr<const sched::ProgramFacts> facts_cache_;
 };
 
 }  // namespace ff::proto

@@ -21,6 +21,12 @@ using detail::table_hint;
 ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
   ExploreResult result;
 
+  // The prune counters live in the world and are SHARED by every copy
+  // (including `cur` below), so this search's contribution is the delta
+  // over the initial snapshot — callers may reuse one world across runs.
+  const std::uint64_t checks0 = initial.immunity_checks();
+  const std::uint64_t skips0 = initial.immunity_skips();
+
   const bool sym =
       options.symmetry_reduction && initial.processes_symmetric();
   const bool por = options.sleep_sets;
@@ -186,6 +192,8 @@ ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
     result.complete =
         result.violations_found == 0 || !options.stop_at_first_violation;
     result.table_grows = table.grows();
+    result.immunity_checks = initial.immunity_checks() - checks0;
+    result.immunity_skips = initial.immunity_skips() - skips0;
     return result;
   }
 
@@ -370,6 +378,8 @@ ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
 
   result.complete = !aborted && stack.empty();
   result.table_grows = table.grows();
+  result.immunity_checks = cur.immunity_checks() - checks0;
+  result.immunity_skips = cur.immunity_skips() - skips0;
   return result;
 }
 

@@ -107,6 +107,13 @@ struct ExploreResult {
   /// regression signal for the stale-pre-size path (batched pools size
   /// their columns from the same hint).
   std::uint64_t table_grows = 0;
+  /// A2 immunity-pruning tallies for THIS search (deltas of the world's
+  /// shared counters): overriding-fault enabling conditions evaluated
+  /// brute-force vs skipped outright via a proved-immune object.  The
+  /// prune factor (checks+skips)/checks ≥ 1 measures the branch-factor
+  /// reduction ffcheck's A2 bought (bench_b3's `immune_prune_factor`).
+  std::uint64_t immunity_checks = 0;
+  std::uint64_t immunity_skips = 0;
 
   [[nodiscard]] std::uint64_t violations_of(ViolationKind kind) const {
     const auto it = violations_by_kind.find(kind);

@@ -674,6 +674,12 @@ ExploreResult parallel_explore(const SimWorld& initial,
   ExploreResult result;
   const ExploreOptions& opts = options.explore;
 
+  // The prune counters are shared by every SimWorld copy the workers
+  // make (WorkItem worlds, expansion children), so this search's
+  // contribution is the delta over the initial snapshot.
+  const std::uint64_t checks0 = initial.immunity_checks();
+  const std::uint64_t skips0 = initial.immunity_skips();
+
   // Terminal root: identical to the sequential special case.
   if (initial.terminal()) {
     result.states_visited = 1;
@@ -772,6 +778,8 @@ ExploreResult parallel_explore(const SimWorld& initial,
   result.complete =
       !aborted &&
       !(opts.stop_at_first_violation && result.violations_found > 0);
+  result.immunity_checks = initial.immunity_checks() - checks0;
+  result.immunity_skips = initial.immunity_skips() - skips0;
   return result;
 }
 

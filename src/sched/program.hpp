@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/facts.hpp"
 #include "sched/step.hpp"
 
 namespace ff::sched {
@@ -46,6 +47,13 @@ class StepMachine {
   /// label means the simulator never offers them a crash branch.
   [[nodiscard]] virtual bool can_crash() const { return false; }
   virtual void crash() {}
+
+  /// Program counter of the pending shared op, for indexing the factory's
+  /// static-analysis facts (ProgramFacts::footprints).  kNoSite when the
+  /// machine cannot name one (halted, or a machine with no IR pedigree —
+  /// the legacy hand-written machines keep this default), in which case
+  /// the scheduler falls back to the dynamic pending-op footprint.
+  [[nodiscard]] virtual std::uint32_t pending_site() const { return kNoSite; }
 };
 
 /// Factory producing the machine for process `pid` with input `input`.
@@ -68,6 +76,13 @@ class MachineFactory {
   /// Defaults to false — a factory must opt in explicitly.
   [[nodiscard]] virtual bool pid_oblivious() const { return false; }
   [[nodiscard]] virtual std::string name() const = 0;
+  /// Statically proved facts about the produced machines' program
+  /// (sched/facts.hpp), or nullptr when no analyzer ran.  SimWorld reads
+  /// this once at construction; the IR-backed factories override it with
+  /// the ffcheck analysis result.
+  [[nodiscard]] virtual std::shared_ptr<const ProgramFacts> facts() const {
+    return nullptr;
+  }
 };
 
 }  // namespace ff::sched

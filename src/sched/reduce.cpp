@@ -219,17 +219,43 @@ Footprint footprint_of(const SimWorld& world, const Choice& c) {
   // (always dependent with same-pid choices anyway) — conservative but
   // sound for the sleep-set commutation argument.
   const PendingOp op = world.pending(c.pid);
+  Footprint dyn{Footprint::Space::kNone, 0, true};
   switch (op.type) {
     case OpType::kCas:
-      return Footprint{Footprint::Space::kObject, op.object, true};
+      dyn = Footprint{Footprint::Space::kObject, op.object, true};
+      break;
     case OpType::kRegRead:
-      return Footprint{Footprint::Space::kRegister, op.object, false};
+      dyn = Footprint{Footprint::Space::kRegister, op.object, false};
+      break;
     case OpType::kRegWrite:
-      return Footprint{Footprint::Space::kRegister, op.object, true};
+      dyn = Footprint{Footprint::Space::kRegister, op.object, true};
+      break;
     case OpType::kNone:
       break;
   }
-  return Footprint{Footprint::Space::kNone, 0, true};
+  // Static independence relation (ffcheck A1): when the machine names its
+  // pending pc and the analyzer proved that site's index is a single
+  // constant, the static footprint IS the dynamic one at every reachable
+  // state — use it, and let debug builds cross-check the claim.  A
+  // non-exact entry only bounds the dynamic location, so it is kept as a
+  // containment assert and the dynamic footprint stays authoritative.
+  if (const ProgramFacts* facts = world.facts();
+      facts != nullptr && dyn.space != Footprint::Space::kNone) {
+    const std::uint32_t site = world.machine(c.pid).pending_site();
+    if (site < facts->footprints.size()) {
+      const StaticFootprint& sf = facts->footprints[site];
+      assert((sf.space == StaticFootprint::Space::kObject) ==
+             (dyn.space == Footprint::Space::kObject));
+      assert((sf.space == StaticFootprint::Space::kRegister) ==
+             (dyn.space == Footprint::Space::kRegister));
+      if (sf.exact) {
+        assert(sf.lo == dyn.id && sf.writes == dyn.writes);
+        return Footprint{dyn.space, sf.lo, sf.writes};
+      }
+      assert(sf.lo <= dyn.id && dyn.id < sf.hi);
+    }
+  }
+  return dyn;
 }
 
 bool independent(const Choice& ca, const Footprint& fa, const Choice& cb,

@@ -20,6 +20,8 @@ SimWorld::SimWorld(SimConfig config, const MachineFactory& factory,
                    std::vector<std::uint64_t> inputs)
     : config_(std::move(config)),
       inputs_(std::move(inputs)),
+      facts_(factory.facts()),
+      prune_(std::make_shared<PruneCounters>()),
       objects_(config_.num_objects, model::Value::bottom()),
       registers_(config_.num_registers, model::Value::bottom()),
       faults_used_(config_.num_objects, 0),
@@ -44,6 +46,8 @@ SimWorld::SimWorld(SimConfig config, const MachineFactory& factory,
 SimWorld::SimWorld(const SimWorld& other)
     : config_(other.config_),
       inputs_(other.inputs_),
+      facts_(other.facts_),
+      prune_(other.prune_),  // counters are shared, not duplicated
       objects_(other.objects_),
       registers_(other.registers_),
       faults_used_(other.faults_used_),
@@ -89,6 +93,19 @@ void SimWorld::append_fault_choices(objects::ProcessId pid,
   const model::CasCall call{op.expected, op.desired};
   switch (config_.kind) {
     case model::FaultKind::kOverriding:
+      // Static pruning first: when the analyzer proved this object
+      // overriding-immune (every reachable CAS pairs a ⊥ expected with
+      // one uniform desired value), the manifest condition below is
+      // unsatisfiable and the branch can be skipped without evaluating
+      // it.  The debug build re-checks the certificate dynamically.
+      if (config_.use_immunity_pruning && facts_ != nullptr &&
+          facts_->object_immune(op.object)) {
+        prune_->skips.fetch_add(1, std::memory_order_relaxed);
+        assert(!(before != op.expected && before != op.desired) &&
+               "A2 overriding-immunity certificate violated at runtime");
+        break;
+      }
+      prune_->checks.fetch_add(1, std::memory_order_relaxed);
       // Manifests only when the comparison would fail AND the written
       // value actually changes the content (Definition 1: the outcome
       // must violate Φ; overwriting a value with itself does not).

@@ -15,6 +15,7 @@
 // fault, and is not offered as a branch — this also prunes the search).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -62,6 +63,12 @@ struct SimConfig {
   /// offered crash branches, so budget 0 — and every non-recoverable
   /// protocol — reproduces the crash-free state space exactly.
   std::uint32_t crash_budget = 0;
+  /// Skip overriding-fault branches on objects the factory's static
+  /// analysis proved immune (ProgramFacts::immune_objects).  Sound —
+  /// the skipped branches can never manifest, so the census is
+  /// bit-identical either way (DESIGN.md §3h); off switches to the
+  /// brute-force enabling check for A/B measurement.
+  bool use_immunity_pruning = true;
   /// Optional CAS-event recorder (borrowed).  Only meaningful for LINEAR
   /// drives of one world — random walks, adversaries, witness replays.
   /// The DFS explorer interleaves branches through copies that share
@@ -188,6 +195,24 @@ class SimWorld {
   /// Next pending operation of a live process (kNone when done/killed).
   [[nodiscard]] PendingOp pending(objects::ProcessId pid) const;
 
+  /// Static facts attached by the machine factory (nullptr when none).
+  [[nodiscard]] const ProgramFacts* facts() const noexcept {
+    return facts_.get();
+  }
+
+  /// A2 immunity-pruning counters, shared (monotone) across every copy
+  /// of this world — the explorers copy worlds per branch, so per-copy
+  /// counters would double count.  `checks` counts overriding-fault
+  /// enabling conditions evaluated the brute-force way, `skips` the ones
+  /// pruned by a proved-immune object.  Harvest as deltas around a
+  /// search (ExploreResult::immunity_checks / immunity_skips).
+  [[nodiscard]] std::uint64_t immunity_checks() const noexcept {
+    return prune_->checks.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t immunity_skips() const noexcept {
+    return prune_->skips.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Enumerates manifesting fault variants for the pending CAS of `pid`.
   void append_fault_choices(objects::ProcessId pid, const PendingOp& op,
@@ -195,8 +220,17 @@ class SimWorld {
   [[nodiscard]] bool fault_allowed(objects::ProcessId pid,
                                    objects::ObjectId object) const;
 
+  struct PruneCounters {
+    // ff-lint: allow(R1): checker-internal prune tally, never protocol-visible
+    std::atomic<std::uint64_t> checks{0};
+    // ff-lint: allow(R1): checker-internal prune tally, never protocol-visible
+    std::atomic<std::uint64_t> skips{0};
+  };
+
   SimConfig config_;
   std::vector<std::uint64_t> inputs_;
+  std::shared_ptr<const ProgramFacts> facts_;  ///< from the factory
+  std::shared_ptr<PruneCounters> prune_;       ///< shared by all copies
   std::vector<std::unique_ptr<StepMachine>> machines_;
   std::vector<model::Value> objects_;
   std::vector<model::Value> registers_;

@@ -329,6 +329,77 @@ TEST(FflintReport, FixtureTreeTotalsAreExact) {
   EXPECT_EQ(fixture_report().files_scanned, 23);
 }
 
+// -------------------------------------------------------- SARIF shape
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(FflintSarif, DocumentCarriesTheRequiredEnvelope) {
+  const std::string sarif = ff::fflint::render_sarif(fixture_report());
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(
+      sarif.find(
+          "\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""),
+      std::string::npos);
+  EXPECT_NE(sarif.find("\"runs\":["), std::string::npos);
+  EXPECT_NE(sarif.find("\"driver\":{\"name\":\"ff-lint\""),
+            std::string::npos);
+}
+
+TEST(FflintSarif, DriverListsAllFiveRules) {
+  const std::string sarif = ff::fflint::render_sarif(fixture_report());
+  for (const char* id : {"R1", "R2", "R3", "R4", "R5"}) {
+    EXPECT_NE(sarif.find("\"id\":\"" + std::string(id) + "\""),
+              std::string::npos)
+        << id;
+  }
+  EXPECT_EQ(count_occurrences(sarif, "\"shortDescription\""), 5u);
+}
+
+TEST(FflintSarif, OneResultPerUnsuppressedFindingWithLocation) {
+  const std::string sarif = ff::fflint::render_sarif(fixture_report());
+  // The fixture tree has exactly 31 unsuppressed findings — one SARIF
+  // result each, every one carrying the code-scanning-required fields.
+  EXPECT_EQ(count_occurrences(sarif, "\"ruleId\":"),
+            fixture_report().unsuppressed_total());
+  EXPECT_EQ(count_occurrences(sarif, "\"level\":\"error\""),
+            fixture_report().unsuppressed_total());
+  EXPECT_EQ(count_occurrences(sarif, "\"physicalLocation\""),
+            fixture_report().unsuppressed_total());
+  // A concrete known finding: R1 at src/sched/r1_bad.cpp:13.
+  EXPECT_NE(sarif.find("\"uri\":\"src/sched/r1_bad.cpp\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":13"), std::string::npos);
+  // message.text embeds the fix-it so scanners show the remediation.
+  EXPECT_NE(sarif.find(" (fix-it: "), std::string::npos);
+}
+
+TEST(FflintSarif, SuppressedFindingsAreOmitted) {
+  // r5_good.cpp's only finding is silenced by a justified allow(): it
+  // must not surface as a SARIF result (no artifact references it).
+  const std::string sarif = ff::fflint::render_sarif(fixture_report());
+  EXPECT_EQ(sarif.find("r5_good.cpp"), std::string::npos);
+}
+
+TEST(FflintSarif, InlineSourceRoundTrip) {
+  TreeReport tree;
+  tree.files.push_back(analyze_source(
+      "src/sched/one.cpp",
+      "#include <atomic>\nstd::atomic<int> x;\n"));
+  tree.files_scanned = 1;
+  const std::string sarif = ff::fflint::render_sarif(tree);
+  EXPECT_EQ(count_occurrences(sarif, "\"ruleId\":\"R1\""), 1u);
+  EXPECT_NE(sarif.find("\"uri\":\"src/sched/one.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":2"), std::string::npos);
+}
+
 // ---------------------------------------------------------- self-lint
 
 TEST(FflintSelfLint, ShippedTreeHasZeroUnsuppressedFindings) {

@@ -1,0 +1,102 @@
+// ffcheck — abstract-interpretation analyzer over the protocol IR.
+//
+// Usage:
+//   ffcheck [--json] [--quiet] [protocol...]
+//
+// With no protocol arguments, analyzes EVERY ProtocolRegistry entry at
+// default parameters — that is what `ctest -L analysis` and check.sh's
+// analysis stage run, so a protocol cannot land in the registry without
+// discharging its obligations.  Named protocols (canonical names or
+// aliases) restrict the run.
+//
+// Exit status: 0 when every analyzed program's obligations hold (A2's
+// unproved immunity and A3's retry loops are flags, not violations),
+// 1 when any obligation is violated, 2 on usage errors or unknown
+// protocol names.  `--json` emits one machine-readable report envelope
+// on stdout (consumed by scripts/ffcheck_summary.py); the human
+// certificates go to stdout otherwise.
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/analysis/analysis.hpp"
+#include "proto/ir.hpp"
+#include "proto/registry.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--json] [--quiet] [protocol...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quiet = false;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      names.emplace_back(argv[i]);
+    }
+  }
+
+  const auto& registry = ff::proto::ProtocolRegistry::instance();
+  if (names.empty()) {
+    for (const auto& info : registry.all()) names.push_back(info.name);
+  }
+
+  std::vector<ff::proto::analysis::AnalysisReport> reports;
+  reports.reserve(names.size());
+  for (const std::string& name : names) {
+    const ff::proto::ProtocolInfo* info = registry.find(name);
+    if (info == nullptr) {
+      std::cerr << "ffcheck: unknown protocol `" << name << "`\n";
+      return 2;
+    }
+    const std::shared_ptr<const ff::proto::Program> program =
+        info->build(ff::proto::Params{});
+    reports.push_back(ff::proto::analysis::analyze(*program));
+  }
+
+  bool all_ok = true;
+  std::size_t immune_objects = 0;
+  for (const auto& r : reports) {
+    all_ok = all_ok && r.ok();
+    for (const auto& o : r.objects) immune_objects += o.immune ? 1 : 0;
+  }
+
+  if (json) {
+    ff::util::JsonWriter w;
+    w.begin_object();
+    w.key("tool").value("ffcheck");
+    w.key("programs").begin_array();
+    for (const auto& r : reports) ff::proto::analysis::render_json(r, w);
+    w.end_array();
+    w.key("ok").value(all_ok);
+    w.end_object();
+    std::cout << w.str() << '\n';
+  } else if (!quiet) {
+    for (const auto& r : reports) {
+      std::cout << ff::proto::analysis::render_human(r) << '\n';
+    }
+    std::cout << "ffcheck: " << reports.size() << " program"
+              << (reports.size() == 1 ? "" : "s") << " analyzed, "
+              << immune_objects << " object"
+              << (immune_objects == 1 ? "" : "s")
+              << " proved overriding-immune — "
+              << (all_ok ? "all obligations hold" : "OBLIGATIONS VIOLATED")
+              << '\n';
+  }
+  return all_ok ? 0 : 1;
+}

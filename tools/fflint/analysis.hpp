@@ -86,5 +86,8 @@ struct TreeReport {
 
 [[nodiscard]] std::string render_human(const TreeReport& report);
 [[nodiscard]] std::string render_json(const TreeReport& report);
+/// SARIF 2.1.0 (one run, one result per unsuppressed finding) for code
+/// scanning UIs; suppressed findings are omitted.
+[[nodiscard]] std::string render_sarif(const TreeReport& report);
 
 }  // namespace ff::fflint

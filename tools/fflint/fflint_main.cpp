@@ -1,13 +1,14 @@
 // fflint — model-soundness static analyzer for this repository.
 //
 // Usage:
-//   fflint [--root DIR] [--json] [--quiet]
+//   fflint [--root DIR] [--json | --sarif] [--quiet]
 //
 // Walks <root>/src and enforces rules R1–R5 (see analysis.hpp and
 // DESIGN.md §3c).  Exit status: 0 when the tree has zero unsuppressed
 // findings, 1 otherwise, 2 on usage errors.  `--json` emits the
 // machine-readable report on stdout (consumed by scripts/check.sh's
-// summary printer); the human report goes to stdout otherwise.
+// summary printer); `--sarif` emits SARIF 2.1.0 for code-scanning UIs;
+// the human report goes to stdout otherwise.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -17,7 +18,8 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " [--root DIR] [--json] [--quiet]\n";
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--json | --sarif] [--quiet]\n";
   return 2;
 }
 
@@ -26,18 +28,22 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string root = ".";
   bool json = false;
+  bool sarif = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      sarif = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else {
       return usage(argv[0]);
     }
   }
+  if (json && sarif) return usage(argv[0]);
 
   const ff::fflint::TreeReport report = ff::fflint::analyze_tree(root);
   if (report.files_scanned == 0) {
@@ -46,6 +52,8 @@ int main(int argc, char** argv) {
   }
   if (json) {
     std::cout << ff::fflint::render_json(report) << '\n';
+  } else if (sarif) {
+    std::cout << ff::fflint::render_sarif(report) << '\n';
   } else if (!quiet) {
     std::cout << ff::fflint::render_human(report);
   }
