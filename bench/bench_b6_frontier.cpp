@@ -1,0 +1,309 @@
+// B6 — throughput of the batched owner-computes frontier explorer.
+//
+// Three questions feed the BENCH trajectory:
+//   * How fast is the frontier engine against the work-stealing parallel
+//     DFS on the reference instance (staged f=1 t=2, three distinct
+//     inputs — symmetry-reduced, so the canonical-fingerprint path is
+//     hot)?  Both engines run back-to-back within each repetition and
+//     the PAIRED states/sec ratio is taken per round, so machine noise
+//     hits both sides of each division; the reported speedup is the
+//     median of the per-round ratios.
+//   * Does the frontier census stay bit-equal to the parallel engine's
+//     while it wins?  Every repetition cross-checks states, terminals,
+//     per-kind violation counts and agreed values.
+//   * Is the disk-spill path free of census drift?  A forced-spill run
+//     (mem_limit_bytes = 1: every wave spills) must reproduce the
+//     in-memory census exactly while actually writing runs.
+// Modes:
+//   (default)        google-benchmark suite (all BM_* below)
+//   --json <path>    machine-readable BENCH_B6 report for
+//                    scripts/bench_gate.py
+//   --smoke          reduced repetition count for CI gating (check.sh).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "proto/registry.hpp"
+#include "sched/explorer.hpp"
+#include "sched/frontier_explorer.hpp"
+#include "sched/parallel_explorer.hpp"
+#include "sched/sim_world.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ff;
+
+constexpr std::uint32_t kThreads = 8;  // capped to hardware concurrency
+
+std::vector<std::uint64_t> distinct_inputs(std::uint32_t n) {
+  std::vector<std::uint64_t> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+/// The reference instance: staged f=1 t=2 under overriding faults with
+/// three DISTINCT inputs — big enough to spread over shards (~360k
+/// canonical states), distinct inputs so validity tracking stays hot.
+struct Instance {
+  std::unique_ptr<sched::MachineFactory> factory;
+  sched::SimConfig config;
+  std::vector<std::uint64_t> inputs;
+};
+
+Instance reference_instance() {
+  Instance inst;
+  inst.factory =
+      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
+  inst.config.num_objects = inst.factory->objects_used();
+  inst.config.num_registers = inst.factory->registers_used();
+  inst.config.kind = model::FaultKind::kOverriding;
+  inst.config.t = 2;
+  inst.inputs = distinct_inputs(3);
+  return inst;
+}
+
+sched::ExploreOptions full_space() {
+  sched::ExploreOptions options;
+  options.stop_at_first_violation = false;
+  return options;
+}
+
+bool census_equal(const sched::ExploreResult& a,
+                  const sched::ExploreResult& b) {
+  return a.states_visited == b.states_visited &&
+         a.terminal_states == b.terminal_states &&
+         a.violations_by_kind == b.violations_by_kind &&
+         a.agreed_values == b.agreed_values;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// --- google-benchmark suite ------------------------------------------------
+
+void BM_ParallelExploreStaged(benchmark::State& state) {
+  const Instance inst = reference_instance();
+  const sched::SimWorld world(inst.config, *inst.factory, inst.inputs);
+  sched::ParallelExploreOptions options;
+  options.explore = full_space();
+  options.num_threads = kThreads;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto result = sched::parallel_explore(world, options);
+    states = result.states_visited;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelExploreStaged)->Unit(benchmark::kMillisecond);
+
+void BM_FrontierExploreStaged(benchmark::State& state) {
+  const Instance inst = reference_instance();
+  sched::FrontierExploreOptions options;
+  options.explore = full_space();
+  options.num_threads = kThreads;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto result = sched::frontier_explore(inst.config, *inst.factory,
+                                                inst.inputs, options);
+    states = result.explore.states_visited;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FrontierExploreStaged)->Unit(benchmark::kMillisecond);
+
+void BM_FrontierForcedSpill(benchmark::State& state) {
+  // Same instance with a one-byte watermark: every wave spills, so this
+  // measures the sort + run-write + merge-join overhead end to end.
+  const Instance inst = reference_instance();
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ffb6_bm_spill";
+  sched::FrontierExploreOptions options;
+  options.explore = full_space();
+  options.num_threads = kThreads;
+  options.spill_dir = dir.string();
+  options.mem_limit_bytes = 1;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto result = sched::frontier_explore(inst.config, *inst.factory,
+                                                inst.inputs, options);
+    states = result.explore.states_visited;
+    benchmark::DoNotOptimize(result);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_FrontierForcedSpill)->Unit(benchmark::kMillisecond);
+
+// --- JSON report mode ------------------------------------------------------
+
+/// Paired throughput rounds: parallel then frontier back-to-back, the
+/// per-round states/sec ratio recorded, speedup = median of the ratios.
+void emit_throughput(util::JsonWriter& w, const Instance& inst,
+                     std::uint64_t reps) {
+  const sched::SimWorld world(inst.config, *inst.factory, inst.inputs);
+  sched::ParallelExploreOptions popts;
+  popts.explore = full_space();
+  popts.num_threads = kThreads;
+  sched::FrontierExploreOptions fopts;
+  fopts.explore = full_space();
+  fopts.num_threads = kThreads;
+
+  std::vector<double> ratios;
+  double parallel_secs = 0.0;
+  double frontier_secs = 0.0;
+  std::uint64_t states = 0;
+  std::uint64_t parallel_peak = 0;
+  std::uint64_t frontier_peak = 0;
+  std::uint64_t waves = 0;
+  bool census_ok = true;
+  bool complete = true;
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    const auto pr = sched::parallel_explore(world, popts);
+    const double psecs = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const auto fr =
+        sched::frontier_explore(inst.config, *inst.factory, inst.inputs,
+                                fopts);
+    const double fsecs = seconds_since(start);
+
+    census_ok = census_ok && census_equal(fr.explore, pr);
+    complete = complete && pr.complete && fr.explore.complete;
+    if (psecs > 0.0 && fsecs > 0.0 && pr.states_visited > 0) {
+      ratios.push_back(
+          (static_cast<double>(fr.explore.states_visited) / fsecs) /
+          (static_cast<double>(pr.states_visited) / psecs));
+    }
+    parallel_secs += psecs;
+    frontier_secs += fsecs;
+    states = fr.explore.states_visited;
+    parallel_peak = pr.peak_bytes;
+    frontier_peak = fr.explore.peak_bytes;
+    waves = fr.stats.waves;
+  }
+
+  w.key("throughput").begin_object();
+  w.kv("protocol", "staged f=1 t=2 n=3 distinct");
+  w.kv("threads", std::uint64_t{kThreads});
+  w.kv("reps", reps);
+  w.kv("states", states);
+  w.kv("waves", waves);
+  w.kv("parallel_mean_seconds",
+       reps > 0 ? parallel_secs / static_cast<double>(reps) : 0.0);
+  w.kv("frontier_mean_seconds",
+       reps > 0 ? frontier_secs / static_cast<double>(reps) : 0.0);
+  w.kv("parallel_peak_bytes", parallel_peak);
+  w.kv("frontier_peak_bytes", frontier_peak);
+  w.kv("census_match", census_ok);
+  w.kv("complete", complete);
+  w.kv("speedup", median(std::move(ratios)));
+  w.end_object();
+}
+
+/// Forced-spill parity: mem_limit_bytes = 1 spills every wave; the
+/// census must be bit-equal to the in-memory frontier run AND runs must
+/// actually have been written (else the spill path went untested).
+void emit_spill_parity(util::JsonWriter& w, const Instance& inst) {
+  sched::FrontierExploreOptions fopts;
+  fopts.explore = full_space();
+  fopts.num_threads = kThreads;
+  const auto in_memory =
+      sched::frontier_explore(inst.config, *inst.factory, inst.inputs, fopts);
+
+  const auto dir = std::filesystem::temp_directory_path() / "ffb6_spill";
+  fopts.spill_dir = dir.string();
+  fopts.mem_limit_bytes = 1;
+  const auto start = std::chrono::steady_clock::now();
+  const auto spilled =
+      sched::frontier_explore(inst.config, *inst.factory, inst.inputs, fopts);
+  const double secs = seconds_since(start);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  w.key("spill").begin_object();
+  w.kv("seconds", secs);
+  w.kv("spill_runs", spilled.stats.spill_runs);
+  w.kv("spilled_records", spilled.stats.spilled_records);
+  w.kv("spill_bytes", spilled.stats.spill_bytes);
+  w.kv("peak_bytes", spilled.explore.peak_bytes);
+  w.kv("spill_parity",
+       census_equal(spilled.explore, in_memory.explore) &&
+           spilled.stats.spill_runs > 0);
+  w.end_object();
+}
+
+int write_report(const std::string& path, bool smoke) {
+  const std::uint64_t reps = smoke ? 3 : 7;
+  const Instance inst = reference_instance();
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "B6");
+  w.kv("smoke", smoke);
+  emit_throughput(w, inst, reps);
+  emit_spill_parity(w, inst);
+  w.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << w.str() << "\n";
+  std::cout << "B6 report -> " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return write_report(json_path, smoke);
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

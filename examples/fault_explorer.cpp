@@ -16,10 +16,12 @@
 #include <iostream>
 #include <memory>
 #include <numeric>
+#include <optional>
 
 #include "proto/analysis/analysis.hpp"
 #include "proto/registry.hpp"
 #include "sched/explorer.hpp"
+#include "sched/frontier_explorer.hpp"
 #include "sched/fuzzer.hpp"
 #include "sched/parallel_explorer.hpp"
 #include "util/cli.hpp"
@@ -67,8 +69,17 @@ void print_usage() {
       "  --n         processes                                 (default 2)\n"
       "  --objects   object count for fp1                      (default f+1)\n"
       "  --state-cap explorer state limit                      (default 4e6)\n"
-      "  --threads   parallel-explorer worker threads;\n"
-      "              0 = sequential DFS explorer                (default 0)\n"
+      "  --engine    dfs | parallel | frontier — search engine (default dfs;\n"
+      "              --threads > 0 without --engine implies parallel).\n"
+      "              frontier = batched owner-computes BFS wavefront engine\n"
+      "              (DESIGN.md §3i; sleep sets do not apply to BFS)\n"
+      "  --threads   worker threads for parallel/frontier;\n"
+      "              0 = one per hardware thread                (default 0)\n"
+      "  --spill-dir frontier only: directory for sorted census spill runs\n"
+      "              (witnesses are reconstructed back through the runs)\n"
+      "  --mem-limit-mb  frontier only: in-memory watermark in MiB over the\n"
+      "              spillable census; exceeded ⇒ spill to --spill-dir\n"
+      "              (0 = never spill)                          (default 0)\n"
       "  --no-symmetry    disable process-symmetry reduction (explore one\n"
       "              state per permutation orbit — DESIGN.md §3d);\n"
       "              also disables the fuzzer's canonical novelty signal\n"
@@ -290,6 +301,15 @@ int main(int argc, char** argv) {
 
   const auto threads =
       static_cast<std::uint32_t>(cli.get_uint("threads", 0));
+  // --threads > 0 without an explicit --engine keeps its historical
+  // meaning: the work-stealing parallel DFS.
+  const std::string engine =
+      cli.get_string("engine", threads > 0 ? "parallel" : "dfs");
+  if (engine != "dfs" && engine != "parallel" && engine != "frontier") {
+    std::cerr << "unknown engine: " << engine
+              << " (expected dfs | parallel | frontier)\n";
+    return 2;
+  }
 
   std::cout << "exploring: protocol=" << factory->name()
             << " objects=" << config.num_objects << " kind="
@@ -297,16 +317,31 @@ int main(int argc, char** argv) {
             << (t == model::kUnbounded ? std::string("inf")
                                        : std::to_string(t))
             << " n=" << n << " explorer="
-            << (threads > 0
-                    ? "parallel(" + std::to_string(threads) + " threads)"
-                    : std::string("sequential"))
+            << (engine == "dfs"
+                    ? std::string("sequential")
+                    : engine + "(" +
+                          (threads > 0 ? std::to_string(threads) + " threads"
+                                       : std::string("hw threads")) +
+                          ")")
             << "\n\n";
   sched::ExploreResult result;
-  if (threads > 0) {
+  std::optional<sched::FrontierStats> frontier_stats;
+  if (engine == "parallel") {
     sched::ParallelExploreOptions parallel_options;
     parallel_options.explore = options;
     parallel_options.num_threads = threads;
     result = sched::parallel_explore(world, parallel_options);
+  } else if (engine == "frontier") {
+    sched::FrontierExploreOptions frontier_options;
+    frontier_options.explore = options;
+    frontier_options.num_threads = threads;
+    frontier_options.spill_dir = cli.get_string("spill-dir", "");
+    frontier_options.mem_limit_bytes =
+        cli.get_uint("mem-limit-mb", 0) * (std::uint64_t{1} << 20);
+    auto fr = sched::frontier_explore(config, *factory, inputs,
+                                      frontier_options);
+    result = std::move(fr.explore);
+    frontier_stats = fr.stats;
   } else {
     result = sched::explore(world, options);
   }
@@ -314,10 +349,23 @@ int main(int argc, char** argv) {
   std::cout << "states visited : " << result.states_visited << '\n'
             << "terminal states: " << result.terminal_states << '\n'
             << "max depth      : " << result.max_depth << '\n'
+            << "peak memory    : " << (result.peak_bytes >> 10) << " KiB\n"
             << "coverage       : "
             << (result.complete ? "COMPLETE (exhaustive proof)"
                                 : "partial (cap hit or stopped early)")
             << '\n';
+  if (frontier_stats) {
+    std::cout << "frontier       : waves=" << frontier_stats->waves
+              << " forwarded=" << frontier_stats->forwarded
+              << " batch_sweeps=" << frontier_stats->batch_sweeps
+              << " memo_hits=" << frontier_stats->memo_hits
+              << " lanes=" << frontier_stats->arena_lanes << '\n';
+    if (frontier_stats->spill_runs > 0) {
+      std::cout << "spill          : runs=" << frontier_stats->spill_runs
+                << " records=" << frontier_stats->spilled_records
+                << " bytes=" << frontier_stats->spill_bytes << '\n';
+    }
+  }
   if (result.immunity_skips > 0) {
     std::cout << "A2 pruning     : " << result.immunity_skips
               << " overriding branches skipped via proved-immune objects ("

@@ -23,7 +23,10 @@ B3 gates (smoke and full mode alike):
     ffcheck's proved-immune objects leaves the census bit-identical for
     every simulable registry protocol;
   * immune_prune_factor >= 1.0 — the A2 pruning never adds work
-    ((checks+skips)/checks; > 1 whenever an immunity proof fired).
+    ((checks+skips)/checks; > 1 whenever an immunity proof fired);
+  * pool_batch.speedup >= 2.0 — one batch_deliver sweep over a
+    StatePool block beats per-lane interpreter delivery at least 2x
+    (median of paired per-round rate ratios).
 
 B5 gates:
   * crash_free_census_match is true for every crash_growth_* section —
@@ -36,6 +39,19 @@ B5 gates:
   * recoverable_latency.all_ok is true and total_crashes > 0 — every
     thread trial reached consensus AND real crash/restart cycles ran.
 
+B6 gates:
+  * throughput.speedup >= 2.0 — the batched owner-computes frontier
+    explorer beats the work-stealing parallel DFS by at least 2x in
+    states/sec on the staged f=1 t=2 distinct-inputs instance (median
+    of paired per-round ratios, both engines at the same thread count);
+  * throughput.census_match is true — the frontier census stayed
+    bit-equal to the parallel engine's on every round;
+  * throughput.complete is true — both engines covered the whole
+    reachable space within limits on every round;
+  * spill.spill_parity is true — the forced-spill run (one-byte
+    watermark, every wave spilled) reproduced the in-memory census
+    exactly AND actually wrote runs.
+
 Exit status: 0 when all gates hold, 1 when any fails, 2 when a report
 is unreadable or missing a gated field.
 """
@@ -46,6 +62,8 @@ MIN_REDUCTION_FACTOR = 5.0
 MAX_IR_OVERHEAD = 0.02
 MAX_CRASH_GROWTH_B1 = 64.0
 MIN_IMMUNE_PRUNE_FACTOR = 1.0
+MIN_POOL_BATCH_SPEEDUP = 2.0
+MIN_FRONTIER_SPEEDUP = 2.0
 
 
 def gate_b3(report):
@@ -59,6 +77,7 @@ def gate_b3(report):
     interp_overhead = float(report.get("interpreter_overhead", 0.0))
     immune_census_ok = bool(report["immune_census_match"])
     immune_factor = float(report["immune_prune_factor"])
+    pool_speedup = float(report["pool_batch"]["speedup"])
 
     mode = "smoke" if report.get("smoke") else "full"
     print(f"bench gate B3 ({mode}): reduction {unreduced} -> {reduced} "
@@ -66,7 +85,8 @@ def gate_b3(report):
           f"generated overhead: {ir_overhead:.3f} (interpreter: "
           f"{interp_overhead:.3f}), ir census match: {ir_census_ok}, "
           f"codegen census match: {codegen_census_ok}, immune prune "
-          f"{immune_factor:.2f}x (census match: {immune_census_ok})")
+          f"{immune_factor:.2f}x (census match: {immune_census_ok}), "
+          f"pool batch {pool_speedup:.2f}x")
 
     failed = False
     if not census_ok:
@@ -96,6 +116,10 @@ def gate_b3(report):
     if immune_factor < MIN_IMMUNE_PRUNE_FACTOR:
         print(f"bench_gate: FAIL — immune prune factor {immune_factor:.2f} "
               f"< {MIN_IMMUNE_PRUNE_FACTOR}", file=sys.stderr)
+        failed = True
+    if pool_speedup < MIN_POOL_BATCH_SPEEDUP:
+        print(f"bench_gate: FAIL — pool batch speedup {pool_speedup:.2f} < "
+              f"{MIN_POOL_BATCH_SPEEDUP}", file=sys.stderr)
         failed = True
     return failed
 
@@ -151,6 +175,47 @@ def gate_b5(report):
     return failed
 
 
+def gate_b6(report):
+    failed = False
+    mode = "smoke" if report.get("smoke") else "full"
+    throughput = report["throughput"]
+    speedup = float(throughput["speedup"])
+    census_ok = bool(throughput["census_match"])
+    complete = bool(throughput["complete"])
+    spill = report["spill"]
+    spill_parity = bool(spill["spill_parity"])
+
+    print(f"bench gate B6 ({mode}): {throughput['protocol']} — "
+          f"{int(throughput['states'])} states in "
+          f"{int(throughput['waves'])} waves, frontier "
+          f"{float(throughput['frontier_mean_seconds']):.3f} s vs parallel "
+          f"{float(throughput['parallel_mean_seconds']):.3f} s "
+          f"({speedup:.2f}x median over {int(throughput['reps'])} paired "
+          f"rounds), census match: {census_ok}, complete: {complete}, "
+          f"spill parity: {spill_parity} "
+          f"({int(spill['spill_runs'])} runs, "
+          f"{int(spill['spill_bytes'])} bytes)")
+
+    if speedup < MIN_FRONTIER_SPEEDUP:
+        print(f"bench_gate: FAIL — frontier speedup {speedup:.2f} < "
+              f"{MIN_FRONTIER_SPEEDUP} over parallel_explore",
+              file=sys.stderr)
+        failed = True
+    if not census_ok:
+        print("bench_gate: FAIL — frontier census diverged from the "
+              "parallel engine", file=sys.stderr)
+        failed = True
+    if not complete:
+        print("bench_gate: FAIL — a throughput round truncated its "
+              "exploration", file=sys.stderr)
+        failed = True
+    if not spill_parity:
+        print("bench_gate: FAIL — forced-spill census diverged from the "
+              "in-memory census (or no run was written)", file=sys.stderr)
+        failed = True
+    return failed
+
+
 def main(argv):
     if len(argv) < 2:
         print("usage: bench_gate.py <BENCH.json> [<BENCH.json> ...]",
@@ -170,6 +235,8 @@ def main(argv):
                 failed |= gate_b3(report)
             elif bench == "B5":
                 failed |= gate_b5(report)
+            elif bench == "B6":
+                failed |= gate_b6(report)
             else:
                 print(f"bench_gate: {path} has unknown bench id {bench!r}",
                       file=sys.stderr)

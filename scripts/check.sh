@@ -25,13 +25,19 @@
 #      any violated obligation fails the stage;
 #   8. clang-tidy (advisory) when clang-tidy is on PATH, against the
 #      compile database stage 1 exported; skipped with a notice if not;
-#   9. bench smoke: bench_b3_explorer/bench_b4_fuzzer/bench_b5_crash
-#      --json --smoke, then scripts/bench_gate.py asserts the B3
-#      state-space reduction is >= 5x with a matching differential
-#      census, the generated-machine overhead is <= 2% with every
-#      registry protocol's generated census matching the interpreter,
-#      the A2 immunity pruning leaves the census bit-identical with a
-#      prune factor >= 1, and the B5 crash growth/latency bounds hold.
+#   9. frontier differential (label `frontier`: the BFS engine's census
+#      vs the sequential explorer across the registry grid, forced-spill
+#      parity included), then bench smoke: bench_b3_explorer/
+#      bench_b4_fuzzer/bench_b5_crash/bench_b6_frontier --json --smoke,
+#      then scripts/bench_gate.py asserts the B3 state-space reduction
+#      is >= 5x with a matching differential census, the
+#      generated-machine overhead is <= 2% with every registry
+#      protocol's generated census matching the interpreter, the A2
+#      immunity pruning leaves the census bit-identical with a prune
+#      factor >= 1, the pool batch sweep is >= 2x scalar delivery, the
+#      B5 crash growth/latency bounds hold, and the B6 frontier engine
+#      is >= 2x parallel_explore in states/sec with a bit-equal census
+#      in memory and under forced spilling.
 # Usage: scripts/check.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -101,11 +107,14 @@ else
   echo "notice: clang-tidy not on PATH — stage skipped (advisory only)"
 fi
 
-echo "== [9/9] bench smoke · scripts/bench_gate.py =="
+echo "== [9/9] frontier differential + bench smoke · scripts/bench_gate.py =="
+ctest --test-dir build -L frontier --output-on-failure -j "$JOBS"
 ./build/bench/bench_b3_explorer --json build/BENCH_B3.smoke.json --smoke
 ./build/bench/bench_b4_fuzzer --json build/BENCH_B4.smoke.json --smoke
 ./build/bench/bench_b5_crash --json build/BENCH_B5.smoke.json --smoke
+./build/bench/bench_b6_frontier --json build/BENCH_B6.smoke.json --smoke
 python3 scripts/bench_gate.py build/BENCH_B3.smoke.json \
-                              build/BENCH_B5.smoke.json
+                              build/BENCH_B5.smoke.json \
+                              build/BENCH_B6.smoke.json
 
 echo "OK: all nine stages passed"

@@ -132,6 +132,54 @@ class StatePool {
     return program_;
   }
 
+  // -------------------------------------------------------------------
+  // Batched-frontier staging seams (generated path only).  The frontier
+  // explorer's lane arena stores machine states as rows; per wave it
+  // gathers the memo-miss lanes into ONE StatePool, runs a single
+  // batch_deliver sweep, and scatters the results back
+  // (sched/frontier_explorer.cpp).  The seams expose exactly the column
+  // state the generated load()/store() pair touches: the full local
+  // image, the pid, and the pause pc.
+  // -------------------------------------------------------------------
+
+  /// Drops every lane but keeps the column storage, so one staging pool
+  /// is reused across waves without re-touching its pages.
+  void clear() noexcept { size_ = 0; }
+
+  /// Appends a PAUSED lane reconstructed from a full local image (one
+  /// word per Program local) and its pause pc — the gather half of the
+  /// frontier's batch sweep.  Generated pools only: the scalar fallback
+  /// cannot be rebuilt from words and the frontier steps it per machine.
+  std::size_t add_staged(objects::ProcessId pid, const std::uint64_t* locals,
+                         std::uint32_t pc) {
+    assert(entry_ != nullptr && size_ < capacity_);
+    const std::size_t lane = size_++;
+    const std::size_t num_locals = program_->locals().size();
+    for (std::size_t l = 0; l < num_locals; ++l) {
+      locals_[l * capacity_ + lane] = locals[l];
+    }
+    pid_[lane] = pid;
+    pc_[lane] = pc;
+    status_[lane] = gen::kLanePaused;
+    return lane;
+  }
+
+  /// Copies the full local image (locals().size() words) of `lane` — the
+  /// scatter half.  Generated pools only.
+  void copy_locals(std::size_t lane, std::uint64_t* out) const {
+    assert(entry_ != nullptr && lane < size_);
+    const std::size_t num_locals = program_->locals().size();
+    for (std::size_t l = 0; l < num_locals; ++l) {
+      out[l] = locals_[l * capacity_ + lane];
+    }
+  }
+
+  /// Pause pc of `lane` (meaningful while paused).  Generated pools only.
+  [[nodiscard]] std::uint32_t pc(std::size_t lane) const {
+    assert(entry_ != nullptr && lane < size_);
+    return pc_[lane];
+  }
+
  private:
   [[nodiscard]] gen::LaneView view() {
     gen::LaneView v;

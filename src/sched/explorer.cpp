@@ -194,6 +194,7 @@ ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
     result.table_grows = table.grows();
     result.immunity_checks = initial.immunity_checks() - checks0;
     result.immunity_skips = initial.immunity_skips() - skips0;
+    result.peak_bytes = table.capacity() * 24;
     return result;
   }
 
@@ -380,6 +381,16 @@ ExploreResult explore(const SimWorld& initial, const ExploreOptions& options) {
   result.table_grows = table.grows();
   result.immunity_checks = cur.immunity_checks() - checks0;
   result.immunity_skips = cur.immunity_skips() - skips0;
+  // End-of-run capacity census of the monotone search structures (the
+  // table and the per-state/per-frame arenas are never shrunk, so final
+  // capacity is peak capacity).
+  result.peak_bytes =
+      table.capacity() * 24 + path_frame.capacity() * sizeof(std::uint32_t) +
+      sleep_span.capacity() * sizeof(sleep_span[0]) +
+      sleep_store.capacity() * 8 + stack.capacity() * sizeof(Frame) +
+      choice_arena.capacity() * sizeof(Choice) +
+      foot_arena.capacity() * sizeof(Footprint) +
+      path.capacity() * sizeof(Choice);
   return result;
 }
 

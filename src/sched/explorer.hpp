@@ -114,6 +114,12 @@ struct ExploreResult {
   /// reduction ffcheck's A2 bought (bench_b3's `immune_prune_factor`).
   std::uint64_t immunity_checks = 0;
   std::uint64_t immunity_skips = 0;
+  /// Peak bytes the engine's search structures held: fingerprint table,
+  /// frontier/stack containers, record and edge arenas, and (frontier
+  /// engine) spill I/O buffers.  An end-of-run capacity census of the
+  /// monotone structures, not an allocator trace — the comparable signal
+  /// spill-watermark tuning needs, cheap enough to always collect.
+  std::uint64_t peak_bytes = 0;
 
   [[nodiscard]] std::uint64_t violations_of(ViolationKind kind) const {
     const auto it = violations_by_kind.find(kind);

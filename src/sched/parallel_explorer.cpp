@@ -780,6 +780,22 @@ ExploreResult parallel_explore(const SimWorld& initial,
       !(opts.stop_at_first_violation && result.violations_found > 0);
   result.immunity_checks = initial.immunity_checks() - checks0;
   result.immunity_skips = initial.immunity_skips() - skips0;
+  // End-of-run capacity census of the monotone search structures.  The
+  // unordered_map node cost is estimated (key + value + next pointer,
+  // rounded to the allocator's 32-byte bin) — comparable across runs,
+  // which is all spill-watermark tuning needs.
+  for (const Shard& shard : ctx.shards) {
+    result.peak_bytes += shard.table.size() * 32 +
+                         shard.table.bucket_count() * sizeof(void*) +
+                         shard.records.capacity() * sizeof(StateRecord);
+    for (const auto& [id, keys] : shard.sleep) {
+      result.peak_bytes += 48 + keys.capacity() * 8;
+      (void)id;
+    }
+  }
+  for (const WorkerLocal& l : locals) {
+    result.peak_bytes += l.edges.capacity() * sizeof(Edge);
+  }
   return result;
 }
 

@@ -106,18 +106,46 @@ void canonical_slots(const EncodedState& e,
   }
 }
 
+detail::Fingerprint hash_block(const std::uint64_t* begin,
+                               const std::uint64_t* end) {
+  detail::FpFold f;
+  for (const std::uint64_t* w = begin; w != end; ++w) f.fold(*w);
+  return f.done();
+}
+
+detail::Fingerprint fingerprint_shared_sum(const std::uint64_t* shared,
+                                           std::uint32_t shared_len,
+                                           std::uint64_t sum_a,
+                                           std::uint64_t sum_b) {
+  detail::FpFold f;
+  for (std::uint32_t i = 0; i < shared_len; ++i) f.fold(shared[i]);
+  f.fold(sum_a);
+  f.fold(sum_b);
+  return f.done();
+}
+
 detail::Fingerprint fingerprint_state(const EncodedState& e, bool canonical) {
   if (!canonical) return detail::fingerprint(e.words);
-  detail::FpFold f;
-  for (std::uint32_t i = 0; i < e.shared_len; ++i) f.fold(e.words[i]);
-  std::vector<std::uint32_t> order;
-  canonical_order(e, order);
-  for (const std::uint32_t p : order) {
-    for (std::uint32_t i = e.block_off[p]; i < e.block_off[p + 1]; ++i) {
-      f.fold(e.words[i]);
-    }
+  // Canonical fingerprint = shared prefix + an order-insensitive
+  // multiset combine of per-block hashes: summing the 128-bit block
+  // hashes mod 2^64 per half is permutation-invariant by construction,
+  // so no block sort is needed, and the value is maintainable
+  // incrementally when a transition rewrites one process block.  Equal
+  // sums for distinct block multisets are a hash collision of the same
+  // grade every fingerprint table here already accepts.  Block lengths
+  // are folded into each block hash (FpFold::done mixes len), so block
+  // boundaries cannot alias across variable-length encodings.
+  std::uint64_t sum_a = 0;
+  std::uint64_t sum_b = 0;
+  const std::uint32_t n = e.processes();
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const detail::Fingerprint h =
+        hash_block(e.words.data() + e.block_off[p],
+                   e.words.data() + e.block_off[p + 1]);
+    sum_a += h.a;
+    sum_b += h.b;
   }
-  return f.done();
+  return fingerprint_shared_sum(e.words.data(), e.shared_len, sum_a, sum_b);
 }
 
 std::vector<std::uint64_t> canonical_words(const EncodedState& e) {

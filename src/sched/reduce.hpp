@@ -88,10 +88,25 @@ void canonical_order(const EncodedState& e, std::vector<std::uint32_t>& order);
 /// the canonical order.
 void canonical_slots(const EncodedState& e, std::vector<std::uint32_t>& slot_of);
 
+/// FpFold hash of one contiguous block of words (the per-process block
+/// hash feeding the canonical fingerprint's multiset combine).
+[[nodiscard]] detail::Fingerprint hash_block(const std::uint64_t* begin,
+                                             const std::uint64_t* end);
+
+/// Canonical fingerprint from precombined parts: folds the shared
+/// prefix, then the order-insensitive block-hash sums.  An engine that
+/// maintains (sum_a, sum_b) incrementally — one process block changes
+/// per transition, so subtract the old block's hash_block and add the
+/// new one — gets the exact value fingerprint_state(e, true) computes
+/// from scratch, without materializing the child encoding.
+[[nodiscard]] detail::Fingerprint fingerprint_shared_sum(
+    const std::uint64_t* shared, std::uint32_t shared_len,
+    std::uint64_t sum_a, std::uint64_t sum_b);
+
 /// Fingerprint of the state.  `canonical` folds the shared prefix and
-/// then the blocks in canonical order, so two states equal up to a
-/// process permutation collide on purpose; otherwise this equals
-/// detail::fingerprint(e.words).
+/// an order-insensitive combine of the per-process block hashes, so two
+/// states equal up to a process permutation collide on purpose;
+/// otherwise this equals detail::fingerprint(e.words).
 [[nodiscard]] detail::Fingerprint fingerprint_state(const EncodedState& e,
                                                     bool canonical);
 

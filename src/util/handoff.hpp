@@ -1,0 +1,122 @@
+// Bounded single-producer/single-consumer handoff ring for fixed-size
+// word records, and the MPSC mesh the owner-computes frontier explorer
+// builds out of them.
+//
+// The frontier engine hash-partitions the fingerprint space into shards,
+// each owned by exactly one worker; a successor that lands in another
+// worker's shard is FORWARDED to its owner instead of being inserted
+// under a lock (sched/frontier_explorer.hpp, DESIGN.md §3i).  Per
+// (producer, consumer) pair there is exactly one SpscWordRing, so every
+// ring has a single writer and a single reader and the whole mesh needs
+// no mutex: a release store of the head publishes the record words to
+// the consumer's acquire load, the same discipline as util::SpinBarrier.
+//
+// Records are fixed-size word blocks (the frontier's candidate-state
+// stride); capacity is rounded up to a power of two so the index math is
+// a mask, and one slot is sacrificed to distinguish full from empty.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace ff::util {
+
+class SpscWordRing {
+ public:
+  /// `record_words` words per record, space for at least `min_records`.
+  SpscWordRing(std::size_t record_words, std::size_t min_records)
+      : words_(record_words == 0 ? 1 : record_words) {
+    std::size_t cap = 2;
+    while (cap < min_records + 1) cap <<= 1;
+    mask_ = cap - 1;
+    buf_ = std::make_unique<std::uint64_t[]>(cap * words_);
+  }
+
+  SpscWordRing(const SpscWordRing&) = delete;
+  SpscWordRing& operator=(const SpscWordRing&) = delete;
+
+  /// Producer side.  Copies one record in; false when the ring is full
+  /// (the caller drains its own inbox and retries — never blocks, so two
+  /// workers forwarding into each other's full rings cannot deadlock).
+  [[nodiscard]] bool try_push(const std::uint64_t* record) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (((head + 1) & mask_) == (tail & mask_)) return false;
+    std::memcpy(buf_.get() + (head & mask_) * words_, record,
+                words_ * sizeof(std::uint64_t));
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Copies one record out; false when empty.
+  [[nodiscard]] bool try_pop(std::uint64_t* record) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if ((tail & mask_) == (head & mask_)) return false;
+    std::memcpy(record, buf_.get() + (tail & mask_) * words_,
+                words_ * sizeof(std::uint64_t));
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (exact for the consumer; a producer
+  /// may be about to publish, which the wave termination protocol covers
+  /// by re-checking after the producers quiesce).
+  [[nodiscard]] bool empty() const {
+    return (tail_.load(std::memory_order_relaxed) & mask_) ==
+           (head_.load(std::memory_order_acquire) & mask_);
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return (mask_ + 1) * words_ * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::size_t words_;
+  std::size_t mask_ = 0;
+  std::unique_ptr<std::uint64_t[]> buf_;
+  // ff-lint: allow(R1): handoff-queue indices of the checker's own worker
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  // ff-lint: allow(R1): mesh, never part of any checked protocol history
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+};
+
+/// The full workers×workers mesh: ring(p, c) carries records from
+/// producer p to consumer c.  MPSC per consumer, built from SPSC parts.
+class HandoffMesh {
+ public:
+  HandoffMesh(std::size_t workers, std::size_t record_words,
+              std::size_t min_records)
+      : workers_(workers) {
+    rings_.reserve(workers_ * workers_);
+    for (std::size_t i = 0; i < workers_ * workers_; ++i) {
+      rings_.push_back(
+          std::make_unique<SpscWordRing>(record_words, min_records));
+    }
+  }
+
+  [[nodiscard]] SpscWordRing& ring(std::size_t producer,
+                                   std::size_t consumer) {
+    return *rings_[producer * workers_ + consumer];
+  }
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& r : rings_) total += r->capacity_bytes();
+    return total;
+  }
+
+ private:
+  std::size_t workers_;
+  std::vector<std::unique_ptr<SpscWordRing>> rings_;
+};
+
+}  // namespace ff::util

@@ -1,0 +1,32 @@
+// Fixture: R4 positive — frontier-engine loop shapes with the budget
+// poll dropped: a worker's expand loop and its handoff-ring drain loop
+// in infinite form.  An adversarial schedule (or a peer that never
+// quiesces) spins them forever instead of reporting truncation.
+#include <cstdint>
+
+namespace ff::sched {
+
+struct FakeRing {
+  std::uint64_t next = 0;
+  bool try_pop(std::uint64_t& out) {
+    out = next;
+    return (next++ & 7) != 0;
+  }
+};
+
+std::uint64_t worker_loop(FakeRing& ring) {
+  std::uint64_t sum = 0;
+  while (true) {             // line 19: R4 (expand loop, no budget)
+    std::uint64_t item = 0;
+    if (!ring.try_pop(item)) break;
+    sum += item;
+  }
+  for (;;) {                 // line 24: R4 (drain loop, no budget)
+    std::uint64_t item = 0;
+    if (!ring.try_pop(item)) break;
+    sum ^= item;
+  }
+  return sum;
+}
+
+}  // namespace ff::sched

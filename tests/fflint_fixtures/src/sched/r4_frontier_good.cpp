@@ -1,0 +1,44 @@
+// Fixture: R4 negative — the frontier engine's sanctioned loop shapes:
+// the worker expand loop charges a BudgetMeter per item and the
+// handoff-ring drain loop polls expiry, so exhaustion turns into honest
+// truncation instead of an unbounded spin.
+#include <cstdint>
+
+namespace ff::sched {
+
+struct FakeMeter {
+  std::uint64_t left = 64;
+  bool expired() { return left == 0; }
+  bool charge() {
+    if (left == 0) return false;
+    --left;
+    return true;
+  }
+};
+
+struct FakeRing {
+  std::uint64_t next = 0;
+  bool try_pop(std::uint64_t& out) {
+    out = next;
+    return (next++ & 7) != 0;
+  }
+};
+
+std::uint64_t worker_loop(FakeRing& ring, FakeMeter& meter) {
+  std::uint64_t sum = 0;
+  while (true) {
+    if (!meter.charge()) break;
+    std::uint64_t item = 0;
+    if (!ring.try_pop(item)) break;
+    sum += item;
+  }
+  for (;;) {
+    if (meter.expired()) break;
+    std::uint64_t item = 0;
+    if (!ring.try_pop(item)) break;
+    sum ^= item;
+  }
+  return sum;
+}
+
+}  // namespace ff::sched

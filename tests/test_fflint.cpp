@@ -172,6 +172,20 @@ TEST(FflintR4, NestedBudgetMeterConsultationPasses) {
   EXPECT_EQ(fixture_file("src/sched/reduce/r4_nested_good.cpp"), nullptr);
 }
 
+TEST(FflintR4, FlagsUnbudgetedFrontierWorkerAndDrainLoops) {
+  // The frontier engine's loop shapes: an expand loop and a
+  // handoff-ring drain loop in infinite form with no budget poll — a
+  // peer that never quiesces would spin them forever.
+  const FileReport* f = fixture_file("src/sched/r4_frontier_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR4);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR4), (std::vector<int>{19, 24}));
+}
+
+TEST(FflintR4, BudgetBoundedFrontierLoopsPass) {
+  EXPECT_EQ(fixture_file("src/sched/r4_frontier_good.cpp"), nullptr);
+}
+
 TEST(FflintR5, MalformedSuppressionsAreFindings) {
   const FileReport* f = fixture_file("src/sched/r5_bad.cpp");
   ASSERT_NE(f, nullptr);
@@ -315,7 +329,7 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
   const std::string json = ff::fflint::render_json(fixture_report());
   EXPECT_NE(json.find("\"tool\":\"ff-lint\""), std::string::npos);
   EXPECT_NE(json.find("\"rule\":\"R3\""), std::string::npos);
-  EXPECT_NE(json.find("\"counts\":{\"R1\":4,\"R2\":16,\"R3\":2,\"R4\":6,"
+  EXPECT_NE(json.find("\"counts\":{\"R1\":4,\"R2\":16,\"R3\":2,\"R4\":8,"
                       "\"R5\":3}"),
             std::string::npos);
   EXPECT_NE(json.find("\"justification\":\"fixture counter standing in for "
@@ -325,8 +339,8 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
 }
 
 TEST(FflintReport, FixtureTreeTotalsAreExact) {
-  EXPECT_EQ(fixture_report().unsuppressed_total(), 31u);
-  EXPECT_EQ(fixture_report().files_scanned, 23);
+  EXPECT_EQ(fixture_report().unsuppressed_total(), 33u);
+  EXPECT_EQ(fixture_report().files_scanned, 25);
 }
 
 // -------------------------------------------------------- SARIF shape
