@@ -4,6 +4,13 @@
 // This calibrates what "exhaustive" costs and explains where the
 // hierarchy prober switches from proofs to stress evidence.
 //
+// Every registry-backed run is described as a verify::JobSpec and
+// executed through verify::instantiate()/execute() — the bench never
+// builds ExploreOptions for them by hand.  Two baselines are exempt by
+// design: the retired hand-written machines (tests/legacy/) and the
+// faithful pre-PR-4 explorer replica below are not registry protocols,
+// so a JobSpec cannot name them; they stay raw worlds.
+//
 // Modes:
 //   (default)        google-benchmark suite (all BM_* below)
 //   --json <path>    write a machine-readable BENCH_B3.json report:
@@ -39,9 +46,9 @@
 #include "proto/registry.hpp"
 #include "sched/explore_common.hpp"
 #include "sched/explorer.hpp"
-#include "sched/parallel_explorer.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "verify/run.hpp"
 
 namespace {
 
@@ -53,21 +60,34 @@ std::vector<std::uint64_t> inputs(std::uint32_t n) {
   return v;
 }
 
-template <typename FactoryT>
-void run_explore(benchmark::State& state, const FactoryT& factory,
-                 std::uint32_t objects, std::uint32_t t, std::uint32_t n) {
-  sched::SimConfig config;
-  config.num_objects = objects;
-  config.kind = model::FaultKind::kOverriding;
-  config.t = t;
-  const sched::SimWorld world(config, factory, inputs(n));
+/// Full-space staged job: the common base every reference instance below
+/// specializes.  stop_at_first_violation = false is the bench-wide rule —
+/// throughput is defined over the whole reachable graph.
+verify::JobSpec staged_spec(std::uint64_t f, std::uint32_t t,
+                            std::uint32_t n) {
+  verify::JobSpec spec;
+  spec.protocol = "staged";
+  spec.params = {{"f", f}, {"t", t}};
+  spec.t = t;
+  spec.processes = n;
+  spec.stop_at_first_violation = false;
+  return spec;
+}
+
+/// Reduction-free variant (the raw-engine regime most sections measure).
+verify::JobSpec unreduced(verify::JobSpec spec) {
+  spec.symmetry_reduction = false;
+  spec.sleep_sets = false;
+  return spec;
+}
+
+void run_explore(benchmark::State& state, const verify::JobSpec& spec) {
+  const verify::Instance instance = verify::instantiate(spec);
   std::uint64_t states = 0;
   for (auto _ : state) {
-    sched::ExploreOptions options;
-    options.stop_at_first_violation = false;  // full-space traversal
-    const auto result = sched::explore(world, options);
-    states = result.states_visited;
-    benchmark::DoNotOptimize(result);
+    const verify::Report report = verify::execute(instance);
+    states = report.states_visited;
+    benchmark::DoNotOptimize(report);
   }
   state.counters["states"] = static_cast<double>(states);
   state.counters["states/s"] = benchmark::Counter(
@@ -76,34 +96,34 @@ void run_explore(benchmark::State& state, const FactoryT& factory,
 }
 
 void BM_ExploreHerlihy(benchmark::State& state) {
-  run_explore(state, *proto::machine_factory("single-cas"), 1, 1,
-              static_cast<std::uint32_t>(state.range(0)));
+  verify::JobSpec spec;
+  spec.protocol = "single-cas";
+  spec.processes = static_cast<std::uint32_t>(state.range(0));
+  spec.stop_at_first_violation = false;
+  run_explore(state, spec);
 }
 BENCHMARK(BM_ExploreHerlihy)->DenseRange(2, 5);
 
 void BM_ExploreFPlusOne(benchmark::State& state) {
-  const auto f = static_cast<std::uint32_t>(state.range(0));
-  run_explore(state,
-              *proto::machine_factory("f-plus-one",
-                                      proto::Params{{"k", f + 1}}),
-              f + 1, model::kUnbounded, 3);
+  const auto f = static_cast<std::uint64_t>(state.range(0));
+  verify::JobSpec spec;
+  spec.protocol = "f-plus-one";
+  spec.params = {{"k", f + 1}};
+  spec.t = model::kUnbounded;
+  spec.processes = 3;
+  spec.stop_at_first_violation = false;
+  run_explore(state, spec);
 }
 BENCHMARK(BM_ExploreFPlusOne)->DenseRange(1, 2);
 
 void BM_ExploreStaged(benchmark::State& state) {
-  const auto t = static_cast<std::uint32_t>(state.range(0));
-  run_explore(
-      state,
-      *proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", t}}),
-      1, t, 2);
+  run_explore(state,
+              staged_spec(1, static_cast<std::uint32_t>(state.range(0)), 2));
 }
 BENCHMARK(BM_ExploreStaged)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
 
 void BM_ExploreStagedTwoObjects(benchmark::State& state) {
-  run_explore(
-      state,
-      *proto::machine_factory("staged", proto::Params{{"f", 2}, {"t", 1}}),
-      2, 1, 2);
+  run_explore(state, staged_spec(2, 1, 2));
 }
 BENCHMARK(BM_ExploreStagedTwoObjects)->Unit(benchmark::kMillisecond);
 
@@ -116,48 +136,16 @@ BENCHMARK(BM_ExploreStagedTwoObjects)->Unit(benchmark::kMillisecond);
 // wall-clock speedup; the `states` counter confirms both traversals cover
 // the identical reachable set.
 
-sched::SimWorld million_state_world() {
-  static const auto factory =
-      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
-  sched::SimConfig config;
-  config.num_objects = 1;
-  config.kind = model::FaultKind::kOverriding;
-  config.t = 2;
-  return sched::SimWorld(config, *factory, inputs(3));
-}
-
 void BM_ExploreMillionSequential(benchmark::State& state) {
-  const sched::SimWorld world = million_state_world();
-  std::uint64_t states = 0;
-  for (auto _ : state) {
-    sched::ExploreOptions options;
-    options.stop_at_first_violation = false;
-    const auto result = sched::explore(world, options);
-    states = result.states_visited;
-    benchmark::DoNotOptimize(result);
-  }
-  state.counters["states"] = static_cast<double>(states);
-  state.counters["states/s"] = benchmark::Counter(
-      static_cast<double>(states * state.iterations()),
-      benchmark::Counter::kIsRate);
+  run_explore(state, staged_spec(1, 2, 3));
 }
 BENCHMARK(BM_ExploreMillionSequential)->Unit(benchmark::kMillisecond);
 
 void BM_ExploreMillionParallel(benchmark::State& state) {
-  const sched::SimWorld world = million_state_world();
-  std::uint64_t states = 0;
-  for (auto _ : state) {
-    sched::ParallelExploreOptions options;
-    options.explore.stop_at_first_violation = false;
-    options.num_threads = static_cast<std::uint32_t>(state.range(0));
-    const auto result = sched::parallel_explore(world, options);
-    states = result.states_visited;
-    benchmark::DoNotOptimize(result);
-  }
-  state.counters["states"] = static_cast<double>(states);
-  state.counters["states/s"] = benchmark::Counter(
-      static_cast<double>(states * state.iterations()),
-      benchmark::Counter::kIsRate);
+  verify::JobSpec spec = staged_spec(1, 2, 3);
+  spec.engine = verify::Engine::kParallel;
+  spec.threads = static_cast<std::uint32_t>(state.range(0));
+  run_explore(state, spec);
 }
 BENCHMARK(BM_ExploreMillionParallel)
     ->Arg(1)
@@ -171,36 +159,21 @@ BENCHMARK(BM_ExploreMillionParallel)
 void BM_ParallelExploreStagedSmall(benchmark::State& state) {
   // Same configuration as BM_ExploreStaged t=2 — overhead comparison on a
   // small graph, where locking cost dominates and parallelism cannot win.
-  const auto threads = static_cast<std::uint32_t>(state.range(0));
-  const auto factory =
-      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
-  sched::SimConfig config;
-  config.num_objects = 1;
-  config.kind = model::FaultKind::kOverriding;
-  config.t = 2;
-  const sched::SimWorld world(config, *factory, inputs(2));
-  for (auto _ : state) {
-    sched::ParallelExploreOptions options;
-    options.explore.stop_at_first_violation = false;
-    options.num_threads = threads;
-    const auto result = sched::parallel_explore(world, options);
-    benchmark::DoNotOptimize(result);
-  }
+  verify::JobSpec spec = staged_spec(1, 2, 2);
+  spec.engine = verify::Engine::kParallel;
+  spec.threads = static_cast<std::uint32_t>(state.range(0));
+  run_explore(state, spec);
 }
 BENCHMARK(BM_ParallelExploreStagedSmall)->Arg(1)->Arg(4);
 
 void BM_SimWorldStepApply(benchmark::State& state) {
   // Cost of one simulated step (clone-free path): drive a solo staged
   // run repeatedly.
-  const auto factory =
-      proto::machine_factory("staged", proto::Params{{"f", 2}, {"t", 2}});
-  sched::SimConfig config;
-  config.num_objects = 2;
-  config.kind = model::FaultKind::kOverriding;
-  config.t = 2;
+  verify::JobSpec spec = staged_spec(2, 2, 1);
+  const verify::Instance instance = verify::instantiate(spec);
   std::uint64_t steps = 0;
   for (auto _ : state) {
-    sched::SimWorld world(config, *factory, inputs(1));
+    sched::SimWorld world = instance.world();
     while (!world.terminal()) world.apply({0, false, 0});
     steps += world.total_steps();
   }
@@ -210,13 +183,9 @@ BENCHMARK(BM_SimWorldStepApply);
 
 void BM_SimWorldClone(benchmark::State& state) {
   // Cost of the snapshot the DFS takes per expanded state.
-  const auto factory =
-      proto::machine_factory("staged", proto::Params{{"f", 3}, {"t", 2}});
-  sched::SimConfig config;
-  config.num_objects = 3;
-  config.kind = model::FaultKind::kOverriding;
-  config.t = 2;
-  const sched::SimWorld world(config, *factory, inputs(4));
+  verify::JobSpec spec = staged_spec(3, 2, 4);
+  const verify::Instance instance = verify::instantiate(spec);
+  const sched::SimWorld world = instance.world();
   for (auto _ : state) {
     sched::SimWorld copy = world;
     benchmark::DoNotOptimize(copy);
@@ -314,80 +283,71 @@ std::uint64_t legacy_explore_count(const sched::SimWorld& initial) {
   return states;
 }
 
-std::vector<std::uint64_t> equal_inputs(std::uint32_t n) {
-  return std::vector<std::uint64_t>(n, 1);
-}
-
-/// Symmetric reference instance: staged consensus (pid-oblivious) at n
+/// Symmetric reference job: staged consensus (pid-oblivious) at n
 /// processes with EQUAL inputs, one object, overriding faults.  Equal
 /// inputs matter: with distinct inputs every process block stays
 /// distinguishable and orbits are trivial, while equal inputs let the
 /// canonical block sort collapse runs that differ only by which process
 /// took which role — the regime the reduction targets.
-sched::SimWorld symmetric_reference(std::uint32_t t, std::uint32_t n) {
-  sched::SimConfig config;
-  config.num_objects = 1;
-  config.kind = model::FaultKind::kOverriding;
-  config.t = t;
-  const auto factory =
-      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", t}});
-  return sched::SimWorld(config, *factory, equal_inputs(n));
+verify::JobSpec symmetric_reference(std::uint32_t t, std::uint32_t n) {
+  verify::JobSpec spec = staged_spec(1, t, n);
+  spec.equal_inputs = true;
+  return spec;
 }
 
-/// Hot-path reference instance: staged f=1 t=2 at n=3 DISTINCT inputs —
+/// Hot-path reference job: staged f=1 t=2 at n=3 DISTINCT inputs —
 /// ~1.37M distinct states with trivial orbits, so it isolates the raw
 /// sequential engine (flat table, incremental encoding, in-place
 /// stepping) from the reductions.  machine_factory() selects the
 /// ffgen-generated machine here (staged f=1 t=2 is in the generation
-/// grid), so this world measures the generated path.
-sched::SimWorld hotpath_reference() {
-  sched::SimConfig config;
-  config.num_objects = 1;
-  config.kind = model::FaultKind::kOverriding;
-  config.t = 2;
-  const auto factory =
-      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
-  return sched::SimWorld(config, *factory, inputs(3));
-}
-
-/// The SAME instance on the IrMachine interpreter — the differential
-/// oracle; its overhead vs the hand-written machines is reported as
-/// interpreter_overhead (informational, not gated).
-sched::SimWorld interpreted_hotpath_reference() {
-  sched::SimConfig config;
-  config.num_objects = 1;
-  config.kind = model::FaultKind::kOverriding;
-  config.t = 2;
-  const auto factory = proto::machine_factory_interpreted(
-      "staged", proto::Params{{"f", 1}, {"t", 2}});
-  return sched::SimWorld(config, *factory, inputs(3));
+/// grid), so this job measures the generated path; flipping
+/// `interpreted` puts the SAME job on the IrMachine oracle.
+verify::JobSpec hotpath_reference() {
+  return unreduced(staged_spec(1, 2, 3));
 }
 
 /// The SAME hot-path instance driven by the retired hand-written staged
 /// machine (tests/legacy/) — the baseline the ir_overhead figure divides
-/// against.
+/// against.  Not a registry protocol, hence not a JobSpec: the raw world
+/// and ExploreOptions here are the documented exception.
 sched::SimWorld handwritten_hotpath_reference() {
   sched::SimConfig config;
   config.num_objects = 1;
   config.kind = model::FaultKind::kOverriding;
   config.t = 2;
-  const consensus::StagedFactory factory(1, 2);
+  static const consensus::StagedFactory factory(1, 2);
   return sched::SimWorld(config, factory, inputs(3));
 }
 
 struct TimedExplore {
-  sched::ExploreResult result;
+  verify::Report report;
   double seconds = 0;
 };
 
-TimedExplore timed_explore(const sched::SimWorld& world,
-                           const sched::ExploreOptions& options) {
+TimedExplore timed_execute(const verify::Instance& instance) {
+  TimedExplore out;
+  out.report = verify::execute(instance);
+  out.seconds = static_cast<double>(out.report.engine_micros) * 1e-6;
+  return out;
+}
+
+/// Raw-engine timing for the hand-written baseline only (see
+/// handwritten_hotpath_reference); mirrors what execute() runs for the
+/// registry sides of each paired round.
+TimedExplore timed_explore_legacy(const sched::SimWorld& world,
+                                  const sched::ExploreOptions& options) {
   TimedExplore out;
   const auto start = std::chrono::steady_clock::now();
-  out.result = sched::explore(world, options);
+  const auto result = sched::explore(world, options);
   out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  out.report.complete = result.complete;
+  out.report.states_visited = result.states_visited;
+  out.report.terminal_states = result.terminal_states;
+  out.report.violations_found = result.violations_found;
+  out.report.max_depth = result.max_depth;
+  out.report.agreed_values = result.agreed_values;
   return out;
 }
 
@@ -409,36 +369,36 @@ int write_report(const std::string& path, bool smoke) {
   // report.  Equal inputs — see symmetric_reference().
   const std::uint32_t sym_t = smoke ? 1 : 2;
   const std::uint32_t sym_n = 4;
-  const sched::SimWorld sym_world = symmetric_reference(sym_t, sym_n);
+  const verify::JobSpec sym_spec = symmetric_reference(sym_t, sym_n);
 
-  sched::ExploreOptions reduced_opts;
-  reduced_opts.stop_at_first_violation = false;
-  sched::ExploreOptions unreduced_opts = reduced_opts;
-  unreduced_opts.symmetry_reduction = false;
-  unreduced_opts.sleep_sets = false;
-
-  const TimedExplore reduced = timed_explore(sym_world, reduced_opts);
-  const TimedExplore unreduced = timed_explore(sym_world, unreduced_opts);
+  const TimedExplore reduced = timed_execute(verify::instantiate(sym_spec));
+  const TimedExplore unreduced_run =
+      timed_execute(verify::instantiate(unreduced(sym_spec)));
 
   const double reduction_factor =
-      reduced.result.states_visited > 0
-          ? static_cast<double>(unreduced.result.states_visited) /
-                static_cast<double>(reduced.result.states_visited)
+      reduced.report.states_visited > 0
+          ? static_cast<double>(unreduced_run.report.states_visited) /
+                static_cast<double>(reduced.report.states_visited)
           : 0.0;
 
   // Hot-path instance (reductions OFF throughout): new engine without
   // and with the expected_states pre-sizing hint, against the faithful
   // pre-PR baseline.
-  const sched::SimWorld hot_world = hotpath_reference();
-  const TimedExplore hot = timed_explore(hot_world, unreduced_opts);
+  const verify::JobSpec hot_spec = hotpath_reference();
+  const verify::Instance hot_instance = verify::instantiate(hot_spec);
+  const TimedExplore hot = timed_execute(hot_instance);
   // The reserve()/pre-sizing satellite, isolated: same unreduced search
-  // with the fingerprint table and DFS containers sized up front.
-  sched::ExploreOptions presized_opts = unreduced_opts;
-  presized_opts.expected_states = hot.result.states_visited;
-  const TimedExplore presized = timed_explore(hot_world, presized_opts);
+  // with the fingerprint table and DFS containers sized up front
+  // (expected_states is an exec hint — same job fingerprint).
+  verify::JobSpec presized_spec = hot_spec;
+  presized_spec.expected_states = hot.report.states_visited;
+  const verify::Instance presized_instance =
+      verify::instantiate(presized_spec);
+  const TimedExplore presized = timed_execute(presized_instance);
 
   const auto legacy_start = std::chrono::steady_clock::now();
-  const std::uint64_t legacy_states = legacy_explore_count(hot_world);
+  const std::uint64_t legacy_states =
+      legacy_explore_count(hot_instance.world());
   const double legacy_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     legacy_start)
@@ -449,19 +409,30 @@ int write_report(const std::string& path, bool smoke) {
   };
 
   // Machine overhead on the identical instance, three ways: the
-  // ffgen-GENERATED machine (hot_world — what machine_factory selects
-  // and what ir_overhead now gates at <= 0.02), the IrMachine
-  // INTERPRETER (the differential oracle, informational
-  // interpreter_overhead), and the retired HAND-WRITTEN machine as the
-  // baseline denominator.  Each round runs the three sides
-  // back-to-back and takes the PAIRED rate ratio within the round, and
-  // the reported overhead is the MEDIAN of the per-round ratios: slow
-  // machine-wide drift (thermal throttling, co-tenant load) hits both
-  // sides of a pair equally, and the median discards the rounds a
-  // scheduler hiccup poisoned — a 2% gate needs a statistic whose
-  // run-to-run spread is well under 2%.
+  // ffgen-GENERATED machine (what machine_factory selects and what
+  // ir_overhead now gates at <= 0.02), the IrMachine INTERPRETER (the
+  // differential oracle, informational interpreter_overhead), and the
+  // retired HAND-WRITTEN machine as the baseline denominator.  Each
+  // round runs the three sides back-to-back and takes the PAIRED rate
+  // ratio within the round, and the reported overhead is the MEDIAN of
+  // the per-round ratios: slow machine-wide drift (thermal throttling,
+  // co-tenant load) hits both sides of a pair equally, and the median
+  // discards the rounds a scheduler hiccup poisoned — a 2% gate needs a
+  // statistic whose run-to-run spread is well under 2%.
+  verify::JobSpec interpreted_spec = presized_spec;
+  interpreted_spec.interpreted = true;
+  const verify::Instance interpreted_instance =
+      verify::instantiate(interpreted_spec);
   const sched::SimWorld handwritten_world = handwritten_hotpath_reference();
-  const sched::SimWorld interpreted_world = interpreted_hotpath_reference();
+  sched::ExploreOptions handwritten_opts;
+  handwritten_opts.stop_at_first_violation = false;
+  handwritten_opts.symmetry_reduction = false;
+  handwritten_opts.sleep_sets = false;
+  // The overhead rounds run with the table pre-sized to the census (the
+  // count is known from the hot run above): mid-run rehashes and the
+  // page faults of growing a ~50MB table are per-run noise that lands
+  // on one side of a paired ratio, and the 2% gate cannot afford it.
+  handwritten_opts.expected_states = hot.report.states_visited;
   TimedExplore generated_best;
   TimedExplore interpreted_best;
   TimedExplore handwritten_best;
@@ -470,22 +441,17 @@ int write_report(const std::string& path, bool smoke) {
   };
   std::vector<double> generated_ratios;
   std::vector<double> interpreted_ratios;
-  // The overhead rounds run with the table pre-sized to the census (the
-  // count is known from the hot run above): mid-run rehashes and the
-  // page faults of growing a ~50MB table are per-run noise that lands
-  // on one side of a paired ratio, and the 2% gate cannot afford it.
   for (int i = 0; i < 7; ++i) {
-    TimedExplore generated_run = timed_explore(hot_world, presized_opts);
-    TimedExplore interpreted_run =
-        timed_explore(interpreted_world, presized_opts);
+    TimedExplore generated_run = timed_execute(presized_instance);
+    TimedExplore interpreted_run = timed_execute(interpreted_instance);
     TimedExplore handwritten_run =
-        timed_explore(handwritten_world, presized_opts);
+        timed_explore_legacy(handwritten_world, handwritten_opts);
     const double handwritten_run_rate =
-        rate(handwritten_run.result.states_visited, handwritten_run.seconds);
+        rate(handwritten_run.report.states_visited, handwritten_run.seconds);
     const double generated_run_rate =
-        rate(generated_run.result.states_visited, generated_run.seconds);
+        rate(generated_run.report.states_visited, generated_run.seconds);
     const double interpreted_run_rate =
-        rate(interpreted_run.result.states_visited, interpreted_run.seconds);
+        rate(interpreted_run.report.states_visited, interpreted_run.seconds);
     if (generated_run_rate > 0) {
       generated_ratios.push_back(handwritten_run_rate / generated_run_rate);
     }
@@ -506,46 +472,40 @@ int write_report(const std::string& path, bool smoke) {
   const double ir_overhead = median(generated_ratios) - 1.0;
   const double interpreter_overhead = median(interpreted_ratios) - 1.0;
   const bool ir_census_match =
-      interpreted_best.result.states_visited ==
-          handwritten_best.result.states_visited &&
-      interpreted_best.result.terminal_states ==
-          handwritten_best.result.terminal_states &&
-      interpreted_best.result.agreed_values ==
-          handwritten_best.result.agreed_values;
+      interpreted_best.report.states_visited ==
+          handwritten_best.report.states_visited &&
+      interpreted_best.report.terminal_states ==
+          handwritten_best.report.terminal_states &&
+      interpreted_best.report.agreed_values ==
+          handwritten_best.report.agreed_values;
 
   // Generated-vs-interpreter census equality over EVERY simulable
   // registry protocol at default parameters (small instance: n=2, t=1,
   // crash budget 1 where the protocol has a recovery entry).  This is
   // the report-level restatement of test_codegen's grid — gated by
   // scripts/bench_gate.py so a drifted generated tree cannot ship a
-  // green benchmark report.
+  // green benchmark report.  Each side is one JobSpec; they differ only
+  // in the `interpreted` exec choice.
   bool codegen_census_match = true;
   for (const auto& info : proto::ProtocolRegistry::instance().all()) {
     if (!info.simulable) continue;
-    const auto generated_factory = proto::machine_factory(info.name);
-    const auto interpreted_factory =
-        proto::machine_factory_interpreted(info.name);
-    sched::SimConfig config;
-    config.num_objects = generated_factory->objects_used();
-    config.num_registers = generated_factory->registers_used();
-    config.kind = model::FaultKind::kOverriding;
-    config.t = 1;
+    verify::JobSpec spec;
+    spec.protocol = info.name;
+    spec.processes = 2;
+    spec.stop_at_first_violation = false;
+    spec.symmetry_reduction = false;
+    spec.sleep_sets = false;
     if (proto::build_program(info.name)->has_recovery()) {
-      config.crash_budget = 1;
+      spec.crash_budget = 1;
     }
-    const sched::SimWorld generated_world(config, *generated_factory,
-                                          inputs(2));
-    const sched::SimWorld oracle_world(config, *interpreted_factory,
-                                       inputs(2));
-    const auto generated_census =
-        sched::explore(generated_world, unreduced_opts);
-    const auto oracle_census = sched::explore(oracle_world, unreduced_opts);
-    codegen_census_match =
-        codegen_census_match &&
-        generated_census.states_visited == oracle_census.states_visited &&
-        generated_census.terminal_states == oracle_census.terminal_states &&
-        generated_census.violations_found == oracle_census.violations_found &&
-        generated_census.agreed_values == oracle_census.agreed_values;
+    verify::JobSpec oracle_spec = spec;
+    oracle_spec.interpreted = true;
+    const verify::Report generated_census =
+        verify::execute(verify::instantiate(spec));
+    const verify::Report oracle_census =
+        verify::execute(verify::instantiate(oracle_spec));
+    codegen_census_match = codegen_census_match &&
+                           census_equal(generated_census, oracle_census);
   }
 
   // A2 immunity-pruning differential (ffcheck, DESIGN.md §3h): for every
@@ -559,26 +519,21 @@ int write_report(const std::string& path, bool smoke) {
   std::uint64_t immune_skips = 0;
   for (const auto& info : proto::ProtocolRegistry::instance().all()) {
     if (!info.simulable) continue;
-    const auto factory = proto::machine_factory(info.name);
-    sched::SimConfig config;
-    config.num_objects = factory->objects_used();
-    config.num_registers = factory->registers_used();
-    config.kind = model::FaultKind::kOverriding;
-    config.t = 1;
+    verify::JobSpec spec;
+    spec.protocol = info.name;
+    spec.processes = 2;
+    spec.stop_at_first_violation = false;
+    spec.symmetry_reduction = false;
+    spec.sleep_sets = false;
     if (proto::build_program(info.name)->has_recovery()) {
-      config.crash_budget = 1;
+      spec.crash_budget = 1;
     }
-    const sched::SimWorld pruned_world(config, *factory, inputs(2));
-    config.use_immunity_pruning = false;
-    const sched::SimWorld brute_world(config, *factory, inputs(2));
-    const auto pruned = sched::explore(pruned_world, unreduced_opts);
-    const auto brute = sched::explore(brute_world, unreduced_opts);
-    immune_census_match =
-        immune_census_match &&
-        pruned.states_visited == brute.states_visited &&
-        pruned.terminal_states == brute.terminal_states &&
-        pruned.violations_found == brute.violations_found &&
-        pruned.agreed_values == brute.agreed_values;
+    verify::JobSpec brute_spec = spec;
+    brute_spec.immunity_pruning = false;
+    const verify::Report pruned = verify::execute(verify::instantiate(spec));
+    const verify::Report brute =
+        verify::execute(verify::instantiate(brute_spec));
+    immune_census_match = immune_census_match && census_equal(pruned, brute);
     immune_checks += pruned.immunity_checks;
     immune_skips += pruned.immunity_skips;
   }
@@ -716,13 +671,13 @@ int write_report(const std::string& path, bool smoke) {
   const double legacy_rate = rate(legacy_states, legacy_seconds);
   const double hotpath_speedup =
       legacy_rate > 0
-          ? rate(presized.result.states_visited, presized.seconds) /
+          ? rate(presized.report.states_visited, presized.seconds) /
                 legacy_rate
           : 0.0;
   const double presize_speedup =
       hot.seconds > 0 && presized.seconds > 0
-          ? rate(presized.result.states_visited, presized.seconds) /
-                rate(hot.result.states_visited, hot.seconds)
+          ? rate(presized.report.states_visited, presized.seconds) /
+                rate(hot.report.states_visited, hot.seconds)
           : 0.0;
 
   util::JsonWriter w;
@@ -736,10 +691,10 @@ int write_report(const std::string& path, bool smoke) {
   w.kv("fault_kind", "overriding");
   w.kv("t", std::uint64_t{sym_t});
   w.end_object();
-  emit_section(w, "reduced", reduced.result.states_visited, reduced.seconds,
-               reduced.result.max_depth);
-  emit_section(w, "unreduced", unreduced.result.states_visited,
-               unreduced.seconds, unreduced.result.max_depth);
+  emit_section(w, "reduced", reduced.report.states_visited, reduced.seconds,
+               reduced.report.max_depth);
+  emit_section(w, "unreduced", unreduced_run.report.states_visited,
+               unreduced_run.seconds, unreduced_run.report.max_depth);
   w.kv("reduction_factor", reduction_factor);
   w.key("hotpath_instance").begin_object();
   w.kv("protocol", "staged");
@@ -748,19 +703,19 @@ int write_report(const std::string& path, bool smoke) {
   w.kv("fault_kind", "overriding");
   w.kv("t", std::uint64_t{2});
   w.end_object();
-  emit_section(w, "hotpath_unreduced", hot.result.states_visited,
-               hot.seconds, hot.result.max_depth);
-  emit_section(w, "hotpath_presized", presized.result.states_visited,
-               presized.seconds, presized.result.max_depth);
+  emit_section(w, "hotpath_unreduced", hot.report.states_visited,
+               hot.seconds, hot.report.max_depth);
+  emit_section(w, "hotpath_presized", presized.report.states_visited,
+               presized.seconds, presized.report.max_depth);
   emit_section(w, "legacy_baseline", legacy_states, legacy_seconds, 0);
-  emit_section(w, "generated_machines", generated_best.result.states_visited,
-               generated_best.seconds, generated_best.result.max_depth);
+  emit_section(w, "generated_machines", generated_best.report.states_visited,
+               generated_best.seconds, generated_best.report.max_depth);
   emit_section(w, "interpreted_machines",
-               interpreted_best.result.states_visited, interpreted_best.seconds,
-               interpreted_best.result.max_depth);
+               interpreted_best.report.states_visited, interpreted_best.seconds,
+               interpreted_best.report.max_depth);
   emit_section(w, "handwritten_machines",
-               handwritten_best.result.states_visited,
-               handwritten_best.seconds, handwritten_best.result.max_depth);
+               handwritten_best.report.states_visited,
+               handwritten_best.seconds, handwritten_best.report.max_depth);
   w.kv("hotpath_speedup", hotpath_speedup);
   w.kv("presize_speedup", presize_speedup);
   // Fractional slowdown of what machine_factory actually selects — the
@@ -798,8 +753,8 @@ int write_report(const std::string& path, bool smoke) {
   w.end_object();
   // Sanity invariants the gate can assert without re-deriving them.
   w.kv("census_states_match",
-       hot.result.states_visited == legacy_states &&
-           presized.result.states_visited == hot.result.states_visited);
+       hot.report.states_visited == legacy_states &&
+           presized.report.states_visited == hot.report.states_visited);
   w.end_object();
 
   std::ofstream out(path);

@@ -8,6 +8,11 @@
 //     explorers prove faulty?  Wall time per benchmark iteration IS the
 //     time-to-first-violation; the counters record how many executions
 //     and steps that took.
+//
+// Every configuration is a verify::JobSpec (engine = fuzz) executed
+// through verify::instantiate()/execute() — the bench never fills
+// FuzzOptions by hand.
+//
 // Modes:
 //   (default)        google-benchmark suite (all BM_* below)
 //   --json <path>    write a machine-readable BENCH_B4.json report:
@@ -17,54 +22,45 @@
 //   --smoke          reduced budgets for CI gating (scripts/check.sh).
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <numeric>
 #include <string>
 
-#include "proto/registry.hpp"
-#include "sched/fuzzer.hpp"
-#include "sched/sim_world.hpp"
 #include "util/json.hpp"
+#include "verify/run.hpp"
 
 namespace {
 
 using namespace ff;
 
-std::vector<std::uint64_t> inputs(std::uint32_t n) {
-  std::vector<std::uint64_t> v(n);
-  std::iota(v.begin(), v.end(), 1);
-  return v;
-}
-
-template <typename FactoryT>
-sched::SimWorld make_world(const FactoryT& factory, model::FaultKind kind,
-                           std::uint32_t objects, std::uint32_t t,
-                           std::uint32_t n) {
-  sched::SimConfig config;
-  config.num_objects = objects;
-  config.num_registers = factory.registers_used();
-  config.kind = kind;
-  config.t = t;
-  return sched::SimWorld(config, factory, inputs(n));
+verify::JobSpec fuzz_spec(std::string protocol,
+                          std::map<std::string, std::uint64_t> params,
+                          model::FaultKind kind, std::uint32_t t,
+                          std::uint32_t n, std::uint64_t budget) {
+  verify::JobSpec spec;
+  spec.protocol = std::move(protocol);
+  spec.params = std::move(params);
+  spec.kind = kind;
+  spec.t = t;
+  spec.processes = n;
+  spec.engine = verify::Engine::kFuzz;
+  spec.fuzz_steps = budget;
+  return spec;
 }
 
 // --- Throughput: schedules/sec and steps/sec on a correct config ----------
 
-void run_throughput(benchmark::State& state, const sched::SimWorld& world) {
+void run_throughput(benchmark::State& state, verify::JobSpec spec) {
   std::uint64_t execs = 0;
   std::uint64_t steps = 0;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    sched::FuzzOptions options;
-    options.seed = seed++;
-    options.budget.max_units = 50'000;
-    const auto result = sched::fuzz(world, options);
-    execs += result.stats.executions;
-    steps += result.stats.total_steps;
-    benchmark::DoNotOptimize(result);
+    spec.seed = seed++;
+    const verify::Report report = verify::execute(verify::instantiate(spec));
+    execs += report.fuzz->executions;
+    steps += report.fuzz->total_steps;
+    benchmark::DoNotOptimize(report);
   }
   state.counters["schedules/s"] = benchmark::Counter(
       static_cast<double>(execs), benchmark::Counter::kIsRate);
@@ -74,23 +70,22 @@ void run_throughput(benchmark::State& state, const sched::SimWorld& world) {
 
 void BM_FuzzThroughputRetrySilent(benchmark::State& state) {
   // retry-silent at bounded t is explorer-proven correct: pure search.
-  run_throughput(state, make_world(*proto::machine_factory("retry-silent"),
-                                   model::FaultKind::kSilent, 1, 1, 2));
+  run_throughput(state, fuzz_spec("retry-silent", {},
+                                  model::FaultKind::kSilent, 1, 2, 50'000));
 }
 BENCHMARK(BM_FuzzThroughputRetrySilent)->Unit(benchmark::kMillisecond);
 
 void BM_FuzzThroughputStagedSafe(benchmark::State& state) {
   // staged f=1 t=1 n=2 is within the protocol's fault budget: correct.
-  run_throughput(state, make_world(*proto::machine_factory("staged",
-                                     proto::Params{{"f", 1}, {"t", 1}}),
-                                   model::FaultKind::kOverriding, 1, 1, 2));
+  run_throughput(state,
+                 fuzz_spec("staged", {{"f", 1}, {"t", 1}},
+                           model::FaultKind::kOverriding, 1, 2, 50'000));
 }
 BENCHMARK(BM_FuzzThroughputStagedSafe)->Unit(benchmark::kMillisecond);
 
 // --- Time-to-first-violation ----------------------------------------------
 
-void run_first_violation(benchmark::State& state,
-                         const sched::SimWorld& world) {
+void run_first_violation(benchmark::State& state, verify::JobSpec spec) {
   std::uint64_t execs = 0;
   std::uint64_t steps = 0;
   std::uint64_t found = 0;
@@ -98,18 +93,16 @@ void run_first_violation(benchmark::State& state,
   std::uint64_t shrunk = 0;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    sched::FuzzOptions options;
-    options.seed = seed++;
-    options.budget.max_units = 5'000'000;  // effectively until found
-    const auto result = sched::fuzz(world, options);
-    execs += result.stats.executions;
-    steps += result.stats.total_steps;
-    if (result.violation) {
+    spec.seed = seed++;
+    const verify::Report report = verify::execute(verify::instantiate(spec));
+    execs += report.fuzz->executions;
+    steps += report.fuzz->total_steps;
+    if (report.violation) {
       ++found;
-      witness += result.stats.witness_steps_found;
-      shrunk += result.stats.witness_steps_shrunk;
+      witness += report.fuzz->witness_steps_found;
+      shrunk += report.fuzz->witness_steps_shrunk;
     }
-    benchmark::DoNotOptimize(result);
+    benchmark::DoNotOptimize(report);
   }
   const auto iters = static_cast<double>(state.iterations());
   state.counters["found"] = static_cast<double>(found) / iters;
@@ -122,77 +115,65 @@ void run_first_violation(benchmark::State& state,
 
 void BM_FuzzFirstViolationSingleCas(benchmark::State& state) {
   // Figure 1: one overriding fault breaks single-CAS consensus at n=3.
-  run_first_violation(state,
-                      make_world(*proto::machine_factory("single-cas"),
-                                 model::FaultKind::kOverriding, 1, 1, 3));
+  run_first_violation(
+      state, fuzz_spec("single-cas", {}, model::FaultKind::kOverriding, 1, 3,
+                       5'000'000));  // effectively until found
 }
 BENCHMARK(BM_FuzzFirstViolationSingleCas)->Unit(benchmark::kMicrosecond);
 
 void BM_FuzzFirstViolationStaged(benchmark::State& state) {
   // staged f=1 t=1 at n=3 exceeds the protected-process count: faulty.
-  run_first_violation(state,
-                      make_world(*proto::machine_factory("staged",
-                                     proto::Params{{"f", 1}, {"t", 1}}),
-                                 model::FaultKind::kOverriding, 1, 1, 3));
+  run_first_violation(
+      state, fuzz_spec("staged", {{"f", 1}, {"t", 1}},
+                       model::FaultKind::kOverriding, 1, 3, 5'000'000));
 }
 BENCHMARK(BM_FuzzFirstViolationStaged)->Unit(benchmark::kMicrosecond);
 
 void BM_FuzzFirstViolationLivelock(benchmark::State& state) {
   // retry-silent at t = ∞ livelocks: the witness is a machine-checked
   // cycle, exercising the in-execution revisit detector.
-  run_first_violation(
-      state, make_world(*proto::machine_factory("retry-silent"),
-                        model::FaultKind::kSilent, 1, model::kUnbounded, 2));
+  run_first_violation(state,
+                      fuzz_spec("retry-silent", {}, model::FaultKind::kSilent,
+                                model::kUnbounded, 2, 5'000'000));
 }
 BENCHMARK(BM_FuzzFirstViolationLivelock)->Unit(benchmark::kMicrosecond);
 
 // --- JSON report mode ------------------------------------------------------
 
 void emit_throughput(util::JsonWriter& w, std::string_view name,
-                     const sched::SimWorld& world, std::uint64_t budget) {
-  sched::FuzzOptions options;
-  options.seed = 1;
-  options.budget.max_units = budget;
-  const auto start = std::chrono::steady_clock::now();
-  const auto result = sched::fuzz(world, options);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+                     verify::JobSpec spec) {
+  spec.seed = 1;
+  const verify::Report report = verify::execute(verify::instantiate(spec));
+  const double seconds = static_cast<double>(report.engine_micros) * 1e-6;
   w.key(name).begin_object();
-  w.kv("executions", result.stats.executions);
-  w.kv("total_steps", result.stats.total_steps);
-  w.kv("unique_states", result.stats.unique_states);
+  w.kv("executions", report.fuzz->executions);
+  w.kv("total_steps", report.fuzz->total_steps);
+  w.kv("unique_states", report.fuzz->unique_states);
   w.kv("seconds", seconds);
   w.kv("schedules_per_sec",
-       seconds > 0 ? static_cast<double>(result.stats.executions) / seconds
+       seconds > 0 ? static_cast<double>(report.fuzz->executions) / seconds
                    : 0.0);
   w.kv("steps_per_sec",
-       seconds > 0 ? static_cast<double>(result.stats.total_steps) / seconds
+       seconds > 0 ? static_cast<double>(report.fuzz->total_steps) / seconds
                    : 0.0);
   w.end_object();
 }
 
 void emit_first_violation(util::JsonWriter& w, std::string_view name,
-                          const sched::SimWorld& world,
-                          std::uint64_t budget) {
-  sched::FuzzOptions options;
-  options.seed = 1;
-  options.budget.max_units = budget;
-  const auto start = std::chrono::steady_clock::now();
-  const auto result = sched::fuzz(world, options);
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+                          verify::JobSpec spec) {
+  spec.seed = 1;
+  const verify::Report report = verify::execute(verify::instantiate(spec));
+  const double seconds = static_cast<double>(report.engine_micros) * 1e-6;
   w.key(name).begin_object();
-  w.kv("found", result.violation.has_value());
-  if (result.violation) {
-    w.kv("kind", to_string(result.violation->kind));
+  w.kv("found", report.violation.has_value());
+  if (report.violation) {
+    w.kv("kind", to_string(report.violation->kind));
   }
   w.kv("time_to_first_violation_sec", seconds);
-  w.kv("execs_to_violation", result.stats.executions);
-  w.kv("steps_to_violation", result.stats.total_steps);
-  w.kv("witness_steps", result.stats.witness_steps_found);
-  w.kv("witness_steps_shrunk", result.stats.witness_steps_shrunk);
+  w.kv("execs_to_violation", report.fuzz->executions);
+  w.kv("steps_to_violation", report.fuzz->total_steps);
+  w.kv("witness_steps", report.fuzz->witness_steps_found);
+  w.kv("witness_steps_shrunk", report.fuzz->witness_steps_shrunk);
   w.end_object();
 }
 
@@ -205,23 +186,19 @@ int write_report(const std::string& path, bool smoke) {
   w.kv("bench", "B4");
   w.kv("smoke", smoke);
   emit_throughput(w, "throughput_retry_silent",
-                  make_world(*proto::machine_factory("retry-silent"),
-                             model::FaultKind::kSilent, 1, 1, 2),
-                  throughput_budget);
+                  fuzz_spec("retry-silent", {}, model::FaultKind::kSilent, 1,
+                            2, throughput_budget));
   emit_throughput(w, "throughput_staged_safe",
-                  make_world(*proto::machine_factory("staged",
-                                     proto::Params{{"f", 1}, {"t", 1}}),
-                             model::FaultKind::kOverriding, 1, 1, 2),
-                  throughput_budget);
+                  fuzz_spec("staged", {{"f", 1}, {"t", 1}},
+                            model::FaultKind::kOverriding, 1, 2,
+                            throughput_budget));
   emit_first_violation(w, "first_violation_single_cas",
-                       make_world(*proto::machine_factory("single-cas"),
-                                  model::FaultKind::kOverriding, 1, 1, 3),
-                       violation_budget);
-  emit_first_violation(
-      w, "first_violation_livelock",
-      make_world(*proto::machine_factory("retry-silent"), model::FaultKind::kSilent,
-                 1, model::kUnbounded, 2),
-      violation_budget);
+                       fuzz_spec("single-cas", {},
+                                 model::FaultKind::kOverriding, 1, 3,
+                                 violation_budget));
+  emit_first_violation(w, "first_violation_livelock",
+                       fuzz_spec("retry-silent", {}, model::FaultKind::kSilent,
+                                 model::kUnbounded, 2, violation_budget));
   w.end_object();
 
   std::ofstream out(path);

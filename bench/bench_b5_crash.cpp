@@ -10,6 +10,13 @@
 //     crashed-and-restarted worker threads (runtime::run_crash_trial)
 //     against crash-free trials of the same protocol give the latency
 //     of surviving a forced crash per process.
+//
+// The exhaustive explores are verify::JobSpecs run through
+// verify::instantiate()/execute(); the real-thread latency section
+// drives runtime::run_crash_trial directly — a crash-POLICY trial
+// harness (forced crash points, restart loops) is not one of the job
+// layer's engines, so it stays raw by design.
+//
 // Modes:
 //   (default)        google-benchmark suite (all BM_* below)
 //   --json <path>    machine-readable BENCH_B5 report for
@@ -21,43 +28,32 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <numeric>
 #include <string>
 
 #include "faults/crash_policy.hpp"
 #include "objects/atomic_cas.hpp"
 #include "proto/registry.hpp"
 #include "runtime/crash_runner.hpp"
-#include "sched/explorer.hpp"
-#include "sched/sim_world.hpp"
 #include "util/json.hpp"
+#include "verify/run.hpp"
 
 namespace {
 
 using namespace ff;
 
-std::vector<std::uint64_t> inputs(std::uint32_t n) {
-  std::vector<std::uint64_t> v(n);
-  std::iota(v.begin(), v.end(), 1);
-  return v;
-}
-
-sched::SimWorld make_world(const sched::MachineFactory& factory,
-                           model::FaultKind kind, std::uint32_t t,
-                           std::uint32_t n, std::uint32_t crash_budget) {
-  sched::SimConfig config;
-  config.num_objects = factory.objects_used();
-  config.num_registers = factory.registers_used();
-  config.kind = kind;
-  config.t = kind == model::FaultKind::kNone ? 0 : t;
-  config.crash_budget = crash_budget;
-  return sched::SimWorld(config, factory, inputs(n));
-}
-
-sched::ExploreResult explore_full(const sched::SimWorld& world) {
-  sched::ExploreOptions options;
-  options.stop_at_first_violation = false;
-  return sched::explore(world, options);
+/// Full-space overriding-fault job at a given crash budget.
+verify::JobSpec crash_spec(std::string protocol,
+                           std::map<std::string, std::uint64_t> params,
+                           std::uint32_t crash_budget) {
+  verify::JobSpec spec;
+  spec.protocol = std::move(protocol);
+  spec.params = std::move(params);
+  spec.kind = model::FaultKind::kOverriding;
+  spec.t = 1;
+  spec.processes = 2;
+  spec.crash_budget = crash_budget;
+  spec.stop_at_first_violation = false;
+  return spec;
 }
 
 // --- State-space growth of the crash branch -------------------------------
@@ -65,16 +61,14 @@ sched::ExploreResult explore_full(const sched::SimWorld& world) {
 void BM_CrashBranchExploreStaged(benchmark::State& state) {
   // recoverable-staged under overriding faults AND crashes: the
   // cross-product instance.  Arg = crash budget.
-  const auto factory = proto::machine_factory(
-      "recoverable-staged", proto::Params{{"f", 1}, {"t", 1}});
-  const auto budget = static_cast<std::uint32_t>(state.range(0));
-  const auto world =
-      make_world(*factory, model::FaultKind::kOverriding, 1, 2, budget);
+  const verify::Instance instance = verify::instantiate(
+      crash_spec("recoverable-staged", {{"f", 1}, {"t", 1}},
+                 static_cast<std::uint32_t>(state.range(0))));
   std::uint64_t states = 0;
   for (auto _ : state) {
-    const auto result = explore_full(world);
-    states = result.states_visited;
-    benchmark::DoNotOptimize(result);
+    const verify::Report report = verify::execute(instance);
+    states = report.states_visited;
+    benchmark::DoNotOptimize(report);
   }
   state.counters["states"] = static_cast<double>(states);
 }
@@ -119,31 +113,23 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 /// Exhaustive explores at budgets 0/1/2 plus the budget-0 census check
 /// against the protocol's non-recoverable original.
 void emit_growth(util::JsonWriter& w, std::string_view key,
-                 const std::string& recoverable, const proto::Params& params,
+                 const std::string& recoverable,
+                 const std::map<std::string, std::uint64_t>& params,
                  const std::string& original) {
-  const auto factory = proto::machine_factory(recoverable, params);
-  const auto baseline = proto::machine_factory(original, params);
-
-  const auto original_census = explore_full(
-      make_world(*baseline, model::FaultKind::kOverriding, 1, 2, 0));
+  const verify::Report original_census =
+      verify::execute(verify::instantiate(crash_spec(original, params, 0)));
 
   w.key(key).begin_object();
   w.kv("protocol", recoverable);
   std::uint64_t states_b0 = 0;
   for (const std::uint32_t budget : {0u, 1u, 2u}) {
-    const auto world =
-        make_world(*factory, model::FaultKind::kOverriding, 1, 2, budget);
-    const auto start = std::chrono::steady_clock::now();
-    const auto result = explore_full(world);
-    const double secs = seconds_since(start);
+    const verify::Report result = verify::execute(
+        verify::instantiate(crash_spec(recoverable, params, budget)));
+    const double secs = static_cast<double>(result.engine_micros) * 1e-6;
     const std::string tag = "b" + std::to_string(budget);
     if (budget == 0) {
       states_b0 = result.states_visited;
-      w.kv("crash_free_census_match",
-           result.states_visited == original_census.states_visited &&
-               result.terminal_states == original_census.terminal_states &&
-               result.violations_by_kind ==
-                   original_census.violations_by_kind);
+      w.kv("crash_free_census_match", census_equal(result, original_census));
     }
     w.kv("states_" + tag, result.states_visited);
     w.kv("terminals_" + tag, result.terminal_states);
@@ -207,9 +193,8 @@ int write_report(const std::string& path, bool smoke) {
   w.kv("bench", "B5");
   w.kv("smoke", smoke);
   emit_growth(w, "crash_growth_staged", "recoverable-staged",
-              proto::Params{{"f", 1}, {"t", 1}}, "staged");
-  emit_growth(w, "crash_growth_cas", "recoverable-cas", proto::Params{},
-              "single-cas");
+              {{"f", 1}, {"t", 1}}, "staged");
+  emit_growth(w, "crash_growth_cas", "recoverable-cas", {}, "single-cas");
   emit_latency(w, trials);
   w.end_object();
 

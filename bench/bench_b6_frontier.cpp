@@ -14,6 +14,14 @@
 //   * Is the disk-spill path free of census drift?  A forced-spill run
 //     (mem_limit_bytes = 1: every wave spills) must reproduce the
 //     in-memory census exactly while actually writing runs.
+//
+// Both sides of every pair are verify::JobSpecs run through
+// verify::instantiate()/execute().  The parallel job keeps sleep-set POR
+// on (its normal regime); the frontier job sets sleep_sets = false
+// because the engine — and JobSpec::validate() — rejects the
+// combination outright.  The censuses still compare equal: sleep sets
+// prune transitions, never states.
+//
 // Modes:
 //   (default)        google-benchmark suite (all BM_* below)
 //   --json <path>    machine-readable BENCH_B6 report for
@@ -22,21 +30,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <numeric>
 #include <string>
 #include <vector>
 
-#include "proto/registry.hpp"
-#include "sched/explorer.hpp"
-#include "sched/frontier_explorer.hpp"
-#include "sched/parallel_explorer.hpp"
-#include "sched/sim_world.hpp"
 #include "util/json.hpp"
+#include "verify/run.hpp"
 
 namespace {
 
@@ -44,45 +46,20 @@ using namespace ff;
 
 constexpr std::uint32_t kThreads = 8;  // capped to hardware concurrency
 
-std::vector<std::uint64_t> distinct_inputs(std::uint32_t n) {
-  std::vector<std::uint64_t> v(n);
-  std::iota(v.begin(), v.end(), 1);
-  return v;
-}
-
-/// The reference instance: staged f=1 t=2 under overriding faults with
-/// three DISTINCT inputs — big enough to spread over shards (~360k
-/// canonical states), distinct inputs so validity tracking stays hot.
-struct Instance {
-  std::unique_ptr<sched::MachineFactory> factory;
-  sched::SimConfig config;
-  std::vector<std::uint64_t> inputs;
-};
-
-Instance reference_instance() {
-  Instance inst;
-  inst.factory =
-      proto::machine_factory("staged", proto::Params{{"f", 1}, {"t", 2}});
-  inst.config.num_objects = inst.factory->objects_used();
-  inst.config.num_registers = inst.factory->registers_used();
-  inst.config.kind = model::FaultKind::kOverriding;
-  inst.config.t = 2;
-  inst.inputs = distinct_inputs(3);
-  return inst;
-}
-
-sched::ExploreOptions full_space() {
-  sched::ExploreOptions options;
-  options.stop_at_first_violation = false;
-  return options;
-}
-
-bool census_equal(const sched::ExploreResult& a,
-                  const sched::ExploreResult& b) {
-  return a.states_visited == b.states_visited &&
-         a.terminal_states == b.terminal_states &&
-         a.violations_by_kind == b.violations_by_kind &&
-         a.agreed_values == b.agreed_values;
+/// The reference job: staged f=1 t=2 under overriding faults with three
+/// DISTINCT inputs — big enough to spread over shards (~360k canonical
+/// states), distinct inputs so validity tracking stays hot.
+verify::JobSpec reference_spec(verify::Engine engine) {
+  verify::JobSpec spec;
+  spec.protocol = "staged";
+  spec.params = {{"f", 1}, {"t", 2}};
+  spec.t = 2;
+  spec.processes = 3;
+  spec.engine = engine;
+  spec.threads = kThreads;
+  spec.stop_at_first_violation = false;
+  if (engine == verify::Engine::kFrontier) spec.sleep_sets = false;
+  return spec;
 }
 
 double median(std::vector<double> v) {
@@ -91,73 +68,47 @@ double median(std::vector<double> v) {
   return v[v.size() / 2];
 }
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+double report_seconds(const verify::Report& report) {
+  return static_cast<double>(report.engine_micros) * 1e-6;
 }
 
 // --- google-benchmark suite ------------------------------------------------
 
-void BM_ParallelExploreStaged(benchmark::State& state) {
-  const Instance inst = reference_instance();
-  const sched::SimWorld world(inst.config, *inst.factory, inst.inputs);
-  sched::ParallelExploreOptions options;
-  options.explore = full_space();
-  options.num_threads = kThreads;
+void run_reference(benchmark::State& state, const verify::JobSpec& spec) {
+  const verify::Instance instance = verify::instantiate(spec);
   std::uint64_t states = 0;
   for (auto _ : state) {
-    const auto result = sched::parallel_explore(world, options);
-    states = result.states_visited;
-    benchmark::DoNotOptimize(result);
+    const verify::Report report = verify::execute(instance);
+    states = report.states_visited;
+    benchmark::DoNotOptimize(report);
   }
   state.counters["states"] = static_cast<double>(states);
   state.counters["states_per_sec"] = benchmark::Counter(
       static_cast<double>(states * state.iterations()),
       benchmark::Counter::kIsRate);
 }
+
+void BM_ParallelExploreStaged(benchmark::State& state) {
+  run_reference(state, reference_spec(verify::Engine::kParallel));
+}
 BENCHMARK(BM_ParallelExploreStaged)->Unit(benchmark::kMillisecond);
 
 void BM_FrontierExploreStaged(benchmark::State& state) {
-  const Instance inst = reference_instance();
-  sched::FrontierExploreOptions options;
-  options.explore = full_space();
-  options.num_threads = kThreads;
-  std::uint64_t states = 0;
-  for (auto _ : state) {
-    const auto result = sched::frontier_explore(inst.config, *inst.factory,
-                                                inst.inputs, options);
-    states = result.explore.states_visited;
-    benchmark::DoNotOptimize(result);
-  }
-  state.counters["states"] = static_cast<double>(states);
-  state.counters["states_per_sec"] = benchmark::Counter(
-      static_cast<double>(states * state.iterations()),
-      benchmark::Counter::kIsRate);
+  run_reference(state, reference_spec(verify::Engine::kFrontier));
 }
 BENCHMARK(BM_FrontierExploreStaged)->Unit(benchmark::kMillisecond);
 
 void BM_FrontierForcedSpill(benchmark::State& state) {
   // Same instance with a one-byte watermark: every wave spills, so this
   // measures the sort + run-write + merge-join overhead end to end.
-  const Instance inst = reference_instance();
   const auto dir =
       std::filesystem::temp_directory_path() / "ffb6_bm_spill";
-  sched::FrontierExploreOptions options;
-  options.explore = full_space();
-  options.num_threads = kThreads;
-  options.spill_dir = dir.string();
-  options.mem_limit_bytes = 1;
-  std::uint64_t states = 0;
-  for (auto _ : state) {
-    const auto result = sched::frontier_explore(inst.config, *inst.factory,
-                                                inst.inputs, options);
-    states = result.explore.states_visited;
-    benchmark::DoNotOptimize(result);
-  }
+  verify::JobSpec spec = reference_spec(verify::Engine::kFrontier);
+  spec.spill_dir = dir.string();
+  spec.mem_limit_bytes = 1;
+  run_reference(state, spec);
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
-  state.counters["states"] = static_cast<double>(states);
 }
 BENCHMARK(BM_FrontierForcedSpill)->Unit(benchmark::kMillisecond);
 
@@ -165,15 +116,11 @@ BENCHMARK(BM_FrontierForcedSpill)->Unit(benchmark::kMillisecond);
 
 /// Paired throughput rounds: parallel then frontier back-to-back, the
 /// per-round states/sec ratio recorded, speedup = median of the ratios.
-void emit_throughput(util::JsonWriter& w, const Instance& inst,
-                     std::uint64_t reps) {
-  const sched::SimWorld world(inst.config, *inst.factory, inst.inputs);
-  sched::ParallelExploreOptions popts;
-  popts.explore = full_space();
-  popts.num_threads = kThreads;
-  sched::FrontierExploreOptions fopts;
-  fopts.explore = full_space();
-  fopts.num_threads = kThreads;
+void emit_throughput(util::JsonWriter& w, std::uint64_t reps) {
+  const verify::Instance parallel_instance =
+      verify::instantiate(reference_spec(verify::Engine::kParallel));
+  const verify::Instance frontier_instance =
+      verify::instantiate(reference_spec(verify::Engine::kFrontier));
 
   std::vector<double> ratios;
   double parallel_secs = 0.0;
@@ -185,29 +132,23 @@ void emit_throughput(util::JsonWriter& w, const Instance& inst,
   bool census_ok = true;
   bool complete = true;
   for (std::uint64_t rep = 0; rep < reps; ++rep) {
-    auto start = std::chrono::steady_clock::now();
-    const auto pr = sched::parallel_explore(world, popts);
-    const double psecs = seconds_since(start);
+    const verify::Report pr = verify::execute(parallel_instance);
+    const double psecs = report_seconds(pr);
+    const verify::Report fr = verify::execute(frontier_instance);
+    const double fsecs = report_seconds(fr);
 
-    start = std::chrono::steady_clock::now();
-    const auto fr =
-        sched::frontier_explore(inst.config, *inst.factory, inst.inputs,
-                                fopts);
-    const double fsecs = seconds_since(start);
-
-    census_ok = census_ok && census_equal(fr.explore, pr);
-    complete = complete && pr.complete && fr.explore.complete;
+    census_ok = census_ok && census_equal(fr, pr);
+    complete = complete && pr.complete && fr.complete;
     if (psecs > 0.0 && fsecs > 0.0 && pr.states_visited > 0) {
-      ratios.push_back(
-          (static_cast<double>(fr.explore.states_visited) / fsecs) /
-          (static_cast<double>(pr.states_visited) / psecs));
+      ratios.push_back((static_cast<double>(fr.states_visited) / fsecs) /
+                       (static_cast<double>(pr.states_visited) / psecs));
     }
     parallel_secs += psecs;
     frontier_secs += fsecs;
-    states = fr.explore.states_visited;
+    states = fr.states_visited;
     parallel_peak = pr.peak_bytes;
-    frontier_peak = fr.explore.peak_bytes;
-    waves = fr.stats.waves;
+    frontier_peak = fr.peak_bytes;
+    waves = fr.frontier->waves;
   }
 
   w.key("throughput").begin_object();
@@ -231,45 +172,39 @@ void emit_throughput(util::JsonWriter& w, const Instance& inst,
 /// Forced-spill parity: mem_limit_bytes = 1 spills every wave; the
 /// census must be bit-equal to the in-memory frontier run AND runs must
 /// actually have been written (else the spill path went untested).
-void emit_spill_parity(util::JsonWriter& w, const Instance& inst) {
-  sched::FrontierExploreOptions fopts;
-  fopts.explore = full_space();
-  fopts.num_threads = kThreads;
-  const auto in_memory =
-      sched::frontier_explore(inst.config, *inst.factory, inst.inputs, fopts);
+void emit_spill_parity(util::JsonWriter& w) {
+  const verify::Report in_memory = verify::execute(
+      verify::instantiate(reference_spec(verify::Engine::kFrontier)));
 
   const auto dir = std::filesystem::temp_directory_path() / "ffb6_spill";
-  fopts.spill_dir = dir.string();
-  fopts.mem_limit_bytes = 1;
-  const auto start = std::chrono::steady_clock::now();
-  const auto spilled =
-      sched::frontier_explore(inst.config, *inst.factory, inst.inputs, fopts);
-  const double secs = seconds_since(start);
+  verify::JobSpec spec = reference_spec(verify::Engine::kFrontier);
+  spec.spill_dir = dir.string();
+  spec.mem_limit_bytes = 1;
+  const verify::Report spilled =
+      verify::execute(verify::instantiate(spec));
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
 
   w.key("spill").begin_object();
-  w.kv("seconds", secs);
-  w.kv("spill_runs", spilled.stats.spill_runs);
-  w.kv("spilled_records", spilled.stats.spilled_records);
-  w.kv("spill_bytes", spilled.stats.spill_bytes);
-  w.kv("peak_bytes", spilled.explore.peak_bytes);
-  w.kv("spill_parity",
-       census_equal(spilled.explore, in_memory.explore) &&
-           spilled.stats.spill_runs > 0);
+  w.kv("seconds", report_seconds(spilled));
+  w.kv("spill_runs", spilled.frontier->spill_runs);
+  w.kv("spilled_records", spilled.frontier->spilled_records);
+  w.kv("spill_bytes", spilled.frontier->spill_bytes);
+  w.kv("peak_bytes", spilled.peak_bytes);
+  w.kv("spill_parity", census_equal(spilled, in_memory) &&
+                           spilled.frontier->spill_runs > 0);
   w.end_object();
 }
 
 int write_report(const std::string& path, bool smoke) {
   const std::uint64_t reps = smoke ? 3 : 7;
-  const Instance inst = reference_instance();
 
   util::JsonWriter w;
   w.begin_object();
   w.kv("bench", "B6");
   w.kv("smoke", smoke);
-  emit_throughput(w, inst, reps);
-  emit_spill_parity(w, inst);
+  emit_throughput(w, reps);
+  emit_spill_parity(w);
   w.end_object();
 
   std::ofstream out(path);

@@ -4,42 +4,32 @@
 // explores EVERY schedule and fault placement and reports either a proof
 // of correctness or a concrete violating execution, replayed step by step.
 //
-// Protocols are resolved through the central ProtocolRegistry (the same
-// single-source IR definitions the stress harness runs on real threads),
-// so the names printed here match every other front end exactly.
+// Every run is described by a verify::JobSpec and executed through
+// verify::run() — the same canonical job layer the benches, the
+// differential tests and the future ffd daemon use — so a run is
+// hashable: pass --cache-dir and an identical job is answered from the
+// persistent census cache instead of re-explored (DESIGN.md §3j).
 //
 //   $ ./fault_explorer --list-protocols
 //   $ ./fault_explorer --protocol staged --f 1 --t 1 --n 3 --kind overriding
 //   $ ./fault_explorer --protocol herlihy --n 2 --kind silent --t 1
-//   $ ./fault_explorer --protocol fp1 --objects 2 --f 1 --n 3
+//   $ ./fault_explorer --protocol staged --t 2 --n 3 --cache-dir ~/.ffcache
+//   $ ./fault_explorer cache stats --cache-dir ~/.ffcache
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <numeric>
 #include <optional>
 
 #include "proto/analysis/analysis.hpp"
 #include "proto/registry.hpp"
-#include "sched/explorer.hpp"
-#include "sched/frontier_explorer.hpp"
-#include "sched/fuzzer.hpp"
-#include "sched/parallel_explorer.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "verify/cache.hpp"
+#include "verify/run.hpp"
 
 namespace {
 
 using namespace ff;
-
-model::FaultKind parse_kind(const std::string& name) {
-  if (name == "overriding") return model::FaultKind::kOverriding;
-  if (name == "silent") return model::FaultKind::kSilent;
-  if (name == "invisible") return model::FaultKind::kInvisible;
-  if (name == "arbitrary") return model::FaultKind::kArbitrary;
-  if (name == "nonresponsive") return model::FaultKind::kNonresponsive;
-  if (name == "data") return model::FaultKind::kDataCorruption;
-  if (name == "none") return model::FaultKind::kNone;
-  throw std::invalid_argument("unknown fault kind: " + name);
-}
 
 void print_protocols() {
   std::cout << "registered protocols (canonical name [aliases] — summary):\n";
@@ -58,6 +48,8 @@ void print_protocols() {
 void print_usage() {
   std::cout <<
       "usage: fault_explorer [options]\n"
+      "       fault_explorer cache stats|gc|invalidate <protocol> "
+      "--cache-dir <dir>\n"
       "  --list-protocols  print the protocol registry and exit\n"
       "  --protocol  a registry name or alias, e.g. single-cas | herlihy |\n"
       "              fp1 | staged | retry-silent | announce-cas | tas |\n"
@@ -69,10 +61,12 @@ void print_usage() {
       "  --n         processes                                 (default 2)\n"
       "  --objects   object count for fp1                      (default f+1)\n"
       "  --state-cap explorer state limit                      (default 4e6)\n"
-      "  --engine    dfs | parallel | frontier — search engine (default dfs;\n"
+      "  --engine    dfs | parallel | frontier | fuzz | stress (default dfs;\n"
       "              --threads > 0 without --engine implies parallel).\n"
       "              frontier = batched owner-computes BFS wavefront engine\n"
-      "              (DESIGN.md §3i; sleep sets do not apply to BFS)\n"
+      "              (DESIGN.md §3i; sleep sets are a DFS notion — the job\n"
+      "              layer rejects the combination, this CLI disables them\n"
+      "              for frontier runs and says so)\n"
       "  --threads   worker threads for parallel/frontier;\n"
       "              0 = one per hardware thread                (default 0)\n"
       "  --spill-dir frontier only: directory for sorted census spill runs\n"
@@ -97,16 +91,26 @@ void print_usage() {
       "              recoverable-staged) branch — others are unaffected\n"
       "  --crash-budget  max crashes per process (implies --crashes;\n"
       "              0 = crashes disabled)                     (default 0)\n"
-      "  --fuzz      coverage-guided schedule fuzzing instead of\n"
-      "              exhaustive exploration (for configurations too large\n"
-      "              to enumerate); witnesses are shrunk before printing\n"
-      "  --seed      fuzzer seed                                (default 1)\n"
+      "  --fuzz      shorthand for --engine fuzz: coverage-guided schedule\n"
+      "              fuzzing instead of exhaustive exploration; witnesses\n"
+      "              are shrunk before printing\n"
+      "  --seed      fuzz/stress seed                           (default 1)\n"
       "  --fuzz-steps  fuzzing budget in simulated steps, 0 = unlimited\n"
       "                                                    (default 2e6)\n"
-      "  --fuzz-millis wall-clock budget in ms, 0 = none       (default 0)\n"
+      "  --fuzz-millis wall-clock budget in ms, 0 = none; a deadline makes\n"
+      "              the job uncacheable                       (default 0)\n"
       "  --fuzz-execs  stop after this many executions, 0 = none\n"
-      "  --json      write the full fuzz result (stats, corpus, coverage,\n"
-      "              RNG state) as JSON to this path\n";
+      "  --trials    stress engine: real-thread trials          (default 100)\n"
+      "  --cache-dir persistent census cache directory: an identical job\n"
+      "              (same canonical spec AND same protocol IR) is answered\n"
+      "              from disk with zero states expanded\n"
+      "  --no-cache  bypass the cache even when --cache-dir is set\n"
+      "  --json      write the run summary (canonical job, fingerprint,\n"
+      "              cache_hit, full verify::Report) as JSON to this path\n"
+      "cache subcommand (requires --cache-dir):\n"
+      "  cache stats                 entry/byte/unreadable counts\n"
+      "  cache gc                    evict corrupt or stale-version entries\n"
+      "  cache invalidate <protocol> evict one protocol's entries\n";
 }
 
 /// Replays a witness step by step, printing each operation and the
@@ -172,51 +176,217 @@ void print_witness_replay(const sched::SimWorld& world,
   }
 }
 
-int run_fuzz(const sched::SimWorld& world, const util::Cli& cli,
-             model::FaultKind kind) {
-  sched::FuzzOptions options;
-  options.seed = cli.get_uint("seed", 1);
-  options.budget.max_units = cli.get_uint("fuzz-steps", 2'000'000);
-  options.budget.max_millis = cli.get_uint("fuzz-millis", 0);
-  options.max_execs = cli.get_uint("fuzz-execs", 0);
-  options.killed_is_violation = kind == model::FaultKind::kNonresponsive;
-  options.symmetry_reduction = !cli.has("no-symmetry");
+/// `fault_explorer cache stats|gc|invalidate <protocol> --cache-dir ...`.
+int run_cache_command(const util::Cli& cli) {
+  const auto& args = cli.positional();
+  const std::string dir = cli.get_string("cache-dir", "");
+  if (dir.empty()) {
+    std::cerr << "cache subcommand requires --cache-dir\n";
+    return 2;
+  }
+  const verify::Cache cache(dir);
+  const std::string action = args.size() > 1 ? args[1] : "stats";
+  if (action == "stats") {
+    const auto stats = cache.stats();
+    std::cout << "cache dir      : " << cache.dir() << '\n'
+              << "entries        : " << stats.entries << '\n'
+              << "bytes          : " << stats.bytes << '\n'
+              << "unreadable     : " << stats.unreadable
+              << (stats.unreadable > 0 ? "  (run `cache gc`)" : "") << '\n';
+    return 0;
+  }
+  if (action == "gc") {
+    std::cout << "evicted        : " << cache.gc()
+              << " corrupt or stale-version entries\n";
+    return 0;
+  }
+  if (action == "invalidate") {
+    if (args.size() < 3) {
+      std::cerr << "usage: fault_explorer cache invalidate <protocol> "
+                   "--cache-dir <dir>\n";
+      return 2;
+    }
+    std::cout << "evicted        : " << cache.invalidate(args[2])
+              << " entries for protocol " << args[2] << '\n';
+    return 0;
+  }
+  std::cerr << "unknown cache action: " << action
+            << " (expected stats | gc | invalidate)\n";
+  return 2;
+}
 
-  const sched::FuzzResult result = sched::fuzz(world, options);
+/// Builds the canonical job from the CLI vocabulary.
+verify::JobSpec spec_from_cli(const util::Cli& cli) {
+  verify::JobSpec spec;
+  spec.protocol = cli.get_string("protocol", "staged");
+  const auto f = cli.get_uint("f", 1);
+  const auto t_raw = static_cast<std::uint32_t>(cli.get_uint("t", 1));
+  spec.t = t_raw == 0 ? model::kUnbounded : t_raw;
+  spec.processes = static_cast<std::uint32_t>(cli.get_uint("n", 2));
+  spec.kind =
+      verify::fault_kind_from_string(cli.get_string("kind", "overriding"));
+  // Map the explorer's CLI vocabulary onto the registry's parameter
+  // schema; canonicalization drops keys a protocol's schema lacks.
+  spec.params["f"] = f;
+  spec.params["n"] = spec.processes;
+  spec.params["t"] = spec.t == model::kUnbounded ? 1 : spec.t;
+  spec.params["k"] = cli.get_uint("objects", f + 1);
 
-  std::cout << "executions     : " << result.stats.executions << '\n'
-            << "steps          : " << result.stats.total_steps << '\n'
-            << "unique states  : " << result.stats.unique_states << '\n'
-            << "corpus         : " << result.stats.corpus_entries
-            << " schedules\n"
-            << "coverage       : "
-            << (result.complete ? "requested work finished"
-                                : "budget exhausted or stopped early")
-            << '\n';
+  spec.crash_budget = static_cast<std::uint32_t>(
+      cli.get_uint("crash-budget", cli.has("crashes") ? 1 : 0));
+  spec.killed_is_violation = spec.kind == model::FaultKind::kNonresponsive;
+  spec.symmetry_reduction = !cli.has("no-symmetry");
+  spec.sleep_sets = !cli.has("no-sleep-sets");
+  spec.immunity_pruning = !cli.has("no-immunity-pruning");
+  spec.max_states = cli.get_uint("state-cap", 4'000'000);
 
-  const std::string json_path = cli.get_string("json", "");
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << result.to_json() << '\n';
-    std::cout << "json           : " << json_path << '\n';
+  spec.threads = static_cast<std::uint32_t>(cli.get_uint("threads", 0));
+  // --threads > 0 without an explicit --engine keeps its historical
+  // meaning: the work-stealing parallel DFS.  --fuzz is the historical
+  // spelling of --engine fuzz.
+  std::string engine =
+      cli.get_string("engine", spec.threads > 0 ? "parallel" : "dfs");
+  if (cli.has("fuzz")) engine = "fuzz";
+  spec.engine = verify::engine_from_string(engine);
+  if (spec.engine == verify::Engine::kFrontier && spec.sleep_sets) {
+    std::cout << "note: sleep sets are a DFS-path notion; disabled for the "
+                 "frontier (BFS) engine\n";
+    spec.sleep_sets = false;
+  }
+  spec.spill_dir = cli.get_string("spill-dir", "");
+  spec.mem_limit_bytes =
+      cli.get_uint("mem-limit-mb", 0) * (std::uint64_t{1} << 20);
+
+  spec.seed = cli.get_uint("seed", 1);
+  spec.fuzz_steps = cli.get_uint("fuzz-steps", 2'000'000);
+  spec.fuzz_millis = cli.get_uint("fuzz-millis", 0);
+  spec.fuzz_execs = cli.get_uint("fuzz-execs", 0);
+  spec.trials = cli.get_uint("trials", 100);
+  if (spec.engine == verify::Engine::kStress) {
+    // The stress engine runs clean real-thread trials; validate() would
+    // reject the simulator-only default kind with a confusing error.
+    if (!cli.has("kind")) spec.kind = model::FaultKind::kNone;
   }
 
-  if (!result.violation) {
+  // Historical behavior: a complete, violation-free exhaustive run also
+  // reports the machine-checked wait-freedom bound.
+  spec.wait_free_bound = spec.engine == verify::Engine::kDfs ||
+                         spec.engine == verify::Engine::kParallel ||
+                         spec.engine == verify::Engine::kFrontier;
+  return spec;
+}
+
+void write_json_summary(const std::string& path, const verify::JobSpec& spec,
+                        const verify::RunOutcome& outcome) {
+  std::ofstream out(path);
+  // The spec and report documents are already canonical JSON; splice
+  // them verbatim instead of re-walking them through a writer.
+  out << "{\"spec\":" << spec.canonical_json()
+      << ",\"fingerprint\":\"" << outcome.fingerprint.hex()
+      << "\",\"cache_hit\":" << (outcome.cache_hit ? "true" : "false")
+      << ",\"fresh_states_expanded\":" << outcome.fresh_states_expanded
+      << ",\"report\":" << outcome.report.to_json() << "}\n";
+  std::cout << "json           : " << path << '\n';
+}
+
+int report_fuzz(const verify::JobSpec& spec,
+                const verify::RunOutcome& outcome) {
+  const verify::Report& report = outcome.report;
+  const verify::FuzzSummary& fuzz = *report.fuzz;
+  std::cout << "executions     : " << fuzz.executions << '\n'
+            << "steps          : " << fuzz.total_steps << '\n'
+            << "unique states  : " << fuzz.unique_states << '\n'
+            << "corpus         : " << fuzz.corpus_entries << " schedules\n"
+            << "coverage       : "
+            << (report.complete ? "requested work finished"
+                                : "budget exhausted or stopped early")
+            << '\n';
+  if (!report.violation) {
     std::cout << "verdict        : no violation found (sampling — NOT a "
                  "proof of correctness)\n";
     return 0;
   }
+  std::cout << "verdict        : VIOLATION ("
+            << sched::to_string(report.violation->kind) << ")\n"
+            << "detail         : " << report.violation->detail << '\n'
+            << "found at exec  : " << fuzz.first_violation_exec.value_or(0)
+            << '\n'
+            << "witness        : " << report.violation->schedule_string()
+            << "\n  (shrunk from " << fuzz.witness_steps_found << " to "
+            << fuzz.witness_steps_shrunk << " steps)\n\nreplaying witness:\n";
+  print_witness_replay(verify::instantiate(spec).world(), *report.violation);
+  return 1;
+}
+
+int report_stress(const verify::RunOutcome& outcome) {
+  const verify::StressSummary& stress = *outcome.report.stress;
+  std::cout << "trials         : " << stress.trials << '\n'
+            << "ok             : " << stress.ok << '\n'
+            << "inconsistent   : " << stress.inconsistent << '\n'
+            << "invalid        : " << stress.invalid << '\n'
+            << "undecided      : " << stress.undecided << '\n';
+  if (stress.trials == stress.ok) {
+    std::cout << "verdict        : every real-thread trial reached "
+                 "consensus (sampling — NOT a proof)\n";
+    return 0;
+  }
+  std::cout << "verdict        : VIOLATION (first at trial "
+            << stress.first_violation.value_or(0) << ")\n";
+  return 1;
+}
+
+int report_explore(const verify::JobSpec& spec,
+                   const verify::RunOutcome& outcome) {
+  const verify::Report& report = outcome.report;
+  std::cout << "states visited : " << report.states_visited << '\n'
+            << "terminal states: " << report.terminal_states << '\n'
+            << "max depth      : " << report.max_depth << '\n'
+            << "peak memory    : " << (report.peak_bytes >> 10) << " KiB\n"
+            << "coverage       : "
+            << (report.complete ? "COMPLETE (exhaustive proof)"
+                                : "partial (cap hit or stopped early)")
+            << '\n';
+  if (report.frontier) {
+    std::cout << "frontier       : waves=" << report.frontier->waves
+              << " forwarded=" << report.frontier->forwarded
+              << " batch_sweeps=" << report.frontier->batch_sweeps
+              << " memo_hits=" << report.frontier->memo_hits
+              << " lanes=" << report.frontier->arena_lanes << '\n';
+    if (report.frontier->spill_runs > 0) {
+      std::cout << "spill          : runs=" << report.frontier->spill_runs
+                << " records=" << report.frontier->spilled_records
+                << " bytes=" << report.frontier->spill_bytes << '\n';
+    }
+  }
+  if (report.immunity_skips > 0) {
+    std::cout << "A2 pruning     : " << report.immunity_skips
+              << " overriding branches skipped via proved-immune objects ("
+              << report.immunity_checks << " checked dynamically)\n";
+  }
+
+  if (!report.violation) {
+    std::cout << "verdict        : no violation — consensus holds for every "
+                 "schedule and fault placement explored\n";
+    std::cout << "agreed values  : {";
+    bool first = true;
+    for (const auto v : report.agreed_values) {
+      std::cout << (first ? "" : ", ") << v;
+      first = false;
+    }
+    std::cout << "}\n";
+    if (report.wait_free_bound) {
+      std::cout << "wait-free bound: " << *report.wait_free_bound
+                << " total steps in the worst schedule\n";
+    }
+    return 0;
+  }
 
   std::cout << "verdict        : VIOLATION ("
-            << sched::to_string(result.violation->kind) << ")\n"
-            << "detail         : " << result.violation->detail << '\n'
-            << "found at exec  : "
-            << result.stats.first_violation_exec.value_or(0) << '\n'
-            << "witness        : " << result.violation->schedule_string()
-            << "\n  (shrunk from " << result.stats.witness_steps_found
-            << " to " << result.stats.witness_steps_shrunk
-            << " steps)\n\nreplaying witness:\n";
-  print_witness_replay(world, *result.violation);
+            << sched::to_string(report.violation->kind) << ")\n"
+            << "detail         : " << report.violation->detail << '\n'
+            << "witness        : " << report.violation->schedule_string()
+            << "\n\nreplaying witness:\n";
+  print_witness_replay(verify::instantiate(spec).world(), *report.violation);
   return 1;
 }
 
@@ -228,175 +398,73 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
-
   if (cli.has("list-protocols")) {
     print_protocols();
     return 0;
   }
+  if (!cli.positional().empty() && cli.positional()[0] == "cache") {
+    return run_cache_command(cli);
+  }
 
-  const std::string proto_name = cli.get_string("protocol", "staged");
-  const auto f = static_cast<std::uint32_t>(cli.get_uint("f", 1));
-  const auto t_raw = static_cast<std::uint32_t>(cli.get_uint("t", 1));
-  const std::uint32_t t = t_raw == 0 ? model::kUnbounded : t_raw;
-  const auto n = static_cast<std::uint32_t>(cli.get_uint("n", 2));
-  const model::FaultKind kind =
-      parse_kind(cli.get_string("kind", "overriding"));
-
-  const proto::ProtocolInfo* info =
-      proto::ProtocolRegistry::instance().find(proto_name);
-  if (info == nullptr || !info->simulable) {
-    std::cerr << (info == nullptr
-                      ? "unknown protocol: "
-                      : "protocol is a queue client, not simulable: ")
-              << proto_name << "\n\n";
+  verify::JobSpec spec;
+  try {
+    spec = spec_from_cli(cli);
+    spec.validate();
+  } catch (const std::invalid_argument& err) {
+    std::cerr << err.what() << "\n\n";
     print_protocols();
     return 2;
   }
-  // Map the explorer's CLI vocabulary onto the registry's parameter
-  // schema; anything not set falls back to the schema defaults.
-  proto::Params params;
-  params.set("f", f).set("n", n);
-  params.set("t", t == model::kUnbounded ? 1 : t);
-  params.set("k", cli.get_uint("objects", f + 1));
 
   if (cli.has("analyze")) {
-    const auto program = proto::build_program(info->name, params);
-    const auto report = proto::analysis::analyze(*program);
+    const auto instance = verify::instantiate(spec);
+    const auto report = proto::analysis::analyze(*instance.program);
     std::cout << proto::analysis::render_human(report);
     return report.ok() ? 0 : 1;
   }
 
-  const std::unique_ptr<sched::MachineFactory> factory =
-      proto::machine_factory(info->name, params);
-
-  sched::SimConfig config;
-  config.num_objects = factory->objects_used();
-  config.num_registers = factory->registers_used();
-  config.kind = kind;
-  config.t = t;
-  config.allow_corruption_steps = kind == model::FaultKind::kDataCorruption;
-  config.crash_budget = static_cast<std::uint32_t>(
-      cli.get_uint("crash-budget", cli.has("crashes") ? 1 : 0));
-  config.use_immunity_pruning = !cli.has("no-immunity-pruning");
-  std::vector<std::uint64_t> inputs(n);
-  std::iota(inputs.begin(), inputs.end(), 1);
-  const sched::SimWorld world(config, *factory, inputs);
-
-  if (cli.has("fuzz")) {
-    std::cout << "fuzzing: protocol=" << factory->name()
-              << " objects=" << config.num_objects << " kind="
-              << model::to_string(kind) << " t="
-              << (t == model::kUnbounded ? std::string("inf")
-                                         : std::to_string(t))
-              << " n=" << n << " seed=" << cli.get_uint("seed", 1)
-              << "\n\n";
-    return run_fuzz(world, cli, kind);
+  std::optional<verify::Cache> cache;
+  const std::string cache_dir = cli.get_string("cache-dir", "");
+  if (!cache_dir.empty() && !cli.has("no-cache")) {
+    cache.emplace(cache_dir);
   }
 
-  sched::ExploreOptions options;
-  options.max_states = cli.get_uint("state-cap", 4'000'000);
-  options.killed_is_violation = kind == model::FaultKind::kNonresponsive;
-  options.symmetry_reduction = !cli.has("no-symmetry");
-  options.sleep_sets = !cli.has("no-sleep-sets");
+  const verify::JobSpec canonical = spec.canonicalized();
+  std::cout << (spec.engine == verify::Engine::kFuzz
+                    ? "fuzzing"
+                    : spec.engine == verify::Engine::kStress ? "stressing"
+                                                             : "exploring")
+            << ": protocol=" << canonical.protocol << " kind="
+            << model::to_string(spec.kind) << " t="
+            << (spec.t == model::kUnbounded ? std::string("inf")
+                                            : std::to_string(spec.t))
+            << " n=" << spec.processes << " engine="
+            << verify::to_string(spec.engine);
+  if (spec.engine == verify::Engine::kParallel ||
+      spec.engine == verify::Engine::kFrontier) {
+    std::cout << '('
+              << (spec.threads > 0 ? std::to_string(spec.threads) + " threads"
+                                   : std::string("hw threads"))
+              << ')';
+  }
+  std::cout << "\n\n";
 
-  const auto threads =
-      static_cast<std::uint32_t>(cli.get_uint("threads", 0));
-  // --threads > 0 without an explicit --engine keeps its historical
-  // meaning: the work-stealing parallel DFS.
-  const std::string engine =
-      cli.get_string("engine", threads > 0 ? "parallel" : "dfs");
-  if (engine != "dfs" && engine != "parallel" && engine != "frontier") {
-    std::cerr << "unknown engine: " << engine
-              << " (expected dfs | parallel | frontier)\n";
-    return 2;
+  const verify::RunOutcome outcome = verify::run(spec, cache ? &*cache : nullptr);
+  if (cache) {
+    std::cout << "cache          : "
+              << (outcome.cache_hit
+                      ? "HIT — report served from " + cache->dir() +
+                            ", zero states expanded"
+                      : "miss — result stored in " + cache->dir())
+              << '\n';
   }
 
-  std::cout << "exploring: protocol=" << factory->name()
-            << " objects=" << config.num_objects << " kind="
-            << model::to_string(kind) << " t="
-            << (t == model::kUnbounded ? std::string("inf")
-                                       : std::to_string(t))
-            << " n=" << n << " explorer="
-            << (engine == "dfs"
-                    ? std::string("sequential")
-                    : engine + "(" +
-                          (threads > 0 ? std::to_string(threads) + " threads"
-                                       : std::string("hw threads")) +
-                          ")")
-            << "\n\n";
-  sched::ExploreResult result;
-  std::optional<sched::FrontierStats> frontier_stats;
-  if (engine == "parallel") {
-    sched::ParallelExploreOptions parallel_options;
-    parallel_options.explore = options;
-    parallel_options.num_threads = threads;
-    result = sched::parallel_explore(world, parallel_options);
-  } else if (engine == "frontier") {
-    sched::FrontierExploreOptions frontier_options;
-    frontier_options.explore = options;
-    frontier_options.num_threads = threads;
-    frontier_options.spill_dir = cli.get_string("spill-dir", "");
-    frontier_options.mem_limit_bytes =
-        cli.get_uint("mem-limit-mb", 0) * (std::uint64_t{1} << 20);
-    auto fr = sched::frontier_explore(config, *factory, inputs,
-                                      frontier_options);
-    result = std::move(fr.explore);
-    frontier_stats = fr.stats;
-  } else {
-    result = sched::explore(world, options);
-  }
+  const std::string json_path = cli.get_string("json", "");
+  if (!json_path.empty()) write_json_summary(json_path, spec, outcome);
 
-  std::cout << "states visited : " << result.states_visited << '\n'
-            << "terminal states: " << result.terminal_states << '\n'
-            << "max depth      : " << result.max_depth << '\n'
-            << "peak memory    : " << (result.peak_bytes >> 10) << " KiB\n"
-            << "coverage       : "
-            << (result.complete ? "COMPLETE (exhaustive proof)"
-                                : "partial (cap hit or stopped early)")
-            << '\n';
-  if (frontier_stats) {
-    std::cout << "frontier       : waves=" << frontier_stats->waves
-              << " forwarded=" << frontier_stats->forwarded
-              << " batch_sweeps=" << frontier_stats->batch_sweeps
-              << " memo_hits=" << frontier_stats->memo_hits
-              << " lanes=" << frontier_stats->arena_lanes << '\n';
-    if (frontier_stats->spill_runs > 0) {
-      std::cout << "spill          : runs=" << frontier_stats->spill_runs
-                << " records=" << frontier_stats->spilled_records
-                << " bytes=" << frontier_stats->spill_bytes << '\n';
-    }
+  switch (spec.engine) {
+    case verify::Engine::kFuzz: return report_fuzz(spec, outcome);
+    case verify::Engine::kStress: return report_stress(outcome);
+    default: return report_explore(spec, outcome);
   }
-  if (result.immunity_skips > 0) {
-    std::cout << "A2 pruning     : " << result.immunity_skips
-              << " overriding branches skipped via proved-immune objects ("
-              << result.immunity_checks << " checked dynamically)\n";
-  }
-
-  if (!result.violation) {
-    std::cout << "verdict        : no violation — consensus holds for every "
-                 "schedule and fault placement explored\n";
-    std::cout << "agreed values  : {";
-    bool first = true;
-    for (const auto v : result.agreed_values) {
-      std::cout << (first ? "" : ", ") << v;
-      first = false;
-    }
-    std::cout << "}\n";
-    if (result.complete) {
-      const auto bound = sched::longest_execution(world, options);
-      if (bound.complete) {
-        std::cout << "wait-free bound: " << bound.max_total_steps
-                  << " total steps in the worst schedule\n";
-      }
-    }
-    return 0;
-  }
-
-  std::cout << "verdict        : VIOLATION ("
-            << sched::to_string(result.violation->kind) << ")\n"
-            << "detail         : " << result.violation->detail << '\n'
-            << "witness        : " << result.violation->schedule_string()
-            << "\n\nreplaying witness:\n";
-  print_witness_replay(world, *result.violation);
-  return 1;
 }

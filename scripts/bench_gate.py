@@ -52,6 +52,16 @@ B6 gates:
     watermark, every wave spilled) reproduced the in-memory census
     exactly AND actually wrote runs.
 
+B7 gates:
+  * speedup >= 100 — re-running the reference job against a warm census
+    cache (cold_seconds / warm_seconds, warm = median of the warm reps)
+    must beat re-exploring by two orders of magnitude;
+  * report_match is true — the warm Report's canonical JSON is
+    byte-identical to the cold run's;
+  * cache_hit is true and zero_fresh_states is true — the warm runs
+    were answered by the cache without expanding a single state;
+  * cold_was_hit is false — the cold run really ran (fresh directory).
+
 Exit status: 0 when all gates hold, 1 when any fails, 2 when a report
 is unreadable or missing a gated field.
 """
@@ -64,6 +74,7 @@ MAX_CRASH_GROWTH_B1 = 64.0
 MIN_IMMUNE_PRUNE_FACTOR = 1.0
 MIN_POOL_BATCH_SPEEDUP = 2.0
 MIN_FRONTIER_SPEEDUP = 2.0
+MIN_WARM_SPEEDUP = 100.0
 
 
 def gate_b3(report):
@@ -216,6 +227,45 @@ def gate_b6(report):
     return failed
 
 
+def gate_b7(report):
+    failed = False
+    mode = "smoke" if report.get("smoke") else "full"
+    speedup = float(report["speedup"])
+    report_match = bool(report["report_match"])
+    cache_hit = bool(report["cache_hit"])
+    zero_fresh = bool(report["zero_fresh_states"])
+    cold_was_hit = bool(report["cold_was_hit"])
+
+    print(f"bench gate B7 ({mode}): {report['protocol']} — "
+          f"{int(report['states'])} states, cold "
+          f"{float(report['cold_seconds']):.3f} s vs warm "
+          f"{float(report['warm_seconds']) * 1e3:.3f} ms "
+          f"({speedup:.0f}x), report match: {report_match}, "
+          f"cache hit: {cache_hit}, zero fresh states: {zero_fresh}")
+
+    if speedup < MIN_WARM_SPEEDUP:
+        print(f"bench_gate: FAIL — warm-cache speedup {speedup:.1f} < "
+              f"{MIN_WARM_SPEEDUP}", file=sys.stderr)
+        failed = True
+    if not report_match:
+        print("bench_gate: FAIL — warm Report is not byte-identical to the "
+              "cold Report", file=sys.stderr)
+        failed = True
+    if not cache_hit:
+        print("bench_gate: FAIL — a warm run missed the cache",
+              file=sys.stderr)
+        failed = True
+    if not zero_fresh:
+        print("bench_gate: FAIL — a warm run expanded fresh states",
+              file=sys.stderr)
+        failed = True
+    if cold_was_hit:
+        print("bench_gate: FAIL — the cold run hit a stale cache entry "
+              "(directory was not fresh)", file=sys.stderr)
+        failed = True
+    return failed
+
+
 def main(argv):
     if len(argv) < 2:
         print("usage: bench_gate.py <BENCH.json> [<BENCH.json> ...]",
@@ -237,6 +287,8 @@ def main(argv):
                 failed |= gate_b5(report)
             elif bench == "B6":
                 failed |= gate_b6(report)
+            elif bench == "B7":
+                failed |= gate_b7(report)
             else:
                 print(f"bench_gate: {path} has unknown bench id {bench!r}",
                       file=sys.stderr)

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Nine-stage verification gate:
+# Ten-stage verification gate:
 #   1. default build (-DFF_WERROR=ON) → the fast `tier1` test label
 #      (all unit suites) plus the `codegen` differential suite,
 #      warnings promoted to errors;
@@ -37,37 +37,43 @@
 #      factor >= 1, the pool batch sweep is >= 2x scalar delivery, the
 #      B5 crash growth/latency bounds hold, and the B6 frontier engine
 #      is >= 2x parallel_explore in states/sec with a bit-equal census
-#      in memory and under forced spilling.
+#      in memory and under forced spilling;
+#  10. verify-cache (label `verify-cache`: the canonical job layer —
+#      JobSpec round-trips, strict validation, and the persistent
+#      census cache's hit/miss/soundness matrix), then
+#      bench_b7_cache --json --smoke and scripts/bench_gate.py asserts
+#      a warm cache hit is >= 100x faster than the cold search with a
+#      bit-identical Report and zero fresh states expanded.
 # Usage: scripts/check.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== [1/9] default build (FF_WERROR=ON) · ctest -L 'tier1|codegen' =="
+echo "== [1/10] default build (FF_WERROR=ON) · ctest -L 'tier1|codegen' =="
 cmake -B build -S . -DFF_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build -L 'tier1|codegen' --output-on-failure -j "$JOBS"
 
-echo "== [2/9] ffgen drift gate =="
+echo "== [2/10] ffgen drift gate =="
 ./build/tools/ffgen/ffgen --check --out src/proto/generated
 
-echo "== [3/9] default build · ctest -L tier2-fuzz =="
+echo "== [3/10] default build · ctest -L tier2-fuzz =="
 ctest --test-dir build -L tier2-fuzz --output-on-failure -j "$JOBS"
 
-echo "== [4/9] FF_SANITIZE=thread build · ctest -L tsan =="
+echo "== [4/10] FF_SANITIZE=thread build · ctest -L tsan =="
 cmake -B build-tsan -S . -DFF_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target test_parallel_explorer test_determinism test_concurrency \
            test_recoverable_consensus
 ctest --test-dir build-tsan -L tsan --output-on-failure -j "$JOBS"
 
-echo "== [5/9] FF_SANITIZE=address build · ctest -L asan =="
+echo "== [5/10] FF_SANITIZE=address build · ctest -L asan =="
 cmake -B build-asan -S . -DFF_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target test_fuzzer test_shrink test_fuzz_smoke test_sim test_faults
 ctest --test-dir build-asan -L asan --output-on-failure -j "$JOBS"
 
-echo "== [6/9] ff-lint · ctest -L lint + tree scan =="
+echo "== [6/10] ff-lint · ctest -L lint + tree scan =="
 ctest --test-dir build -L lint --output-on-failure -j "$JOBS"
 lint_status=0
 ./build/tools/fflint/fflint --root . --json --quiet \
@@ -82,7 +88,7 @@ if [ "$lint_status" -ne 0 ]; then
   exit 1
 fi
 
-echo "== [7/9] ffcheck · ctest -L analysis + registry obligations =="
+echo "== [7/10] ffcheck · ctest -L analysis + registry obligations =="
 ctest --test-dir build -L analysis --output-on-failure -j "$JOBS"
 ffcheck_status=0
 ./build/tools/ffcheck/ffcheck --json \
@@ -97,7 +103,7 @@ if [ "$ffcheck_status" -ne 0 ]; then
   exit 1
 fi
 
-echo "== [8/9] clang-tidy (advisory) =="
+echo "== [8/10] clang-tidy (advisory) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # Tidy the first-party sources only; the compile database from stage 1
   # (CMAKE_EXPORT_COMPILE_COMMANDS) keeps flags identical to the build.
@@ -107,7 +113,7 @@ else
   echo "notice: clang-tidy not on PATH — stage skipped (advisory only)"
 fi
 
-echo "== [9/9] frontier differential + bench smoke · scripts/bench_gate.py =="
+echo "== [9/10] frontier differential + bench smoke · scripts/bench_gate.py =="
 ctest --test-dir build -L frontier --output-on-failure -j "$JOBS"
 ./build/bench/bench_b3_explorer --json build/BENCH_B3.smoke.json --smoke
 ./build/bench/bench_b4_fuzzer --json build/BENCH_B4.smoke.json --smoke
@@ -117,4 +123,9 @@ python3 scripts/bench_gate.py build/BENCH_B3.smoke.json \
                               build/BENCH_B5.smoke.json \
                               build/BENCH_B6.smoke.json
 
-echo "OK: all nine stages passed"
+echo "== [10/10] verify-cache suite + B7 warm-hit gate =="
+ctest --test-dir build -L verify-cache --output-on-failure -j "$JOBS"
+./build/bench/bench_b7_cache --json build/BENCH_B7.smoke.json --smoke
+python3 scripts/bench_gate.py build/BENCH_B7.smoke.json
+
+echo "OK: all ten stages passed"

@@ -63,6 +63,8 @@ struct Violation {
     }
     return s;
   }
+
+  friend bool operator==(const Violation&, const Violation&) = default;
 };
 
 struct ExploreOptions {

@@ -37,13 +37,15 @@
 // sched/reduce.hpp canonical fingerprints.  Differences by design,
 // mirroring parallel_explore:
 //
-//   * Sleep-set POR is DISABLED and ExploreOptions::sleep_sets ignored:
-//     sleep sets are a DFS-path notion (the not-chosen alternatives of
-//     THIS path are put to sleep along the chosen branch); a BFS wave
-//     has no path context to carry them soundly, and because sleep sets
-//     prune transitions but never states, the visited-state census is
-//     identical anyway (see find_shortest_violation, which makes the
-//     same argument).
+//   * Sleep-set POR is REJECTED: ExploreOptions::sleep_sets = true makes
+//     frontier_explore throw std::invalid_argument (it used to be
+//     silently ignored).  Sleep sets are a DFS-path notion (the
+//     not-chosen alternatives of THIS path are put to sleep along the
+//     chosen branch); a BFS wave has no path context to carry them
+//     soundly, and because sleep sets prune transitions but never
+//     states, the visited-state census is identical anyway (see
+//     find_shortest_violation, which makes the same argument).
+//     verify::JobSpec::validate() enforces the same rule up front.
 //   * kNontermination counts process edges inside cyclic SCCs of the
 //     explored graph, not DFS back-edges; compare presence, not counts.
 //   * max_depth is the BFS radius (longest SHORTEST path from the
@@ -63,7 +65,7 @@
 namespace ff::sched {
 
 struct FrontierExploreOptions {
-  ExploreOptions explore;  ///< sleep_sets is ignored (see header note)
+  ExploreOptions explore;  ///< sleep_sets = true throws (see header note)
   /// Worker threads; 0 = hardware concurrency.
   std::uint32_t num_threads = 0;
   /// Fingerprint-space shards (rounded up to a power of two); 0 picks
@@ -93,6 +95,9 @@ struct FrontierStats {
   std::uint64_t batched_lanes = 0;     ///< lanes stepped by those calls
   std::uint64_t memo_hits = 0;         ///< transitions answered by memo
   std::uint64_t arena_lanes = 0;       ///< distinct hash-consed lanes
+
+  friend bool operator==(const FrontierStats&,
+                         const FrontierStats&) = default;
 };
 
 struct FrontierExploreResult {

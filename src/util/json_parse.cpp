@@ -1,0 +1,339 @@
+#include "util/json_parse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace ff::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, JsonValue::Type got) {
+  throw JsonParseError(std::string("expected ") + wanted +
+                           ", got value of type " +
+                           std::to_string(static_cast<int>(got)),
+                       0);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (type_ == Type::kUint) return uint_;
+  type_error("unsigned integer", type_);
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kUint) {
+    if (uint_ > static_cast<std::uint64_t>(INT64_MAX)) {
+      type_error("signed integer", type_);
+    }
+    return static_cast<std::int64_t>(uint_);
+  }
+  type_error("signed integer", type_);
+}
+
+double JsonValue::as_double() const {
+  switch (type_) {
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kDouble: return double_;
+    default: type_error("number", type_);
+  }
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw JsonParseError("missing member \"" + std::string(key) + '"', 0);
+  }
+  return *v;
+}
+
+/// Single-pass parser over the input view.  Bounded by construction:
+/// every production consumes at least one byte and nesting is capped.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what, pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + '\'');
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        {
+          JsonValue v;
+          v.type_ = JsonValue::Type::kBool;
+          v.bool_ = true;
+          return v;
+        }
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        {
+          JsonValue v;
+          v.type_ = JsonValue::Type::kBool;
+          v.bool_ = false;
+          return v;
+        }
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail("unexpected character");
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char sep = peek();
+      ++pos_;
+      if (sep == '}') return v;
+      if (sep != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char sep = peek();
+      ++pos_;
+      if (sep == ']') return v;
+      if (sep != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out, parse_hex4()); break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad \\u escape");
+      }
+    }
+    return cp;
+  }
+
+  /// UTF-8-encodes a BMP codepoint.  Surrogate halves are kept as their
+  /// raw 3-byte encodings (the writer never emits them; a reparse of
+  /// foreign input stays lossless enough to fail checksums, not crash).
+  static void append_codepoint(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    bool integral = true;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (peek() < '0' || peek() > '9') fail("bad number");
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("bad fraction");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("bad exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    JsonValue v;
+    if (integral) {
+      errno = 0;
+      if (negative) {
+        const long long parsed = std::strtoll(token.c_str(), nullptr, 10);
+        if (errno != 0) fail("integer out of range");
+        v.type_ = JsonValue::Type::kInt;
+        v.int_ = parsed;
+      } else {
+        const unsigned long long parsed =
+            std::strtoull(token.c_str(), nullptr, 10);
+        if (errno != 0) fail("integer out of range");
+        v.type_ = JsonValue::Type::kUint;
+        v.uint_ = parsed;
+      }
+    } else {
+      v.type_ = JsonValue::Type::kDouble;
+      v.double_ = std::strtod(token.c_str(), nullptr);
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+}  // namespace ff::util

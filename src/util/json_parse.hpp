@@ -1,0 +1,105 @@
+// Minimal recursive-descent JSON parser — the reading twin of
+// util/json.hpp's streaming writer, still without external dependencies.
+//
+// The verify layer needs to READ what the repo already writes: cached
+// verify::Report entries and canonical verify::JobSpec documents must
+// round-trip losslessly.  Two requirements drive the design:
+//
+//   * EXACT 64-BIT INTEGERS.  Fingerprints and state counts do not fit a
+//     double, so integral tokens are kept as uint64/int64 and only
+//     fraction/exponent forms decay to double.  as_u64() on a value that
+//     was written by JsonWriter::value(std::uint64_t) is exact.
+//   * HOSTILE INPUT IS A PARSE ERROR, NEVER UB.  Cache entries can be
+//     truncated, corrupted or adversarial; every malformed byte throws
+//     JsonParseError (with offset), nesting is depth-capped so a
+//     "[[[[..." bomb cannot blow the stack, and accessors type-check.
+//
+// Object members preserve insertion order (serializers here emit fixed
+// key orders) and are looked up linearly — documents are small reports,
+// not bulk data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ff::util {
+
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kUint,    ///< non-negative integral token, exact
+    kInt,     ///< negative integral token, exact
+    kDouble,  ///< fraction/exponent token
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// Parses one complete JSON document (trailing garbage is an error).
+  /// Throws JsonParseError on any malformed input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kUint || type_ == Type::kInt ||
+           type_ == Type::kDouble;
+  }
+
+  /// Typed accessors: a type mismatch throws JsonParseError (offset 0) so
+  /// schema violations in cache entries surface as load failures, not UB.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
+
+  /// Object lookup; find() returns nullptr when absent, at() throws.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace ff::util

@@ -1,0 +1,68 @@
+// verify::run — the single entry point for executing a verification job:
+// resolve the protocol, consult the cache, dispatch to the right engine,
+// persist the Report.
+//
+// Front ends construct a JobSpec and call run(); none of them touch
+// ExploreOptions / FrontierExploreOptions / FuzzOptions / StressOptions
+// directly anymore.  Harnesses that drive an engine themselves (the
+// differential suites replaying witnesses, the benches timing one engine
+// in a loop) use instantiate() to get the resolved world from the same
+// canonical description instead of re-deriving SimConfig by hand.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "proto/ir.hpp"
+#include "sched/program.hpp"
+#include "sched/sim_world.hpp"
+#include "verify/cache.hpp"
+#include "verify/job.hpp"
+#include "verify/report.hpp"
+
+namespace ff::verify {
+
+/// A JobSpec resolved against the registry: the program, its structural
+/// fingerprint, the machine factory (generated or interpreted per
+/// spec.interpreted), the SimConfig and the input vector.  The factory
+/// must outlive any world built from it (frontier_explore holds the
+/// reference through the whole search).
+struct Instance {
+  JobSpec spec;  ///< canonicalized
+  std::shared_ptr<const proto::Program> program;
+  std::uint64_t program_fingerprint = 0;
+  std::unique_ptr<sched::MachineFactory> factory;
+  sched::SimConfig config;
+  std::vector<std::uint64_t> inputs;
+
+  [[nodiscard]] sched::SimWorld world() const {
+    return sched::SimWorld(config, *factory, inputs);
+  }
+};
+
+/// Validates and resolves; throws std::invalid_argument like
+/// JobSpec::validate().  `factory` is null for stress jobs (real threads
+/// run the protocol adapter, not StepMachines).
+[[nodiscard]] Instance instantiate(const JobSpec& spec);
+
+struct RunOutcome {
+  Report report;
+  /// True iff the report came from the cache (soundness-checked: the
+  /// stored program fingerprint equalled the freshly resolved one).
+  bool cache_hit = false;
+  JobFingerprint fingerprint;
+  /// States the engine expanded IN THIS CALL — 0 on a cache hit (the
+  /// report's own census still describes the original run).
+  std::uint64_t fresh_states_expanded = 0;
+};
+
+/// Runs the job, cache-first when `cache` is non-null and the spec is
+/// cacheable().  Never throws on cache trouble — a broken entry is a
+/// miss and a failed store is silent; spec errors throw as validate().
+[[nodiscard]] RunOutcome run(const JobSpec& spec, Cache* cache = nullptr);
+
+/// Executes the engine on an already-resolved instance (no cache).
+/// The building block run() and the paired-round benches share.
+[[nodiscard]] Report execute(const Instance& instance);
+
+}  // namespace ff::verify

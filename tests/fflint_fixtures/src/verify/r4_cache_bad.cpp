@@ -1,0 +1,32 @@
+// Fixture: R4 positive — census-cache loop shapes with the bound
+// dropped: an entry-load retry loop (a concurrent rename can land
+// mid-read, but retrying FOREVER turns one corrupt file into a hang)
+// and an eviction sweep in infinite form.
+#include <cstdint>
+#include <string>
+
+namespace ff::verify {
+
+struct FakeEntry {
+  bool ok = false;
+};
+
+FakeEntry read_once(const std::string& path, std::uint64_t attempt);
+
+FakeEntry load_entry(const std::string& path) {
+  std::uint64_t attempt = 0;
+  while (true) {             // line 18: R4 (retry loop, no bound)
+    const FakeEntry entry = read_once(path, attempt++);
+    if (entry.ok) return entry;
+  }
+}
+
+std::uint64_t sweep(std::uint64_t cursor) {
+  for (;;) {                 // line 25: R4 (eviction sweep, no bound)
+    if ((cursor & 0xFF) == 0) break;
+    cursor = cursor * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return cursor;
+}
+
+}  // namespace ff::verify

@@ -1,0 +1,39 @@
+// Fixture: R4 negative — the census cache's sanctioned loop shapes:
+// the entry-load retry loop is bounded by a fixed attempt count (a
+// rename landing mid-read deserves a few re-reads, then the entry is a
+// miss) and the eviction sweep charges a BudgetMeter per file.
+#include <cstdint>
+#include <string>
+
+namespace ff::verify {
+
+struct FakeEntry {
+  bool ok = false;
+};
+
+struct FakeMeter {
+  std::uint64_t left = 1024;
+  bool charge() { return left > 0 && left-- > 0; }
+};
+
+FakeEntry read_once(const std::string& path, std::uint64_t attempt);
+
+FakeEntry load_entry(const std::string& path) {
+  constexpr std::uint64_t kLoadAttempts = 3;
+  for (std::uint64_t attempt = 0; attempt < kLoadAttempts; ++attempt) {
+    const FakeEntry entry = read_once(path, attempt);
+    if (entry.ok) return entry;
+  }
+  return {};  // bounded retries exhausted: a miss, never a hang
+}
+
+std::uint64_t sweep(std::uint64_t cursor, FakeMeter& meter) {
+  while (true) {
+    if (!meter.charge()) break;  // budget poll: honest truncation
+    if ((cursor & 0xFF) == 0) break;
+    cursor = cursor * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return cursor;
+}
+
+}  // namespace ff::verify

@@ -186,6 +186,21 @@ TEST(FflintR4, BudgetBoundedFrontierLoopsPass) {
   EXPECT_EQ(fixture_file("src/sched/r4_frontier_good.cpp"), nullptr);
 }
 
+TEST(FflintR4, FlagsUnboundedCacheRetryAndSweepLoops) {
+  // The census cache's loop shapes (src/verify/ joined R4 scope with
+  // the job layer): an entry-load retry loop and an eviction sweep in
+  // infinite form — one corrupt entry file must become a miss, not a
+  // hang.
+  const FileReport* f = fixture_file("src/verify/r4_cache_bad.cpp");
+  ASSERT_NE(f, nullptr);
+  expect_only_rule(*f, Rule::kR4);
+  EXPECT_EQ(lines_of(f->findings, Rule::kR4), (std::vector<int>{18, 25}));
+}
+
+TEST(FflintR4, BoundedCacheRetryLoopsPass) {
+  EXPECT_EQ(fixture_file("src/verify/r4_cache_good.cpp"), nullptr);
+}
+
 TEST(FflintR5, MalformedSuppressionsAreFindings) {
   const FileReport* f = fixture_file("src/sched/r5_bad.cpp");
   ASSERT_NE(f, nullptr);
@@ -329,7 +344,7 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
   const std::string json = ff::fflint::render_json(fixture_report());
   EXPECT_NE(json.find("\"tool\":\"ff-lint\""), std::string::npos);
   EXPECT_NE(json.find("\"rule\":\"R3\""), std::string::npos);
-  EXPECT_NE(json.find("\"counts\":{\"R1\":4,\"R2\":16,\"R3\":2,\"R4\":8,"
+  EXPECT_NE(json.find("\"counts\":{\"R1\":4,\"R2\":16,\"R3\":2,\"R4\":10,"
                       "\"R5\":3}"),
             std::string::npos);
   EXPECT_NE(json.find("\"justification\":\"fixture counter standing in for "
@@ -339,8 +354,8 @@ TEST(FflintReport, JsonCarriesFindingsCountsAndSuppressions) {
 }
 
 TEST(FflintReport, FixtureTreeTotalsAreExact) {
-  EXPECT_EQ(fixture_report().unsuppressed_total(), 33u);
-  EXPECT_EQ(fixture_report().files_scanned, 25);
+  EXPECT_EQ(fixture_report().unsuppressed_total(), 35u);
+  EXPECT_EQ(fixture_report().files_scanned, 27);
 }
 
 // -------------------------------------------------------- SARIF shape

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 
 #include "explore_diff.hpp"
@@ -17,6 +18,7 @@
 #include "proto/registry.hpp"
 #include "sched/explorer.hpp"
 #include "sched/frontier_explorer.hpp"
+#include "verify/run.hpp"
 
 namespace ff {
 namespace {
@@ -35,20 +37,19 @@ using testutil::GridCase;
 using testutil::iota_inputs;
 
 /// One cell of the registry grid: a registered protocol under a fault
-/// kind and a crash budget.
+/// kind and a crash budget, described as the canonical verify::JobSpec
+/// the front ends would submit.  verify::instantiate() resolves the
+/// config/factory/inputs the engines actually see — the test exercises
+/// the same resolution path instead of re-deriving SimConfig by hand.
 struct RegistryCase {
   std::string label;
-  sched::SimConfig config;
-  std::shared_ptr<sched::MachineFactory> factory;
-  std::vector<std::uint64_t> inputs;
+  verify::JobSpec spec;
 };
 
 std::vector<RegistryCase> registry_grid() {
   std::vector<RegistryCase> grid;
   for (const auto& info : proto::ProtocolRegistry::instance().all()) {
     if (!info.simulable) continue;
-    std::shared_ptr<sched::MachineFactory> factory =
-        proto::machine_factory(info.name);
     for (const FaultKind kind :
          {FaultKind::kNone, FaultKind::kOverriding, FaultKind::kSilent,
           FaultKind::kInvisible, FaultKind::kArbitrary,
@@ -57,13 +58,15 @@ std::vector<RegistryCase> registry_grid() {
         RegistryCase rc;
         rc.label = info.name + "/" + std::string(model::to_string(kind)) +
                    "/crash" + std::to_string(crash_budget);
-        rc.config.num_objects = factory->objects_used();
-        rc.config.num_registers = factory->registers_used();
-        rc.config.kind = kind;
-        rc.config.t = kind == FaultKind::kNone ? 0 : 1;
-        rc.config.crash_budget = crash_budget;
-        rc.factory = factory;
-        rc.inputs = iota_inputs(2);
+        rc.spec.protocol = info.name;
+        rc.spec.kind = kind;
+        rc.spec.t = kind == FaultKind::kNone ? 0 : 1;
+        rc.spec.crash_budget = crash_budget;
+        rc.spec.processes = 2;
+        rc.spec.engine = verify::Engine::kFrontier;
+        rc.spec.sleep_sets = false;  // the frontier engine rejects POR
+        rc.spec.killed_is_violation = kind == FaultKind::kNonresponsive;
+        rc.spec.stop_at_first_violation = false;
         grid.push_back(std::move(rc));
       }
     }
@@ -75,6 +78,10 @@ FrontierExploreOptions fopts(const ExploreOptions& explore,
                              std::uint32_t threads, std::uint32_t shards = 0) {
   FrontierExploreOptions options;
   options.explore = explore;
+  // Sleep sets are a DFS-path notion; frontier_explore throws on true.
+  // The sequential oracle keeps whatever the caller chose — the census
+  // is unchanged either way (sleep sets prune transitions, not states).
+  options.explore.sleep_sets = false;
   options.num_threads = threads;
   options.shard_count = shards;
   return options;
@@ -164,21 +171,22 @@ TEST(FrontierDifferential, LegacyGridSymmetryOff) {
 TEST(FrontierDifferential, RegistryGridWithCrashBudgets) {
   std::size_t compared = 0;
   for (const RegistryCase& rc : registry_grid()) {
+    const verify::Instance instance = verify::instantiate(rc.spec);
     ExploreOptions opts;
-    opts.stop_at_first_violation = false;
-    opts.killed_is_violation = rc.config.kind == FaultKind::kNonresponsive;
+    opts.stop_at_first_violation = rc.spec.stop_at_first_violation;
+    opts.killed_is_violation = rc.spec.killed_is_violation;
     // A corrupted delivered value can drive an indexed protocol to an
     // out-of-range register (announce-cas under invisible/arbitrary
     // faults): the sequential oracle throws out_of_range there, so the
     // cell has no oracle verdict to compare against — skip it.
     try {
-      const sched::SimWorld world(rc.config, *rc.factory, rc.inputs);
-      (void)sched::explore(world, opts);
+      (void)sched::explore(instance.world(), opts);
     } catch (const std::out_of_range&) {
       continue;
     }
-    expect_frontier_matches_sequential(rc.config, *rc.factory, rc.inputs,
-                                       fopts(opts, 4), rc.label);
+    expect_frontier_matches_sequential(instance.config, *instance.factory,
+                                       instance.inputs, fopts(opts, 4),
+                                       rc.label);
     ++compared;
   }
   EXPECT_GE(compared, 80u);  // 8 protocols × 6 kinds × 2 budgets, few skips
@@ -337,13 +345,31 @@ TEST(FrontierExplorer, TerminalInitialState) {
   const auto factory = proto::machine_factory("single-cas");
   sched::SimConfig config;
   config.num_objects = factory->objects_used();
-  const FrontierExploreResult fr = frontier_explore(config, *factory, {});
+  const FrontierExploreResult fr =
+      frontier_explore(config, *factory, {}, fopts(ExploreOptions{}, 2));
   const sched::SimWorld world(config, *factory, {});
   const ExploreResult seq = sched::explore(world);
   EXPECT_EQ(seq.states_visited, fr.explore.states_visited);
   EXPECT_EQ(seq.terminal_states, fr.explore.terminal_states);
   EXPECT_EQ(seq.complete, fr.explore.complete);
   EXPECT_EQ(fr.stats.waves, 0u);
+}
+
+TEST(FrontierExplorer, SleepSetsRejected) {
+  // Sleep-set POR is a DFS-path notion a BFS wavefront cannot carry
+  // soundly; the engine rejects the flag loudly instead of silently
+  // ignoring it (the silent-ignore era made cache keys ambiguous).
+  const auto factory = proto::machine_factory("single-cas");
+  sched::SimConfig config;
+  config.num_objects = factory->objects_used();
+  FrontierExploreOptions options;  // explore.sleep_sets defaults to true
+  EXPECT_THROW(frontier_explore(config, *factory, iota_inputs(2), options),
+               std::invalid_argument);
+  // The same rule holds one layer up, at job validation time.
+  verify::JobSpec spec;
+  spec.protocol = "single-cas";
+  spec.engine = verify::Engine::kFrontier;  // sleep_sets defaults to true
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
 }
 
 }  // namespace

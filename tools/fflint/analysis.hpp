@@ -7,8 +7,8 @@
 //       src/universal/, src/counter/, src/hierarchy/, src/proto/)
 //   R3  linearization-point discipline in the object layer: sequence
 //       stamping / history recording outside the lock or CAS region
-//   R4  infinite-form loops in src/sched/ and src/runtime/ that never
-//       consult a runtime::BudgetMeter
+//   R4  infinite-form loops in src/sched/, src/runtime/ and src/verify/
+//       that never consult a runtime::BudgetMeter
 //   R5  `// ff-lint: allow(Rk)` suppressions must carry a justification;
 //       every suppression is surfaced in the report
 //
